@@ -1,0 +1,129 @@
+// B4 (paper challenge — "How to enforce timely data degradation?"):
+// degradation throughput and timeliness for the two physical layouts:
+//   - kStateStores: FIFO stores per (attribute, phase); a step is a
+//     sequential pop/append + segment-granularity secure erase.
+//   - kInPlace: degradable values inline in heap tuples; a step is a
+//     random-access page rewrite per tuple.
+//
+// Expected shape: FIFO stores sustain much higher degradation throughput
+// and near-zero lateness; in-place pays a page rewrite per value.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "support/bench_util.h"
+
+using namespace instantdb;
+using bench::TablePrinter;
+
+namespace {
+
+const char* LayoutName(DegradableLayout layout) {
+  return layout == DegradableLayout::kStateStores ? "state-stores" : "in-place";
+}
+
+void RunTimeliness() {
+  TablePrinter table({"layout", "tuples", "degrade wall ms", "tuples/sec",
+                      "p99 lateness", "segments erased"});
+  for (DegradableLayout layout :
+       {DegradableLayout::kStateStores, DegradableLayout::kInPlace}) {
+    for (size_t tuples : {10000u, 50000u}) {
+      VirtualClock clock;
+      DbOptions options;
+      options.layout = layout;
+      auto test = bench::OpenFreshDb("degradation", &clock, options);
+      auto workload = bench::MakePingWorkload(Fig2LocationLcp(), 4);
+      test.db->CreateTable("pings", workload.schema).status();
+      bench::InsertPings(test.db.get(), &clock, workload, "pings", tuples, 0);
+
+      // A "step storm": every tuple crosses the 1h boundary at once.
+      clock.Advance(kMicrosPerHour);
+      SystemClock wall;
+      const Micros start = wall.NowMicros();
+      auto moved = test.db->RunDegradationOnce();
+      const Micros elapsed = wall.NowMicros() - start;
+      if (!moved.ok()) continue;
+
+      const Table* t = test.db->GetTable("pings");
+      uint64_t erased = 0;
+      for (int p = 0; p < 4; ++p) {
+        const StateStore* store = t->store(1, p);
+        if (store != nullptr) erased += store->stats().segments_erased;
+      }
+      table.AddRow(
+          {LayoutName(layout), std::to_string(*moved),
+           StringPrintf("%.1f", elapsed / 1000.0),
+           StringPrintf("%.0f", *moved * 1e6 / std::max<Micros>(elapsed, 1)),
+           bench::FormatDuration(
+               static_cast<Micros>(t->lateness_histogram().Percentile(99))),
+           std::to_string(erased)});
+    }
+  }
+  table.Print("B4: one full degradation step storm (all tuples cross the "
+              "1h address->city boundary)");
+  std::printf(
+      "\nShape check: with the working set buffer-pool resident, both\n"
+      "layouts are CPU-bound and sustain tens of thousands of values/sec\n"
+      "with zero lateness. The structural difference is the secure-erase\n"
+      "granularity: state stores retire whole drained segments (sequential\n"
+      "I/O, 'segments erased' column), while in-place must overwrite each\n"
+      "heap tuple's bytes inside its page — random writes that surface as\n"
+      "page flushes once the heap exceeds the buffer pool.\n");
+}
+
+void BM_DegradeBatch(benchmark::State& state) {
+  const auto layout = static_cast<DegradableLayout>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    VirtualClock clock;
+    DbOptions options;
+    options.layout = layout;
+    auto test = bench::OpenFreshDb("degr_micro", &clock, options);
+    auto workload = bench::MakePingWorkload(Fig2LocationLcp(), 3);
+    test.db->CreateTable("pings", workload.schema).status();
+    bench::InsertPings(test.db.get(), &clock, workload, "pings", 4000, 0);
+    clock.Advance(kMicrosPerHour);
+    state.ResumeTiming();
+    auto moved = test.db->RunDegradationOnce();
+    benchmark::DoNotOptimize(moved);
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+  state.SetLabel(LayoutName(layout));
+}
+BENCHMARK(BM_DegradeBatch)
+    ->Arg(static_cast<int>(DegradableLayout::kStateStores))
+    ->Arg(static_cast<int>(DegradableLayout::kInPlace))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InsertThroughput(benchmark::State& state) {
+  const auto layout = static_cast<DegradableLayout>(state.range(0));
+  VirtualClock clock;
+  DbOptions options;
+  options.layout = layout;
+  auto test = bench::OpenFreshDb("insert_micro", &clock, options);
+  auto workload = bench::MakePingWorkload(Fig2LocationLcp(), 3);
+  test.db->CreateTable("pings", workload.schema).status();
+  ZipfGenerator zipf(workload.addresses.size(), 0.8, 9);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto row = test.db->Insert(
+        "pings", {Value::String("u"), Value::String(workload.addresses[zipf.Next()])});
+    benchmark::DoNotOptimize(row);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(i));
+  state.SetLabel(LayoutName(layout));
+}
+BENCHMARK(BM_InsertThroughput)
+    ->Arg(static_cast<int>(DegradableLayout::kStateStores))
+    ->Arg(static_cast<int>(DegradableLayout::kInPlace));
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunTimeliness();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

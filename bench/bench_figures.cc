@@ -1,0 +1,99 @@
+// E1–E3: regenerate the paper's three model figures (Fig. 1 generalization
+// tree, Fig. 2 attribute LCP, Fig. 3 tuple LCP) and micro-benchmark the
+// model operations they define.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "support/bench_util.h"
+
+using namespace instantdb;
+
+namespace {
+
+void PrintFigures() {
+  auto domain = LocationDomain();
+  const auto* tree = static_cast<const GeneralizationTree*>(domain.get());
+  std::printf("=== E1 (Fig. 1): generalization tree of the location domain ===\n%s",
+              tree->ToAsciiArt().c_str());
+  std::printf("levels: ");
+  for (int level = 0; level < domain->height(); ++level) {
+    std::printf("%d=%s (%lld values)%s", level,
+                domain->level_names()[level].c_str(),
+                static_cast<long long>(*domain->CardinalityAtLevel(level)),
+                level + 1 == domain->height() ? "\n" : ", ");
+  }
+
+  const AttributeLcp lcp = Fig2LocationLcp();
+  std::printf("\n=== E2 (Fig. 2): attribute LCP ===\n%s\n", lcp.ToString().c_str());
+  std::printf("shortest degradation step (attack-window bound): %s\n",
+              bench::FormatDuration(lcp.ShortestStep()).c_str());
+
+  const AttributeLcp salary =
+      *AttributeLcp::Make({{0, kMicrosPerDay}, {1, kMicrosPerMonth}});
+  const TupleLcp tuple = TupleLcp::Make({&lcp, &salary});
+  std::printf("\n=== E3 (Fig. 3): tuple LCP (location x salary) ===\n%s\n",
+              tuple.ToString().c_str());
+  std::printf("tuple states: %d, removal after %s\n\n", tuple.num_states(),
+              bench::FormatDuration(tuple.RemovalOffset()).c_str());
+}
+
+void BM_TreeGeneralize(benchmark::State& state) {
+  auto domain = SyntheticLocationDomain(4, 4, 4, 4);
+  const auto* tree = static_cast<const GeneralizationTree*>(domain.get());
+  const auto leaves = tree->LabelsAtLevel(0);
+  Random rng(1);
+  const int to_level = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const Value leaf = Value::String(leaves[rng.Uniform(leaves.size())]);
+    auto result = domain->Generalize(leaf, 0, to_level);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TreeGeneralize)->DenseRange(0, 4);
+
+void BM_IntervalGeneralize(benchmark::State& state) {
+  auto domain = SalaryDomain();
+  Random rng(1);
+  const int to_level = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto result =
+        domain->Generalize(Value::Int64(static_cast<int64_t>(rng.Uniform(100000))),
+                           0, to_level);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_IntervalGeneralize)->DenseRange(0, 3);
+
+void BM_LcpPhaseAt(benchmark::State& state) {
+  const AttributeLcp lcp = Fig2LocationLcp();
+  Random rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lcp.PhaseAt(static_cast<Micros>(rng.Uniform(3 * kMicrosPerMonth))));
+  }
+}
+BENCHMARK(BM_LcpPhaseAt);
+
+void BM_LeafRange(benchmark::State& state) {
+  auto domain = SyntheticLocationDomain(4, 4, 4, 4);
+  const auto* tree = static_cast<const GeneralizationTree*>(domain.get());
+  const auto cities = tree->LabelsAtLevel(1);
+  Random rng(1);
+  for (auto _ : state) {
+    auto range =
+        domain->LeafRange(Value::String(cities[rng.Uniform(cities.size())]), 1);
+    benchmark::DoNotOptimize(range);
+  }
+}
+BENCHMARK(BM_LeafRange);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigures();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,148 @@
+// B7 (paper challenge — OLAP side: "OLAP must take care of updates
+// incurred by degradation … bitmap-like indexes"):
+// (a) index maintenance cost under a mixed insert + degradation load, with
+//     the multi-resolution trees alone vs. trees + bitmap indexes;
+// (b) aggregation speed at coarse levels: bitmap OR vs. tree range scan;
+// (c) how the number of distinct indexed values collapses per phase —
+//     exactly the regime where bitmaps win.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "support/bench_util.h"
+
+using namespace instantdb;
+using bench::TablePrinter;
+
+namespace {
+
+void RunMaintenance() {
+  TablePrinter table({"config", "inserts", "degrade moves", "wall ms",
+                      "ops/sec"});
+  for (bool bitmaps : {false, true}) {
+    VirtualClock clock;
+    DbOptions options;
+    options.bitmap_indexes = bitmaps;
+    auto test = bench::OpenFreshDb("index_maint", &clock, options);
+    auto workload = bench::MakePingWorkload(Fig2LocationLcp(), 4);
+    test.db->CreateTable("pings", workload.schema).status();
+
+    SystemClock wall;
+    const Micros start = wall.NowMicros();
+    size_t inserts = 0, moves = 0;
+    // Interleave: 500 inserts, advance 20 min, degrade, repeat.
+    for (int round = 0; round < 18; ++round) {
+      bench::InsertPings(test.db.get(), &clock, workload, "pings", 500, 0, 0.8,
+                         round);
+      inserts += 500;
+      clock.Advance(20 * kMicrosPerMinute);
+      auto moved = test.db->RunDegradationOnce();
+      if (moved.ok()) moves += *moved;
+    }
+    const Micros elapsed = wall.NowMicros() - start;
+    table.AddRow({bitmaps ? "multires + bitmap" : "multires only",
+                  std::to_string(inserts), std::to_string(moves),
+                  StringPrintf("%.1f", elapsed / 1000.0),
+                  StringPrintf("%.0f", (inserts + moves) * 1e6 /
+                                           std::max<Micros>(elapsed, 1))});
+  }
+  table.Print("B7a: index maintenance under mixed insert + degradation "
+              "(9000 inserts, 20-minute degradation cadence)");
+}
+
+void RunBitmapDensity() {
+  VirtualClock clock;
+  DbOptions options;
+  options.bitmap_indexes = true;
+  auto test = bench::OpenFreshDb("index_density", &clock, options);
+  auto workload = bench::MakePingWorkload(Fig2LocationLcp(), 4);
+  test.db->CreateTable("pings", workload.schema).status();
+  bench::InsertPings(test.db.get(), &clock, workload, "pings", 10000,
+                     kMicrosPerSecond);
+  // March the whole population to the region phase.
+  clock.Advance(kMicrosPerHour + kMicrosPerDay);
+  test.db->RunDegradationOnce().status().ok();
+
+  const Table* t = test.db->GetTable("pings");
+  const BitmapColumnIndex* bitmap = t->bitmap_index(0);
+  TablePrinter table({"phase", "level", "distinct values", "rows/value"});
+  const AttributeLcp lcp = Fig2LocationLcp();
+  for (int p = 0; p < lcp.num_phases(); ++p) {
+    const size_t distinct = bitmap->DistinctInPhase(p);
+    const uint64_t entries = t->multires_index(0)->EntriesInPhase(p);
+    table.AddRow({StringPrintf("d%d", p),
+                  std::to_string(lcp.phase(p).level),
+                  std::to_string(distinct),
+                  distinct == 0 ? "-"
+                                : StringPrintf("%.0f", static_cast<double>(entries) /
+                                                           distinct)});
+  }
+  table.Print("B7b: value-domain collapse per phase after degradation "
+              "(10000 tuples, fanout-4 tree)");
+  std::printf("bitmap index memory: %zu bytes\n", bitmap->MemoryBytes());
+}
+
+struct AggSetup {
+  VirtualClock clock;
+  bench::TestDb test;
+  bench::PingWorkload workload;
+};
+
+AggSetup* SharedAggSetup() {
+  static AggSetup* setup = [] {
+    auto* s = new AggSetup();
+    DbOptions options;
+    options.bitmap_indexes = true;
+    s->test = bench::OpenFreshDb("index_agg", &s->clock, options);
+    s->workload = bench::MakePingWorkload(Fig2LocationLcp(), 4);
+    s->test.db->CreateTable("pings", s->workload.schema).status();
+    bench::InsertPings(s->test.db.get(), &s->clock, s->workload, "pings",
+                       20000, kMicrosPerSecond);
+    s->clock.Advance(kMicrosPerHour + kMicrosPerDay);
+    s->test.db->RunDegradationOnce().status().ok();
+    return s;
+  }();
+  return setup;
+}
+
+void BM_CoarseCountBitmap(benchmark::State& state) {
+  AggSetup* setup = SharedAggSetup();
+  const auto* tree =
+      static_cast<const GeneralizationTree*>(setup->workload.domain.get());
+  const std::string region = tree->LabelsAtLevel(2).front();
+  Table* table = setup->test.db->GetTable("pings");
+  const int col = table->schema().FindColumn("location");
+  for (auto _ : state) {
+    auto bitmap = table->BitmapLookupEqual(col, Value::String(region), 2);
+    benchmark::DoNotOptimize(bitmap->Count());
+  }
+  state.SetLabel("bitmap OR + popcount");
+}
+BENCHMARK(BM_CoarseCountBitmap)->Unit(benchmark::kMicrosecond);
+
+void BM_CoarseCountTree(benchmark::State& state) {
+  AggSetup* setup = SharedAggSetup();
+  const auto* tree =
+      static_cast<const GeneralizationTree*>(setup->workload.domain.get());
+  const std::string region = tree->LabelsAtLevel(2).front();
+  Table* table = setup->test.db->GetTable("pings");
+  const int col = table->schema().FindColumn("location");
+  for (auto _ : state) {
+    std::vector<RowId> rids;
+    table->IndexLookupEqual(col, Value::String(region), 2, &rids).ok();
+    benchmark::DoNotOptimize(rids.size());
+  }
+  state.SetLabel("multires range scan");
+}
+BENCHMARK(BM_CoarseCountTree)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunMaintenance();
+  RunBitmapDensity();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,153 @@
+// B6 (paper challenge — "How to speed up queries involving degradable
+// attributes?", OLTP side):
+// selection latency vs. accuracy level for three access paths: full scan,
+// the multi-resolution index, and a naive single B+-tree that only indexes
+// accurate (phase-0) values and must fall back to scanning degraded data
+// (modeled by disabling index use for the degraded part).
+//
+// Also shows the paper's observation that OLTP queries become LESS
+// selective as attributes degrade: one city-level key covers many rows.
+//
+// Expected shape: multi-resolution index answers coarse queries in time
+// proportional to the result, the scan in time proportional to the table;
+// selectivity decays by roughly the domain fan-out per level.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "support/bench_util.h"
+
+using namespace instantdb;
+using bench::TablePrinter;
+
+namespace {
+
+constexpr size_t kTuples = 20000;
+
+struct QuerySetup {
+  VirtualClock clock;
+  bench::TestDb test;
+  bench::PingWorkload workload;
+  const GeneralizationTree* tree = nullptr;
+};
+
+std::unique_ptr<QuerySetup> MakeSetup() {
+  auto setup = std::make_unique<QuerySetup>();
+  setup->test = bench::OpenFreshDb("query", &setup->clock);
+  setup->workload = bench::MakePingWorkload(Fig2LocationLcp(), 4);
+  setup->tree =
+      static_cast<const GeneralizationTree*>(setup->workload.domain.get());
+  setup->test.db->CreateTable("pings", setup->workload.schema).status();
+  // Insert over ~2h so the table holds a mix of phase-0 and phase-1 data.
+  bench::InsertPings(setup->test.db.get(), &setup->clock, setup->workload,
+                     "pings", kTuples, 2 * kMicrosPerHour / kTuples);
+  setup->test.db->RunDegradationOnce().status().ok();
+  return setup;
+}
+
+void RunSelectivity() {
+  auto setup = MakeSetup();
+  Session session(setup->test.db.get());
+  TablePrinter table({"accuracy level", "predicate", "matching rows",
+                      "selectivity", "index rows visited", "scan rows visited"});
+  const char* kLevels[4] = {"ADDRESS", "CITY", "REGION", "COUNTRY"};
+  for (int level = 0; level < 4; ++level) {
+    session.Execute(StringPrintf(
+        "DECLARE PURPOSE P%d SET ACCURACY LEVEL %s FOR pings.location", level,
+        kLevels[level])).status();
+    const std::string label = setup->tree->LabelsAtLevel(level).front();
+    const std::string sql = StringPrintf(
+        "SELECT COUNT(*) FROM pings WHERE location = '%s'", label.c_str());
+    session.set_use_indexes(true);
+    auto indexed = session.Execute(sql);
+    session.set_use_indexes(false);
+    auto scanned = session.Execute(sql);
+    const int64_t matches =
+        indexed.ok() && !indexed->rows.empty() ? indexed->rows[0][0].int64() : -1;
+    const int64_t scan_matches =
+        scanned.ok() && !scanned->rows.empty() ? scanned->rows[0][0].int64() : -1;
+    table.AddRow({kLevels[level], "location = '" + label + "'",
+                  std::to_string(matches),
+                  StringPrintf("%.2f%%", 100.0 * matches / kTuples),
+                  std::to_string(matches),
+                  StringPrintf("%zu (all)", kTuples)});
+    if (matches != scan_matches) {
+      std::printf("!! index/scan mismatch at level %d: %lld vs %lld\n", level,
+                  static_cast<long long>(matches),
+                  static_cast<long long>(scan_matches));
+    }
+  }
+  table.Print(
+      "B6a: selectivity decay as accuracy coarsens (20000 tuples, fanout-4 "
+      "tree; equality predicate on one node per level)");
+}
+
+QuerySetup* SharedSetup() {
+  static QuerySetup* setup = MakeSetup().release();
+  return setup;
+}
+
+void BM_QueryIndexed(benchmark::State& state) {
+  QuerySetup* setup = SharedSetup();
+  const int level = static_cast<int>(state.range(0));
+  const std::string label = setup->tree->LabelsAtLevel(level).front();
+  Table* table = setup->test.db->GetTable("pings");
+  const int col = table->schema().FindColumn("location");
+  for (auto _ : state) {
+    std::vector<RowId> rids;
+    auto status = table->IndexLookupEqual(col, Value::String(label), level, &rids);
+    benchmark::DoNotOptimize(rids);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+  }
+  state.SetLabel(StringPrintf("level=%d multires-index", level));
+}
+BENCHMARK(BM_QueryIndexed)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+
+void BM_QueryScan(benchmark::State& state) {
+  QuerySetup* setup = SharedSetup();
+  const int level = static_cast<int>(state.range(0));
+  const std::string label = setup->tree->LabelsAtLevel(level).front();
+  Session session(setup->test.db.get());
+  session.set_use_indexes(false);
+  const char* kLevels[4] = {"ADDRESS", "CITY", "REGION", "COUNTRY"};
+  session.Execute(StringPrintf(
+      "DECLARE PURPOSE B SET ACCURACY LEVEL %s FOR pings.location",
+      kLevels[level])).status();
+  const std::string sql = StringPrintf(
+      "SELECT COUNT(*) FROM pings WHERE location = '%s'", label.c_str());
+  for (auto _ : state) {
+    auto result = session.Execute(sql);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(StringPrintf("level=%d full-scan", level));
+}
+BENCHMARK(BM_QueryScan)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_QuerySqlIndexed(benchmark::State& state) {
+  QuerySetup* setup = SharedSetup();
+  const int level = static_cast<int>(state.range(0));
+  const std::string label = setup->tree->LabelsAtLevel(level).front();
+  Session session(setup->test.db.get());
+  const char* kLevels[4] = {"ADDRESS", "CITY", "REGION", "COUNTRY"};
+  session.Execute(StringPrintf(
+      "DECLARE PURPOSE C SET ACCURACY LEVEL %s FOR pings.location",
+      kLevels[level])).status();
+  const std::string sql = StringPrintf(
+      "SELECT COUNT(*) FROM pings WHERE location = '%s'", label.c_str());
+  for (auto _ : state) {
+    auto result = session.Execute(sql);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(StringPrintf("level=%d sql+index", level));
+}
+BENCHMARK(BM_QuerySqlIndexed)->DenseRange(0, 3)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunSelectivity();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "support/bench_util.h"
+
+#include <cstdio>
+
+#include "common/random.h"
+
+namespace instantdb::bench {
+
+TestDb OpenFreshDb(const std::string& name, VirtualClock* clock,
+                   DbOptions base) {
+  TestDb out;
+  out.path = "/tmp/instantdb_bench_" + name;
+  RemoveDirRecursive(out.path).ok();
+  base.path = out.path;
+  base.clock = clock;
+  auto db = Database::Open(base);
+  if (!db.ok()) {
+    std::fprintf(stderr, "bench db open failed: %s\n",
+                 db.status().ToString().c_str());
+    std::abort();
+  }
+  out.db = std::move(*db);
+  return out;
+}
+
+PingWorkload MakePingWorkload(const AttributeLcp& lcp, int fanout) {
+  PingWorkload workload;
+  workload.domain =
+      SyntheticLocationDomain(fanout, fanout, fanout, fanout);
+  const auto* tree =
+      static_cast<const GeneralizationTree*>(workload.domain.get());
+  workload.addresses = tree->LabelsAtLevel(0);
+  auto schema = Schema::Make(
+      {ColumnDef::Stable("user", ValueType::kString),
+       ColumnDef::Degradable("location", workload.domain, lcp)});
+  workload.schema = *schema;
+  return workload;
+}
+
+std::vector<RowId> InsertPings(Database* db, VirtualClock* clock,
+                               const PingWorkload& workload,
+                               const std::string& table, size_t n,
+                               Micros inter_arrival, double zipf_theta,
+                               uint64_t seed) {
+  ZipfGenerator zipf(workload.addresses.size(), zipf_theta, seed);
+  Random rng(seed);
+  std::vector<RowId> rows;
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& addr = workload.addresses[zipf.Next()];
+    auto row = db->Insert(
+        table, {Value::String(StringPrintf(
+                    "user-%llu", static_cast<unsigned long long>(
+                                     rng.Uniform(1 + n / 16)))),
+                Value::String(addr)});
+    if (row.ok()) rows.push_back(*row);
+    if (inter_arrival > 0) clock->Advance(inter_arrival);
+  }
+  return rows;
+}
+
+size_t ForensicScan(const std::string& dir, const std::string& needle) {
+  size_t hits = 0;
+  auto names = ListDir(dir);
+  if (!names.ok()) return 0;
+  for (const auto& name : *names) {
+    if (name == "CATALOG") continue;
+    const std::string path = dir + "/" + name;
+    auto contents = ReadFileToString(path);
+    if (contents.ok()) {
+      for (size_t pos = contents->find(needle); pos != std::string::npos;
+           pos = contents->find(needle, pos + 1)) {
+        ++hits;
+      }
+    } else {
+      hits += ForensicScan(path, needle);
+    }
+  }
+  return hits;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    std::printf("%-*s%s", static_cast<int>(widths[c]), headers_[c].c_str(),
+                c + 1 == headers_.size() ? "\n" : " | ");
+  }
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    std::printf("%s%s", std::string(widths[c], '-').c_str(),
+                c + 1 == headers_.size() ? "\n" : "-+-");
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(widths[c]), row[c].c_str(),
+                  c + 1 == row.size() ? "\n" : " | ");
+    }
+  }
+}
+
+std::string FormatDuration(Micros micros) {
+  if (micros == kForever) return "forever";
+  if (micros >= kMicrosPerDay) {
+    return StringPrintf("%.3gd", static_cast<double>(micros) /
+                                     static_cast<double>(kMicrosPerDay));
+  }
+  if (micros >= kMicrosPerHour) {
+    return StringPrintf("%.3gh", static_cast<double>(micros) /
+                                     static_cast<double>(kMicrosPerHour));
+  }
+  if (micros >= kMicrosPerMinute) {
+    return StringPrintf("%.3gm", static_cast<double>(micros) /
+                                     static_cast<double>(kMicrosPerMinute));
+  }
+  return StringPrintf("%.3gs", static_cast<double>(micros) /
+                                   static_cast<double>(kMicrosPerSecond));
+}
+
+}  // namespace instantdb::bench

@@ -1,0 +1,61 @@
+#ifndef INSTANTDB_BENCH_SUPPORT_BENCH_UTIL_H_
+#define INSTANTDB_BENCH_SUPPORT_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "instantdb/instantdb.h"
+
+namespace instantdb::bench {
+
+/// Fresh scratch database under /tmp, driven by the supplied VirtualClock.
+struct TestDb {
+  std::string path;
+  std::unique_ptr<Database> db;
+};
+
+/// Opens a fresh database (removing any previous contents).
+TestDb OpenFreshDb(const std::string& name, VirtualClock* clock,
+                   DbOptions base = {});
+
+/// The standard benchmark table: one stable user column plus a degradable
+/// location over a synthetic tree (`fanout^4` leaves) with the given LCP.
+struct PingWorkload {
+  std::shared_ptr<const DomainHierarchy> domain;
+  std::vector<std::string> addresses;  // leaf labels, index by ordinal
+  Schema schema;
+};
+PingWorkload MakePingWorkload(const AttributeLcp& lcp, int fanout = 4);
+
+/// Inserts `n` rows with arrivals spaced `inter_arrival` apart; addresses
+/// drawn Zipf(theta) over the leaves. Returns the inserted row ids.
+std::vector<RowId> InsertPings(Database* db, VirtualClock* clock,
+                               const PingWorkload& workload,
+                               const std::string& table, size_t n,
+                               Micros inter_arrival, double zipf_theta = 0.8,
+                               uint64_t seed = 42);
+
+/// Counts occurrences of `needle` in every file under `dir` (recursive),
+/// skipping the CATALOG (domain metadata, not tuple data).
+size_t ForensicScan(const std::string& dir, const std::string& needle);
+
+/// Aligned-column table printer for the experiment series the paper-shaped
+/// reports are generated from.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string FormatDuration(Micros micros);
+
+}  // namespace instantdb::bench
+
+#endif  // INSTANTDB_BENCH_SUPPORT_BENCH_UTIL_H_

@@ -1,0 +1,114 @@
+// Search-query log with timely degradation.
+//
+// The paper's introduction points at the AOL search-log disclosure: 657,000
+// users' queries were published with insufficient anonymization. This
+// example keeps a search log useful for service improvement while making
+// the sensitive part (what exactly was searched) degrade from the precise
+// query topic to a broad category, and demonstrates the donor's "right to
+// be forgotten" (immediate secure delete).
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "instantdb/instantdb.h"
+
+using namespace instantdb;
+
+namespace {
+
+std::shared_ptr<const DomainHierarchy> TopicDomain() {
+  GeneralizationTree::Builder builder("topic");
+  builder.AddPath("Any/Health/Cardiology/heart palpitations");
+  builder.AddPath("Any/Health/Cardiology/blood pressure diet");
+  builder.AddPath("Any/Health/Oncology/melanoma symptoms");
+  builder.AddPath("Any/Finance/Loans/payday loan rates");
+  builder.AddPath("Any/Finance/Loans/consolidate credit card debt");
+  builder.AddPath("Any/Finance/Tax/freelance tax deadline");
+  builder.AddPath("Any/Travel/Flights/cheap flights lisbon");
+  builder.AddPath("Any/Travel/Hotels/hotels near louvre");
+  auto tree = builder.Build();
+  (*tree)->SetLevelNames({"QUERY", "TOPIC", "CATEGORY", "ANY"});
+  return *tree;
+}
+
+}  // namespace
+
+int main() {
+  VirtualClock clock;
+  DbOptions options;
+  options.path = "/tmp/instantdb_query_log";
+  options.clock = &clock;
+  RemoveDirRecursive(options.path).ok();
+  auto db = Database::Open(options);
+  if (!db.ok()) return 1;
+
+  auto topic = TopicDomain();
+  // Precise query text for a day (spell-correction, abuse detection), topic
+  // for a week (ranking experiments), category for a quarter (capacity
+  // planning), then gone.
+  auto lcp = *AttributeLcp::Make({{0, kMicrosPerDay},
+                                  {1, 7 * kMicrosPerDay},
+                                  {2, 90 * kMicrosPerDay}});
+  auto schema = Schema::Make(
+      {ColumnDef::Stable("user", ValueType::kString),
+       ColumnDef::Stable("ts", ValueType::kTimestamp),
+       ColumnDef::Degradable("query", topic, lcp)});
+  (*db)->CreateTable("searches", *schema).status();
+
+  Session session(db->get());
+  const char* kUsers[] = {"u4417749", "u711391", "u98280"};
+  const auto* tree = static_cast<const GeneralizationTree*>(topic.get());
+  const auto queries = tree->LabelsAtLevel(0);
+  Random rng(7);
+  for (int day = 0; day < 10; ++day) {
+    for (int q = 0; q < 30; ++q) {
+      (*db)->Insert("searches",
+                    {Value::String(kUsers[rng.Uniform(3)]),
+                     Value::Timestamp(clock.NowMicros()),
+                     Value::String(queries[rng.Uniform(queries.size())])})
+          .status();
+    }
+    clock.Advance(kMicrosPerDay);
+    (*db)->RunDegradationOnce().status().ok();
+  }
+
+  // Fresh queries (level 0) — only the last day is this accurate.
+  auto exact = session.Execute("SELECT COUNT(*) FROM searches");
+  std::printf("searches visible at full accuracy (last 24h only): %s",
+              exact.ok() ? exact->ToString().c_str() : "error\n");
+
+  // Ranking team works at TOPIC accuracy.
+  session.Execute("DECLARE PURPOSE RANKING SET ACCURACY LEVEL TOPIC "
+                  "FOR searches.query").status();
+  auto topics = session.Execute(
+      "SELECT query, COUNT(*) FROM searches GROUP BY query");
+  if (topics.ok()) {
+    std::printf("\nRanking view (TOPIC accuracy, last week):\n%s",
+                topics->ToString().c_str());
+  }
+
+  // Capacity planning at CATEGORY accuracy sees everything still stored.
+  session.Execute("DECLARE PURPOSE CAPACITY SET ACCURACY LEVEL CATEGORY "
+                  "FOR searches.query").status();
+  auto categories = session.Execute(
+      "SELECT query, COUNT(*) FROM searches GROUP BY query");
+  if (categories.ok()) {
+    std::printf("\nCapacity view (CATEGORY accuracy, everything):\n%s",
+                categories->ToString().c_str());
+  }
+
+  // A user invokes their right to erasure: view-style delete at CATEGORY
+  // accuracy removes every remaining trace, stable part included, and the
+  // storage layer scrubs the bytes.
+  auto erased = session.Execute(
+      "DELETE FROM searches WHERE user = 'u4417749'");
+  std::printf("\nuser u4417749 erased: %llu rows (secure, immediate)\n",
+              erased.ok() ? static_cast<unsigned long long>(erased->affected_rows)
+                          : 0ULL);
+  auto remaining = session.Execute(
+      "SELECT query, COUNT(*) FROM searches GROUP BY query");
+  if (remaining.ok()) {
+    std::printf("\nAfter erasure:\n%s", remaining->ToString().c_str());
+  }
+  return 0;
+}

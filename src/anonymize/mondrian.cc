@@ -1,0 +1,145 @@
+#include "anonymize/mondrian.h"
+
+#include <algorithm>
+
+namespace instantdb {
+
+Mondrian::Mondrian(
+    std::vector<std::shared_ptr<const DomainHierarchy>> domains, size_t k)
+    : domains_(std::move(domains)), k_(k == 0 ? 1 : k) {}
+
+int Mondrian::CoveringLevel(const DomainHierarchy& domain, int64_t lo,
+                            int64_t hi) const {
+  auto leaf = domain.LeafFromOrdinal(lo);
+  if (!leaf.ok()) return domain.height() - 1;
+  for (int level = 0; level < domain.height(); ++level) {
+    auto general = domain.Generalize(*leaf, 0, level);
+    if (!general.ok()) continue;
+    auto range = domain.LeafRange(*general, level);
+    if (range.ok() && range->lo <= lo && range->hi >= hi) return level;
+  }
+  return domain.height() - 1;
+}
+
+void Mondrian::Partition(std::vector<Item>* items, size_t begin, size_t end,
+                         MondrianResult* result) const {
+  const size_t n = end - begin;
+  const size_t dims = domains_.size();
+
+  // Pick the dimension with the widest normalized ordinal spread.
+  int best_dim = -1;
+  double best_spread = 0;
+  std::vector<std::pair<int64_t, int64_t>> ranges(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    int64_t lo = INT64_MAX, hi = INT64_MIN;
+    for (size_t i = begin; i < end; ++i) {
+      lo = std::min(lo, (*items)[i].ordinals[d]);
+      hi = std::max(hi, (*items)[i].ordinals[d]);
+    }
+    ranges[d] = {lo, hi};
+    auto cardinality = domains_[d]->CardinalityAtLevel(0);
+    const double width = cardinality.ok() && *cardinality > 1
+                             ? static_cast<double>(hi - lo) /
+                                   static_cast<double>(*cardinality - 1)
+                             : 0;
+    if (width > best_spread) {
+      best_spread = width;
+      best_dim = static_cast<int>(d);
+    }
+  }
+
+  if (n >= 2 * k_ && best_dim >= 0 && best_spread > 0) {
+    // Split at the median of the chosen dimension, keeping equal values on
+    // one side so both halves stay >= k when possible.
+    std::sort(items->begin() + begin, items->begin() + end,
+              [&](const Item& a, const Item& b) {
+                return a.ordinals[best_dim] < b.ordinals[best_dim];
+              });
+    size_t split = begin + n / 2;
+    // Move the split off runs of equal values.
+    while (split < end &&
+           (*items)[split].ordinals[best_dim] ==
+               (*items)[split - 1].ordinals[best_dim]) {
+      ++split;
+    }
+    if (split - begin >= k_ && end - split >= k_) {
+      Partition(items, begin, split, result);
+      Partition(items, split, end, result);
+      return;
+    }
+    // Try the other direction.
+    split = begin + n / 2;
+    while (split > begin &&
+           (*items)[split].ordinals[best_dim] ==
+               (*items)[split - 1].ordinals[best_dim]) {
+      --split;
+    }
+    if (split - begin >= k_ && end - split >= k_) {
+      Partition(items, begin, split, result);
+      Partition(items, split, end, result);
+      return;
+    }
+  }
+
+  // Finalize this equivalence class: generalize every attribute to the
+  // lowest level covering the class's ordinal range.
+  ++result->num_classes;
+  std::vector<Value> values(dims);
+  std::vector<int> levels(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    const int level = CoveringLevel(*domains_[d], ranges[d].first,
+                                    ranges[d].second);
+    levels[d] = level;
+    auto leaf = domains_[d]->LeafFromOrdinal(ranges[d].first);
+    values[d] = leaf.ok()
+                    ? domains_[d]->Generalize(*leaf, 0, level).ok()
+                          ? *domains_[d]->Generalize(*leaf, 0, level)
+                          : Value::Null()
+                    : Value::Null();
+  }
+  for (size_t i = begin; i < end; ++i) {
+    MondrianResult::AnonymizedRecord& record =
+        result->records[(*items)[i].input_index];
+    record.values = values;
+    record.levels = levels;
+    record.class_size = n;
+  }
+}
+
+Result<MondrianResult> Mondrian::Anonymize(
+    const std::vector<MondrianRecord>& records) const {
+  MondrianResult result;
+  result.records.resize(records.size());
+  result.avg_level.assign(domains_.size(), 0);
+  if (records.empty()) return result;
+  if (records.size() < k_) {
+    return Status::InvalidArgument("fewer records than k");
+  }
+
+  std::vector<Item> items(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    items[i].input_index = i;
+    if (records[i].quasi_identifiers.size() != domains_.size()) {
+      return Status::InvalidArgument("QI arity mismatch");
+    }
+    items[i].ordinals.resize(domains_.size());
+    for (size_t d = 0; d < domains_.size(); ++d) {
+      IDB_ASSIGN_OR_RETURN(
+          items[i].ordinals[d],
+          domains_[d]->LeafOrdinal(records[i].quasi_identifiers[d]));
+    }
+  }
+  Partition(&items, 0, items.size(), &result);
+
+  for (const auto& record : result.records) {
+    for (size_t d = 0; d < domains_.size(); ++d) {
+      result.avg_level[d] += record.levels[d];
+    }
+  }
+  for (double& level : result.avg_level) {
+    level /= static_cast<double>(records.size());
+  }
+  return result;
+}
+
+}  // namespace instantdb

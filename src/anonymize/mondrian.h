@@ -1,0 +1,75 @@
+#ifndef INSTANTDB_ANONYMIZE_MONDRIAN_H_
+#define INSTANTDB_ANONYMIZE_MONDRIAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/generalization.h"
+#include "common/result.h"
+
+namespace instantdb {
+
+/// One record to anonymize: the quasi-identifier attributes as leaf values
+/// of their domains (the identity/stable part rides along untouched).
+struct MondrianRecord {
+  std::vector<Value> quasi_identifiers;
+};
+
+/// Output: each quasi-identifier generalized to some level of its domain;
+/// records in the same equivalence class share identical generalized values.
+struct MondrianResult {
+  struct AnonymizedRecord {
+    std::vector<Value> values;
+    std::vector<int> levels;
+    size_t class_size = 0;  // size of the equivalence class
+  };
+  std::vector<AnonymizedRecord> records;  // input order preserved
+  size_t num_classes = 0;
+  /// Average generalization level per attribute — the information-loss
+  /// proxy used by the usability experiment (B3).
+  std::vector<double> avg_level;
+};
+
+/// \brief Greedy multidimensional k-anonymizer (Mondrian, LeFevre et al.)
+/// over InstantDB domain hierarchies — the anonymization baseline the paper
+/// compares degradation against (citing [7] k-anonymity, [11] personalized
+/// privacy).
+///
+/// Works on leaf ordinals: recursively partitions the record set on the
+/// attribute with the widest (normalized) ordinal range, splitting at the
+/// median, while both halves keep >= k records. Each final partition's
+/// values are generalized to the lowest hierarchy level whose node covers
+/// the partition's ordinal range on that attribute.
+///
+/// This is a *static* technique: it must see the whole dataset, rewrites
+/// every record, and (unlike degradation) removes the donor's identity
+/// linkage. It is exercised only as a comparison point.
+class Mondrian {
+ public:
+  /// `domains[i]` is the hierarchy of quasi-identifier column i.
+  Mondrian(std::vector<std::shared_ptr<const DomainHierarchy>> domains,
+           size_t k);
+
+  Result<MondrianResult> Anonymize(
+      const std::vector<MondrianRecord>& records) const;
+
+ private:
+  struct Item {
+    size_t input_index;
+    std::vector<int64_t> ordinals;
+  };
+
+  void Partition(std::vector<Item>* items, size_t begin, size_t end,
+                 MondrianResult* result) const;
+  /// Lowest level of `domain` whose covering node spans [lo, hi]; falls back
+  /// to the root level.
+  int CoveringLevel(const DomainHierarchy& domain, int64_t lo,
+                    int64_t hi) const;
+
+  std::vector<std::shared_ptr<const DomainHierarchy>> domains_;
+  size_t k_;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_ANONYMIZE_MONDRIAN_H_

@@ -1,0 +1,67 @@
+#include "catalog/builtin_domains.h"
+
+#include "common/strings.h"
+
+namespace instantdb {
+
+std::shared_ptr<const DomainHierarchy> LocationDomain() {
+  // Fig. 1 of the paper: the location domain generalizes address -> city ->
+  // region -> country. The concrete places are illustrative (the figure's
+  // bitmap names only "France" legibly); what matters is the shape.
+  GeneralizationTree::Builder builder("location");
+  builder.AddPath("France/Ile-de-France/Paris/11 Rue Lepic");
+  builder.AddPath("France/Ile-de-France/Paris/3 Av Foch");
+  builder.AddPath("France/Ile-de-France/Versailles/12 Rue Royale");
+  builder.AddPath("France/Provence/Marseille/4 Rue Breteuil");
+  builder.AddPath("France/Provence/Aix/8 Cours Mirabeau");
+  auto tree = builder.Build();
+  // The builder input is static and correct by construction.
+  (*tree)->SetLevelNames({"ADDRESS", "CITY", "REGION", "COUNTRY"});
+  return *tree;
+}
+
+std::shared_ptr<const DomainHierarchy> SyntheticLocationDomain(
+    int countries, int regions_per_country, int cities_per_region,
+    int addresses_per_city) {
+  GeneralizationTree::Builder builder("location");
+  builder.AddRoot("World");
+  for (int c = 0; c < countries; ++c) {
+    const std::string country = StringPrintf("Country%d", c);
+    builder.AddChild("World", country);
+    for (int r = 0; r < regions_per_country; ++r) {
+      const std::string region = StringPrintf("Region%d.%d", c, r);
+      builder.AddChild(country, region);
+      for (int ci = 0; ci < cities_per_region; ++ci) {
+        const std::string city = StringPrintf("City%d.%d.%d", c, r, ci);
+        builder.AddChild(region, city);
+        for (int a = 0; a < addresses_per_city; ++a) {
+          builder.AddChild(city, StringPrintf("Addr%d.%d.%d.%d", c, r, ci, a));
+        }
+      }
+    }
+  }
+  auto tree = builder.Build();
+  (*tree)->SetLevelNames({"ADDRESS", "CITY", "REGION", "COUNTRY", "WORLD"});
+  return *tree;
+}
+
+std::shared_ptr<const DomainHierarchy> SalaryDomain() {
+  auto hierarchy =
+      IntervalHierarchy::Make("salary", 0, 100000, {1000, 10000, 100000});
+  (*hierarchy)->SetLevelNames({"EXACT", "RANGE1000", "RANGE10000",
+                               "RANGE100000"});
+  return *hierarchy;
+}
+
+AttributeLcp Fig2LocationLcp() {
+  // Fig. 2: d0 (address) -> d1 (city) after 1h -> d2 (region) after 1 day ->
+  // d3 (country) after 1 month -> d4 = ⊥. The figure's τ0 = 0 min marks the
+  // entry into d0 at insertion time.
+  auto lcp = AttributeLcp::Make({{0, kMicrosPerHour},
+                                 {1, kMicrosPerDay},
+                                 {2, kMicrosPerMonth},
+                                 {3, kMicrosPerMonth}});
+  return *lcp;
+}
+
+}  // namespace instantdb

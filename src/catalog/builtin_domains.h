@@ -1,0 +1,37 @@
+#ifndef INSTANTDB_CATALOG_BUILTIN_DOMAINS_H_
+#define INSTANTDB_CATALOG_BUILTIN_DOMAINS_H_
+
+#include <memory>
+
+#include "catalog/generalization.h"
+#include "catalog/lcp.h"
+
+namespace instantdb {
+
+/// \brief Ready-made domains used throughout tests, examples and benchmarks.
+///
+/// `LocationDomain()` reproduces the paper's Fig. 1 (address → city →
+/// region → country); `SalaryDomain()` matches the `RANGE1000` example of
+/// §II; the Fig. 2 LCP is provided by `Fig2LocationLcp()`.
+
+/// Fig. 1 generalization tree of the location domain, height 4:
+/// level 0 = address, 1 = city, 2 = region, 3 = country.
+std::shared_ptr<const DomainHierarchy> LocationDomain();
+
+/// A larger synthetic location tree with `countries * regions * cities *
+/// addresses` leaves, for workloads that need realistic fan-out.
+std::shared_ptr<const DomainHierarchy> SyntheticLocationDomain(
+    int countries, int regions_per_country, int cities_per_region,
+    int addresses_per_city);
+
+/// Salary domain [0, 100000] with bucket widths 1000 (the paper's
+/// RANGE1000), 10000 and 100000 at levels 1..3.
+std::shared_ptr<const DomainHierarchy> SalaryDomain();
+
+/// The attribute LCP of Fig. 2: accurate address for 1 hour, city for 1 day,
+/// region for 1 month, country for 1 month, then removal (⊥).
+AttributeLcp Fig2LocationLcp();
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_CATALOG_BUILTIN_DOMAINS_H_

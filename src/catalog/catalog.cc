@@ -1,0 +1,100 @@
+#include "catalog/catalog.h"
+
+#include "util/crc32c.h"
+#include "util/file.h"
+
+namespace instantdb {
+
+Result<const TableDef*> Catalog::CreateTable(const std::string& name,
+                                             Schema schema) {
+  if (by_name_.count(name) != 0) {
+    return Status::InvalidArgument("table already exists: " + name);
+  }
+  auto def = std::make_unique<TableDef>();
+  def->id = next_id_++;
+  def->name = name;
+  def->schema = std::move(schema);
+  TableDef* raw = def.get();
+  by_id_[raw->id] = raw;
+  by_name_[name] = std::move(def);
+  return raw;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("no such table: " + name);
+  by_id_.erase(it->second->id);
+  by_name_.erase(it);
+  return Status::OK();
+}
+
+const TableDef* Catalog::GetTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second.get();
+}
+
+const TableDef* Catalog::GetTable(TableId id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<const TableDef*> Catalog::tables() const {
+  std::vector<const TableDef*> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, def] : by_name_) out.push_back(def.get());
+  return out;
+}
+
+Status Catalog::SaveTo(const std::string& path) const {
+  std::string body;
+  PutVarint32(&body, next_id_);
+  PutVarint32(&body, static_cast<uint32_t>(by_name_.size()));
+  for (const auto& [name, def] : by_name_) {
+    PutVarint32(&body, def->id);
+    PutLengthPrefixed(&body, def->name);
+    def->schema.EncodeTo(&body);
+  }
+  std::string file;
+  PutFixed32(&file, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  file += body;
+
+  const std::string tmp = path + ".tmp";
+  IDB_RETURN_IF_ERROR(WriteStringToFile(tmp, file, /*sync=*/true));
+  return RenameFile(tmp, path);
+}
+
+Result<std::unique_ptr<Catalog>> Catalog::LoadFrom(const std::string& path) {
+  IDB_ASSIGN_OR_RETURN(std::string file, ReadFileToString(path));
+  Slice input = file;
+  uint32_t masked;
+  if (!GetFixed32(&input, &masked)) {
+    return Status::Corruption("catalog too short");
+  }
+  if (crc32c::Unmask(masked) != crc32c::Value(input.data(), input.size())) {
+    return Status::Corruption("catalog checksum mismatch");
+  }
+  auto catalog = std::make_unique<Catalog>();
+  uint32_t next_id, count;
+  if (!GetVarint32(&input, &next_id) || !GetVarint32(&input, &count)) {
+    return Status::Corruption("bad catalog header");
+  }
+  catalog->next_id_ = next_id;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t id;
+    Slice name;
+    if (!GetVarint32(&input, &id) || !GetLengthPrefixed(&input, &name)) {
+      return Status::Corruption("bad catalog entry");
+    }
+    IDB_ASSIGN_OR_RETURN(Schema schema, Schema::DecodeFrom(&input));
+    auto def = std::make_unique<TableDef>();
+    def->id = id;
+    def->name = std::string(name);
+    def->schema = std::move(schema);
+    TableDef* raw = def.get();
+    catalog->by_id_[raw->id] = raw;
+    catalog->by_name_[raw->name] = std::move(def);
+  }
+  return catalog;
+}
+
+}  // namespace instantdb

@@ -1,0 +1,54 @@
+#ifndef INSTANTDB_CATALOG_CATALOG_H_
+#define INSTANTDB_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "common/result.h"
+#include "storage/page.h"
+
+namespace instantdb {
+
+/// Table metadata: id, name, schema. Ids are dense and never reused within
+/// one database instance so storage paths stay unambiguous.
+struct TableDef {
+  TableId id = 0;
+  std::string name;
+  Schema schema;
+};
+
+/// \brief In-memory table registry with single-file persistence.
+///
+/// The catalog file is rewritten atomically (temp + rename) on every DDL so
+/// a crash can never leave a torn catalog.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Result<const TableDef*> CreateTable(const std::string& name, Schema schema);
+  Status DropTable(const std::string& name);
+
+  /// nullptr if absent.
+  const TableDef* GetTable(const std::string& name) const;
+  const TableDef* GetTable(TableId id) const;
+
+  std::vector<const TableDef*> tables() const;
+
+  Status SaveTo(const std::string& path) const;
+  static Result<std::unique_ptr<Catalog>> LoadFrom(const std::string& path);
+
+ private:
+  std::map<std::string, std::unique_ptr<TableDef>> by_name_;
+  std::map<TableId, TableDef*> by_id_;
+  TableId next_id_ = 1;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_CATALOG_CATALOG_H_

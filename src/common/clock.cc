@@ -1,0 +1,70 @@
+#include "common/clock.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace instantdb {
+
+namespace {
+
+Micros SteadyNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+SystemClock::SystemClock() : epoch_(SteadyNow()) {}
+
+Micros SystemClock::NowMicros() const { return SteadyNow() - epoch_; }
+
+Micros SystemClock::WaitUntil(Micros deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Micros now = NowMicros();
+  if (now >= deadline) return now;
+  cv_.wait_for(lock, std::chrono::microseconds(deadline - now));
+  return NowMicros();
+}
+
+void SystemClock::WakeAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.notify_all();
+}
+
+Micros VirtualClock::WaitUntil(Micros deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Virtual time only moves when Advance* is called, so wait for either the
+  // deadline to be reached or an explicit wake.
+  cv_.wait(lock, [&] { return NowMicros() >= deadline || woken_; });
+  woken_ = false;
+  return NowMicros();
+}
+
+void VirtualClock::WakeAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  woken_ = true;
+  cv_.notify_all();
+}
+
+void VirtualClock::Advance(Micros delta) {
+  assert(delta >= 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+  cv_.notify_all();
+}
+
+void VirtualClock::AdvanceTo(Micros t) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Micros cur = now_.load(std::memory_order_acquire);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+    }
+  }
+  cv_.notify_all();
+}
+
+}  // namespace instantdb

@@ -1,0 +1,38 @@
+#ifndef INSTANTDB_COMMON_LOGGING_H_
+#define INSTANTDB_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <string>
+
+#include "common/strings.h"
+
+namespace instantdb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded. Defaults to kWarn
+/// so tests and benchmarks stay quiet unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one line to stderr: "[LEVEL file:line] message".
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+#define IDB_LOG(level, ...)                                              \
+  do {                                                                   \
+    if (static_cast<int>(level) >=                                       \
+        static_cast<int>(::instantdb::GetLogLevel())) {                  \
+      ::instantdb::LogMessage(level, __FILE__, __LINE__,                 \
+                              ::instantdb::StringPrintf(__VA_ARGS__));   \
+    }                                                                    \
+  } while (false)
+
+#define IDB_DEBUG(...) IDB_LOG(::instantdb::LogLevel::kDebug, __VA_ARGS__)
+#define IDB_INFO(...) IDB_LOG(::instantdb::LogLevel::kInfo, __VA_ARGS__)
+#define IDB_WARN(...) IDB_LOG(::instantdb::LogLevel::kWarn, __VA_ARGS__)
+#define IDB_ERROR(...) IDB_LOG(::instantdb::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_COMMON_LOGGING_H_

@@ -1,0 +1,85 @@
+#ifndef INSTANTDB_COMMON_OPTIONS_H_
+#define INSTANTDB_COMMON_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace instantdb {
+
+/// How the WAL prevents accurate values from surviving in log files past
+/// their degradation deadline (DESIGN.md §3, experiment B5).
+enum class WalPrivacyMode {
+  /// Traditional WAL: records are kept until segment recycling. Accurate
+  /// values linger — this is the unsafe baseline the paper warns about.
+  kPlain,
+  /// Segments containing values whose first degradation deadline passed are
+  /// physically overwritten after a forced checkpoint.
+  kScrub,
+  /// Degradable payloads are encrypted under per-epoch keys; destroying the
+  /// epoch key at transition time makes every log copy unreadable.
+  kEncryptedEpoch,
+};
+
+/// Physical layout for degradable attribute values (experiment B4).
+enum class DegradableLayout {
+  /// One append-only FIFO store per (attribute, LCP state); degradation is
+  /// sequential pop/append plus segment-granularity secure erase.
+  kStateStores,
+  /// Degradable values stored inline in the heap tuple; degradation is a
+  /// random-access in-place overwrite. Ablation baseline.
+  kInPlace,
+};
+
+/// How popped state-store segments are made unrecoverable.
+enum class EraseMode {
+  /// Overwrite the byte range with zeros, then sync.
+  kOverwrite,
+  /// Segments are encrypted with per-segment keys; erasing destroys the key.
+  kCryptoErase,
+};
+
+struct StorageOptions {
+  size_t page_size = 8192;
+  size_t buffer_pool_pages = 4096;
+  /// Capacity of one state-store segment in bytes.
+  size_t segment_bytes = 64 * 1024;
+  EraseMode erase_mode = EraseMode::kOverwrite;
+};
+
+struct WalOptions {
+  WalPrivacyMode privacy_mode = WalPrivacyMode::kScrub;
+  size_t segment_bytes = 1 * 1024 * 1024;
+  /// Sync on every commit. Benchmarks disable this to isolate CPU costs.
+  bool sync_on_commit = false;
+  /// kEncryptedEpoch: width of one key epoch. Choosing it at or below the
+  /// shortest phase-0 duration lets every epoch be destroyed as soon as its
+  /// tuples leave the accurate state.
+  Micros epoch_micros = kMicrosPerHour;
+};
+
+struct DegradationOptions {
+  /// Run the degrader on a background thread (real deployments). Tests and
+  /// benchmarks instead pump `DegradationEngine::RunDue()` manually.
+  bool background_thread = false;
+  /// Maximum tuples moved per degradation step transaction, bounding the
+  /// time any store head stays locked.
+  size_t step_batch_limit = 1024;
+};
+
+struct ReadOptions {
+  /// Paper §IV "future work" semantics: when true, selection predicates at
+  /// accuracy k are also evaluated against tuples already degraded past k
+  /// (matching iff the coarser stored value is consistent with the
+  /// predicate). Default is the paper's strict, unambiguous semantics.
+  bool include_coarser = false;
+};
+
+struct WriteOptions {
+  bool sync = false;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_COMMON_OPTIONS_H_

@@ -1,0 +1,93 @@
+#ifndef INSTANTDB_COMMON_RANDOM_H_
+#define INSTANTDB_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace instantdb {
+
+/// \brief Fast deterministic PRNG (xorshift128+), seeded explicitly so every
+/// test and benchmark run is reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x2545F4914F6CDD1DULL) {
+    s0_ = seed ^ 0x9E3779B97F4A7C15ULL;
+    s1_ = (seed << 1) | 1;
+    // Warm up to decorrelate small seeds.
+    for (int i = 0; i < 8; ++i) NextU64();
+  }
+
+  uint64_t NextU64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return NextU64() % n;
+  }
+
+  /// Uniform integer in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// \brief Zipf-distributed generator over [0, n). Used by the workload
+/// generators to model skewed access (popular locations, frequent queries).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 1)
+      : rng_(seed), cdf_(n) {
+    assert(n > 0);
+    double sum = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (uint64_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  uint64_t Next() {
+    const double u = rng_.NextDouble();
+    // Binary search the cumulative distribution.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  Random rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_COMMON_RANDOM_H_

@@ -1,0 +1,68 @@
+#ifndef INSTANTDB_COMMON_RESULT_H_
+#define INSTANTDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace instantdb {
+
+/// \brief Either a value of type `T` or a non-OK `Status`.
+///
+/// The value accessors assert on misuse; callers must check `ok()` (or use
+/// the IDB_ASSIGN_OR_RETURN macro) before dereferencing.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or early-returns
+/// the error status. `lhs` may be a declaration (`auto x`) or an lvalue.
+#define IDB_ASSIGN_OR_RETURN(lhs, expr)                  \
+  IDB_ASSIGN_OR_RETURN_IMPL_(                            \
+      IDB_RESULT_CONCAT_(_idb_result, __LINE__), lhs, expr)
+
+#define IDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define IDB_RESULT_CONCAT_(a, b) IDB_RESULT_CONCAT_IMPL_(a, b)
+#define IDB_RESULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_COMMON_RESULT_H_

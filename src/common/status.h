@@ -1,0 +1,95 @@
+#ifndef INSTANTDB_COMMON_STATUS_H_
+#define INSTANTDB_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace instantdb {
+
+/// \brief Operation outcome for every fallible library call.
+///
+/// InstantDB never throws on library paths (RocksDB/LevelDB idiom): every
+/// operation that can fail returns a `Status` (or a `Result<T>`, see
+/// common/result.h). A default-constructed Status is OK.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kNotSupported = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kBusy = 6,
+    /// Transaction was aborted (deadlock-avoidance wound or explicit abort).
+    kAborted = 7,
+    /// The data demanded by the query has degraded past the requested
+    /// accuracy level and is no longer computable.
+    kExpired = 8,
+  };
+
+  Status() = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg = {}) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg = {}) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status NotSupported(std::string_view msg = {}) {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = {}) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg = {}) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status Busy(std::string_view msg = {}) {
+    return Status(Code::kBusy, msg);
+  }
+  static Status Aborted(std::string_view msg = {}) {
+    return Status(Code::kAborted, msg);
+  }
+  static Status Expired(std::string_view msg = {}) {
+    return Status(Code::kExpired, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsExpired() const { return code_ == Code::kExpired; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" rendering for logs and error reports.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(Code code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Early-return helper: propagates a non-OK Status to the caller.
+#define IDB_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::instantdb::Status _idb_st = (expr);        \
+    if (!_idb_st.ok()) return _idb_st;           \
+  } while (false)
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+#ifndef INSTANTDB_COMMON_STRINGS_H_
+#define INSTANTDB_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace instantdb {
+
+/// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on the single character `sep`; keeps empty tokens.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// ASCII case-insensitive equality (used by the SQL lexer for keywords).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// ASCII upper-casing (SQL keywords are case-insensitive).
+std::string ToUpper(std::string_view s);
+
+/// True if `s` starts with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_COMMON_STRINGS_H_

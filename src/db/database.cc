@@ -1,0 +1,201 @@
+#include "db/database.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace instantdb {
+
+Result<std::unique_ptr<Database>> Database::Open(const DbOptions& options) {
+  if (options.path.empty()) {
+    return Status::InvalidArgument("DbOptions::path must be set");
+  }
+  auto db = std::unique_ptr<Database>(new Database(options));
+  IDB_RETURN_IF_ERROR(db->OpenImpl());
+  return db;
+}
+
+Database::~Database() { Close().ok(); }
+
+std::string Database::TableDir(TableId id) const {
+  return options_.path + StringPrintf("/tables/t%u", id);
+}
+
+TableRuntime Database::MakeRuntime() const {
+  TableRuntime runtime;
+  runtime.storage = options_.storage;
+  runtime.layout = options_.layout;
+  runtime.bitmap_indexes = options_.bitmap_indexes;
+  runtime.keys = keys_.get();
+  runtime.wal = wal_.get();
+  runtime.clock = clock_;
+  return runtime;
+}
+
+Status Database::OpenImpl() {
+  IDB_RETURN_IF_ERROR(CreateDirs(options_.path));
+  IDB_RETURN_IF_ERROR(CreateDirs(options_.path + "/tables"));
+
+  if (options_.clock != nullptr) {
+    clock_ = options_.clock;
+  } else {
+    owned_clock_ = std::make_unique<SystemClock>();
+    clock_ = owned_clock_.get();
+  }
+
+  keys_ = std::make_unique<KeyManager>(options_.path + "/KEYSTORE");
+  IDB_RETURN_IF_ERROR(keys_->Open());
+
+  const std::string catalog_path = options_.path + "/CATALOG";
+  if (FileExists(catalog_path)) {
+    IDB_ASSIGN_OR_RETURN(catalog_, Catalog::LoadFrom(catalog_path));
+  } else {
+    catalog_ = std::make_unique<Catalog>();
+  }
+
+  wal_ = std::make_unique<WalManager>(options_.path + "/wal", options_.wal,
+                                      keys_.get());
+  IDB_RETURN_IF_ERROR(wal_->Open());
+
+  locks_ = std::make_unique<LockManager>();
+  tm_ = std::make_unique<TransactionManager>(locks_.get(), wal_.get());
+  degrader_ = std::make_unique<DegradationEngine>(tm_.get(), clock_,
+                                                  options_.degradation);
+
+  for (const TableDef* def : catalog_->tables()) {
+    auto table = std::make_unique<Table>(def, TableDir(def->id), MakeRuntime());
+    IDB_RETURN_IF_ERROR(table->Open());
+    degrader_->RegisterTable(table.get());
+    tables_[def->id] = std::move(table);
+  }
+
+  IDB_RETURN_IF_ERROR(Recover());
+
+  for (auto& [id, table] : tables_) {
+    IDB_RETURN_IF_ERROR(table->RebuildIndexes());
+  }
+
+  if (options_.degradation.background_thread) {
+    IDB_RETURN_IF_ERROR(degrader_->Start());
+  }
+  return Status::OK();
+}
+
+Status Database::Recover() {
+  IDB_ASSIGN_OR_RETURN(Lsn checkpoint, wal_->ReadCheckpointLsn());
+
+  // Pass 1: committed transaction set.
+  std::set<uint64_t> committed;
+  IDB_RETURN_IF_ERROR(wal_->Replay(checkpoint, [&](const WalRecord& record,
+                                                   Lsn) {
+    if (record.type == WalRecordType::kCommit) committed.insert(record.txn_id);
+    return Status::OK();
+  }));
+
+  // Pass 2: idempotent redo of committed work, in log order.
+  IDB_RETURN_IF_ERROR(wal_->Replay(checkpoint, [&](const WalRecord& record,
+                                                   Lsn) {
+    if (committed.count(record.txn_id) == 0) return Status::OK();
+    auto it = tables_.find(record.table);
+    if (it == tables_.end()) return Status::OK();  // dropped table
+    switch (record.type) {
+      case WalRecordType::kInsert:
+        return it->second->RedoInsert(record);
+      case WalRecordType::kDegradeStep:
+        return it->second->RedoDegrade(record);
+      case WalRecordType::kDelete:
+        return it->second->RedoDelete(record);
+      case WalRecordType::kUpdateStable:
+        return it->second->RedoUpdateStable(record);
+      default:
+        return Status::OK();
+    }
+  }));
+  return Status::OK();
+}
+
+Result<const TableDef*> Database::CreateTable(const std::string& name,
+                                              Schema schema) {
+  IDB_ASSIGN_OR_RETURN(const TableDef* def,
+                       catalog_->CreateTable(name, std::move(schema)));
+  IDB_RETURN_IF_ERROR(catalog_->SaveTo(options_.path + "/CATALOG"));
+  auto table = std::make_unique<Table>(def, TableDir(def->id), MakeRuntime());
+  IDB_RETURN_IF_ERROR(table->Open());
+  IDB_RETURN_IF_ERROR(table->RebuildIndexes());
+  degrader_->RegisterTable(table.get());
+  tables_[def->id] = std::move(table);
+  return def;
+}
+
+Status Database::DropTable(const std::string& name) {
+  const TableDef* def = catalog_->GetTable(name);
+  if (def == nullptr) return Status::NotFound("no such table: " + name);
+  const TableId id = def->id;
+  degrader_->UnregisterTable(id);
+  auto it = tables_.find(id);
+  if (it != tables_.end()) {
+    IDB_RETURN_IF_ERROR(it->second->Drop());
+    tables_.erase(it);
+  }
+  IDB_RETURN_IF_ERROR(catalog_->DropTable(name));
+  return catalog_->SaveTo(options_.path + "/CATALOG");
+}
+
+Table* Database::GetTable(const std::string& name) const {
+  const TableDef* def = catalog_->GetTable(name);
+  return def == nullptr ? nullptr : GetTable(def->id);
+}
+
+Table* Database::GetTable(TableId id) const {
+  auto it = tables_.find(id);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Result<RowId> Database::Insert(const std::string& table_name,
+                               const std::vector<Value>& row,
+                               const WriteOptions& options) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("no such table: " + table_name);
+  auto txn = Begin();
+  auto row_id = table->Insert(txn.get(), row);
+  if (!row_id.ok()) {
+    Abort(txn.get());
+    return row_id;
+  }
+  IDB_RETURN_IF_ERROR(tm_->Commit(txn.get(), options.sync));
+  return row_id;
+}
+
+Status Database::Delete(const std::string& table_name, RowId row_id,
+                        const WriteOptions& options) {
+  Table* table = GetTable(table_name);
+  if (table == nullptr) return Status::NotFound("no such table: " + table_name);
+  auto txn = Begin();
+  Status status = table->Delete(txn.get(), row_id);
+  if (!status.ok()) {
+    Abort(txn.get());
+    return status;
+  }
+  return tm_->Commit(txn.get(), options.sync);
+}
+
+Status Database::Checkpoint() {
+  for (auto& [id, table] : tables_) {
+    IDB_RETURN_IF_ERROR(table->Checkpoint());
+  }
+  return wal_->LogCheckpoint().status();
+}
+
+Result<size_t> Database::RunDegradationOnce() {
+  return degrader_->RunDue(clock_->NowMicros());
+}
+
+Status Database::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  degrader_->Stop();
+  return Checkpoint();
+}
+
+}  // namespace instantdb

@@ -1,0 +1,127 @@
+#ifndef INSTANTDB_DB_DATABASE_H_
+#define INSTANTDB_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/options.h"
+#include "db/table.h"
+#include "degrade/degradation_engine.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+#include "wal/wal_manager.h"
+
+namespace instantdb {
+
+/// Top-level configuration of an InstantDB instance.
+struct DbOptions {
+  std::string path;
+  StorageOptions storage;
+  WalOptions wal;
+  DegradationOptions degradation;
+  DegradableLayout layout = DegradableLayout::kStateStores;
+  /// Maintain bitmap indexes alongside the multi-resolution trees (OLAP).
+  bool bitmap_indexes = false;
+  /// External clock (a VirtualClock for tests/benchmarks). When null the
+  /// database owns a SystemClock.
+  Clock* clock = nullptr;
+};
+
+/// \brief The InstantDB engine facade: catalog + WAL + transactions +
+/// tables + degrader, with crash recovery on open.
+///
+/// Typical embedded use:
+/// \code
+///   DbOptions options;
+///   options.path = "/data/mydb";
+///   auto db = Database::Open(options);
+///   auto schema = Schema::Make({
+///       ColumnDef::Stable("user", ValueType::kString),
+///       ColumnDef::Degradable("location", LocationDomain(),
+///                             Fig2LocationLcp())});
+///   db->CreateTable("pings", *schema);
+///   db->Insert("pings", {Value::String("alice"),
+///                        Value::String("11 Rue Lepic")});
+/// \endcode
+///
+/// SQL access (DECLARE PURPOSE / SELECT / INSERT / DELETE) is provided by
+/// `Session` in query/session.h.
+class Database {
+ public:
+  static Result<std::unique_ptr<Database>> Open(const DbOptions& options);
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Flushes, checkpoints and stops the degrader. Called by the destructor.
+  Status Close();
+
+  // --- DDL -------------------------------------------------------------------
+
+  Result<const TableDef*> CreateTable(const std::string& name, Schema schema);
+  /// Drops the table and securely erases all its storage.
+  Status DropTable(const std::string& name);
+  /// nullptr when absent.
+  Table* GetTable(const std::string& name) const;
+  Table* GetTable(TableId id) const;
+  const Catalog& catalog() const { return *catalog_; }
+
+  // --- transactions ------------------------------------------------------------
+
+  std::unique_ptr<Transaction> Begin() { return tm_->Begin(); }
+  Status Commit(Transaction* txn, const WriteOptions& options = {}) {
+    return tm_->Commit(txn, options.sync);
+  }
+  void Abort(Transaction* txn) { tm_->Abort(txn); }
+
+  /// Single-statement convenience: insert one row (schema order) in its own
+  /// transaction. Returns the assigned row id.
+  Result<RowId> Insert(const std::string& table, const std::vector<Value>& row,
+                       const WriteOptions& options = {});
+  /// Single-statement convenience: delete one row by id.
+  Status Delete(const std::string& table, RowId row_id,
+                const WriteOptions& options = {});
+
+  // --- maintenance ---------------------------------------------------------------
+
+  /// Flushes heaps + stores and truncates/retires the WAL.
+  Status Checkpoint();
+
+  /// Pumped degradation: run everything due at the clock's current time.
+  Result<size_t> RunDegradationOnce();
+
+  Clock* clock() const { return clock_; }
+  WalManager* wal() const { return wal_.get(); }
+  KeyManager* keys() const { return keys_.get(); }
+  LockManager* lock_manager() const { return locks_.get(); }
+  TransactionManager* txn_manager() const { return tm_.get(); }
+  DegradationEngine* degradation() const { return degrader_.get(); }
+  const DbOptions& options() const { return options_; }
+
+ private:
+  explicit Database(DbOptions options) : options_(std::move(options)) {}
+
+  Status OpenImpl();
+  Status Recover();
+  TableRuntime MakeRuntime() const;
+  std::string TableDir(TableId id) const;
+
+  DbOptions options_;
+  std::unique_ptr<Clock> owned_clock_;
+  Clock* clock_ = nullptr;
+
+  std::unique_ptr<KeyManager> keys_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<WalManager> wal_;
+  std::unique_ptr<LockManager> locks_;
+  std::unique_ptr<TransactionManager> tm_;
+  std::unique_ptr<DegradationEngine> degrader_;
+  std::map<TableId, std::unique_ptr<Table>> tables_;
+  bool closed_ = false;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_DB_DATABASE_H_

@@ -1,0 +1,228 @@
+#ifndef INSTANTDB_DB_TABLE_H_
+#define INSTANTDB_DB_TABLE_H_
+
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/clock.h"
+#include "common/options.h"
+#include "index/bitmap_index.h"
+#include "index/multires_index.h"
+#include "storage/heap_file.h"
+#include "storage/record.h"
+#include "storage/state_store.h"
+#include "txn/transaction.h"
+#include "util/histogram.h"
+#include "wal/wal_manager.h"
+
+namespace instantdb {
+
+/// Options shared by every table of a database (subset of DbOptions the
+/// table layer needs).
+struct TableRuntime {
+  StorageOptions storage;
+  DegradableLayout layout = DegradableLayout::kStateStores;
+  bool bitmap_indexes = false;
+  KeyManager* keys = nullptr;
+  WalManager* wal = nullptr;
+  Clock* clock = nullptr;
+};
+
+/// Fully assembled row as seen by the executor: stable values plus each
+/// degradable attribute's *stored* phase and value (the physical ST_j
+/// membership, which is what the paper's query semantics partition on).
+struct RowView {
+  RowId row_id = kInvalidRowId;
+  Micros insert_time = 0;
+  /// Aligned with schema.columns(): stable columns hold their value;
+  /// degradable columns hold the stored (possibly degraded) value, or NULL
+  /// once removed.
+  std::vector<Value> values;
+  /// Aligned with schema.degradable_columns(): current phase per attribute
+  /// (lcp.num_phases() = removed).
+  std::vector<int> phases;
+};
+
+/// \brief One table: slotted heap for the stable part, FIFO state stores
+/// per (degradable attribute, phase), multi-resolution + optional bitmap
+/// indexes, and the degradation stepping logic.
+///
+/// Thread-safety: logical conflicts go through the 2PL LockManager (row/
+/// store/table locks); physical structures are protected by a per-table
+/// reader-writer latch (scans share it, apply closures take it exclusive).
+class Table {
+ public:
+  Table(const TableDef* def, std::string dir, const TableRuntime& runtime);
+  ~Table();
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  /// Opens storage, rebuilds the row-id map from the heap, opens the state
+  /// stores. Indexes are rebuilt separately (RebuildIndexes) after WAL
+  /// replay so they reflect the recovered state.
+  Status Open();
+  Status RebuildIndexes();
+  Status Checkpoint();
+  /// Securely drops all storage (DROP TABLE).
+  Status Drop();
+
+  const TableDef& def() const { return *def_; }
+  const Schema& schema() const { return def_->schema; }
+  TableId id() const { return def_->id; }
+
+  // --- DML (deferred-apply; effects run at txn commit) ----------------------
+
+  /// Validates the full-accuracy row, assigns a row id, locks it, and
+  /// queues the insert. Paper §II: inserts are granted only in the most
+  /// accurate state.
+  Result<RowId> Insert(Transaction* txn, const std::vector<Value>& row);
+
+  /// Locks and queues the removal of one tuple (stable + degradable parts).
+  Status Delete(Transaction* txn, RowId row_id);
+
+  /// Updates stable columns of one tuple (degradable updates are rejected
+  /// by the binder; this API only accepts stable values).
+  Status UpdateStable(Transaction* txn, RowId row_id,
+                      const std::vector<Value>& stable);
+
+  // --- read path -------------------------------------------------------------
+
+  /// Snapshot scan: assembles every live row under the shared latch. Stops
+  /// early when `fn` returns false.
+  Status ScanRows(const std::function<bool(const RowView&)>& fn) const;
+
+  Result<std::optional<RowView>> GetRow(RowId row_id) const;
+
+  uint64_t live_rows() const;
+
+  /// Rows matching an equality/range predicate on a degradable column at
+  /// accuracy `level`, via the multi-resolution index.
+  Status IndexLookupEqual(int column, const Value& value, int level,
+                          std::vector<RowId>* out) const;
+  Status IndexLookupRange(int column, const Value& lo, const Value& hi,
+                          int level, std::vector<RowId>* out) const;
+  /// Same via the bitmap index (enabled by TableRuntime::bitmap_indexes).
+  Result<Bitmap> BitmapLookupEqual(int column, const Value& value,
+                                   int level) const;
+
+  const MultiResolutionIndex* multires_index(int degradable_ordinal) const {
+    return multires_[degradable_ordinal].get();
+  }
+  const BitmapColumnIndex* bitmap_index(int degradable_ordinal) const {
+    return bitmaps_.empty() ? nullptr : bitmaps_[degradable_ordinal].get();
+  }
+
+  // --- degradation -----------------------------------------------------------
+
+  /// Earliest pending transition deadline across all stores (kForever if
+  /// nothing is pending). Under kInPlace layout the deadline is tracked by
+  /// the in-memory schedule queues.
+  Micros NextDeadline() const;
+
+  /// Runs ONE degradation step as a system transaction: drains every entry
+  /// whose deadline has passed (up to `batch_limit`) from the single most
+  /// overdue (column, phase) store. Returns the number of tuples moved
+  /// (0 when nothing is due). Timeliness lateness is recorded per tuple in
+  /// `lateness_histogram`.
+  Result<size_t> RunDegradationStep(TransactionManager* tm, Micros now,
+                                    size_t batch_limit);
+
+  /// True if any store head is overdue at `now`.
+  bool HasWorkAt(Micros now) const;
+
+  // --- recovery redo ----------------------------------------------------------
+
+  Status RedoInsert(const WalRecord& record);
+  Status RedoDegrade(const WalRecord& record);
+  Status RedoDelete(const WalRecord& record);
+  Status RedoUpdateStable(const WalRecord& record);
+
+  struct Stats {
+    uint64_t inserts = 0;
+    uint64_t deletes = 0;
+    uint64_t degrade_steps = 0;
+    uint64_t values_degraded = 0;
+    uint64_t values_removed = 0;
+    uint64_t tuples_expired = 0;  // whole-tuple removals by the LCP
+  };
+  Stats stats() const;
+  const Histogram& lateness_histogram() const { return lateness_; }
+
+  BufferPool* heap_pool() const { return heap_pool_.get(); }
+  const StateStore* store(int column, int phase) const;
+
+ private:
+  struct PendingDegrade {
+    int column = -1;  // schema column index
+    int phase = -1;
+    Micros deadline = kForever;
+  };
+
+  std::string HeapPath() const { return dir_ + "/heap.db"; }
+  std::string IndexPath() const { return dir_ + "/index.db"; }
+  std::string StoreDir(int column, int phase) const;
+
+  /// Deadline of the head entry of (column, phase), kForever if empty.
+  Micros StoreHeadDeadline(int column, int phase) const;
+  PendingDegrade MostOverdue() const;
+
+  /// Applies one insert to heap/stores/indexes (commit-time + redo path).
+  Status ApplyInsert(RowId row_id, Micros insert_time,
+                     const std::vector<Value>& stable,
+                     const std::vector<Value>& degradable,
+                     bool degradable_available);
+  Status ApplyDelete(RowId row_id);
+  /// `old_values` is non-null on the live path (index maintenance) and null
+  /// during redo (indexes are rebuilt wholesale after replay).
+  Status ApplyDegrade(int column, int from_phase, int to_phase,
+                      RowId up_to_row_id, const std::vector<StoreEntry>& moves,
+                      const std::vector<Value>* old_values);
+  Status ApplyUpdateStable(RowId row_id, const std::vector<Value>& stable);
+
+  /// After a value of `row_id` reached ⊥: if every degradable attribute of
+  /// the tuple is gone, remove the whole tuple (paper: disappearance).
+  /// Caller holds the exclusive latch.
+  Status MaybeExpireTupleLocked(RowId row_id);
+
+  /// Builds a RowView from a decoded heap tuple (caller holds the latch).
+  bool AssembleRow(const HeapTuple& tuple, RowView* view) const;
+
+  /// After a phase-0 step: allow the WAL to destroy epoch keys whose
+  /// accurate values have all left phase 0.
+  Micros SafeEpochTime() const;
+
+  const TableDef* const def_;
+  const std::string dir_;
+  TableRuntime runtime_;
+
+  std::unique_ptr<DiskManager> heap_disk_;
+  std::unique_ptr<BufferPool> heap_pool_;
+  std::unique_ptr<HeapFile> heap_;
+  std::unique_ptr<DiskManager> index_disk_;
+  std::unique_ptr<BufferPool> index_pool_;
+
+  /// stores_[degradable_ordinal][phase].
+  std::vector<std::vector<std::unique_ptr<StateStore>>> stores_;
+  std::vector<std::unique_ptr<MultiResolutionIndex>> multires_;
+  std::vector<std::unique_ptr<BitmapColumnIndex>> bitmaps_;
+
+  /// In-place layout: FIFO schedule (row_id, insert_time) per (ordinal,
+  /// phase), mirroring what the state stores provide for free.
+  std::vector<std::vector<std::deque<std::pair<RowId, Micros>>>> inplace_queues_;
+
+  mutable std::shared_mutex latch_;
+  std::unordered_map<RowId, Rid> row_map_;
+  RowId next_row_id_ = 1;
+
+  Stats stats_;
+  Histogram lateness_;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_DB_TABLE_H_

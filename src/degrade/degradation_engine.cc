@@ -1,0 +1,107 @@
+#include "degrade/degradation_engine.h"
+
+#include "common/logging.h"
+
+namespace instantdb {
+
+DegradationEngine::DegradationEngine(TransactionManager* tm, Clock* clock,
+                                     const DegradationOptions& options)
+    : tm_(tm), clock_(clock), options_(options) {}
+
+DegradationEngine::~DegradationEngine() { Stop(); }
+
+void DegradationEngine::RegisterTable(Table* table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[table->id()] = table;
+  clock_->WakeAll();  // the new table may carry an earlier deadline
+}
+
+void DegradationEngine::UnregisterTable(TableId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.erase(id);
+}
+
+Micros DegradationEngine::NextDeadline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Micros next = kForever;
+  for (const auto& [id, table] : tables_) {
+    next = std::min(next, table->NextDeadline());
+  }
+  return next;
+}
+
+Result<size_t> DegradationEngine::RunDue(Micros now) {
+  size_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.passes;
+  }
+  // Keep stepping until no table has overdue work. Wait-die aborts are
+  // bounded-retried: a conflicting reader commits and releases soon.
+  constexpr int kMaxAbortRetries = 64;
+  int aborts = 0;
+  for (;;) {
+    bool progressed = false;
+    std::vector<Table*> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [id, table] : tables_) snapshot.push_back(table);
+    }
+    for (Table* table : snapshot) {
+      while (table->HasWorkAt(now)) {
+        auto moved = table->RunDegradationStep(tm_, now,
+                                               options_.step_batch_limit);
+        if (!moved.ok()) {
+          if (moved.status().IsAborted() && ++aborts <= kMaxAbortRetries) {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.lock_aborts;
+            break;  // retry this table on the next outer pass
+          }
+          return moved.status();
+        }
+        if (*moved == 0) break;
+        total += *moved;
+        progressed = true;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.steps;
+        stats_.values_moved += *moved;
+      }
+    }
+    if (!progressed) break;
+  }
+  return total;
+}
+
+Status DegradationEngine::Start() {
+  if (running_.exchange(true)) return Status::OK();
+  thread_ = std::thread([this] { BackgroundLoop(); });
+  return Status::OK();
+}
+
+void DegradationEngine::Stop() {
+  if (!running_.exchange(false)) return;
+  clock_->WakeAll();
+  if (thread_.joinable()) thread_.join();
+}
+
+void DegradationEngine::BackgroundLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const Micros now = clock_->NowMicros();
+    const Micros deadline = NextDeadline();
+    if (deadline <= now) {
+      auto moved = RunDue(now);
+      if (!moved.ok()) {
+        IDB_ERROR("degrader pass failed: %s", moved.status().ToString().c_str());
+      }
+      continue;
+    }
+    clock_->WaitUntil(deadline == kForever ? now + kMicrosPerHour : deadline);
+  }
+}
+
+DegradationEngine::Stats DegradationEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace instantdb

@@ -1,0 +1,77 @@
+#ifndef INSTANTDB_DEGRADE_DEGRADATION_ENGINE_H_
+#define INSTANTDB_DEGRADE_DEGRADATION_ENGINE_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/options.h"
+#include "db/table.h"
+#include "txn/transaction.h"
+
+namespace instantdb {
+
+/// \brief The degrader: tracks the earliest pending transition deadline
+/// across every table and fires degradation steps as system transactions —
+/// the component that makes degradation *timely* (paper §III).
+///
+/// Two drive modes:
+///  - pumped: tests/benchmarks call `RunDue(now)` after advancing a
+///    VirtualClock; everything is deterministic.
+///  - background: `Start()` spawns a thread that sleeps on the Clock until
+///    the next deadline (woken early when the deadline set changes).
+///
+/// Each step locks only the head of one (attribute, phase) store, so reader
+/// interference is bounded (experiment B8); wait-die aborts are retried on
+/// the next pass and surfaced in the stats.
+class DegradationEngine {
+ public:
+  DegradationEngine(TransactionManager* tm, Clock* clock,
+                    const DegradationOptions& options);
+  ~DegradationEngine();
+  DegradationEngine(const DegradationEngine&) = delete;
+  DegradationEngine& operator=(const DegradationEngine&) = delete;
+
+  void RegisterTable(Table* table);
+  void UnregisterTable(TableId id);
+
+  /// Runs every step whose deadline has passed at `now`; returns the total
+  /// number of attribute values moved/removed.
+  Result<size_t> RunDue(Micros now);
+
+  /// Earliest pending deadline over all tables (kForever when idle).
+  Micros NextDeadline() const;
+
+  /// Background-thread mode.
+  Status Start();
+  void Stop();
+
+  struct Stats {
+    uint64_t passes = 0;
+    uint64_t steps = 0;
+    uint64_t values_moved = 0;
+    uint64_t lock_aborts = 0;  // wait-die victims, retried next pass
+  };
+  Stats stats() const;
+
+ private:
+  void BackgroundLoop();
+
+  TransactionManager* const tm_;
+  Clock* const clock_;
+  const DegradationOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<TableId, Table*> tables_;
+  Stats stats_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_DEGRADE_DEGRADATION_ENGINE_H_

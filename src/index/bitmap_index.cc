@@ -1,0 +1,94 @@
+#include "index/bitmap_index.h"
+
+namespace instantdb {
+
+BitmapColumnIndex::BitmapColumnIndex(const ColumnDef& column)
+    : column_(column), phases_(column.lcp.num_phases()) {}
+
+Result<int64_t> BitmapColumnIndex::PhaseKey(const Value& value,
+                                            int phase) const {
+  IDB_ASSIGN_OR_RETURN(
+      LeafInterval interval,
+      column_.hierarchy->LeafRange(value, column_.lcp.phase(phase).level));
+  return interval.lo;
+}
+
+Status BitmapColumnIndex::OnInsert(RowId rid, const Value& leaf_value) {
+  return OnInsertAtPhase(rid, leaf_value, 0);
+}
+
+Status BitmapColumnIndex::OnInsertAtPhase(RowId rid, const Value& value,
+                                          int phase) {
+  IDB_ASSIGN_OR_RETURN(int64_t key, PhaseKey(value, phase));
+  phases_[phase][key].Set(rid);
+  return Status::OK();
+}
+
+Status BitmapColumnIndex::OnDegrade(RowId rid, int from_phase,
+                                    const Value& old_value, int to_phase,
+                                    const Value& new_value) {
+  IDB_ASSIGN_OR_RETURN(int64_t old_key, PhaseKey(old_value, from_phase));
+  auto it = phases_[from_phase].find(old_key);
+  if (it != phases_[from_phase].end()) {
+    it->second.Clear(rid);
+    if (it->second.Count() == 0) phases_[from_phase].erase(it);
+  }
+  if (to_phase >= num_phases()) return Status::OK();
+  IDB_ASSIGN_OR_RETURN(int64_t new_key, PhaseKey(new_value, to_phase));
+  phases_[to_phase][new_key].Set(rid);
+  return Status::OK();
+}
+
+Status BitmapColumnIndex::OnDelete(RowId rid, int phase, const Value& value) {
+  IDB_ASSIGN_OR_RETURN(int64_t key, PhaseKey(value, phase));
+  auto it = phases_[phase].find(key);
+  if (it != phases_[phase].end()) {
+    it->second.Clear(rid);
+    if (it->second.Count() == 0) phases_[phase].erase(it);
+  }
+  return Status::OK();
+}
+
+Result<Bitmap> BitmapColumnIndex::CollectInterval(
+    int max_level, const LeafInterval& interval) const {
+  Bitmap out;
+  for (int p = 0; p < num_phases(); ++p) {
+    if (column_.lcp.phase(p).level > max_level) continue;
+    auto it = phases_[p].lower_bound(interval.lo);
+    for (; it != phases_[p].end() && it->first <= interval.hi; ++it) {
+      out.OrWith(it->second);
+    }
+  }
+  return out;
+}
+
+Result<Bitmap> BitmapColumnIndex::LookupEqual(const Value& value,
+                                              int level) const {
+  IDB_ASSIGN_OR_RETURN(LeafInterval interval,
+                       column_.hierarchy->LeafRange(value, level));
+  return CollectInterval(level, interval);
+}
+
+Result<Bitmap> BitmapColumnIndex::LookupRange(const Value& lo, const Value& hi,
+                                              int level) const {
+  IDB_ASSIGN_OR_RETURN(LeafInterval lo_interval,
+                       column_.hierarchy->LeafRange(lo, level));
+  IDB_ASSIGN_OR_RETURN(LeafInterval hi_interval,
+                       column_.hierarchy->LeafRange(hi, level));
+  if (hi_interval.hi < lo_interval.lo) return Bitmap{};
+  return CollectInterval(level, LeafInterval{lo_interval.lo, hi_interval.hi});
+}
+
+size_t BitmapColumnIndex::DistinctInPhase(int phase) const {
+  return phases_[phase].size();
+}
+
+size_t BitmapColumnIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& phase : phases_) {
+    for (const auto& [key, bitmap] : phase) bytes += bitmap.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace instantdb

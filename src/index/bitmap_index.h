@@ -1,0 +1,60 @@
+#ifndef INSTANTDB_INDEX_BITMAP_INDEX_H_
+#define INSTANTDB_INDEX_BITMAP_INDEX_H_
+
+#include <map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/page.h"
+#include "util/bitmap.h"
+
+namespace instantdb {
+
+/// \brief Bitmap index over one degradable attribute — the OLAP-side answer
+/// to the paper's §III: "multiple indexes to speed up even low selectivity
+/// queries thanks to bitmap-like indexes … OLAP must take care of updates
+/// incurred by degradation."
+///
+/// Degradation *shrinks* the value domain level by level, which is exactly
+/// the regime where bitmaps dominate trees: a phase at the city level keeps
+/// one bitmap per city, a phase at the country level one per country. Like
+/// the multi-resolution tree index, it keeps per-phase structures keyed by
+/// leaf-interval lower bound, so accuracy-k predicates become unions over a
+/// contiguous key interval. Bitmaps are memory-resident derived data,
+/// rebuilt from the state stores on open.
+class BitmapColumnIndex {
+ public:
+  explicit BitmapColumnIndex(const ColumnDef& column);
+
+  Status OnInsert(RowId rid, const Value& leaf_value);
+  /// Direct insertion at an arbitrary phase (index rebuild after recovery).
+  Status OnInsertAtPhase(RowId rid, const Value& value, int phase);
+  Status OnDegrade(RowId rid, int from_phase, const Value& old_value,
+                   int to_phase, const Value& new_value);
+  Status OnDelete(RowId rid, int phase, const Value& value);
+
+  /// Bitmap of rows matching `value` at accuracy `level` (union over all
+  /// computable phases).
+  Result<Bitmap> LookupEqual(const Value& value, int level) const;
+  /// Bitmap of rows in [lo, hi] at accuracy `level`.
+  Result<Bitmap> LookupRange(const Value& lo, const Value& hi,
+                             int level) const;
+
+  /// Number of distinct values materialized in `phase`.
+  size_t DistinctInPhase(int phase) const;
+  size_t MemoryBytes() const;
+  int num_phases() const { return static_cast<int>(phases_.size()); }
+
+ private:
+  Result<int64_t> PhaseKey(const Value& value, int phase) const;
+  Result<Bitmap> CollectInterval(int max_level,
+                                 const LeafInterval& interval) const;
+
+  const ColumnDef& column_;
+  /// phases_[p]: leaf-interval-lo -> bitmap of row ids.
+  std::vector<std::map<int64_t, Bitmap>> phases_;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_INDEX_BITMAP_INDEX_H_

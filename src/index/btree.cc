@@ -1,0 +1,368 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "catalog/value.h"
+
+namespace instantdb {
+
+namespace {
+
+constexpr uint8_t kMetaNode = 0;
+constexpr uint8_t kInternalNode = 1;
+constexpr uint8_t kLeafNode = 2;
+constexpr size_t kNodeHeaderBytes = 8;
+
+}  // namespace
+
+// --- key helpers ---------------------------------------------------------------
+
+void BPlusTree::EncodeKey(const Value& value, RowId rid, std::string* dst) {
+  value.EncodeOrdered(dst);
+  // Big-endian rid so duplicates scan in row order.
+  for (int i = 7; i >= 0; --i) {
+    dst->push_back(static_cast<char>((rid >> (8 * i)) & 0xFF));
+  }
+}
+
+void BPlusTree::EncodeLowerBound(const Value& value, std::string* dst) {
+  value.EncodeOrdered(dst);
+}
+
+void BPlusTree::EncodeUpperBound(const Value& value, std::string* dst) {
+  value.EncodeOrdered(dst);
+  // All composite keys for `value` are value_bytes + 8 rid bytes; appending
+  // 9 0xFF bytes exceeds every one of them while staying below the next
+  // value's encoding... provided encodings are prefix-free, which
+  // EncodeOrdered guarantees (fixed width for numerics, terminator for
+  // strings).
+  dst->append(9, '\xFF');
+}
+
+// --- construction ----------------------------------------------------------------
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Create(BufferPool* pool) {
+  IDB_ASSIGN_OR_RETURN(PageGuard meta, pool->NewPage());
+  IDB_ASSIGN_OR_RETURN(PageGuard root, pool->NewPage());
+  auto tree = std::unique_ptr<BPlusTree>(new BPlusTree(pool, meta.id()));
+  tree->root_ = root.id();
+  tree->height_ = 1;
+  tree->num_entries_ = 0;
+  root.data()[0] = static_cast<char>(kLeafNode);
+  EncodeFixed32(root.data() + 4, kInvalidPageId);  // no right sibling
+  root.MarkDirty();
+  meta.Release();
+  IDB_RETURN_IF_ERROR(tree->StoreMeta());
+  return tree;
+}
+
+Result<std::unique_ptr<BPlusTree>> BPlusTree::Open(BufferPool* pool,
+                                                   PageId meta_page) {
+  auto tree = std::unique_ptr<BPlusTree>(new BPlusTree(pool, meta_page));
+  IDB_RETURN_IF_ERROR(tree->LoadMeta());
+  return tree;
+}
+
+Status BPlusTree::LoadMeta() {
+  IDB_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(meta_page_));
+  if (meta.data()[0] != static_cast<char>(kMetaNode)) {
+    return Status::Corruption("not a btree meta page");
+  }
+  root_ = DecodeFixed32(meta.data() + 4);
+  height_ = static_cast<int>(DecodeFixed32(meta.data() + 8));
+  num_entries_ = DecodeFixed64(meta.data() + 12);
+  return Status::OK();
+}
+
+Status BPlusTree::StoreMeta() {
+  IDB_ASSIGN_OR_RETURN(PageGuard meta, pool_->FetchPage(meta_page_));
+  meta.data()[0] = static_cast<char>(kMetaNode);
+  EncodeFixed32(meta.data() + 4, root_);
+  EncodeFixed32(meta.data() + 8, static_cast<uint32_t>(height_));
+  EncodeFixed64(meta.data() + 12, num_entries_);
+  meta.MarkDirty();
+  return Status::OK();
+}
+
+// --- node serialization -----------------------------------------------------------
+
+bool BPlusTree::IsLeaf(const char* page) {
+  return page[0] == static_cast<char>(kLeafNode);
+}
+
+Status BPlusTree::ReadLeaf(PageId id, std::vector<LeafEntry>* entries,
+                           PageId* right) const {
+  IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(id));
+  const char* page = guard.data();
+  if (!IsLeaf(page)) return Status::Corruption("expected leaf node");
+  const uint16_t count = static_cast<uint16_t>(DecodeFixed32(page + 1) & 0xFFFF);
+  *right = DecodeFixed32(page + 4);
+  entries->clear();
+  entries->reserve(count);
+  const char* p = page + kNodeHeaderBytes;
+  for (uint16_t i = 0; i < count; ++i) {
+    const uint16_t klen = static_cast<uint16_t>(DecodeFixed32(p) & 0xFFFF);
+    p += 2;
+    LeafEntry entry;
+    entry.key.assign(p, klen);
+    p += klen;
+    entry.rid = DecodeFixed64(p);
+    p += 8;
+    entries->push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::WriteLeaf(PageId id, const std::vector<LeafEntry>& entries,
+                            PageId right) {
+  IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(id));
+  char* page = guard.data();
+  std::memset(page, 0, page_size_);
+  page[0] = static_cast<char>(kLeafNode);
+  page[1] = static_cast<char>(entries.size() & 0xFF);
+  page[2] = static_cast<char>((entries.size() >> 8) & 0xFF);
+  EncodeFixed32(page + 4, right);
+  char* p = page + kNodeHeaderBytes;
+  for (const LeafEntry& entry : entries) {
+    p[0] = static_cast<char>(entry.key.size() & 0xFF);
+    p[1] = static_cast<char>((entry.key.size() >> 8) & 0xFF);
+    p += 2;
+    std::memcpy(p, entry.key.data(), entry.key.size());
+    p += entry.key.size();
+    EncodeFixed64(p, entry.rid);
+    p += 8;
+  }
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status BPlusTree::ReadInternal(PageId id, std::vector<InternalEntry>* entries,
+                               PageId* leftmost) const {
+  IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(id));
+  const char* page = guard.data();
+  if (page[0] != static_cast<char>(kInternalNode)) {
+    return Status::Corruption("expected internal node");
+  }
+  const uint16_t count = static_cast<uint16_t>(DecodeFixed32(page + 1) & 0xFFFF);
+  *leftmost = DecodeFixed32(page + 4);
+  entries->clear();
+  entries->reserve(count);
+  const char* p = page + kNodeHeaderBytes;
+  for (uint16_t i = 0; i < count; ++i) {
+    const uint16_t klen = static_cast<uint16_t>(DecodeFixed32(p) & 0xFFFF);
+    p += 2;
+    InternalEntry entry;
+    entry.key.assign(p, klen);
+    p += klen;
+    entry.child = DecodeFixed32(p);
+    p += 4;
+    entries->push_back(std::move(entry));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::WriteInternal(PageId id,
+                                const std::vector<InternalEntry>& entries,
+                                PageId leftmost) {
+  IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(id));
+  char* page = guard.data();
+  std::memset(page, 0, page_size_);
+  page[0] = static_cast<char>(kInternalNode);
+  page[1] = static_cast<char>(entries.size() & 0xFF);
+  page[2] = static_cast<char>((entries.size() >> 8) & 0xFF);
+  EncodeFixed32(page + 4, leftmost);
+  char* p = page + kNodeHeaderBytes;
+  for (const InternalEntry& entry : entries) {
+    p[0] = static_cast<char>(entry.key.size() & 0xFF);
+    p[1] = static_cast<char>((entry.key.size() >> 8) & 0xFF);
+    p += 2;
+    std::memcpy(p, entry.key.data(), entry.key.size());
+    p += entry.key.size();
+    EncodeFixed32(p, entry.child);
+    p += 4;
+  }
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+size_t BPlusTree::LeafBytes(const std::vector<LeafEntry>& entries) const {
+  size_t bytes = kNodeHeaderBytes;
+  for (const LeafEntry& e : entries) bytes += 2 + e.key.size() + 8;
+  return bytes;
+}
+
+size_t BPlusTree::InternalBytes(const std::vector<InternalEntry>& entries) const {
+  size_t bytes = kNodeHeaderBytes;
+  for (const InternalEntry& e : entries) bytes += 2 + e.key.size() + 4;
+  return bytes;
+}
+
+// --- insert ---------------------------------------------------------------------
+
+Status BPlusTree::Insert(Slice key, RowId rid) {
+  if (key.size() > page_size_ / 8) {
+    return Status::InvalidArgument("index key too large");
+  }
+  IDB_ASSIGN_OR_RETURN(SplitResult split, InsertRec(root_, key, rid));
+  if (split.split) {
+    // Grow a new root above the old one.
+    IDB_ASSIGN_OR_RETURN(PageGuard new_root, pool_->NewPage());
+    const PageId new_root_id = new_root.id();
+    new_root.Release();
+    std::vector<InternalEntry> entries = {{split.separator, split.new_page}};
+    IDB_RETURN_IF_ERROR(WriteInternal(new_root_id, entries, root_));
+    root_ = new_root_id;
+    ++height_;
+  }
+  ++num_entries_;
+  return StoreMeta();
+}
+
+Result<BPlusTree::SplitResult> BPlusTree::InsertRec(PageId page_id, Slice key,
+                                                    RowId rid) {
+  IDB_ASSIGN_OR_RETURN(PageGuard probe, pool_->FetchPage(page_id));
+  const bool leaf = IsLeaf(probe.data());
+  probe.Release();
+
+  if (leaf) {
+    std::vector<LeafEntry> entries;
+    PageId right;
+    IDB_RETURN_IF_ERROR(ReadLeaf(page_id, &entries, &right));
+    auto pos = std::lower_bound(
+        entries.begin(), entries.end(), key,
+        [](const LeafEntry& e, Slice k) { return Slice(e.key) < k; });
+    entries.insert(pos, LeafEntry{std::string(key), rid});
+    if (LeafBytes(entries) <= page_size_) {
+      IDB_RETURN_IF_ERROR(WriteLeaf(page_id, entries, right));
+      return SplitResult{};
+    }
+    // Split: right half moves to a fresh page chained after this one.
+    const size_t mid = entries.size() / 2;
+    std::vector<LeafEntry> right_half(entries.begin() + mid, entries.end());
+    entries.resize(mid);
+    IDB_ASSIGN_OR_RETURN(PageGuard new_page, pool_->NewPage());
+    const PageId new_id = new_page.id();
+    new_page.Release();
+    IDB_RETURN_IF_ERROR(WriteLeaf(new_id, right_half, right));
+    IDB_RETURN_IF_ERROR(WriteLeaf(page_id, entries, new_id));
+    SplitResult result;
+    result.split = true;
+    result.separator = right_half.front().key;
+    result.new_page = new_id;
+    return result;
+  }
+
+  std::vector<InternalEntry> entries;
+  PageId leftmost;
+  IDB_RETURN_IF_ERROR(ReadInternal(page_id, &entries, &leftmost));
+  // Child to descend into: last entry with key <= target, else leftmost.
+  PageId child = leftmost;
+  size_t child_pos = 0;  // insertion position for a split separator
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (Slice(entries[i].key) <= key) {
+      child = entries[i].child;
+      child_pos = i + 1;
+    } else {
+      break;
+    }
+  }
+  IDB_ASSIGN_OR_RETURN(SplitResult child_split, InsertRec(child, key, rid));
+  if (!child_split.split) return SplitResult{};
+
+  entries.insert(entries.begin() + child_pos,
+                 InternalEntry{child_split.separator, child_split.new_page});
+  if (InternalBytes(entries) <= page_size_) {
+    IDB_RETURN_IF_ERROR(WriteInternal(page_id, entries, leftmost));
+    return SplitResult{};
+  }
+  // Split internal node: middle separator moves up.
+  const size_t mid = entries.size() / 2;
+  SplitResult result;
+  result.split = true;
+  result.separator = entries[mid].key;
+  std::vector<InternalEntry> right_half(entries.begin() + mid + 1,
+                                        entries.end());
+  const PageId right_leftmost = entries[mid].child;
+  entries.resize(mid);
+  IDB_ASSIGN_OR_RETURN(PageGuard new_page, pool_->NewPage());
+  const PageId new_id = new_page.id();
+  new_page.Release();
+  IDB_RETURN_IF_ERROR(WriteInternal(new_id, right_half, right_leftmost));
+  IDB_RETURN_IF_ERROR(WriteInternal(page_id, entries, leftmost));
+  result.new_page = new_id;
+  return result;
+}
+
+// --- delete / lookup ---------------------------------------------------------------
+
+Result<PageId> BPlusTree::FindLeaf(Slice key) const {
+  PageId page_id = root_;
+  for (;;) {
+    IDB_ASSIGN_OR_RETURN(PageGuard probe, pool_->FetchPage(page_id));
+    const bool leaf = IsLeaf(probe.data());
+    probe.Release();
+    if (leaf) return page_id;
+    std::vector<InternalEntry> entries;
+    PageId leftmost;
+    IDB_RETURN_IF_ERROR(ReadInternal(page_id, &entries, &leftmost));
+    PageId child = leftmost;
+    for (const InternalEntry& entry : entries) {
+      if (Slice(entry.key) <= key) {
+        child = entry.child;
+      } else {
+        break;
+      }
+    }
+    page_id = child;
+  }
+}
+
+Status BPlusTree::Delete(Slice key) {
+  IDB_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key));
+  std::vector<LeafEntry> entries;
+  PageId right;
+  IDB_RETURN_IF_ERROR(ReadLeaf(leaf_id, &entries, &right));
+  auto pos = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const LeafEntry& e, Slice k) { return Slice(e.key) < k; });
+  if (pos == entries.end() || Slice(pos->key) != key) {
+    return Status::NotFound("key not in index");
+  }
+  entries.erase(pos);
+  IDB_RETURN_IF_ERROR(WriteLeaf(leaf_id, entries, right));
+  --num_entries_;
+  return StoreMeta();
+}
+
+Result<bool> BPlusTree::Contains(Slice key) const {
+  IDB_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key));
+  std::vector<LeafEntry> entries;
+  PageId right;
+  IDB_RETURN_IF_ERROR(ReadLeaf(leaf_id, &entries, &right));
+  auto pos = std::lower_bound(
+      entries.begin(), entries.end(), key,
+      [](const LeafEntry& e, Slice k) { return Slice(e.key) < k; });
+  return pos != entries.end() && Slice(pos->key) == key;
+}
+
+Status BPlusTree::Scan(
+    Slice begin, Slice end,
+    const std::function<bool(Slice key, RowId rid)>& fn) const {
+  IDB_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(begin));
+  while (leaf_id != kInvalidPageId) {
+    std::vector<LeafEntry> entries;
+    PageId right;
+    IDB_RETURN_IF_ERROR(ReadLeaf(leaf_id, &entries, &right));
+    for (const LeafEntry& entry : entries) {
+      if (Slice(entry.key) < begin) continue;
+      if (!end.empty() && Slice(entry.key) >= end) return Status::OK();
+      if (!fn(entry.key, entry.rid)) return Status::OK();
+    }
+    leaf_id = right;
+  }
+  return Status::OK();
+}
+
+}  // namespace instantdb

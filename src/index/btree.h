@@ -1,0 +1,108 @@
+#ifndef INSTANTDB_INDEX_BTREE_H_
+#define INSTANTDB_INDEX_BTREE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/result.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/coding.h"
+
+namespace instantdb {
+
+/// \brief Paged B+-tree over order-preserving byte keys, mapping to RowIds.
+///
+/// Keys are `EncodeOrdered` value bytes with the RowId appended (big-endian)
+/// so duplicates of one attribute value stay unique and range scans by value
+/// prefix enumerate all matching rows. Leaves are chained for scans.
+/// Deletes are lazy (no rebalancing): degradation empties whole key ranges
+/// front-to-back, so vacated leaves are simply left sparse until the tree is
+/// rebuilt at the next open (indexes are derived data — recovery rebuilds
+/// them from the state stores rather than logging index pages).
+///
+/// Several trees share one buffer pool / index file; each tree is addressed
+/// by its meta page.
+class BPlusTree {
+ public:
+  /// Allocates a meta page + empty root leaf.
+  static Result<std::unique_ptr<BPlusTree>> Create(BufferPool* pool);
+  /// Re-attaches to an existing tree.
+  static Result<std::unique_ptr<BPlusTree>> Open(BufferPool* pool,
+                                                 PageId meta_page);
+
+  PageId meta_page() const { return meta_page_; }
+
+  Status Insert(Slice key, RowId rid);
+  /// Removes the exact key; NotFound if absent.
+  Status Delete(Slice key);
+  Result<bool> Contains(Slice key) const;
+
+  /// In-order scan of keys in [begin, end) — empty `end` means +infinity.
+  /// Stops early when `fn` returns false.
+  Status Scan(Slice begin, Slice end,
+              const std::function<bool(Slice key, RowId rid)>& fn) const;
+
+  uint64_t num_entries() const { return num_entries_; }
+  int height() const { return height_; }
+
+  /// Composite key helpers.
+  static void EncodeKey(const Value& value, RowId rid, std::string* dst);
+  /// Lower bound of the key range of `value` (any rid).
+  static void EncodeLowerBound(const Value& value, std::string* dst);
+  /// Exclusive upper bound of the key range of `value`.
+  static void EncodeUpperBound(const Value& value, std::string* dst);
+
+ private:
+  struct LeafEntry {
+    std::string key;
+    RowId rid;
+  };
+  struct InternalEntry {
+    std::string key;  // smallest key in `child`'s subtree
+    PageId child;
+  };
+  struct SplitResult {
+    bool split = false;
+    std::string separator;
+    PageId new_page = kInvalidPageId;
+  };
+
+  BPlusTree(BufferPool* pool, PageId meta_page)
+      : pool_(pool), page_size_(pool->disk()->page_size()), meta_page_(meta_page) {}
+
+  Status LoadMeta();
+  Status StoreMeta();
+
+  Result<SplitResult> InsertRec(PageId page, Slice key, RowId rid);
+  Status DeleteRec(PageId page, Slice key, bool* found);
+  Result<PageId> FindLeaf(Slice key) const;
+
+  // Node (de)serialization: nodes are parsed to vectors, mutated, and
+  // re-serialized — simple and resilient for variable-length keys.
+  static bool IsLeaf(const char* page);
+  Status ReadLeaf(PageId id, std::vector<LeafEntry>* entries,
+                  PageId* right) const;
+  Status WriteLeaf(PageId id, const std::vector<LeafEntry>& entries,
+                   PageId right);
+  Status ReadInternal(PageId id, std::vector<InternalEntry>* entries,
+                      PageId* leftmost) const;
+  Status WriteInternal(PageId id, const std::vector<InternalEntry>& entries,
+                       PageId leftmost);
+  size_t LeafBytes(const std::vector<LeafEntry>& entries) const;
+  size_t InternalBytes(const std::vector<InternalEntry>& entries) const;
+
+  BufferPool* const pool_;
+  const size_t page_size_;
+  const PageId meta_page_;
+  PageId root_ = kInvalidPageId;
+  int height_ = 1;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_INDEX_BTREE_H_

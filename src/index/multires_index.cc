@@ -1,0 +1,99 @@
+#include "index/multires_index.h"
+
+namespace instantdb {
+
+MultiResolutionIndex::MultiResolutionIndex(const ColumnDef& column,
+                                           BufferPool* pool)
+    : column_(column), pool_(pool) {}
+
+Status MultiResolutionIndex::Init() {
+  trees_.clear();
+  for (int p = 0; p < column_.lcp.num_phases(); ++p) {
+    IDB_ASSIGN_OR_RETURN(auto tree, BPlusTree::Create(pool_));
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> MultiResolutionIndex::PhaseKey(const Value& value,
+                                               int phase) const {
+  IDB_ASSIGN_OR_RETURN(
+      LeafInterval interval,
+      column_.hierarchy->LeafRange(value, column_.lcp.phase(phase).level));
+  return interval.lo;
+}
+
+Status MultiResolutionIndex::OnInsert(RowId rid, const Value& leaf_value) {
+  return OnInsertAtPhase(rid, leaf_value, 0);
+}
+
+Status MultiResolutionIndex::OnInsertAtPhase(RowId rid, const Value& value,
+                                             int phase) {
+  IDB_ASSIGN_OR_RETURN(int64_t key, PhaseKey(value, phase));
+  std::string encoded;
+  BPlusTree::EncodeKey(Value::Int64(key), rid, &encoded);
+  return trees_[phase]->Insert(encoded, rid);
+}
+
+Status MultiResolutionIndex::OnDegrade(RowId rid, int from_phase,
+                                       const Value& old_value, int to_phase,
+                                       const Value& new_value) {
+  IDB_ASSIGN_OR_RETURN(int64_t old_key, PhaseKey(old_value, from_phase));
+  std::string encoded;
+  BPlusTree::EncodeKey(Value::Int64(old_key), rid, &encoded);
+  IDB_RETURN_IF_ERROR(trees_[from_phase]->Delete(encoded));
+  if (to_phase >= num_phases()) return Status::OK();  // removed (⊥)
+  IDB_ASSIGN_OR_RETURN(int64_t new_key, PhaseKey(new_value, to_phase));
+  encoded.clear();
+  BPlusTree::EncodeKey(Value::Int64(new_key), rid, &encoded);
+  return trees_[to_phase]->Insert(encoded, rid);
+}
+
+Status MultiResolutionIndex::OnDelete(RowId rid, int phase,
+                                      const Value& value) {
+  IDB_ASSIGN_OR_RETURN(int64_t key, PhaseKey(value, phase));
+  std::string encoded;
+  BPlusTree::EncodeKey(Value::Int64(key), rid, &encoded);
+  return trees_[phase]->Delete(encoded);
+}
+
+Status MultiResolutionIndex::ScanInterval(
+    int max_level, const LeafInterval& interval,
+    const std::function<bool(RowId)>& fn) const {
+  std::string begin, end;
+  BPlusTree::EncodeLowerBound(Value::Int64(interval.lo), &begin);
+  BPlusTree::EncodeUpperBound(Value::Int64(interval.hi), &end);
+  for (int p = 0; p < num_phases(); ++p) {
+    if (column_.lcp.phase(p).level > max_level) continue;
+    bool keep_going = true;
+    IDB_RETURN_IF_ERROR(trees_[p]->Scan(
+        begin, end, [&](Slice, RowId rid) { return keep_going = fn(rid); }));
+    if (!keep_going) break;
+  }
+  return Status::OK();
+}
+
+Status MultiResolutionIndex::LookupEqual(
+    const Value& value, int level,
+    const std::function<bool(RowId)>& fn) const {
+  IDB_ASSIGN_OR_RETURN(LeafInterval interval,
+                       column_.hierarchy->LeafRange(value, level));
+  return ScanInterval(level, interval, fn);
+}
+
+Status MultiResolutionIndex::LookupRange(
+    const Value& lo, const Value& hi, int level,
+    const std::function<bool(RowId)>& fn) const {
+  IDB_ASSIGN_OR_RETURN(LeafInterval lo_interval,
+                       column_.hierarchy->LeafRange(lo, level));
+  IDB_ASSIGN_OR_RETURN(LeafInterval hi_interval,
+                       column_.hierarchy->LeafRange(hi, level));
+  if (hi_interval.hi < lo_interval.lo) return Status::OK();
+  return ScanInterval(level, LeafInterval{lo_interval.lo, hi_interval.hi}, fn);
+}
+
+uint64_t MultiResolutionIndex::EntriesInPhase(int phase) const {
+  return trees_[phase]->num_entries();
+}
+
+}  // namespace instantdb

@@ -1,0 +1,77 @@
+#ifndef INSTANTDB_INDEX_MULTIRES_INDEX_H_
+#define INSTANTDB_INDEX_MULTIRES_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "index/btree.h"
+
+namespace instantdb {
+
+/// \brief Degradation-aware index for one degradable attribute: one B+-tree
+/// per LCP phase, keyed by the *leaf interval lower bound* of the stored
+/// value (paper §III, "indexing techniques supporting efficiently
+/// degradation").
+///
+/// Why this shape works:
+///  - Values in phase p sit at one GT level, and GT nodes are DFS-numbered,
+///    so a node's leaf interval lower bound orders values exactly like the
+///    tree does. A predicate at any accuracy level k >= level(p) covers a
+///    contiguous interval of leaf ordinals, hence a contiguous key range of
+///    EVERY phase tree with level <= k — coarse queries stay range scans
+///    instead of enumerating subtree members.
+///  - Degradation moves an entry between two phase trees (delete + insert),
+///    touching only those trees; queries at other levels are unaffected.
+///  - A query at accuracy k probes the trees of all phases with
+///    level(p) <= k and unions the results — precisely the paper's
+///    σ_{P,k} over the computable subsets ST_j.
+class MultiResolutionIndex {
+ public:
+  /// `column` must be degradable. Trees are created in `pool` (the table's
+  /// index file); indexes are derived data, rebuilt on open.
+  MultiResolutionIndex(const ColumnDef& column, BufferPool* pool);
+
+  Status Init();
+
+  /// Phase-0 insertion of an accurate value.
+  Status OnInsert(RowId rid, const Value& leaf_value);
+
+  /// Direct insertion at an arbitrary phase (index rebuild after recovery).
+  Status OnInsertAtPhase(RowId rid, const Value& value, int phase);
+
+  /// One degradation transition. `to_phase == lcp.num_phases()` removes the
+  /// entry without reinserting (⊥). Values are those stored before/after.
+  Status OnDegrade(RowId rid, int from_phase, const Value& old_value,
+                   int to_phase, const Value& new_value);
+
+  /// Tuple deletion while the value is in `phase`.
+  Status OnDelete(RowId rid, int phase, const Value& value);
+
+  /// Rows whose stored value generalizes to `value` at accuracy `level`
+  /// (equality predicate at level k). Visits phases with level(p) <= level.
+  Status LookupEqual(const Value& value, int level,
+                     const std::function<bool(RowId)>& fn) const;
+
+  /// Rows whose stored value falls in [lo, hi] at accuracy `level`
+  /// (both bounds are level-`level` values).
+  Status LookupRange(const Value& lo, const Value& hi, int level,
+                     const std::function<bool(RowId)>& fn) const;
+
+  uint64_t EntriesInPhase(int phase) const;
+  int num_phases() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  /// Key of `value` when stored at `phase`: its leaf interval lower bound.
+  Result<int64_t> PhaseKey(const Value& value, int phase) const;
+  Status ScanInterval(int first_level, const LeafInterval& interval,
+                      const std::function<bool(RowId)>& fn) const;
+
+  const ColumnDef& column_;
+  BufferPool* const pool_;
+  std::vector<std::unique_ptr<BPlusTree>> trees_;  // one per phase
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_INDEX_MULTIRES_INDEX_H_

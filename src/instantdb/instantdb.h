@@ -1,0 +1,33 @@
+#ifndef INSTANTDB_INSTANTDB_H_
+#define INSTANTDB_INSTANTDB_H_
+
+/// \file
+/// \brief Umbrella header: the full public API of InstantDB, a DBMS that
+/// enforces timely degradation of sensitive data (Anciaux et al., ICDE'08).
+///
+/// Core concepts:
+///  - DomainHierarchy / GeneralizationTree / IntervalHierarchy — the
+///    generalization trees of §II (Fig. 1).
+///  - AttributeLcp / TupleLcp — Life Cycle Policies (Fig. 2 / Fig. 3).
+///  - Schema / ColumnDef — stable vs. degradable attributes.
+///  - Database — engine facade (storage, WAL, transactions, degrader).
+///  - Session — SQL with DECLARE PURPOSE accuracy binding.
+///  - Mondrian — k-anonymity comparison baseline.
+
+#include "anonymize/mondrian.h"
+#include "catalog/builtin_domains.h"
+#include "catalog/catalog.h"
+#include "catalog/generalization.h"
+#include "catalog/lcp.h"
+#include "catalog/schema.h"
+#include "catalog/value.h"
+#include "common/clock.h"
+#include "common/options.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "db/table.h"
+#include "degrade/degradation_engine.h"
+#include "query/session.h"
+
+#endif  // INSTANTDB_INSTANTDB_H_

@@ -1,0 +1,83 @@
+#ifndef INSTANTDB_QUERY_AST_H_
+#define INSTANTDB_QUERY_AST_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "catalog/value.h"
+
+namespace instantdb {
+
+enum class ComparisonOp : uint8_t {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,     // '%'-wildcards at either end only
+  kBetween,  // inclusive
+};
+
+/// One conjunct of a WHERE clause: `column op literal` (the paper's example
+/// queries are conjunctions of simple predicates).
+struct PredicateAst {
+  std::string column;
+  ComparisonOp op = ComparisonOp::kEq;
+  Value value;
+  Value value2;  // kBetween upper bound
+};
+
+enum class AggregateKind : uint8_t { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+/// One SELECT-list item: a plain column or an aggregate. For COUNT(*),
+/// `column` is empty.
+struct SelectItem {
+  AggregateKind aggregate = AggregateKind::kNone;
+  std::string column;
+};
+
+struct SelectAst {
+  bool star = false;
+  std::vector<SelectItem> items;
+  std::string table;
+  std::vector<PredicateAst> where;
+  std::string group_by;  // empty = none
+};
+
+struct InsertAst {
+  std::string table;
+  std::vector<Value> values;  // schema order
+};
+
+struct DeleteAst {
+  std::string table;
+  std::vector<PredicateAst> where;
+};
+
+/// `DECLARE PURPOSE <name> SET ACCURACY LEVEL <spec> FOR <table>.<column>
+///  {, <spec> FOR <table>.<column>}` — the paper's purpose declaration that
+/// binds each degradable attribute to the accuracy level serving that
+/// purpose.
+struct DeclarePurposeAst {
+  struct Clause {
+    std::string spec;  // level name / index / RANGE<width>
+    std::string table;
+    std::string column;
+  };
+  std::string name;
+  std::vector<Clause> clauses;
+};
+
+/// `USE PURPOSE <name>` — re-activates a previously declared purpose.
+struct UsePurposeAst {
+  std::string name;
+};
+
+using StatementAst = std::variant<SelectAst, InsertAst, DeleteAst,
+                                  DeclarePurposeAst, UsePurposeAst>;
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_QUERY_AST_H_

@@ -1,0 +1,29 @@
+#ifndef INSTANTDB_QUERY_EXECUTOR_H_
+#define INSTANTDB_QUERY_EXECUTOR_H_
+
+#include "query/ast.h"
+#include "query/session.h"
+
+namespace instantdb {
+
+/// \brief Binds, plans and executes one parsed statement under the
+/// session's active purpose, implementing the paper's accuracy-aware
+/// operators:
+///
+///   σ_{P,k}(DS) = σ_P(f_k(∪_{j≤k} ST_j))    π_{*,k}(DS) = π(f_k(∪_{j≤k} ST_j))
+///
+/// Rows whose referenced degradable attributes are *coarser* than the
+/// demanded level are not computable at k and are excluded (the paper's
+/// strict, unambiguous semantics); ReadOptions::include_coarser switches to
+/// the §IV relaxed semantics where predicates are also evaluated against
+/// coarser stored values via hierarchy containment.
+///
+/// Planning: an equality / LIKE-on-label / BETWEEN predicate over a
+/// degradable column is answered by the multi-resolution index when the
+/// session allows indexes; everything else falls back to a heap scan.
+Result<QueryResult> ExecuteStatement(Session* session,
+                                     const StatementAst& statement);
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_QUERY_EXECUTOR_H_

@@ -1,0 +1,97 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace instantdb {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;  // -- comment
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      token.type = TokenType::kIdentifier;
+      token.text = sql.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      bool seen_dot = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       (sql[j] == '.' && !seen_dot))) {
+        if (sql[j] == '.') seen_dot = true;
+        ++j;
+      }
+      token.type = TokenType::kNumber;
+      token.text = sql.substr(i, j - i);
+      i = j;
+    } else if (c == '\'' || c == '"') {
+      const char quote = c;
+      std::string text;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == quote) {
+          if (j + 1 < n && sql[j + 1] == quote) {  // '' escape
+            text.push_back(quote);
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StringPrintf("unterminated string literal at %zu", i));
+      }
+      token.type = TokenType::kString;
+      token.text = std::move(text);
+      i = j;
+    } else if (c == '<' && i + 1 < n && (sql[i + 1] == '=' || sql[i + 1] == '>')) {
+      token.type = TokenType::kSymbol;
+      token.text = sql.substr(i, 2);
+      i += 2;
+    } else if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+      token.type = TokenType::kSymbol;
+      token.text = ">=";
+      i += 2;
+    } else if (std::strchr("=<>(),.*;", c) != nullptr) {
+      token.type = TokenType::kSymbol;
+      token.text = std::string(1, c);
+      ++i;
+      if (token.text == ";") continue;  // statement terminator is noise
+    } else {
+      return Status::InvalidArgument(
+          StringPrintf("unexpected character '%c' at %zu", c, i));
+    }
+    tokens.push_back(std::move(token));
+  }
+  tokens.push_back(Token{TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace instantdb

@@ -1,0 +1,34 @@
+#ifndef INSTANTDB_QUERY_LEXER_H_
+#define INSTANTDB_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace instantdb {
+
+enum class TokenType : uint8_t {
+  kIdentifier,  // bare word (keywords are identifiers; parser matches them)
+  kNumber,      // integer or decimal literal
+  kString,      // '...'-quoted
+  kSymbol,      // one of  = <> < <= > >= ( ) , . *
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;  // raw text (uppercased for identifiers? no: original)
+  size_t position = 0;
+
+  bool Is(TokenType t) const { return type == t; }
+};
+
+/// Splits a SQL statement into tokens. Identifiers keep their original
+/// spelling; keyword matching is case-insensitive in the parser. String
+/// literals support '' escaping.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_QUERY_LEXER_H_

@@ -1,0 +1,253 @@
+#include "query/parser.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "query/lexer.h"
+
+namespace instantdb {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<StatementAst> Parse() {
+    if (MatchKeyword("DECLARE")) return ParseDeclarePurpose();
+    if (MatchKeyword("USE")) return ParseUsePurpose();
+    if (MatchKeyword("SELECT")) return ParseSelect();
+    if (MatchKeyword("INSERT")) return ParseInsert();
+    if (MatchKeyword("DELETE")) return ParseDelete();
+    return Error("expected DECLARE, USE, SELECT, INSERT or DELETE");
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().Is(TokenType::kIdentifier) &&
+           EqualsIgnoreCase(Peek().text, kw);
+  }
+  bool MatchKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  bool MatchSymbol(const char* symbol) {
+    if (Peek().Is(TokenType::kSymbol) && Peek().text == symbol) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(StringPrintf(
+        "parse error near '%s' (position %zu): %s", Peek().text.c_str(),
+        Peek().position, message.c_str()));
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (!Peek().Is(TokenType::kIdentifier)) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) return Error(std::string("expected ") + kw);
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* symbol) {
+    if (!MatchSymbol(symbol)) {
+      return Error(std::string("expected '") + symbol + "'");
+    }
+    return Status::OK();
+  }
+
+  Result<Value> ParseLiteral() {
+    if (Peek().Is(TokenType::kNumber)) {
+      const std::string text = Advance().text;
+      if (text.find('.') != std::string::npos) {
+        return Value::Double(std::strtod(text.c_str(), nullptr));
+      }
+      return Value::Int64(std::strtoll(text.c_str(), nullptr, 10));
+    }
+    if (Peek().Is(TokenType::kString)) {
+      return Value::String(Advance().text);
+    }
+    if (MatchKeyword("TRUE")) return Value::Bool(true);
+    if (MatchKeyword("FALSE")) return Value::Bool(false);
+    if (MatchKeyword("NULL")) return Value::Null();
+    return Error("expected a literal");
+  }
+
+  Result<StatementAst> ParseDeclarePurpose() {
+    IDB_RETURN_IF_ERROR(ExpectKeyword("PURPOSE"));
+    DeclarePurposeAst ast;
+    IDB_ASSIGN_OR_RETURN(ast.name, ExpectIdentifier("purpose name"));
+    IDB_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    IDB_RETURN_IF_ERROR(ExpectKeyword("ACCURACY"));
+    IDB_RETURN_IF_ERROR(ExpectKeyword("LEVEL"));
+    do {
+      DeclarePurposeAst::Clause clause;
+      IDB_ASSIGN_OR_RETURN(clause.spec, ExpectIdentifier("accuracy level"));
+      IDB_RETURN_IF_ERROR(ExpectKeyword("FOR"));
+      IDB_ASSIGN_OR_RETURN(std::string first, ExpectIdentifier("column"));
+      if (MatchSymbol(".")) {
+        clause.table = first;
+        IDB_ASSIGN_OR_RETURN(clause.column, ExpectIdentifier("column"));
+      } else {
+        clause.column = first;  // bare column: binder resolves the table
+      }
+      ast.clauses.push_back(std::move(clause));
+    } while (MatchSymbol(","));
+    IDB_RETURN_IF_ERROR(ExpectEnd());
+    return StatementAst(std::move(ast));
+  }
+
+  Result<StatementAst> ParseUsePurpose() {
+    IDB_RETURN_IF_ERROR(ExpectKeyword("PURPOSE"));
+    UsePurposeAst ast;
+    IDB_ASSIGN_OR_RETURN(ast.name, ExpectIdentifier("purpose name"));
+    IDB_RETURN_IF_ERROR(ExpectEnd());
+    return StatementAst(std::move(ast));
+  }
+
+  Result<SelectItem> ParseSelectItem() {
+    SelectItem item;
+    static const std::pair<const char*, AggregateKind> kAggregates[] = {
+        {"COUNT", AggregateKind::kCount}, {"SUM", AggregateKind::kSum},
+        {"AVG", AggregateKind::kAvg},     {"MIN", AggregateKind::kMin},
+        {"MAX", AggregateKind::kMax}};
+    for (const auto& [name, kind] : kAggregates) {
+      if (PeekKeyword(name) && tokens_[pos_ + 1].Is(TokenType::kSymbol) &&
+          tokens_[pos_ + 1].text == "(") {
+        ++pos_;  // aggregate name
+        ++pos_;  // '('
+        item.aggregate = kind;
+        if (kind == AggregateKind::kCount && MatchSymbol("*")) {
+          // COUNT(*)
+        } else {
+          IDB_ASSIGN_OR_RETURN(item.column, ExpectIdentifier("column"));
+        }
+        IDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+        return item;
+      }
+    }
+    IDB_ASSIGN_OR_RETURN(item.column, ExpectIdentifier("column"));
+    return item;
+  }
+
+  Result<std::vector<PredicateAst>> ParseWhere() {
+    std::vector<PredicateAst> predicates;
+    do {
+      PredicateAst pred;
+      IDB_ASSIGN_OR_RETURN(pred.column, ExpectIdentifier("column"));
+      if (MatchKeyword("LIKE")) {
+        pred.op = ComparisonOp::kLike;
+        IDB_ASSIGN_OR_RETURN(pred.value, ParseLiteral());
+        if (pred.value.type() != ValueType::kString) {
+          return Error("LIKE needs a string pattern");
+        }
+      } else if (MatchKeyword("BETWEEN")) {
+        pred.op = ComparisonOp::kBetween;
+        IDB_ASSIGN_OR_RETURN(pred.value, ParseLiteral());
+        IDB_RETURN_IF_ERROR(ExpectKeyword("AND"));
+        IDB_ASSIGN_OR_RETURN(pred.value2, ParseLiteral());
+      } else if (Peek().Is(TokenType::kSymbol)) {
+        const std::string op = Advance().text;
+        if (op == "=") {
+          pred.op = ComparisonOp::kEq;
+        } else if (op == "<>") {
+          pred.op = ComparisonOp::kNe;
+        } else if (op == "<") {
+          pred.op = ComparisonOp::kLt;
+        } else if (op == "<=") {
+          pred.op = ComparisonOp::kLe;
+        } else if (op == ">") {
+          pred.op = ComparisonOp::kGt;
+        } else if (op == ">=") {
+          pred.op = ComparisonOp::kGe;
+        } else {
+          return Error("unknown comparison operator");
+        }
+        IDB_ASSIGN_OR_RETURN(pred.value, ParseLiteral());
+      } else {
+        return Error("expected comparison operator");
+      }
+      predicates.push_back(std::move(pred));
+    } while (MatchKeyword("AND"));
+    return predicates;
+  }
+
+  Result<StatementAst> ParseSelect() {
+    SelectAst ast;
+    if (MatchSymbol("*")) {
+      ast.star = true;
+    } else {
+      do {
+        IDB_ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+        ast.items.push_back(std::move(item));
+      } while (MatchSymbol(","));
+    }
+    IDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    IDB_ASSIGN_OR_RETURN(ast.table, ExpectIdentifier("table"));
+    if (MatchKeyword("WHERE")) {
+      IDB_ASSIGN_OR_RETURN(ast.where, ParseWhere());
+    }
+    if (MatchKeyword("GROUP")) {
+      IDB_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      IDB_ASSIGN_OR_RETURN(ast.group_by, ExpectIdentifier("column"));
+    }
+    IDB_RETURN_IF_ERROR(ExpectEnd());
+    return StatementAst(std::move(ast));
+  }
+
+  Result<StatementAst> ParseInsert() {
+    IDB_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertAst ast;
+    IDB_ASSIGN_OR_RETURN(ast.table, ExpectIdentifier("table"));
+    IDB_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
+    IDB_RETURN_IF_ERROR(ExpectSymbol("("));
+    do {
+      IDB_ASSIGN_OR_RETURN(Value value, ParseLiteral());
+      ast.values.push_back(std::move(value));
+    } while (MatchSymbol(","));
+    IDB_RETURN_IF_ERROR(ExpectSymbol(")"));
+    IDB_RETURN_IF_ERROR(ExpectEnd());
+    return StatementAst(std::move(ast));
+  }
+
+  Result<StatementAst> ParseDelete() {
+    IDB_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteAst ast;
+    IDB_ASSIGN_OR_RETURN(ast.table, ExpectIdentifier("table"));
+    if (MatchKeyword("WHERE")) {
+      IDB_ASSIGN_OR_RETURN(ast.where, ParseWhere());
+    }
+    IDB_RETURN_IF_ERROR(ExpectEnd());
+    return StatementAst(std::move(ast));
+  }
+
+  Status ExpectEnd() {
+    if (!Peek().Is(TokenType::kEnd)) return Error("trailing input");
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<StatementAst> ParseStatement(const std::string& sql) {
+  IDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace instantdb

@@ -1,0 +1,34 @@
+#ifndef INSTANTDB_QUERY_PARSER_H_
+#define INSTANTDB_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "query/ast.h"
+
+namespace instantdb {
+
+/// \brief Recursive-descent parser for the InstantDB SQL subset:
+///
+///   DECLARE PURPOSE <name> SET ACCURACY LEVEL <spec> FOR <t>.<col>
+///                                        {, <spec> FOR <t>.<col>}
+///   USE PURPOSE <name>
+///   SELECT * | item{,item} FROM <t> [WHERE pred {AND pred}]
+///                          [GROUP BY <col>]
+///     item  ::= <col> | COUNT(*) | COUNT|SUM|AVG|MIN|MAX(<col>)
+///     pred  ::= <col> (=|<>|<|<=|>|>=) literal
+///             | <col> LIKE 'pattern'        -- % at either end
+///             | <col> BETWEEN lit AND lit
+///   INSERT INTO <t> VALUES (literal {, literal})
+///   DELETE FROM <t> [WHERE pred {AND pred}]
+///
+/// This covers the paper's §II examples verbatim, e.g.:
+///   DECLARE PURPOSE STAT SET ACCURACY LEVEL COUNTRY FOR P.LOCATION,
+///                                     RANGE1000 FOR P.SALARY
+///   SELECT * FROM PERSON WHERE LOCATION LIKE '%FRANCE%'
+///                          AND SALARY = '2000-3000'
+Result<StatementAst> ParseStatement(const std::string& sql);
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_QUERY_PARSER_H_

@@ -1,0 +1,50 @@
+#include "storage/disk_manager.h"
+
+#include <vector>
+
+namespace instantdb {
+
+Result<std::unique_ptr<DiskManager>> DiskManager::Open(const std::string& path,
+                                                       size_t page_size) {
+  IDB_ASSIGN_OR_RETURN(auto file, NewRandomRWFile(path));
+  const uint64_t size = file->Size();
+  if (size % page_size != 0) {
+    return Status::Corruption("heap file size is not page-aligned: " + path);
+  }
+  return std::unique_ptr<DiskManager>(
+      new DiskManager(path, page_size, std::move(file),
+                      static_cast<PageId>(size / page_size)));
+}
+
+Result<PageId> DiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
+  const PageId id = num_pages_.load(std::memory_order_relaxed);
+  const std::string zeros(page_size_, '\0');
+  IDB_RETURN_IF_ERROR(
+      file_->Write(static_cast<uint64_t>(id) * page_size_, zeros));
+  num_pages_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+Status DiskManager::ReadPage(PageId id, char* out) const {
+  if (id >= num_pages()) return Status::InvalidArgument("page out of range");
+  std::string scratch;
+  Slice data;
+  IDB_RETURN_IF_ERROR(file_->Read(static_cast<uint64_t>(id) * page_size_,
+                                  page_size_, &scratch, &data));
+  if (data.size() != page_size_) {
+    return Status::Corruption("short page read");
+  }
+  std::memcpy(out, data.data(), page_size_);
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* data) {
+  if (id >= num_pages()) return Status::InvalidArgument("page out of range");
+  return file_->Write(static_cast<uint64_t>(id) * page_size_,
+                      Slice(data, page_size_));
+}
+
+Status DiskManager::Sync() { return file_->Sync(); }
+
+}  // namespace instantdb

@@ -1,0 +1,236 @@
+#include "storage/heap_file.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace instantdb {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 8;
+constexpr size_t kSlotBytes = 4;
+
+uint16_t SlotOffset(const char* page, uint16_t slot) {
+  return DecodeFixed32(page + kHeaderBytes + slot * kSlotBytes) & 0xFFFF;
+}
+
+uint16_t SlotLen(const char* page, uint16_t slot) {
+  return (DecodeFixed32(page + kHeaderBytes + slot * kSlotBytes) >> 16) &
+         0xFFFF;
+}
+
+void SetSlot(char* page, uint16_t slot, uint16_t offset, uint16_t len) {
+  EncodeFixed32(page + kHeaderBytes + slot * kSlotBytes,
+                static_cast<uint32_t>(offset) |
+                    (static_cast<uint32_t>(len) << 16));
+}
+
+}  // namespace
+
+HeapFile::HeapFile(BufferPool* pool)
+    : pool_(pool), page_size_(pool->disk()->page_size()) {}
+
+HeapFile::PageHeader HeapFile::ReadHeader(const char* page) {
+  PageHeader header;
+  header.num_slots = DecodeFixed32(page) & 0xFFFF;
+  header.data_start = (DecodeFixed32(page) >> 16) & 0xFFFF;
+  return header;
+}
+
+void HeapFile::WriteHeader(char* page, PageHeader header) {
+  EncodeFixed32(page, static_cast<uint32_t>(header.num_slots) |
+                          (static_cast<uint32_t>(header.data_start) << 16));
+}
+
+size_t HeapFile::FreeSpace(const char* page) const {
+  const PageHeader header = ReadHeader(page);
+  const size_t data_start =
+      header.data_start == 0 ? page_size_ : header.data_start;
+  const size_t slots_end = kHeaderBytes + header.num_slots * kSlotBytes;
+  return data_start > slots_end ? data_start - slots_end : 0;
+}
+
+size_t HeapFile::max_record_size() const {
+  return page_size_ - kHeaderBytes - kSlotBytes;
+}
+
+Status HeapFile::Open() {
+  const PageId n = pool_->disk()->num_pages();
+  free_space_.assign(n, 0);
+  live_records_ = 0;
+  for (PageId p = 0; p < n; ++p) {
+    IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(p));
+    free_space_[p] = static_cast<uint16_t>(FreeSpace(guard.data()));
+    const PageHeader header = ReadHeader(guard.data());
+    for (uint16_t s = 0; s < header.num_slots; ++s) {
+      if (SlotOffset(guard.data(), s) != 0) ++live_records_;
+    }
+  }
+  return Status::OK();
+}
+
+void HeapFile::CompactPage(char* page) const {
+  PageHeader header = ReadHeader(page);
+  std::string buffer(page_size_, '\0');
+  size_t write_end = page_size_;
+  std::vector<std::pair<uint16_t, uint16_t>> new_slots(header.num_slots,
+                                                       {0, 0});
+  for (uint16_t s = 0; s < header.num_slots; ++s) {
+    const uint16_t offset = SlotOffset(page, s);
+    const uint16_t len = SlotLen(page, s);
+    if (offset == 0) continue;
+    write_end -= len;
+    std::memcpy(buffer.data() + write_end, page + offset, len);
+    new_slots[s] = {static_cast<uint16_t>(write_end), len};
+  }
+  // Zero the whole data region, then lay the compacted image back down —
+  // this also scrubs any residue between records.
+  std::memset(page + kHeaderBytes + header.num_slots * kSlotBytes, 0,
+              page_size_ - kHeaderBytes - header.num_slots * kSlotBytes);
+  std::memcpy(page + write_end, buffer.data() + write_end,
+              page_size_ - write_end);
+  for (uint16_t s = 0; s < header.num_slots; ++s) {
+    SetSlot(page, s, new_slots[s].first, new_slots[s].second);
+  }
+  header.data_start = static_cast<uint16_t>(write_end);
+  WriteHeader(page, header);
+}
+
+Result<Rid> HeapFile::InsertIntoPage(PageGuard& guard, Slice record) {
+  char* page = guard.data();
+  PageHeader header = ReadHeader(page);
+  size_t data_start = header.data_start == 0 ? page_size_ : header.data_start;
+
+  // Reuse an empty slot if any, else extend the slot array.
+  uint16_t slot = header.num_slots;
+  for (uint16_t s = 0; s < header.num_slots; ++s) {
+    if (SlotOffset(page, s) == 0) {
+      slot = s;
+      break;
+    }
+  }
+  const bool new_slot = slot == header.num_slots;
+  const size_t slots_end =
+      kHeaderBytes + (header.num_slots + (new_slot ? 1 : 0)) * kSlotBytes;
+  if (data_start < slots_end + record.size()) {
+    return Status::Busy("page full");
+  }
+  data_start -= record.size();
+  std::memcpy(page + data_start, record.data(), record.size());
+  if (new_slot) ++header.num_slots;
+  header.data_start = static_cast<uint16_t>(data_start);
+  WriteHeader(page, header);
+  SetSlot(page, slot, static_cast<uint16_t>(data_start),
+          static_cast<uint16_t>(record.size()));
+  guard.MarkDirty();
+  free_space_[guard.id()] = static_cast<uint16_t>(FreeSpace(page));
+  ++live_records_;
+  return Rid{guard.id(), slot};
+}
+
+Result<Rid> HeapFile::Insert(Slice record) {
+  if (record.size() > max_record_size()) {
+    return Status::InvalidArgument("record larger than page");
+  }
+  const size_t needed = record.size() + kSlotBytes;
+  for (PageId p = 0; p < free_space_.size(); ++p) {
+    if (free_space_[p] < needed) continue;
+    IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(p));
+    auto rid = InsertIntoPage(guard, record);
+    if (rid.ok()) return rid;
+    if (!rid.status().IsBusy()) return rid;
+    // Free-space map was stale (fragmentation); compact and retry once.
+    CompactPage(guard.data());
+    guard.MarkDirty();
+    free_space_[p] = static_cast<uint16_t>(FreeSpace(guard.data()));
+    if (free_space_[p] >= needed) {
+      auto retry = InsertIntoPage(guard, record);
+      if (retry.ok()) return retry;
+    }
+  }
+  IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->NewPage());
+  PageHeader header{0, static_cast<uint16_t>(page_size_)};
+  WriteHeader(guard.data(), header);
+  free_space_.push_back(static_cast<uint16_t>(FreeSpace(guard.data())));
+  return InsertIntoPage(guard, record);
+}
+
+Result<std::string> HeapFile::Get(Rid rid) const {
+  IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page));
+  const char* page = guard.data();
+  const PageHeader header = ReadHeader(page);
+  if (rid.slot >= header.num_slots || SlotOffset(page, rid.slot) == 0) {
+    return Status::NotFound("no record at rid");
+  }
+  return std::string(page + SlotOffset(page, rid.slot),
+                     SlotLen(page, rid.slot));
+}
+
+Status HeapFile::Delete(Rid rid) {
+  IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page));
+  char* page = guard.data();
+  const PageHeader header = ReadHeader(page);
+  if (rid.slot >= header.num_slots || SlotOffset(page, rid.slot) == 0) {
+    return Status::NotFound("no record at rid");
+  }
+  // Physically clean the record bytes before freeing the slot.
+  std::memset(page + SlotOffset(page, rid.slot), 0, SlotLen(page, rid.slot));
+  SetSlot(page, rid.slot, 0, 0);
+  guard.MarkDirty();
+  free_space_[rid.page] = static_cast<uint16_t>(FreeSpace(page));
+  --live_records_;
+  return Status::OK();
+}
+
+Status HeapFile::Update(Rid rid, Slice record, Rid* out) {
+  *out = rid;
+  IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(rid.page));
+  char* page = guard.data();
+  const PageHeader header = ReadHeader(page);
+  if (rid.slot >= header.num_slots || SlotOffset(page, rid.slot) == 0) {
+    return Status::NotFound("no record at rid");
+  }
+  const uint16_t offset = SlotOffset(page, rid.slot);
+  const uint16_t old_len = SlotLen(page, rid.slot);
+  if (record.size() <= old_len) {
+    std::memcpy(page + offset, record.data(), record.size());
+    // Scrub the shrunk tail.
+    std::memset(page + offset + record.size(), 0, old_len - record.size());
+    SetSlot(page, rid.slot, offset, static_cast<uint16_t>(record.size()));
+    guard.MarkDirty();
+    return Status::OK();
+  }
+  // Grow: zero the old image, free the slot, and re-insert (same page if it
+  // fits after compaction, else anywhere).
+  std::memset(page + offset, 0, old_len);
+  SetSlot(page, rid.slot, 0, 0);
+  CompactPage(page);
+  guard.MarkDirty();
+  free_space_[rid.page] = static_cast<uint16_t>(FreeSpace(page));
+  --live_records_;
+  guard.Release();
+  IDB_ASSIGN_OR_RETURN(Rid new_rid, Insert(record));
+  *out = new_rid;
+  return Status::OK();
+}
+
+Status HeapFile::Scan(const std::function<bool(Rid, Slice)>& fn) const {
+  const PageId n = pool_->disk()->num_pages();
+  for (PageId p = 0; p < n; ++p) {
+    IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(p));
+    const char* page = guard.data();
+    const PageHeader header = ReadHeader(page);
+    for (uint16_t s = 0; s < header.num_slots; ++s) {
+      const uint16_t offset = SlotOffset(page, s);
+      if (offset == 0) continue;
+      if (!fn(Rid{p, s}, Slice(page + offset, SlotLen(page, s)))) {
+        return Status::OK();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace instantdb

@@ -1,0 +1,148 @@
+#include "storage/key_manager.h"
+
+#include <random>
+
+#include "util/coding.h"
+#include "util/crc32c.h"
+#include "util/file.h"
+
+namespace instantdb {
+
+namespace {
+
+uint64_t SeedFromSystem() {
+  std::random_device rd;
+  return (static_cast<uint64_t>(rd()) << 32) ^ rd();
+}
+
+}  // namespace
+
+ChaCha20::Nonce NonceForSequence(uint64_t seqno) {
+  ChaCha20::Nonce nonce{};
+  for (int i = 0; i < 8; ++i) {
+    nonce[i] = static_cast<uint8_t>(seqno >> (8 * i));
+  }
+  return nonce;
+}
+
+KeyManager::KeyManager(std::string path)
+    : path_(std::move(path)), rng_(SeedFromSystem()) {}
+
+Status KeyManager::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  keys_.clear();
+  destroyed_.clear();
+  if (!FileExists(path_)) return Status::OK();
+  IDB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path_));
+  Slice input = contents;
+  uint32_t masked;
+  if (!GetFixed32(&input, &masked) ||
+      crc32c::Unmask(masked) != crc32c::Value(input.data(), input.size())) {
+    return Status::Corruption("keystore checksum mismatch: " + path_);
+  }
+  uint32_t live, dead;
+  if (!GetVarint32(&input, &live) || !GetVarint32(&input, &dead)) {
+    return Status::Corruption("bad keystore header");
+  }
+  for (uint32_t i = 0; i < live; ++i) {
+    Slice id;
+    if (!GetLengthPrefixed(&input, &id) ||
+        input.size() < ChaCha20::kKeyBytes) {
+      return Status::Corruption("bad keystore entry");
+    }
+    ChaCha20::Key key;
+    std::memcpy(key.data(), input.data(), ChaCha20::kKeyBytes);
+    input.remove_prefix(ChaCha20::kKeyBytes);
+    keys_[std::string(id)] = key;
+  }
+  for (uint32_t i = 0; i < dead; ++i) {
+    Slice id;
+    if (!GetLengthPrefixed(&input, &id)) {
+      return Status::Corruption("bad keystore tombstone");
+    }
+    destroyed_.insert(std::string(id));
+  }
+  return Status::OK();
+}
+
+Status KeyManager::PersistLocked() {
+  std::string body;
+  PutVarint32(&body, static_cast<uint32_t>(keys_.size()));
+  PutVarint32(&body, static_cast<uint32_t>(destroyed_.size()));
+  for (const auto& [id, key] : keys_) {
+    PutLengthPrefixed(&body, id);
+    body.append(reinterpret_cast<const char*>(key.data()), key.size());
+  }
+  for (const auto& id : destroyed_) PutLengthPrefixed(&body, id);
+  std::string file;
+  PutFixed32(&file, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  file += body;
+
+  const std::string tmp = path_ + ".new";
+  IDB_RETURN_IF_ERROR(WriteStringToFile(tmp, file, /*sync=*/true));
+  // Scrub the previous image before it is replaced so old key bytes do not
+  // linger in the superseded file's blocks.
+  if (FileExists(path_)) {
+    auto old_size = GetFileSize(path_);
+    if (old_size.ok()) {
+      IDB_RETURN_IF_ERROR(OverwriteRange(path_, 0, *old_size));
+    }
+  }
+  return RenameFile(tmp, path_);
+}
+
+Result<ChaCha20::Key> KeyManager::GetOrCreate(const std::string& key_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = keys_.find(key_id);
+  if (it != keys_.end()) return it->second;
+  ChaCha20::Key key;
+  for (size_t i = 0; i < key.size(); i += 8) {
+    const uint64_t r = rng_.NextU64();
+    std::memcpy(key.data() + i, &r, 8);
+  }
+  keys_[key_id] = key;
+  destroyed_.erase(key_id);  // id reuse covers only new data
+  IDB_RETURN_IF_ERROR(PersistLocked());
+  return key;
+}
+
+Result<ChaCha20::Key> KeyManager::Get(const std::string& key_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = keys_.find(key_id);
+  if (it == keys_.end()) {
+    return Status::NotFound("key absent or destroyed: " + key_id);
+  }
+  return it->second;
+}
+
+Status KeyManager::Destroy(const std::string& key_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = keys_.find(key_id);
+  if (it == keys_.end()) {
+    destroyed_.insert(key_id);
+    return Status::OK();
+  }
+  // Zero the in-memory copy before dropping it.
+  it->second.fill(0);
+  keys_.erase(it);
+  destroyed_.insert(key_id);
+  ++keys_destroyed_;
+  return PersistLocked();
+}
+
+bool KeyManager::IsDestroyed(const std::string& key_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return destroyed_.count(key_id) != 0;
+}
+
+size_t KeyManager::live_keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keys_.size();
+}
+
+uint64_t KeyManager::keys_destroyed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return keys_destroyed_;
+}
+
+}  // namespace instantdb

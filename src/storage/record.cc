@@ -1,0 +1,48 @@
+#include "storage/record.h"
+
+namespace instantdb {
+
+void EncodeHeapTuple(const Schema& /*schema*/, DegradableLayout layout,
+                     const HeapTuple& tuple, std::string* dst) {
+  PutVarint64(dst, tuple.row_id);
+  PutVarint64(dst, static_cast<uint64_t>(tuple.insert_time));
+  for (const Value& v : tuple.stable) v.EncodeTo(dst);
+  if (layout == DegradableLayout::kInPlace) {
+    for (const InlineDegradable& d : tuple.degradable) {
+      PutVarint32(dst, static_cast<uint32_t>(d.phase));
+      d.value.EncodeTo(dst);
+    }
+  }
+}
+
+Status DecodeHeapTuple(const Schema& schema, DegradableLayout layout,
+                       Slice input, HeapTuple* out) {
+  uint64_t row_id, insert_time;
+  if (!GetVarint64(&input, &row_id) || !GetVarint64(&input, &insert_time)) {
+    return Status::Corruption("bad heap tuple header");
+  }
+  out->row_id = row_id;
+  out->insert_time = static_cast<Micros>(insert_time);
+  out->stable.resize(schema.stable_columns().size());
+  for (Value& v : out->stable) {
+    if (!Value::DecodeFrom(&input, &v)) {
+      return Status::Corruption("bad stable value");
+    }
+  }
+  out->degradable.clear();
+  if (layout == DegradableLayout::kInPlace) {
+    out->degradable.resize(schema.degradable_columns().size());
+    for (InlineDegradable& d : out->degradable) {
+      uint32_t phase;
+      if (!GetVarint32(&input, &phase) ||
+          !Value::DecodeFrom(&input, &d.value)) {
+        return Status::Corruption("bad inline degradable value");
+      }
+      d.phase = static_cast<int32_t>(phase);
+    }
+  }
+  if (!input.empty()) return Status::Corruption("trailing bytes in tuple");
+  return Status::OK();
+}
+
+}  // namespace instantdb

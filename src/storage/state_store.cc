@@ -1,0 +1,361 @@
+#include "storage/state_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace instantdb {
+
+namespace {
+
+/// High bit of the frame length field marks a tombstoned (securely deleted)
+/// frame whose payload bytes have been zeroed in place.
+constexpr uint32_t kTombstoneBit = 0x80000000u;
+
+void EncodeEntryPayload(const StoreEntry& entry, std::string* dst) {
+  PutVarint64(dst, entry.row_id);
+  PutVarint64(dst, static_cast<uint64_t>(entry.insert_time));
+  entry.value.EncodeTo(dst);
+}
+
+bool DecodeEntryPayload(Slice payload, StoreEntry* out) {
+  uint64_t row_id, insert_time;
+  if (!GetVarint64(&payload, &row_id) || !GetVarint64(&payload, &insert_time)) {
+    return false;
+  }
+  out->row_id = row_id;
+  out->insert_time = static_cast<Micros>(insert_time);
+  return Value::DecodeFrom(&payload, &out->value) && payload.empty();
+}
+
+}  // namespace
+
+StateStore::StateStore(std::string dir, TableId table, int column, int phase,
+                       const StorageOptions& options, KeyManager* keys)
+    : dir_(std::move(dir)),
+      table_(table),
+      column_(column),
+      phase_(phase),
+      options_(options),
+      keys_(keys) {}
+
+StateStore::~StateStore() {
+  if (tail_writer_ != nullptr) tail_writer_->Close().ok();
+}
+
+std::string StateStore::SegmentPath(uint64_t seqno) const {
+  return dir_ + StringPrintf("/seg_%08llu.dat",
+                             static_cast<unsigned long long>(seqno));
+}
+
+std::string StateStore::KeyId(uint64_t seqno) const {
+  return StringPrintf("t%u.c%d.p%d.s%llu", table_, column_, phase_,
+                      static_cast<unsigned long long>(seqno));
+}
+
+StateStore::Segment* StateStore::FindSegment(uint64_t seqno) {
+  for (Segment& segment : segments_) {
+    if (segment.seqno == seqno) return &segment;
+  }
+  return nullptr;
+}
+
+Status StateStore::Open() {
+  IDB_RETURN_IF_ERROR(CreateDirs(dir_));
+  live_.clear();
+  segments_.clear();
+  tail_writer_.reset();
+  last_appended_row_id_ = kInvalidRowId;
+
+  // Checkpoint meta (optional): head position + seqno allocation.
+  uint64_t meta_head_seqno = 0;
+  uint64_t meta_head_popped = 0;
+  uint64_t meta_next_seqno = 0;
+  if (FileExists(MetaPath())) {
+    IDB_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath()));
+    Slice in = meta;
+    if (!GetVarint64(&in, &meta_head_seqno) ||
+        !GetVarint64(&in, &meta_head_popped) ||
+        !GetVarint64(&in, &meta_next_seqno)) {
+      return Status::Corruption("bad state-store meta: " + MetaPath());
+    }
+  }
+
+  IDB_ASSIGN_OR_RETURN(auto names, ListDir(dir_));
+  std::vector<uint64_t> seqnos;
+  for (const std::string& name : names) {
+    if (StartsWith(name, "seg_") && EndsWith(name, ".dat")) {
+      seqnos.push_back(std::strtoull(name.c_str() + 4, nullptr, 10));
+    }
+  }
+  std::sort(seqnos.begin(), seqnos.end());
+
+  for (uint64_t seqno : seqnos) {
+    Segment segment;
+    segment.seqno = seqno;
+    const uint64_t skip =
+        (seqno == meta_head_seqno) ? meta_head_popped
+        : (seqno < meta_head_seqno) ? UINT64_MAX  // fully popped pre-meta
+                                    : 0;
+    IDB_RETURN_IF_ERROR(LoadSegment(&segment, skip));
+    if (segment.popped + segment.deleted >= segment.entries) {
+      // Fully drained (or unreadable) segment that survived a crash between
+      // erase and unlink: finish the job.
+      IDB_RETURN_IF_ERROR(EraseSegment(segment));
+      continue;
+    }
+    segment.sealed = true;  // reopened segments take no further appends
+    segments_.push_back(segment);
+  }
+  if (!live_.empty()) last_appended_row_id_ = live_.back().entry.row_id;
+  next_seqno_ =
+      std::max(meta_next_seqno, seqnos.empty() ? 0 : seqnos.back() + 1);
+  return Status::OK();
+}
+
+Status StateStore::LoadSegment(Segment* segment, uint64_t skip) {
+  const std::string path = SegmentPath(segment->seqno);
+  IDB_ASSIGN_OR_RETURN(std::string raw, ReadFileToString(path));
+
+  ChaCha20::Key key{};
+  bool have_key = true;
+  if (options_.erase_mode == EraseMode::kCryptoErase) {
+    auto k = keys_->Get(KeyId(segment->seqno));
+    if (!k.ok()) {
+      // Key destroyed but file not yet unlinked: the data is already dead.
+      have_key = false;
+    } else {
+      key = *k;
+    }
+  }
+  if (!have_key) {
+    segment->entries = 0;
+    segment->popped = 0;
+    segment->bytes = raw.size();
+    return Status::OK();
+  }
+
+  uint64_t off = 0;
+  while (off + 4 <= raw.size()) {
+    const uint32_t raw_len = DecodeFixed32(raw.data() + off);
+    const bool tombstone = (raw_len & kTombstoneBit) != 0;
+    const uint32_t len = raw_len & ~kTombstoneBit;
+    if (len == 0 || off + 4 + len > raw.size()) break;  // torn/zeroed tail
+    if (tombstone) {
+      ++segment->entries;
+      ++segment->deleted;
+      off += 4 + len;
+      continue;
+    }
+    std::string payload(raw.data() + off + 4, len);
+    if (options_.erase_mode == EraseMode::kCryptoErase) {
+      ChaCha20::XorStreamAt(key, NonceForSequence(segment->seqno), off + 4,
+                            payload.data(), payload.size());
+    }
+    StoreEntry entry;
+    if (!DecodeEntryPayload(payload, &entry)) break;  // torn tail
+    ++segment->entries;
+    if (skip > 0) {
+      --skip;
+      ++segment->popped;
+    } else {
+      live_.push_back(LiveEntry{std::move(entry), segment->seqno, off, len});
+    }
+    off += 4 + len;
+  }
+  segment->bytes = off;
+  if (off < raw.size()) {
+    // Drop the torn tail so future scans never see garbage.
+    IDB_RETURN_IF_ERROR(TruncateFile(path, off));
+  }
+  return Status::OK();
+}
+
+Status StateStore::OpenTailWriter() {
+  Segment segment;
+  segment.seqno = next_seqno_++;
+  if (options_.erase_mode == EraseMode::kCryptoErase) {
+    IDB_RETURN_IF_ERROR(keys_->GetOrCreate(KeyId(segment.seqno)).status());
+  }
+  IDB_ASSIGN_OR_RETURN(tail_writer_,
+                       NewWritableFile(SegmentPath(segment.seqno)));
+  segments_.push_back(segment);
+  ++stats_.segments_created;
+  return Status::OK();
+}
+
+Status StateStore::SealTail() {
+  if (tail_writer_ != nullptr) {
+    IDB_RETURN_IF_ERROR(tail_writer_->Close());
+    tail_writer_.reset();
+  }
+  if (!segments_.empty()) segments_.back().sealed = true;
+  return Status::OK();
+}
+
+Status StateStore::Append(const StoreEntry& entry) {
+  if (last_appended_row_id_ != kInvalidRowId &&
+      entry.row_id <= last_appended_row_id_) {
+    return Status::OK();  // idempotent WAL redo
+  }
+  if (tail_writer_ == nullptr || segments_.empty() || segments_.back().sealed) {
+    IDB_RETURN_IF_ERROR(OpenTailWriter());
+  } else if (segments_.back().bytes >= options_.segment_bytes) {
+    IDB_RETURN_IF_ERROR(SealTail());
+    IDB_RETURN_IF_ERROR(OpenTailWriter());
+  }
+  Segment& tail = segments_.back();
+
+  std::string payload;
+  EncodeEntryPayload(entry, &payload);
+  if (options_.erase_mode == EraseMode::kCryptoErase) {
+    IDB_ASSIGN_OR_RETURN(ChaCha20::Key key,
+                         keys_->GetOrCreate(KeyId(tail.seqno)));
+    ChaCha20::XorStreamAt(key, NonceForSequence(tail.seqno), tail.bytes + 4,
+                          payload.data(), payload.size());
+  }
+  std::string frame;
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  frame += payload;
+  IDB_RETURN_IF_ERROR(tail_writer_->Append(frame));
+  live_.push_back(LiveEntry{entry, tail.seqno, tail.bytes,
+                            static_cast<uint32_t>(payload.size())});
+  tail.bytes += frame.size();
+  ++tail.entries;
+  last_appended_row_id_ = entry.row_id;
+  ++stats_.entries_appended;
+  stats_.bytes_appended += frame.size();
+  return Status::OK();
+}
+
+Status StateStore::EraseSegment(const Segment& segment) {
+  const std::string path = SegmentPath(segment.seqno);
+  if (options_.erase_mode == EraseMode::kCryptoErase) {
+    IDB_RETURN_IF_ERROR(keys_->Destroy(KeyId(segment.seqno)));
+  } else {
+    if (FileExists(path)) {
+      auto size = GetFileSize(path);
+      if (size.ok() && *size > 0) {
+        IDB_RETURN_IF_ERROR(OverwriteRange(path, 0, *size));
+      }
+    }
+  }
+  if (FileExists(path)) {
+    IDB_RETURN_IF_ERROR(RemoveFile(path));
+  }
+  ++stats_.segments_erased;
+  return Status::OK();
+}
+
+Status StateStore::CleanupDrainedSegments() {
+  while (!segments_.empty()) {
+    Segment& front = segments_.front();
+    if (front.popped + front.deleted < front.entries) break;
+    if (!front.sealed) {
+      // Fully drained open tail: seal it so the next append starts fresh.
+      IDB_RETURN_IF_ERROR(SealTail());
+    }
+    Segment drained = segments_.front();
+    segments_.pop_front();
+    IDB_RETURN_IF_ERROR(EraseSegment(drained));
+  }
+  return Status::OK();
+}
+
+Status StateStore::PopHead(StoreEntry* out) {
+  if (live_.empty()) return Status::NotFound("state store empty");
+  const LiveEntry& head = live_.front();
+  if (out != nullptr) *out = head.entry;
+  Segment* segment = FindSegment(head.seqno);
+  if (segment != nullptr) ++segment->popped;
+  live_.pop_front();
+  ++stats_.entries_popped;
+  return CleanupDrainedSegments();
+}
+
+Result<size_t> StateStore::PopThrough(RowId up_to) {
+  size_t popped = 0;
+  while (!live_.empty() && live_.front().entry.row_id <= up_to) {
+    IDB_RETURN_IF_ERROR(PopHead(nullptr));
+    ++popped;
+  }
+  return popped;
+}
+
+Status StateStore::SecureDeleteEntry(RowId row_id) {
+  auto it = std::lower_bound(
+      live_.begin(), live_.end(), row_id,
+      [](const LiveEntry& e, RowId id) { return e.entry.row_id < id; });
+  if (it == live_.end() || it->entry.row_id != row_id) {
+    return Status::NotFound("row not in this store");
+  }
+  // Tombstone the frame on disk: set the tombstone bit in the length field
+  // and zero the payload bytes so the (plain or cipher) value is physically
+  // cleaned right now.
+  const std::string path = SegmentPath(it->seqno);
+  if (FileExists(path)) {
+    IDB_ASSIGN_OR_RETURN(auto file, NewRandomRWFile(path));
+    std::string len_field;
+    PutFixed32(&len_field, it->len | kTombstoneBit);
+    IDB_RETURN_IF_ERROR(file->Write(it->offset, len_field));
+    const std::string zeros(it->len, '\0');
+    IDB_RETURN_IF_ERROR(file->Write(it->offset + 4, zeros));
+    IDB_RETURN_IF_ERROR(file->Sync());
+  }
+  Segment* segment = FindSegment(it->seqno);
+  if (segment != nullptr) ++segment->deleted;
+  live_.erase(it);
+  ++stats_.entries_deleted;
+  return CleanupDrainedSegments();
+}
+
+const StoreEntry* StateStore::Find(RowId row_id) const {
+  auto it = std::lower_bound(
+      live_.begin(), live_.end(), row_id,
+      [](const LiveEntry& e, RowId id) { return e.entry.row_id < id; });
+  if (it == live_.end() || it->entry.row_id != row_id) return nullptr;
+  return &it->entry;
+}
+
+void StateStore::ForEach(
+    const std::function<bool(const StoreEntry&)>& fn) const {
+  for (const LiveEntry& live : live_) {
+    if (!fn(live.entry)) return;
+  }
+}
+
+Status StateStore::Checkpoint() {
+  if (tail_writer_ != nullptr) {
+    IDB_RETURN_IF_ERROR(tail_writer_->Flush());
+    IDB_RETURN_IF_ERROR(tail_writer_->Sync());
+  }
+  return SaveMeta();
+}
+
+Status StateStore::SaveMeta() {
+  std::string meta;
+  const uint64_t head_seqno =
+      segments_.empty() ? next_seqno_ : segments_.front().seqno;
+  const uint64_t head_popped =
+      segments_.empty() ? 0 : segments_.front().popped;
+  PutVarint64(&meta, head_seqno);
+  PutVarint64(&meta, head_popped);
+  PutVarint64(&meta, next_seqno_);
+  const std::string tmp = MetaPath() + ".tmp";
+  IDB_RETURN_IF_ERROR(WriteStringToFile(tmp, meta, /*sync=*/true));
+  return RenameFile(tmp, MetaPath());
+}
+
+Status StateStore::Drop() {
+  IDB_RETURN_IF_ERROR(SealTail());
+  while (!segments_.empty()) {
+    Segment segment = segments_.front();
+    segments_.pop_front();
+    IDB_RETURN_IF_ERROR(EraseSegment(segment));
+  }
+  live_.clear();
+  return RemoveDirRecursive(dir_);
+}
+
+}  // namespace instantdb

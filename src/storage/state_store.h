@@ -1,0 +1,160 @@
+#ifndef INSTANTDB_STORAGE_STATE_STORE_H_
+#define INSTANTDB_STORAGE_STATE_STORE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "catalog/value.h"
+#include "common/clock.h"
+#include "common/options.h"
+#include "common/result.h"
+#include "storage/key_manager.h"
+#include "storage/page.h"
+#include "util/coding.h"
+#include "util/file.h"
+
+namespace instantdb {
+
+/// One degradable attribute value of one tuple, resident in a state store.
+struct StoreEntry {
+  RowId row_id = kInvalidRowId;
+  /// Tuple insertion time; with the table-uniform LCP it determines every
+  /// degradation deadline of this entry.
+  Micros insert_time = 0;
+  Value value;
+};
+
+/// \brief Append-only FIFO store for the subset ST of values of one
+/// (degradable attribute, LCP phase) pair — the physical realization of the
+/// paper's dataset partitioning into subsets ST_k (§II).
+///
+/// Why FIFO works: the paper's simplifying assumptions (time-triggered
+/// transitions, one LCP per attribute applied uniformly to all tuples,
+/// inserts only at full accuracy) mean values enter a phase in insertion
+/// order and leave it in the same order. A degradation step therefore only
+/// ever pops a prefix of this store and appends generalized values to the
+/// next phase's store — strictly sequential I/O.
+///
+/// Durability/erasure: entries are framed into segment files of
+/// `segment_bytes`. When the last live entry of a segment is gone the
+/// segment is *securely erased*: zero-overwritten (EraseMode::kOverwrite)
+/// or its per-segment key destroyed (EraseMode::kCryptoErase), then
+/// unlinked. User deletes in the middle of a store are handled by
+/// `SecureDeleteEntry`, which tombstones the frame and zeroes its payload
+/// bytes in place. The live contents are mirrored in memory (the working
+/// set of a phase is bounded by arrival-rate × phase duration); crash
+/// recovery rebuilds the mirror from the segments plus WAL replay, which is
+/// idempotent because row ids are monotone within a store.
+class StateStore {
+ public:
+  StateStore(std::string dir, TableId table, int column, int phase,
+             const StorageOptions& options, KeyManager* keys);
+  ~StateStore();
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  /// Loads segment files (and the checkpoint meta, if present) and rebuilds
+  /// the in-memory mirror. Tolerates a torn tail frame after a crash.
+  Status Open();
+
+  bool empty() const { return live_.empty(); }
+  size_t size() const { return live_.size(); }
+
+  /// Earliest (head) entry; store must be non-empty.
+  const StoreEntry& Head() const { return live_.front().entry; }
+  /// Last appended row id, kInvalidRowId when nothing was ever appended.
+  RowId LastAppendedRowId() const { return last_appended_row_id_; }
+
+  /// Appends to the tail. Row ids must be strictly increasing; an append
+  /// with row_id <= LastAppendedRowId() is ignored (idempotent WAL replay).
+  Status Append(const StoreEntry& entry);
+
+  /// Removes the head entry; erases segments as they drain.
+  Status PopHead(StoreEntry* out);
+
+  /// Pops every entry with row_id <= `up_to` (idempotent redo form).
+  /// Returns the number popped.
+  Result<size_t> PopThrough(RowId up_to);
+
+  /// Physically removes one entry anywhere in the store (user DELETE):
+  /// tombstones the frame and zeroes its payload bytes on disk, so the
+  /// value is cleaned from the data space immediately, not when the
+  /// segment drains. NotFound if the row is not in this store.
+  Status SecureDeleteEntry(RowId row_id);
+
+  /// Binary search over the (row-id-sorted) live mirror; nullptr if absent.
+  const StoreEntry* Find(RowId row_id) const;
+
+  /// In-order iteration; stops early when `fn` returns false.
+  void ForEach(const std::function<bool(const StoreEntry&)>& fn) const;
+
+  /// fsync the tail segment + persist checkpoint meta (head position).
+  Status Checkpoint();
+
+  /// Securely erases every segment and removes the directory (table drop /
+  /// full tuple removal path for the final phase).
+  Status Drop();
+
+  struct Stats {
+    uint64_t entries_appended = 0;
+    uint64_t entries_popped = 0;
+    uint64_t entries_deleted = 0;
+    uint64_t segments_created = 0;
+    uint64_t segments_erased = 0;
+    uint64_t bytes_appended = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Segment {
+    uint64_t seqno = 0;
+    uint32_t entries = 0;   // frames written to the file (incl. tombstones)
+    uint32_t popped = 0;    // frames drained from the head
+    uint32_t deleted = 0;   // frames tombstoned by SecureDeleteEntry
+    uint64_t bytes = 0;
+    bool sealed = false;    // no further appends
+  };
+
+  struct LiveEntry {
+    StoreEntry entry;
+    uint64_t seqno = 0;     // owning segment
+    uint64_t offset = 0;    // frame offset in the segment file
+    uint32_t len = 0;       // payload length
+  };
+
+  std::string SegmentPath(uint64_t seqno) const;
+  std::string KeyId(uint64_t seqno) const;
+  std::string MetaPath() const { return dir_ + "/META"; }
+
+  Status OpenTailWriter();
+  Status SealTail();
+  /// Secure erase + unlink of a fully-dead segment.
+  Status EraseSegment(const Segment& segment);
+  /// Erases leading segments with no live frames left.
+  Status CleanupDrainedSegments();
+  Segment* FindSegment(uint64_t seqno);
+  Status LoadSegment(Segment* segment, uint64_t skip);
+  Status SaveMeta();
+
+  const std::string dir_;
+  const TableId table_;
+  const int column_;
+  const int phase_;
+  const StorageOptions options_;
+  KeyManager* const keys_;
+
+  std::deque<LiveEntry> live_;
+  std::deque<Segment> segments_;  // front = head (oldest)
+  std::unique_ptr<WritableFile> tail_writer_;
+  uint64_t next_seqno_ = 0;
+  RowId last_appended_row_id_ = kInvalidRowId;
+  Stats stats_;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_STORAGE_STATE_STORE_H_

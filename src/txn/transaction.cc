@@ -1,0 +1,53 @@
+#include "txn/transaction.h"
+
+#include <cassert>
+
+namespace instantdb {
+
+std::unique_ptr<Transaction> TransactionManager::Begin() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.started;
+  }
+  return std::make_unique<Transaction>(
+      next_txn_id_.fetch_add(1, std::memory_order_relaxed), locks_);
+}
+
+Status TransactionManager::Commit(Transaction* txn, bool sync) {
+  assert(txn->state_ == TxnState::kActive);
+  if (!txn->ops_.empty()) {
+    for (Transaction::PendingOp& op : txn->ops_) {
+      op.record.txn_id = txn->id_;
+      IDB_RETURN_IF_ERROR(wal_->Append(op.record, /*sync=*/false).status());
+    }
+    WalRecord commit;
+    commit.type = WalRecordType::kCommit;
+    commit.txn_id = txn->id_;
+    IDB_RETURN_IF_ERROR(wal_->Append(commit, sync).status());
+    // Point of no return: the transaction is durable; now surface it.
+    for (Transaction::PendingOp& op : txn->ops_) {
+      IDB_RETURN_IF_ERROR(op.apply());
+    }
+  }
+  txn->state_ = TxnState::kCommitted;
+  locks_->ReleaseAll(txn->id_);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.committed;
+  return Status::OK();
+}
+
+void TransactionManager::Abort(Transaction* txn) {
+  if (txn->state_ != TxnState::kActive) return;
+  txn->ops_.clear();
+  txn->state_ = TxnState::kAborted;
+  locks_->ReleaseAll(txn->id_);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.aborted;
+}
+
+TransactionManager::Stats TransactionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace instantdb

@@ -1,0 +1,35 @@
+#include "util/arena.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace instantdb {
+
+char* Arena::Allocate(size_t bytes, size_t alignment) {
+  assert(alignment > 0 && (alignment & (alignment - 1)) == 0);
+  const uintptr_t cur = reinterpret_cast<uintptr_t>(cursor_);
+  const size_t pad = (alignment - (cur & (alignment - 1))) & (alignment - 1);
+  if (bytes + pad <= remaining_) {
+    char* out = cursor_ + pad;
+    cursor_ += bytes + pad;
+    remaining_ -= bytes + pad;
+    return out;
+  }
+  if (bytes > kBlockSize / 4) {
+    // Large requests get their own block so we do not waste the tail of the
+    // current block.
+    return AllocateNewBlock(bytes + alignment);
+  }
+  char* block = AllocateNewBlock(kBlockSize);
+  cursor_ = block;
+  remaining_ = kBlockSize;
+  return Allocate(bytes, alignment);
+}
+
+char* Arena::AllocateNewBlock(size_t bytes) {
+  blocks_.push_back(std::make_unique<char[]>(bytes));
+  memory_usage_ += bytes;
+  return blocks_.back().get();
+}
+
+}  // namespace instantdb

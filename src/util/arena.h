@@ -1,0 +1,38 @@
+#ifndef INSTANTDB_UTIL_ARENA_H_
+#define INSTANTDB_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace instantdb {
+
+/// \brief Bump allocator for per-query and per-transaction scratch memory.
+/// All memory is released at once when the arena is destroyed.
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized memory aligned to `alignment`
+  /// (a power of two, default suitable for any scalar type).
+  char* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t));
+
+  /// Total bytes reserved from the system allocator.
+  size_t MemoryUsage() const { return memory_usage_; }
+
+ private:
+  static constexpr size_t kBlockSize = 4096;
+
+  char* AllocateNewBlock(size_t bytes);
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* cursor_ = nullptr;
+  size_t remaining_ = 0;
+  size_t memory_usage_ = 0;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_UTIL_ARENA_H_

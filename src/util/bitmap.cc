@@ -1,0 +1,81 @@
+#include "util/bitmap.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace instantdb {
+
+void Bitmap::Resize(size_t bits) {
+  bits_ = bits;
+  words_.resize((bits + 63) / 64, 0);
+}
+
+void Bitmap::Set(size_t i) {
+  if (i >= bits_) Resize(i + 1);
+  words_[i / 64] |= (1ULL << (i % 64));
+}
+
+void Bitmap::Clear(size_t i) {
+  if (i >= bits_) return;
+  words_[i / 64] &= ~(1ULL << (i % 64));
+}
+
+bool Bitmap::Get(size_t i) const {
+  if (i >= bits_) return false;
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+size_t Bitmap::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+size_t Bitmap::CountRange(size_t begin, size_t end) const {
+  end = std::min(end, bits_);
+  if (begin >= end) return 0;
+  size_t n = 0;
+  for (size_t i = begin / 64; i <= (end - 1) / 64; ++i) {
+    uint64_t w = words_[i];
+    const size_t word_lo = i * 64;
+    if (begin > word_lo) w &= ~0ULL << (begin - word_lo);
+    if (end < word_lo + 64) w &= (1ULL << (end - word_lo)) - 1;
+    n += static_cast<size_t>(std::popcount(w));
+  }
+  return n;
+}
+
+void Bitmap::AndWith(const Bitmap& other) {
+  const size_t n = words_.size();
+  for (size_t i = 0; i < n; ++i) {
+    words_[i] &= i < other.words_.size() ? other.words_[i] : 0;
+  }
+}
+
+void Bitmap::OrWith(const Bitmap& other) {
+  if (other.bits_ > bits_) Resize(other.bits_);
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+}
+
+void Bitmap::AndNotWith(const Bitmap& other) {
+  const size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) words_[i] &= ~other.words_[i];
+}
+
+void Bitmap::ForEachSet(const std::function<void(size_t)>& fn) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t w = words_[i];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      const size_t pos = i * 64 + static_cast<size_t>(bit);
+      if (pos >= bits_) return;
+      fn(pos);
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace instantdb

@@ -1,0 +1,48 @@
+#ifndef INSTANTDB_UTIL_BITMAP_H_
+#define INSTANTDB_UTIL_BITMAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace instantdb {
+
+/// \brief Growable bitset over row positions; the storage behind the bitmap
+/// index used for coarse (low-cardinality) degraded attribute levels.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(size_t bits) { Resize(bits); }
+
+  void Resize(size_t bits);
+  size_t size_bits() const { return bits_; }
+
+  void Set(size_t i);
+  void Clear(size_t i);
+  bool Get(size_t i) const;
+
+  /// Number of set bits in [0, size_bits()).
+  size_t Count() const;
+  /// Number of set bits in [begin, end).
+  size_t CountRange(size_t begin, size_t end) const;
+
+  /// this &= other / this |= other (sizes are unified to the max).
+  void AndWith(const Bitmap& other);
+  void OrWith(const Bitmap& other);
+  /// this &= ~other.
+  void AndNotWith(const Bitmap& other);
+
+  /// Calls `fn` for every set bit in ascending order.
+  void ForEachSet(const std::function<void(size_t)>& fn) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  std::vector<uint64_t> words_;
+  size_t bits_ = 0;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_UTIL_BITMAP_H_

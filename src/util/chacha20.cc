@@ -1,0 +1,92 @@
+#include "util/chacha20.h"
+
+#include <cstring>
+
+namespace instantdb {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d = Rotl(d ^ a, 16);
+  c += d;
+  b = Rotl(b ^ c, 12);
+  a += b;
+  d = Rotl(d ^ a, 8);
+  c += d;
+  b = Rotl(b ^ c, 7);
+}
+
+inline uint32_t Load32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;  // little-endian hosts only (x86/ARM little-endian)
+}
+
+void Block(const ChaCha20::Key& key, const ChaCha20::Nonce& nonce,
+           uint32_t counter, uint8_t out[64]) {
+  uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = Load32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = Load32(nonce.data() + 4 * i);
+
+  uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t v = x[i] + state[i];
+    std::memcpy(out + 4 * i, &v, 4);
+  }
+}
+
+}  // namespace
+
+void ChaCha20::XorStream(const Key& key, const Nonce& nonce, uint32_t counter,
+                         char* data, size_t n) {
+  uint8_t ks[64];
+  size_t off = 0;
+  while (off < n) {
+    Block(key, nonce, counter++, ks);
+    const size_t chunk = (n - off < 64) ? n - off : 64;
+    for (size_t i = 0; i < chunk; ++i) {
+      data[off + i] = static_cast<char>(static_cast<uint8_t>(data[off + i]) ^ ks[i]);
+    }
+    off += chunk;
+  }
+}
+
+void ChaCha20::XorStreamAt(const Key& key, const Nonce& nonce,
+                           uint64_t byte_offset, char* data, size_t n) {
+  uint32_t counter = static_cast<uint32_t>(byte_offset / 64);
+  size_t skip = static_cast<size_t>(byte_offset % 64);
+  uint8_t ks[64];
+  size_t off = 0;
+  while (off < n) {
+    Block(key, nonce, counter++, ks);
+    const size_t avail = 64 - skip;
+    const size_t chunk = (n - off < avail) ? n - off : avail;
+    for (size_t i = 0; i < chunk; ++i) {
+      data[off + i] =
+          static_cast<char>(static_cast<uint8_t>(data[off + i]) ^ ks[skip + i]);
+    }
+    off += chunk;
+    skip = 0;
+  }
+}
+
+}  // namespace instantdb

@@ -1,0 +1,76 @@
+#ifndef INSTANTDB_UTIL_CODING_H_
+#define INSTANTDB_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace instantdb {
+
+/// Byte-range view used across storage, WAL and index code.
+using Slice = std::string_view;
+
+// ---------------------------------------------------------------------------
+// Fixed-width little-endian encodings (record/page internals).
+// ---------------------------------------------------------------------------
+
+inline void EncodeFixed32(char* dst, uint32_t v) { std::memcpy(dst, &v, 4); }
+inline void EncodeFixed64(char* dst, uint64_t v) { std::memcpy(dst, &v, 8); }
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, 4);
+  return v;
+}
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, 8);
+  return v;
+}
+
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+
+// ---------------------------------------------------------------------------
+// Varints (LEB128), as in LevelDB/RocksDB.
+// ---------------------------------------------------------------------------
+
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Parses a varint from the front of `*input`, advancing it. Returns false
+/// on truncated/overlong input.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Appends varint length + bytes.
+void PutLengthPrefixed(std::string* dst, Slice value);
+/// Parses a length-prefixed slice from the front of `*input`, advancing it.
+bool GetLengthPrefixed(Slice* input, Slice* value);
+
+/// Reads fixed-width values from the front of `*input`, advancing it.
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+// ---------------------------------------------------------------------------
+// Order-preserving key encodings for the B+-tree.
+//
+// Encoded byte strings compare with memcmp in the same order as the source
+// values: signed ints (two's complement with flipped sign bit, big-endian),
+// doubles (IEEE-754 total order trick), strings (0x00-escaped with a
+// 0x00 0x00 terminator so that a shorter string sorts before its
+// extensions and fixed-width suffixes such as row ids can follow).
+// ---------------------------------------------------------------------------
+
+void PutOrderedInt64(std::string* dst, int64_t v);
+void PutOrderedDouble(std::string* dst, double v);
+void PutOrderedString(std::string* dst, Slice v);
+
+bool GetOrderedInt64(Slice* input, int64_t* v);
+bool GetOrderedDouble(Slice* input, double* v);
+bool GetOrderedString(Slice* input, std::string* v);
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_UTIL_CODING_H_

@@ -1,0 +1,44 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace instantdb::crc32c {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli polynomial
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int j = 0; j < 8; ++j) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Value(const char* data, size_t n, uint32_t init) {
+  uint32_t crc = ~init;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(data[i])) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xA282EAD8u;
+}
+
+uint32_t Unmask(uint32_t masked) {
+  const uint32_t rot = masked - 0xA282EAD8u;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace instantdb::crc32c

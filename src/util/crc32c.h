@@ -1,0 +1,19 @@
+#ifndef INSTANTDB_UTIL_CRC32C_H_
+#define INSTANTDB_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace instantdb::crc32c {
+
+/// CRC-32C (Castagnoli) of data[0, n); `init` extends a running checksum.
+uint32_t Value(const char* data, size_t n, uint32_t init = 0);
+
+/// Masked CRC stored in files, so that a CRC of bytes that themselves
+/// contain an embedded CRC does not degenerate (LevelDB trick).
+uint32_t Mask(uint32_t crc);
+uint32_t Unmask(uint32_t masked);
+
+}  // namespace instantdb::crc32c
+
+#endif  // INSTANTDB_UTIL_CRC32C_H_

@@ -1,0 +1,82 @@
+#ifndef INSTANTDB_UTIL_FILE_H_
+#define INSTANTDB_UTIL_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "util/coding.h"
+
+namespace instantdb {
+
+/// \brief Append-only file handle (WAL segments, state-store segments).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(Slice data) = 0;
+  virtual Status Flush() = 0;
+  /// Durably persists all appended data (fsync).
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+  virtual uint64_t size() const = 0;
+};
+
+/// \brief Positional-read file handle.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+  /// Reads up to `n` bytes at `offset` into `scratch`; `*out` points into
+  /// scratch and is shorter than `n` only at end-of-file.
+  virtual Status Read(uint64_t offset, size_t n, std::string* scratch,
+                      Slice* out) const = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+/// \brief Read/write file handle used by the page-based DiskManager and by
+/// secure overwrite erasure.
+class RandomRWFile {
+ public:
+  virtual ~RandomRWFile() = default;
+  virtual Status Write(uint64_t offset, Slice data) = 0;
+  virtual Status Read(uint64_t offset, size_t n, std::string* scratch,
+                      Slice* out) const = 0;
+  virtual Status Sync() = 0;
+  virtual uint64_t Size() const = 0;
+};
+
+Result<std::unique_ptr<WritableFile>> NewWritableFile(const std::string& path,
+                                                      bool truncate = true);
+Result<std::unique_ptr<WritableFile>> NewAppendableFile(const std::string& path);
+Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+    const std::string& path);
+Result<std::unique_ptr<RandomRWFile>> NewRandomRWFile(const std::string& path);
+
+// --- filesystem helpers ------------------------------------------------------
+
+Status CreateDirIfMissing(const std::string& path);
+/// Recursively creates all missing components of `path`.
+Status CreateDirs(const std::string& path);
+bool FileExists(const std::string& path);
+Result<uint64_t> GetFileSize(const std::string& path);
+Status RemoveFile(const std::string& path);
+Status RemoveDirRecursive(const std::string& path);
+Result<std::vector<std::string>> ListDir(const std::string& path);
+Status RenameFile(const std::string& from, const std::string& to);
+Status WriteStringToFile(const std::string& path, Slice contents, bool sync);
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Truncates `path` to exactly `size` bytes (drops a torn tail after crash).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Overwrites `[offset, offset+len)` of `path` with zero bytes and syncs —
+/// the physical erase primitive behind EraseMode::kOverwrite. (On real
+/// hardware, overwrite semantics depend on the FTL; DESIGN.md documents the
+/// simulation assumption.)
+Status OverwriteRange(const std::string& path, uint64_t offset, uint64_t len);
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_UTIL_FILE_H_

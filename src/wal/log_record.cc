@@ -1,0 +1,196 @@
+#include "wal/log_record.h"
+
+namespace instantdb {
+
+namespace {
+
+void EncodeValues(const std::vector<Value>& values, std::string* dst) {
+  PutVarint32(dst, static_cast<uint32_t>(values.size()));
+  for (const Value& v : values) v.EncodeTo(dst);
+}
+
+bool DecodeValues(Slice* input, std::vector<Value>* out) {
+  uint32_t n;
+  if (!GetVarint32(input, &n)) return false;
+  out->resize(n);
+  for (Value& v : *out) {
+    if (!Value::DecodeFrom(input, &v)) return false;
+  }
+  return true;
+}
+
+void EncodeEntries(const std::vector<StoreEntry>& entries, std::string* dst) {
+  PutVarint32(dst, static_cast<uint32_t>(entries.size()));
+  for (const StoreEntry& e : entries) {
+    PutVarint64(dst, e.row_id);
+    PutVarint64(dst, static_cast<uint64_t>(e.insert_time));
+    e.value.EncodeTo(dst);
+  }
+}
+
+bool DecodeEntries(Slice* input, std::vector<StoreEntry>* out) {
+  uint32_t n;
+  if (!GetVarint32(input, &n)) return false;
+  out->resize(n);
+  for (StoreEntry& e : *out) {
+    uint64_t row_id, insert_time;
+    if (!GetVarint64(input, &row_id) || !GetVarint64(input, &insert_time) ||
+        !Value::DecodeFrom(input, &e.value)) {
+      return false;
+    }
+    e.row_id = row_id;
+    e.insert_time = static_cast<Micros>(insert_time);
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeWalRecord(const WalRecord& record, const WalBlobCipher& encrypt,
+                     std::string* dst) {
+  dst->push_back(static_cast<char>(record.type));
+  PutVarint64(dst, record.txn_id);
+  PutVarint32(dst, record.table);
+  switch (record.type) {
+    case WalRecordType::kBegin:
+    case WalRecordType::kCommit:
+    case WalRecordType::kAbort:
+      break;
+    case WalRecordType::kInsert: {
+      PutVarint64(dst, record.row_id);
+      PutVarint64(dst, static_cast<uint64_t>(record.insert_time));
+      EncodeValues(record.stable, dst);
+      if (encrypt != nullptr) {
+        std::string plain;
+        EncodeValues(record.degradable, &plain);
+        std::string sealed = plain;
+        const bool ok = encrypt(record, plain, &sealed);
+        dst->push_back(ok ? 1 : 0);
+        if (ok) {
+          PutLengthPrefixed(dst, sealed);
+          break;
+        }
+      } else {
+        dst->push_back(0);
+      }
+      EncodeValues(record.degradable, dst);
+      break;
+    }
+    case WalRecordType::kDegradeStep:
+      PutVarint32(dst, static_cast<uint32_t>(record.column));
+      PutVarint32(dst, static_cast<uint32_t>(record.from_phase));
+      PutVarint32(dst, static_cast<uint32_t>(record.to_phase));
+      PutVarint64(dst, record.up_to_row_id);
+      EncodeEntries(record.entries, dst);
+      break;
+    case WalRecordType::kDelete:
+      PutVarint64(dst, record.row_id);
+      break;
+    case WalRecordType::kUpdateStable:
+      PutVarint64(dst, record.row_id);
+      EncodeValues(record.stable, dst);
+      break;
+    case WalRecordType::kCheckpoint:
+      PutVarint64(dst, record.checkpoint_lsn);
+      break;
+  }
+}
+
+Result<WalRecord> DecodeWalRecord(Slice input, const WalBlobCipher& decrypt) {
+  WalRecord record;
+  if (input.empty()) return Status::Corruption("empty WAL record");
+  record.type = static_cast<WalRecordType>(input.front());
+  input.remove_prefix(1);
+  uint64_t txn_id;
+  uint32_t table;
+  if (!GetVarint64(&input, &txn_id) || !GetVarint32(&input, &table)) {
+    return Status::Corruption("bad WAL record header");
+  }
+  record.txn_id = txn_id;
+  record.table = table;
+  switch (record.type) {
+    case WalRecordType::kBegin:
+    case WalRecordType::kCommit:
+    case WalRecordType::kAbort:
+      break;
+    case WalRecordType::kInsert: {
+      uint64_t row_id, insert_time;
+      if (!GetVarint64(&input, &row_id) || !GetVarint64(&input, &insert_time) ||
+          !DecodeValues(&input, &record.stable) || input.empty()) {
+        return Status::Corruption("bad insert record");
+      }
+      record.row_id = row_id;
+      record.insert_time = static_cast<Micros>(insert_time);
+      const bool encrypted = input.front() != 0;
+      input.remove_prefix(1);
+      if (!encrypted) {
+        if (!DecodeValues(&input, &record.degradable)) {
+          return Status::Corruption("bad insert degradable values");
+        }
+        break;
+      }
+      Slice blob;
+      if (!GetLengthPrefixed(&input, &blob)) {
+        return Status::Corruption("bad insert blob");
+      }
+      std::string plain;
+      if (decrypt != nullptr &&
+          decrypt(record, std::string(blob), &plain)) {
+        Slice plain_slice = plain;
+        if (!DecodeValues(&plain_slice, &record.degradable)) {
+          return Status::Corruption("bad decrypted insert blob");
+        }
+      } else {
+        // Epoch key destroyed: the accurate values are unrecoverable by
+        // design. Redo proceeds without them.
+        record.degradable_unavailable = true;
+      }
+      break;
+    }
+    case WalRecordType::kDegradeStep: {
+      uint32_t column, from_phase, to_phase;
+      uint64_t up_to;
+      if (!GetVarint32(&input, &column) || !GetVarint32(&input, &from_phase) ||
+          !GetVarint32(&input, &to_phase) || !GetVarint64(&input, &up_to) ||
+          !DecodeEntries(&input, &record.entries)) {
+        return Status::Corruption("bad degrade record");
+      }
+      record.column = static_cast<int>(column);
+      record.from_phase = static_cast<int>(from_phase);
+      record.to_phase = static_cast<int>(to_phase);
+      record.up_to_row_id = up_to;
+      break;
+    }
+    case WalRecordType::kDelete: {
+      uint64_t row_id;
+      if (!GetVarint64(&input, &row_id)) {
+        return Status::Corruption("bad delete record");
+      }
+      record.row_id = row_id;
+      break;
+    }
+    case WalRecordType::kUpdateStable: {
+      uint64_t row_id;
+      if (!GetVarint64(&input, &row_id) ||
+          !DecodeValues(&input, &record.stable)) {
+        return Status::Corruption("bad update record");
+      }
+      record.row_id = row_id;
+      break;
+    }
+    case WalRecordType::kCheckpoint: {
+      uint64_t lsn;
+      if (!GetVarint64(&input, &lsn)) {
+        return Status::Corruption("bad checkpoint record");
+      }
+      record.checkpoint_lsn = lsn;
+      break;
+    }
+    default:
+      return Status::Corruption("unknown WAL record type");
+  }
+  if (!input.empty()) return Status::Corruption("trailing WAL record bytes");
+  return record;
+}
+
+}  // namespace instantdb

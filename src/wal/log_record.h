@@ -1,0 +1,90 @@
+#ifndef INSTANTDB_WAL_LOG_RECORD_H_
+#define INSTANTDB_WAL_LOG_RECORD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "storage/page.h"
+#include "storage/state_store.h"
+
+namespace instantdb {
+
+/// Log sequence number: the global byte offset of a record's frame in the
+/// logical log (segments are named by their starting LSN).
+using Lsn = uint64_t;
+
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kAbort = 3,
+  /// Tuple insertion at full accuracy. The degradable values are the only
+  /// accurate sensitive bytes that ever reach the log; WalPrivacyMode
+  /// governs how they are kept from outliving their degradation deadline.
+  kInsert = 4,
+  /// One degradation step of one attribute: pop the (FIFO) prefix of the
+  /// `from_phase` store up to `up_to_row_id` and append the generalized
+  /// `entries` to the next phase (empty when the step is a removal to ⊥).
+  /// Logged values are already generalized — they leak nothing beyond what
+  /// stays live in the database, so they may be logged in the clear.
+  kDegradeStep = 5,
+  /// Tuple removal (user delete, or the final LCP transition).
+  kDelete = 6,
+  /// Update of the stable part (full physical redo image).
+  kUpdateStable = 7,
+  kCheckpoint = 8,
+};
+
+/// \brief One redo record. All redo is *idempotent*: appends carry monotone
+/// row ids (stores skip duplicates), pops are expressed as "through row id",
+/// deletes and stable updates are absolute.
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  uint64_t txn_id = 0;
+  TableId table = 0;
+
+  // kInsert / kDelete / kUpdateStable
+  RowId row_id = kInvalidRowId;
+  Micros insert_time = 0;
+  std::vector<Value> stable;      // schema stable-column order
+  std::vector<Value> degradable;  // schema degradable-column order (accurate)
+  /// Set by the decoder when the degradable payload was epoch-encrypted and
+  /// the epoch key has been destroyed: the accurate values are gone for
+  /// good, which is exactly the guarantee — redo falls back to the coarse
+  /// values carried by later kDegradeStep records.
+  bool degradable_unavailable = false;
+
+  // kDegradeStep
+  int column = 0;       // schema column index
+  int from_phase = 0;
+  int to_phase = 0;     // == lcp.num_phases() means removal to ⊥
+  RowId up_to_row_id = 0;
+  std::vector<StoreEntry> entries;
+
+  // kCheckpoint
+  Lsn checkpoint_lsn = 0;
+};
+
+/// Encrypts/decrypts the degradable blob of an insert record. Input is the
+/// serialized plaintext (encrypt) or ciphertext (decrypt); returns false
+/// when the key is unavailable (destroyed epoch).
+using WalBlobCipher =
+    std::function<bool(const WalRecord& record, const std::string& in,
+                       std::string* out)>;
+
+/// Serializes the record body (the WalManager frames and checksums it).
+/// `encrypt` may be null for plaintext modes.
+void EncodeWalRecord(const WalRecord& record, const WalBlobCipher& encrypt,
+                     std::string* dst);
+
+/// Decodes a record body; `decrypt` may be null (encrypted payloads are then
+/// reported unavailable).
+Result<WalRecord> DecodeWalRecord(Slice input, const WalBlobCipher& decrypt);
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_WAL_LOG_RECORD_H_

@@ -1,0 +1,268 @@
+#include "wal/wal_manager.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "util/crc32c.h"
+
+namespace instantdb {
+
+namespace {
+
+constexpr char kCheckpointFile[] = "CHECKPOINT";
+
+}  // namespace
+
+WalManager::WalManager(std::string dir, const WalOptions& options,
+                       KeyManager* keys)
+    : dir_(std::move(dir)), options_(options), keys_(keys) {}
+
+WalManager::~WalManager() {
+  if (writer_ != nullptr) writer_->Close().ok();
+}
+
+std::string WalManager::SegmentPath(Lsn start) const {
+  return dir_ + StringPrintf("/wal_%016llx.log",
+                             static_cast<unsigned long long>(start));
+}
+
+std::string WalManager::EpochKeyId(TableId table, uint64_t epoch) const {
+  return StringPrintf("wal.t%u.e%llu", table,
+                      static_cast<unsigned long long>(epoch));
+}
+
+Status WalManager::Open() {
+  IDB_RETURN_IF_ERROR(CreateDirs(dir_));
+  segments_.clear();
+  writer_.reset();
+  next_lsn_ = 0;
+
+  IDB_ASSIGN_OR_RETURN(auto names, ListDir(dir_));
+  std::vector<Lsn> starts;
+  for (const std::string& name : names) {
+    if (StartsWith(name, "wal_") && EndsWith(name, ".log")) {
+      starts.push_back(std::strtoull(name.c_str() + 4, nullptr, 16));
+    }
+  }
+  std::sort(starts.begin(), starts.end());
+  for (Lsn start : starts) {
+    IDB_ASSIGN_OR_RETURN(uint64_t size, GetFileSize(SegmentPath(start)));
+    segments_.push_back({start, start + size});
+  }
+
+  if (!segments_.empty()) {
+    // Validate the tail segment frame-by-frame; drop a torn suffix.
+    SegmentInfo& last = segments_.back();
+    IDB_ASSIGN_OR_RETURN(std::string raw, ReadFileToString(SegmentPath(last.start)));
+    uint64_t off = 0;
+    while (off + 8 <= raw.size()) {
+      const uint32_t masked = DecodeFixed32(raw.data() + off);
+      const uint32_t len = DecodeFixed32(raw.data() + off + 4);
+      if (off + 8 + len > raw.size()) break;
+      if (crc32c::Unmask(masked) !=
+          crc32c::Value(raw.data() + off + 8, len)) {
+        break;
+      }
+      off += 8 + len;
+    }
+    if (off < raw.size()) {
+      IDB_RETURN_IF_ERROR(TruncateFile(SegmentPath(last.start), off));
+      last.end = last.start + off;
+    }
+    next_lsn_ = last.end;
+    IDB_ASSIGN_OR_RETURN(writer_, NewAppendableFile(SegmentPath(last.start)));
+  }
+  return Status::OK();
+}
+
+Status WalManager::OpenNewSegment() {
+  if (writer_ != nullptr) {
+    IDB_RETURN_IF_ERROR(writer_->Sync());
+    IDB_RETURN_IF_ERROR(writer_->Close());
+  }
+  IDB_ASSIGN_OR_RETURN(writer_, NewWritableFile(SegmentPath(next_lsn_)));
+  segments_.push_back({next_lsn_, next_lsn_});
+  ++stats_.segments_created;
+  return Status::OK();
+}
+
+WalBlobCipher WalManager::MakeEncryptor(Lsn lsn) {
+  if (options_.privacy_mode != WalPrivacyMode::kEncryptedEpoch) {
+    return nullptr;
+  }
+  return [this, lsn](const WalRecord& record, const std::string& in,
+                     std::string* out) {
+    auto key = keys_->GetOrCreate(
+        EpochKeyId(record.table, EpochOf(record.insert_time)));
+    if (!key.ok()) return false;
+    *out = in;
+    ChaCha20::XorStreamAt(*key, NonceForSequence(lsn), 0, out->data(),
+                          out->size());
+    return true;
+  };
+}
+
+WalBlobCipher WalManager::MakeDecryptor(Lsn lsn) const {
+  return [this, lsn](const WalRecord& record, const std::string& in,
+                     std::string* out) {
+    auto key =
+        keys_->Get(EpochKeyId(record.table, EpochOf(record.insert_time)));
+    if (!key.ok()) return false;  // destroyed epoch: values are gone
+    *out = in;
+    ChaCha20::XorStreamAt(*key, NonceForSequence(lsn), 0, out->data(),
+                          out->size());
+    return true;
+  };
+}
+
+Result<Lsn> WalManager::Append(const WalRecord& record, bool sync) {
+  if (writer_ == nullptr ||
+      (next_lsn_ - segments_.back().start) >= options_.segment_bytes) {
+    IDB_RETURN_IF_ERROR(OpenNewSegment());
+  }
+  const Lsn lsn = next_lsn_;
+  std::string body;
+  EncodeWalRecord(record, MakeEncryptor(lsn), &body);
+  std::string frame;
+  PutFixed32(&frame, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  PutFixed32(&frame, static_cast<uint32_t>(body.size()));
+  frame += body;
+  IDB_RETURN_IF_ERROR(writer_->Append(frame));
+  next_lsn_ += frame.size();
+  segments_.back().end = next_lsn_;
+  ++stats_.records_appended;
+  stats_.bytes_appended += frame.size();
+  if (sync || options_.sync_on_commit) {
+    IDB_RETURN_IF_ERROR(writer_->Sync());
+    ++stats_.syncs;
+  }
+  return lsn;
+}
+
+Status WalManager::Sync() {
+  if (writer_ == nullptr) return Status::OK();
+  ++stats_.syncs;
+  return writer_->Sync();
+}
+
+Result<Lsn> WalManager::LogCheckpoint() {
+  WalRecord record;
+  record.type = WalRecordType::kCheckpoint;
+  record.checkpoint_lsn = next_lsn_;
+  IDB_RETURN_IF_ERROR(Append(record, /*sync=*/true).status());
+  // Replay resumes after everything logged so far.
+  const Lsn lsn = next_lsn_;
+  // Rotate so the segment holding pre-checkpoint records (including the
+  // accurate values of insert records) becomes retirable — without this,
+  // kScrub could never clean the active segment and accurate values would
+  // outlive their degradation deadline in the log.
+  IDB_RETURN_IF_ERROR(OpenNewSegment());
+
+  std::string body;
+  PutVarint64(&body, lsn);
+  std::string file;
+  PutFixed32(&file, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  file += body;
+  const std::string tmp = dir_ + "/" + kCheckpointFile + ".tmp";
+  IDB_RETURN_IF_ERROR(WriteStringToFile(tmp, file, /*sync=*/true));
+  IDB_RETURN_IF_ERROR(RenameFile(tmp, dir_ + "/" + kCheckpointFile));
+  IDB_RETURN_IF_ERROR(RetireSegmentsThrough(lsn));
+  return lsn;
+}
+
+Result<Lsn> WalManager::ReadCheckpointLsn() const {
+  const std::string path = dir_ + "/" + kCheckpointFile;
+  if (!FileExists(path)) return Lsn{0};
+  IDB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  Slice input = contents;
+  uint32_t masked;
+  if (!GetFixed32(&input, &masked) ||
+      crc32c::Unmask(masked) != crc32c::Value(input.data(), input.size())) {
+    return Status::Corruption("bad CHECKPOINT file");
+  }
+  uint64_t lsn;
+  if (!GetVarint64(&input, &lsn)) {
+    return Status::Corruption("bad CHECKPOINT payload");
+  }
+  return lsn;
+}
+
+Status WalManager::RetireSegmentsThrough(Lsn lsn) {
+  while (segments_.size() > 1 && segments_.front().end <= lsn) {
+    const SegmentInfo segment = segments_.front();
+    const std::string path = SegmentPath(segment.start);
+    switch (options_.privacy_mode) {
+      case WalPrivacyMode::kPlain: {
+        // Model real-world unintended retention: the bytes stay on disk.
+        IDB_RETURN_IF_ERROR(RenameFile(path, path + ".recycled"));
+        break;
+      }
+      case WalPrivacyMode::kScrub: {
+        const uint64_t size = segment.end - segment.start;
+        IDB_RETURN_IF_ERROR(OverwriteRange(path, 0, size));
+        stats_.scrub_bytes += size;
+        IDB_RETURN_IF_ERROR(RemoveFile(path));
+        break;
+      }
+      case WalPrivacyMode::kEncryptedEpoch: {
+        // Ciphertext is unreadable once its epoch key dies; plain unlink.
+        IDB_RETURN_IF_ERROR(RemoveFile(path));
+        break;
+      }
+    }
+    segments_.erase(segments_.begin());
+    ++stats_.segments_retired;
+  }
+  return Status::OK();
+}
+
+Status WalManager::Replay(
+    Lsn from, const std::function<Status(const WalRecord&, Lsn)>& fn) const {
+  for (const SegmentInfo& segment : segments_) {
+    if (segment.end <= from) continue;
+    IDB_ASSIGN_OR_RETURN(std::string raw,
+                         ReadFileToString(SegmentPath(segment.start)));
+    uint64_t off = 0;
+    while (off + 8 <= raw.size()) {
+      const uint32_t masked = DecodeFixed32(raw.data() + off);
+      const uint32_t len = DecodeFixed32(raw.data() + off + 4);
+      if (off + 8 + len > raw.size()) break;  // torn tail
+      if (crc32c::Unmask(masked) !=
+          crc32c::Value(raw.data() + off + 8, len)) {
+        break;
+      }
+      const Lsn lsn = segment.start + off;
+      if (lsn >= from) {
+        auto record = DecodeWalRecord(Slice(raw.data() + off + 8, len),
+                                      MakeDecryptor(lsn));
+        if (!record.ok()) return record.status();
+        IDB_RETURN_IF_ERROR(fn(*record, lsn));
+      }
+      off += 8 + len;
+    }
+  }
+  return Status::OK();
+}
+
+Status WalManager::DestroyEpochKeysThrough(TableId table, Micros safe_time) {
+  if (options_.privacy_mode != WalPrivacyMode::kEncryptedEpoch) {
+    return Status::OK();
+  }
+  if (safe_time <= 0) return Status::OK();
+  // Epoch e covers [e*epoch, (e+1)*epoch); destroy every epoch that ends at
+  // or before safe_time.
+  const uint64_t end_epoch = EpochOf(safe_time - 1) + 1;
+  uint64_t& watermark = epoch_watermark_[table];
+  while (watermark < end_epoch) {
+    const std::string id = EpochKeyId(table, watermark);
+    if (!keys_->IsDestroyed(id)) {
+      IDB_RETURN_IF_ERROR(keys_->Destroy(id));
+      ++stats_.epoch_keys_destroyed;
+    }
+    ++watermark;
+  }
+  return Status::OK();
+}
+
+}  // namespace instantdb

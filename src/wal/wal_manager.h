@@ -1,0 +1,119 @@
+#ifndef INSTANTDB_WAL_WAL_MANAGER_H_
+#define INSTANTDB_WAL_WAL_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/options.h"
+#include "storage/key_manager.h"
+#include "util/file.h"
+#include "wal/log_record.h"
+
+namespace instantdb {
+
+/// \brief Segmented redo log with degradation-aware retirement.
+///
+/// The paper (§III, citing Stahlberg et al.) observes that traditional WALs
+/// keep every inserted value recoverable long after deletion. Accurate
+/// degradable values enter the log exactly once, inside kInsert records;
+/// three strategies (WalPrivacyMode) bound their lifetime:
+///
+///  - kPlain: retired segments are renamed to `*.recycled` and left on disk.
+///    This models the unintended retention of real systems (log archives,
+///    recycled-but-unscrubbed segments) and is the unsafe baseline the
+///    forensic experiments scan.
+///  - kScrub: retired segments are zero-overwritten, synced, and unlinked.
+///    Timeliness is inherited from the checkpoint cadence: a forced
+///    checkpoint before the earliest phase-0 deadline guarantees no
+///    accurate value outlives its LCP in the log.
+///  - kEncryptedEpoch: each insert's degradable payload is encrypted under
+///    a per-(table, epoch) key, epoch = insert_time / epoch_micros.
+///    Destroying the key (when every tuple of the epoch has left phase 0)
+///    makes all log copies — including archived ones — unreadable at once,
+///    with no rewrite I/O.
+///
+/// Framing: [u32 masked CRC32C(body)] [u32 len] [body]. LSNs are logical
+/// byte offsets; a segment file `wal_<start-lsn>.log` holds the frames
+/// starting at that offset. Recovery tolerates a torn tail frame.
+class WalManager {
+ public:
+  WalManager(std::string dir, const WalOptions& options, KeyManager* keys);
+  ~WalManager();
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Scans existing segments, truncating a torn tail, and positions the
+  /// writer at the end of the log.
+  Status Open();
+
+  /// Appends one record; returns its LSN. Syncs when `sync` (commit with
+  /// WriteOptions::sync or WalOptions::sync_on_commit).
+  Result<Lsn> Append(const WalRecord& record, bool sync);
+
+  Status Sync();
+
+  Lsn next_lsn() const { return next_lsn_; }
+
+  /// Durably marks everything before `next_lsn()` as checkpointed: appends
+  /// a kCheckpoint record, writes the CHECKPOINT pointer file, and retires
+  /// fully-covered segments per the privacy mode. Returns the LSN replay
+  /// must start from after a crash.
+  Result<Lsn> LogCheckpoint();
+
+  /// LSN recorded by the last completed checkpoint; 0 if none.
+  Result<Lsn> ReadCheckpointLsn() const;
+
+  /// Replays records with LSN >= `from` in order. `fn` returning non-OK
+  /// aborts the replay with that status.
+  Status Replay(Lsn from,
+                const std::function<Status(const WalRecord&, Lsn)>& fn) const;
+
+  /// kEncryptedEpoch: destroys the keys of every epoch of `table` that ends
+  /// at or before `safe_time` (all its tuples have left phase 0).
+  Status DestroyEpochKeysThrough(TableId table, Micros safe_time);
+
+  uint64_t EpochOf(Micros t) const {
+    return static_cast<uint64_t>(t) / static_cast<uint64_t>(options_.epoch_micros);
+  }
+
+  struct Stats {
+    uint64_t records_appended = 0;
+    uint64_t bytes_appended = 0;
+    uint64_t segments_created = 0;
+    uint64_t segments_retired = 0;
+    uint64_t scrub_bytes = 0;
+    uint64_t epoch_keys_destroyed = 0;
+    uint64_t syncs = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string SegmentPath(Lsn start) const;
+  std::string EpochKeyId(TableId table, uint64_t epoch) const;
+  Status OpenNewSegment();
+  Status RetireSegmentsThrough(Lsn lsn);
+  WalBlobCipher MakeEncryptor(Lsn lsn);
+  WalBlobCipher MakeDecryptor(Lsn lsn) const;
+
+  const std::string dir_;
+  const WalOptions options_;
+  KeyManager* const keys_;
+
+  struct SegmentInfo {
+    Lsn start = 0;
+    Lsn end = 0;  // exclusive
+  };
+  std::vector<SegmentInfo> segments_;  // sorted by start
+  std::unique_ptr<WritableFile> writer_;
+  Lsn next_lsn_ = 0;
+  std::map<TableId, uint64_t> epoch_watermark_;  // first not-yet-destroyed epoch
+  Stats stats_;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_WAL_WAL_MANAGER_H_

@@ -1,0 +1,187 @@
+#include <thread>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "gtest/gtest.h"
+
+namespace instantdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCodesRoundTrip) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Busy("x").IsBusy());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::Expired("x").IsExpired());
+}
+
+TEST(StatusTest, MessagePreserved) {
+  Status s = Status::InvalidArgument("bad accuracy level");
+  EXPECT_EQ(s.message(), "bad accuracy level");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad accuracy level");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto ok_path = []() -> Status {
+    IDB_RETURN_IF_ERROR(Status::OK());
+    return Status::Busy("reached");
+  };
+  EXPECT_TRUE(ok_path().IsBusy());
+
+  auto err_path = []() -> Status {
+    IDB_RETURN_IF_ERROR(Status::IOError("disk"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(err_path().IsIOError());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto make = [](bool fail) -> Result<int> {
+    if (fail) return Status::IOError("nope");
+    return 7;
+  };
+  auto use = [&](bool fail) -> Result<int> {
+    IDB_ASSIGN_OR_RETURN(int v, make(fail));
+    return v * 2;
+  };
+  ASSERT_TRUE(use(false).ok());
+  EXPECT_EQ(*use(false), 14);
+  EXPECT_TRUE(use(true).status().IsIOError());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(VirtualClockTest, StartsAtConfiguredTime) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+}
+
+TEST(VirtualClockTest, AdvanceMovesTime) {
+  VirtualClock clock;
+  clock.Advance(kMicrosPerHour);
+  EXPECT_EQ(clock.NowMicros(), kMicrosPerHour);
+  clock.AdvanceTo(kMicrosPerDay);
+  EXPECT_EQ(clock.NowMicros(), kMicrosPerDay);
+  clock.AdvanceTo(5);  // backwards: no-op
+  EXPECT_EQ(clock.NowMicros(), kMicrosPerDay);
+}
+
+TEST(VirtualClockTest, WaitUntilWakesOnAdvance) {
+  VirtualClock clock;
+  Micros observed = -1;
+  std::thread waiter([&] { observed = clock.WaitUntil(1000); });
+  clock.Advance(1500);
+  waiter.join();
+  EXPECT_GE(observed, 1000);
+}
+
+TEST(VirtualClockTest, WakeAllInterruptsSleep) {
+  VirtualClock clock;
+  Micros observed = -1;
+  std::thread waiter([&] { observed = clock.WaitUntil(1'000'000); });
+  // Give the waiter a moment to block, then interrupt it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  clock.WakeAll();
+  waiter.join();
+  EXPECT_EQ(observed, 0);  // time never moved
+}
+
+TEST(SystemClockTest, MonotoneAndWaits) {
+  SystemClock clock;
+  const Micros t0 = clock.NowMicros();
+  const Micros t1 = clock.WaitUntil(t0 + 2000);
+  EXPECT_GE(t1, t0 + 2000);
+}
+
+TEST(TimeConstantsTest, PaperDelays) {
+  // Fig. 2 of the paper uses 1 hour / 1 day / 1 month delays.
+  EXPECT_EQ(kMicrosPerHour, 3600LL * 1000 * 1000);
+  EXPECT_EQ(kMicrosPerDay, 24 * kMicrosPerHour);
+  EXPECT_EQ(kMicrosPerMonth, 30 * kMicrosPerDay);
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RandomTest, UniformWithinRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+    const int64_t r = rng.UniformRange(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(ZipfTest, SkewsTowardSmallValues) {
+  ZipfGenerator zipf(1000, 0.99, 3);
+  size_t low = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next() < 10) ++low;
+  }
+  // With theta=0.99 the 10 hottest of 1000 items draw far more than the
+  // uniform 1% of accesses.
+  EXPECT_GT(low, kSamples / 10);
+}
+
+TEST(StringsTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("x=%d y=%s", 3, "ok"), "x=3 y=ok");
+  EXPECT_EQ(StringPrintf("%s", ""), "");
+}
+
+TEST(StringsTest, JoinSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  const auto parts = Split("a/b//c", '/');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, CaseHelpers) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_EQ(ToUpper("DeClArE"), "DECLARE");
+  EXPECT_TRUE(StartsWith("instantdb", "instant"));
+  EXPECT_TRUE(EndsWith("segment.log", ".log"));
+  EXPECT_FALSE(EndsWith("log", "segment.log"));
+}
+
+}  // namespace
+}  // namespace instantdb

@@ -1,0 +1,348 @@
+#include <set>
+
+#include "catalog/builtin_domains.h"
+#include "db/database.h"
+#include "gtest/gtest.h"
+#include "util/file.h"
+
+namespace instantdb {
+namespace {
+
+Schema PingSchema() {
+  // The paper's motivating scenario: cell phones report user locations.
+  return *Schema::Make(
+      {ColumnDef::Stable("user", ValueType::kString),
+       ColumnDef::Stable("ping_id", ValueType::kInt64),
+       ColumnDef::Degradable("location", LocationDomain(), Fig2LocationLcp())});
+}
+
+class DatabaseTest : public ::testing::TestWithParam<DegradableLayout> {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/idb_db_test";
+    ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
+    clock_ = std::make_unique<VirtualClock>(0);
+    ReopenDb();
+  }
+  void TearDown() override {
+    db_.reset();
+    RemoveDirRecursive(dir_).ok();
+  }
+
+  void ReopenDb() {
+    db_.reset();
+    DbOptions options;
+    options.path = dir_;
+    options.clock = clock_.get();
+    options.layout = GetParam();
+    options.storage.segment_bytes = 512;
+    options.wal.segment_bytes = 4096;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  RowId InsertPing(const std::string& user, int64_t ping,
+                   const std::string& address) {
+    auto row_id = db_->Insert(
+        "pings", {Value::String(user), Value::Int64(ping),
+                  Value::String(address)});
+    EXPECT_TRUE(row_id.ok()) << row_id.status().ToString();
+    return row_id.ok() ? *row_id : kInvalidRowId;
+  }
+
+  /// location value of one row (NULL when removed / row gone).
+  Value LocationOf(RowId row_id) {
+    auto row = db_->GetTable("pings")->GetRow(row_id);
+    EXPECT_TRUE(row.ok());
+    if (!row.ok() || !row->has_value()) return Value::Null();
+    const int col = db_->GetTable("pings")->schema().FindColumn("location");
+    return (*row)->values[col];
+  }
+
+  std::string dir_;
+  std::unique_ptr<VirtualClock> clock_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_P(DatabaseTest, Fig2LifecycleEndToEnd) {
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema()).ok());
+  const RowId row = InsertPing("alice", 1, "11 Rue Lepic");
+
+  // t = 0: accurate address.
+  EXPECT_EQ(LocationOf(row), Value::String("11 Rue Lepic"));
+
+  // t = 1h: degraded to city.
+  clock_->Advance(kMicrosPerHour);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  EXPECT_EQ(LocationOf(row), Value::String("Paris"));
+
+  // t = 1h + 1d: degraded to region.
+  clock_->Advance(kMicrosPerDay);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  EXPECT_EQ(LocationOf(row), Value::String("Ile-de-France"));
+
+  // t = +1 month: country.
+  clock_->Advance(kMicrosPerMonth);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  EXPECT_EQ(LocationOf(row), Value::String("France"));
+
+  // t = +1 more month: the tuple disappears entirely.
+  clock_->Advance(kMicrosPerMonth);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  auto gone = db_->GetTable("pings")->GetRow(row);
+  ASSERT_TRUE(gone.ok());
+  EXPECT_FALSE(gone->has_value());
+  EXPECT_EQ(db_->GetTable("pings")->live_rows(), 0u);
+  EXPECT_EQ(db_->GetTable("pings")->stats().tuples_expired, 1u);
+}
+
+TEST_P(DatabaseTest, DegradationIsBatchedAcrossManyRows) {
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema()).ok());
+  const std::vector<std::string> addresses = {
+      "11 Rue Lepic", "3 Av Foch", "12 Rue Royale", "4 Rue Breteuil",
+      "8 Cours Mirabeau"};
+  std::vector<RowId> rows;
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back(InsertPing("u" + std::to_string(i), i,
+                              addresses[i % addresses.size()]));
+    clock_->Advance(kMicrosPerMinute);  // staggered arrivals
+  }
+  // 2 hours in: rows 0..60 (inserted at minutes 0..60) crossed their
+  // 1-hour phase-0 deadline; row 61's deadline is at 2h01 and has not.
+  clock_->AdvanceTo(2 * kMicrosPerHour);
+  auto moved = db_->RunDegradationOnce();
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, 61u);
+  EXPECT_EQ(LocationOf(rows[0]), Value::String("Paris"));       // 11 Rue Lepic
+  EXPECT_EQ(LocationOf(rows[59]), Value::String("Aix"));        // 8 Cours Mirabeau
+  EXPECT_EQ(LocationOf(rows[60]), Value::String("Paris"));      // boundary row
+  EXPECT_EQ(LocationOf(rows[61]), Value::String("3 Av Foch"));  // still accurate
+}
+
+TEST_P(DatabaseTest, UserDeleteRemovesEverythingImmediately) {
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema()).ok());
+  const RowId keep = InsertPing("keep", 1, "11 Rue Lepic");
+  const RowId gone = InsertPing("gone", 2, "3 Av Foch");
+  ASSERT_TRUE(db_->Delete("pings", gone).ok());
+  EXPECT_EQ(db_->GetTable("pings")->live_rows(), 1u);
+  EXPECT_TRUE(LocationOf(gone).is_null());
+  EXPECT_EQ(LocationOf(keep), Value::String("11 Rue Lepic"));
+  EXPECT_TRUE(db_->Delete("pings", gone).IsNotFound());
+  // Degradation after the delete does not resurrect the row.
+  clock_->Advance(kMicrosPerHour);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  EXPECT_TRUE(LocationOf(gone).is_null());
+}
+
+TEST_P(DatabaseTest, RecoveryReplaysInsertsAndDegradations) {
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema()).ok());
+  const RowId r1 = InsertPing("alice", 1, "11 Rue Lepic");
+  const RowId r2 = InsertPing("bob", 2, "4 Rue Breteuil");
+  clock_->Advance(kMicrosPerHour);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  const RowId r3 = InsertPing("carol", 3, "12 Rue Royale");
+
+  // Crash without checkpoint: drop the Database object the hard way (the
+  // destructor checkpoints, so simulate by reopening from a copy...). We
+  // instead rely on WAL replay: reopen after a clean-ish close still must
+  // produce identical state.
+  ReopenDb();
+  EXPECT_EQ(LocationOf(r1), Value::String("Paris"));
+  EXPECT_EQ(LocationOf(r2), Value::String("Marseille"));
+  EXPECT_EQ(LocationOf(r3), Value::String("12 Rue Royale"));
+  EXPECT_EQ(db_->GetTable("pings")->live_rows(), 3u);
+
+  // Degradation continues on schedule after recovery: a day later r1 has
+  // crossed the city→region boundary and r3 (inserted at 1h, now 1 day old)
+  // has crossed its own address→city boundary.
+  clock_->Advance(kMicrosPerDay);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  EXPECT_EQ(LocationOf(r1), Value::String("Ile-de-France"));
+  EXPECT_EQ(LocationOf(r3), Value::String("Versailles"));
+}
+
+TEST_P(DatabaseTest, IndexesSurviveRecoveryViaRebuild) {
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema()).ok());
+  InsertPing("alice", 1, "11 Rue Lepic");
+  InsertPing("bob", 2, "3 Av Foch");
+  InsertPing("carol", 3, "4 Rue Breteuil");
+  clock_->Advance(kMicrosPerHour);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  ReopenDb();
+
+  Table* table = db_->GetTable("pings");
+  const int col = table->schema().FindColumn("location");
+  std::vector<RowId> rids;
+  ASSERT_TRUE(
+      table->IndexLookupEqual(col, Value::String("Paris"), 1, &rids).ok());
+  EXPECT_EQ(rids.size(), 2u);
+  rids.clear();
+  ASSERT_TRUE(
+      table->IndexLookupEqual(col, Value::String("France"), 3, &rids).ok());
+  EXPECT_EQ(rids.size(), 3u);
+}
+
+TEST_P(DatabaseTest, RetentionBaselineIsAllOrNothing) {
+  // Limited retention = single-phase LCP. The value stays fully accurate
+  // until the TTL, then the tuple vanishes — no intermediate states.
+  auto schema = *Schema::Make(
+      {ColumnDef::Stable("user", ValueType::kString),
+       ColumnDef::Degradable("location", LocationDomain(),
+                             AttributeLcp::Retention(kMicrosPerDay))});
+  ASSERT_TRUE(db_->CreateTable("retained", schema).ok());
+  auto row = db_->Insert("retained", {Value::String("alice"),
+                                      Value::String("11 Rue Lepic")});
+  ASSERT_TRUE(row.ok());
+  clock_->Advance(kMicrosPerDay - 1);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  auto view = db_->GetTable("retained")->GetRow(*row);
+  ASSERT_TRUE(view->has_value());
+  EXPECT_EQ((*view)->values[1], Value::String("11 Rue Lepic"));
+  clock_->Advance(1);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  view = db_->GetTable("retained")->GetRow(*row);
+  EXPECT_FALSE(view->has_value());
+}
+
+TEST_P(DatabaseTest, ForensicScanFindsNoDegradedPlaintext) {
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema()).ok());
+  const std::string secret = "11 Rue Lepic";
+  for (int i = 0; i < 20; ++i) InsertPing("alice", i, secret);
+  clock_->Advance(kMicrosPerHour);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  // Checkpoint: flush heap pages and retire WAL segments.
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  db_.reset();  // close cleanly
+
+  // Scan every byte under the database directory for the accurate address.
+  // The CATALOG is excluded: the generalization tree is public domain
+  // metadata, so its labels appearing there associate no tuple with the
+  // address.
+  std::function<size_t(const std::string&)> scan =
+      [&](const std::string& dir) -> size_t {
+    size_t hits = 0;
+    auto names = ListDir(dir);
+    if (!names.ok()) return 0;
+    for (const auto& name : *names) {
+      if (name == "CATALOG") continue;
+      const std::string path = dir + "/" + name;
+      auto contents = ReadFileToString(path);
+      if (contents.ok()) {
+        for (size_t pos = contents->find(secret); pos != std::string::npos;
+             pos = contents->find(secret, pos + 1)) {
+          ++hits;
+        }
+      } else {
+        hits += scan(path);
+      }
+    }
+    return hits;
+  };
+  EXPECT_EQ(scan(dir_), 0u);
+  ReopenDb();  // and the database still opens fine
+  EXPECT_EQ(db_->GetTable("pings")->live_rows(), 20u);
+}
+
+TEST_P(DatabaseTest, MultipleDegradableColumnsIndependentTimelines) {
+  auto schema = *Schema::Make(
+      {ColumnDef::Stable("user", ValueType::kString),
+       ColumnDef::Degradable("location", LocationDomain(), Fig2LocationLcp()),
+       ColumnDef::Degradable(
+           "salary", SalaryDomain(),
+           *AttributeLcp::Make({{0, kMicrosPerDay}, {1, kMicrosPerMonth}}))});
+  ASSERT_TRUE(db_->CreateTable("person", schema).ok());
+  auto row = db_->Insert("person", {Value::String("alice"),
+                                    Value::String("11 Rue Lepic"),
+                                    Value::Int64(2345)});
+  ASSERT_TRUE(row.ok());
+
+  // 1h: location degrades to city; salary still exact.
+  clock_->Advance(kMicrosPerHour);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  auto view = *db_->GetTable("person")->GetRow(*row);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->values[1], Value::String("Paris"));
+  EXPECT_EQ(view->values[2], Value::Int64(2345));
+
+  // 1 day: salary rounds to the paper's RANGE1000 bucket.
+  clock_->Advance(kMicrosPerDay);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  view = *db_->GetTable("person")->GetRow(*row);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->values[2], Value::Int64(2000));
+}
+
+TEST_P(DatabaseTest, DropTableErasesStorage) {
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema()).ok());
+  InsertPing("alice", 1, "11 Rue Lepic");
+  ASSERT_TRUE(db_->DropTable("pings").ok());
+  EXPECT_EQ(db_->GetTable("pings"), nullptr);
+  EXPECT_TRUE(db_->DropTable("pings").IsNotFound());
+  // Recreating with the same name works and starts empty.
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema()).ok());
+  EXPECT_EQ(db_->GetTable("pings")->live_rows(), 0u);
+}
+
+TEST_P(DatabaseTest, UpdateStableKeepsDegradationSchedule) {
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema()).ok());
+  const RowId row = InsertPing("alice", 1, "11 Rue Lepic");
+  auto txn = db_->Begin();
+  ASSERT_TRUE(db_->GetTable("pings")
+                  ->UpdateStable(txn.get(), row,
+                                 {Value::String("alice-renamed"),
+                                  Value::Int64(99)})
+                  .ok());
+  ASSERT_TRUE(db_->Commit(txn.get()).ok());
+  auto view = *db_->GetTable("pings")->GetRow(row);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->values[0], Value::String("alice-renamed"));
+  EXPECT_EQ(view->values[2], Value::String("11 Rue Lepic"));
+  clock_->Advance(kMicrosPerHour);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  EXPECT_EQ(LocationOf(row), Value::String("Paris"));
+}
+
+TEST_P(DatabaseTest, AbortedTransactionLeavesNoTrace) {
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema()).ok());
+  auto txn = db_->Begin();
+  auto row = db_->GetTable("pings")->Insert(
+      txn.get(),
+      {Value::String("ghost"), Value::Int64(1), Value::String("3 Av Foch")});
+  ASSERT_TRUE(row.ok());
+  db_->Abort(txn.get());
+  EXPECT_EQ(db_->GetTable("pings")->live_rows(), 0u);
+  auto view = db_->GetTable("pings")->GetRow(*row);
+  ASSERT_TRUE(view.ok());
+  EXPECT_FALSE(view->has_value());
+}
+
+TEST_P(DatabaseTest, ScanRowsSeesConsistentPhases) {
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema()).ok());
+  InsertPing("a", 1, "11 Rue Lepic");
+  clock_->Advance(kMicrosPerHour);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  InsertPing("b", 2, "3 Av Foch");
+
+  std::map<std::string, int> phase_by_user;
+  ASSERT_TRUE(db_->GetTable("pings")
+                  ->ScanRows([&](const RowView& view) {
+                    phase_by_user[view.values[0].str()] = view.phases[0];
+                    return true;
+                  })
+                  .ok());
+  EXPECT_EQ(phase_by_user["a"], 1);  // city phase
+  EXPECT_EQ(phase_by_user["b"], 0);  // accurate
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLayouts, DatabaseTest,
+                         ::testing::Values(DegradableLayout::kStateStores,
+                                           DegradableLayout::kInPlace),
+                         [](const auto& info) {
+                           return info.param == DegradableLayout::kStateStores
+                                      ? "StateStores"
+                                      : "InPlace";
+                         });
+
+}  // namespace
+}  // namespace instantdb

@@ -1,0 +1,210 @@
+#include <thread>
+
+#include "catalog/builtin_domains.h"
+#include "db/database.h"
+#include "gtest/gtest.h"
+#include "util/file.h"
+
+namespace instantdb {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/idb_engine_test";
+    ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
+    clock_ = std::make_unique<VirtualClock>(0);
+  }
+  void TearDown() override {
+    db_.reset();
+    RemoveDirRecursive(dir_).ok();
+  }
+
+  void OpenDb(DegradationOptions degradation = {}) {
+    DbOptions options;
+    options.path = dir_;
+    options.clock = clock_.get();
+    options.degradation = degradation;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  Schema PingSchema(AttributeLcp lcp) {
+    return *Schema::Make(
+        {ColumnDef::Stable("user", ValueType::kString),
+         ColumnDef::Degradable("location", LocationDomain(), std::move(lcp))});
+  }
+
+  std::string dir_;
+  std::unique_ptr<VirtualClock> clock_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(EngineTest, NextDeadlineTracksEarliestStoreHead) {
+  OpenDb();
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema(Fig2LocationLcp())).ok());
+  EXPECT_EQ(db_->degradation()->NextDeadline(), kForever);
+  ASSERT_TRUE(db_->Insert("pings", {Value::String("a"),
+                                    Value::String("11 Rue Lepic")}).ok());
+  EXPECT_EQ(db_->degradation()->NextDeadline(), kMicrosPerHour);
+  clock_->Advance(10 * kMicrosPerMinute);
+  ASSERT_TRUE(db_->Insert("pings", {Value::String("b"),
+                                    Value::String("3 Av Foch")}).ok());
+  // Earliest deadline still belongs to the first tuple.
+  EXPECT_EQ(db_->degradation()->NextDeadline(), kMicrosPerHour);
+}
+
+TEST_F(EngineTest, StepBatchLimitBoundsOneStep) {
+  DegradationOptions degradation;
+  degradation.step_batch_limit = 10;
+  OpenDb(degradation);
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema(Fig2LocationLcp())).ok());
+  for (int i = 0; i < 35; ++i) {
+    ASSERT_TRUE(db_->Insert("pings", {Value::String("u"),
+                                      Value::String("11 Rue Lepic")}).ok());
+  }
+  clock_->Advance(kMicrosPerHour);
+  // RunDue keeps issuing bounded steps until the backlog drains.
+  auto moved = db_->RunDegradationOnce();
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, 35u);
+  const auto stats = db_->degradation()->stats();
+  EXPECT_GE(stats.steps, 4u);  // ceil(35 / 10)
+  EXPECT_EQ(stats.values_moved, 35u);
+}
+
+TEST_F(EngineTest, MultipleTablesScheduledIndependently) {
+  OpenDb();
+  ASSERT_TRUE(db_->CreateTable("fast", PingSchema(*AttributeLcp::Make(
+                                            {{0, kMicrosPerMinute}})))
+                  .ok());
+  ASSERT_TRUE(db_->CreateTable("slow", PingSchema(Fig2LocationLcp())).ok());
+  ASSERT_TRUE(db_->Insert("fast", {Value::String("a"),
+                                   Value::String("11 Rue Lepic")}).ok());
+  ASSERT_TRUE(db_->Insert("slow", {Value::String("b"),
+                                   Value::String("3 Av Foch")}).ok());
+  EXPECT_EQ(db_->degradation()->NextDeadline(), kMicrosPerMinute);
+  clock_->Advance(kMicrosPerMinute);
+  auto moved = db_->RunDegradationOnce();
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, 1u);  // only the fast table's tuple (removed at 1min)
+  EXPECT_EQ(db_->GetTable("fast")->live_rows(), 0u);
+  EXPECT_EQ(db_->GetTable("slow")->live_rows(), 1u);
+  // Slow table's deadline now governs.
+  EXPECT_EQ(db_->degradation()->NextDeadline(), kMicrosPerHour);
+}
+
+TEST_F(EngineTest, BackgroundThreadDegradesOnVirtualClock) {
+  DegradationOptions degradation;
+  degradation.background_thread = true;
+  OpenDb(degradation);
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema(Fig2LocationLcp())).ok());
+  auto row = db_->Insert("pings", {Value::String("a"),
+                                   Value::String("11 Rue Lepic")});
+  ASSERT_TRUE(row.ok());
+  clock_->Advance(kMicrosPerHour);  // wakes the sleeping degrader
+  // Wait (bounded) for the background thread to act.
+  for (int i = 0; i < 500; ++i) {
+    if (db_->GetTable("pings")->stats().values_degraded > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  auto view = db_->GetTable("pings")->GetRow(*row);
+  ASSERT_TRUE(view.ok());
+  ASSERT_TRUE(view->has_value());
+  const int col = db_->GetTable("pings")->schema().FindColumn("location");
+  EXPECT_EQ((*view)->values[col], Value::String("Paris"));
+}
+
+TEST_F(EngineTest, DroppedTableLeavesScheduler) {
+  OpenDb();
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema(Fig2LocationLcp())).ok());
+  ASSERT_TRUE(db_->Insert("pings", {Value::String("a"),
+                                    Value::String("11 Rue Lepic")}).ok());
+  ASSERT_TRUE(db_->DropTable("pings").ok());
+  EXPECT_EQ(db_->degradation()->NextDeadline(), kForever);
+  clock_->Advance(kMicrosPerMonth);
+  auto moved = db_->RunDegradationOnce();
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, 0u);
+}
+
+TEST_F(EngineTest, LatenessReflectsDelayedPumping) {
+  OpenDb();
+  ASSERT_TRUE(db_->CreateTable("pings", PingSchema(Fig2LocationLcp())).ok());
+  ASSERT_TRUE(db_->Insert("pings", {Value::String("a"),
+                                    Value::String("11 Rue Lepic")}).ok());
+  // Pump 30 minutes late: lateness is recorded per value.
+  clock_->Advance(kMicrosPerHour + 30 * kMicrosPerMinute);
+  ASSERT_TRUE(db_->RunDegradationOnce().ok());
+  const Histogram& lateness = db_->GetTable("pings")->lateness_histogram();
+  ASSERT_EQ(lateness.count(), 1u);
+  EXPECT_DOUBLE_EQ(lateness.max(),
+                   static_cast<double>(30 * kMicrosPerMinute));
+}
+
+// Property sweep: for any LCP phase timing, a tuple pumped exactly at each
+// boundary is always in the phase the automaton predicts — storage and
+// automaton never disagree.
+class LcpConformanceTest
+    : public ::testing::TestWithParam<std::vector<LcpPhase>> {};
+
+TEST_P(LcpConformanceTest, StorageMatchesAutomaton) {
+  const std::string dir = ::testing::TempDir() + "/idb_conformance";
+  ASSERT_TRUE(RemoveDirRecursive(dir).ok());
+  VirtualClock clock;
+  DbOptions options;
+  options.path = dir;
+  options.clock = &clock;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  auto lcp = AttributeLcp::Make(GetParam());
+  ASSERT_TRUE(lcp.ok());
+  auto schema = Schema::Make(
+      {ColumnDef::Stable("u", ValueType::kString),
+       ColumnDef::Degradable("loc", LocationDomain(), *lcp)});
+  ASSERT_TRUE(schema.ok());
+  ASSERT_TRUE((*db)->CreateTable("t", *schema).ok());
+  auto row = (*db)->Insert("t", {Value::String("x"),
+                                 Value::String("11 Rue Lepic")});
+  ASSERT_TRUE(row.ok());
+
+  for (int p = 0; p < lcp->num_phases(); ++p) {
+    const Micros end = lcp->PhaseEndOffset(p);
+    if (end == kForever) break;
+    // One microsecond before the boundary: still in phase p.
+    clock.AdvanceTo(end - 1);
+    ASSERT_TRUE((*db)->RunDegradationOnce().ok());
+    auto view = *(*db)->GetTable("t")->GetRow(*row);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->phases[0], p) << "before boundary of phase " << p;
+    // At the boundary: moved on (or expired).
+    clock.AdvanceTo(end);
+    ASSERT_TRUE((*db)->RunDegradationOnce().ok());
+    view = *(*db)->GetTable("t")->GetRow(*row);
+    if (p + 1 < lcp->num_phases()) {
+      ASSERT_TRUE(view.has_value());
+      EXPECT_EQ(view->phases[0], p + 1) << "after boundary of phase " << p;
+    } else {
+      EXPECT_FALSE(view.has_value()) << "tuple should expire after last phase";
+    }
+  }
+  db->reset();
+  RemoveDirRecursive(dir).ok();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyShapes, LcpConformanceTest,
+    ::testing::Values(
+        std::vector<LcpPhase>{{0, kMicrosPerHour}},
+        std::vector<LcpPhase>{{0, kMicrosPerMinute}, {1, kMicrosPerMinute}},
+        std::vector<LcpPhase>{{0, kMicrosPerHour},
+                              {1, kMicrosPerDay},
+                              {2, kMicrosPerMonth},
+                              {3, kMicrosPerMonth}},
+        std::vector<LcpPhase>{{0, 2 * kMicrosPerHour}, {2, kMicrosPerDay}},
+        std::vector<LcpPhase>{{1, kMicrosPerHour}, {3, kMicrosPerDay}},
+        std::vector<LcpPhase>{{0, kMicrosPerHour}, {3, kForever}}));
+
+}  // namespace
+}  // namespace instantdb

@@ -1,0 +1,111 @@
+#include <map>
+
+#include "anonymize/mondrian.h"
+#include "catalog/builtin_domains.h"
+#include "common/random.h"
+#include "gtest/gtest.h"
+
+namespace instantdb {
+namespace {
+
+std::vector<MondrianRecord> RandomRecords(size_t n, uint64_t seed) {
+  auto location = SyntheticLocationDomain(3, 3, 3, 3);
+  const auto* tree = static_cast<const GeneralizationTree*>(location.get());
+  Random rng(seed);
+  std::vector<MondrianRecord> records(n);
+  for (auto& record : records) {
+    auto label = tree->LeafLabel(
+        static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(tree->leaf_count()))));
+    record.quasi_identifiers = {
+        Value::String(*label),
+        Value::Int64(static_cast<int64_t>(rng.Uniform(100000)))};
+  }
+  return records;
+}
+
+class MondrianTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MondrianTest, EveryClassHasAtLeastKRecords) {
+  const size_t k = GetParam();
+  Mondrian mondrian({SyntheticLocationDomain(3, 3, 3, 3), SalaryDomain()}, k);
+  const auto records = RandomRecords(200, 7);
+  auto result = mondrian.Anonymize(records);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->records.size(), records.size());
+  // k-anonymity invariant: identical generalized QI vectors appear >= k
+  // times.
+  std::map<std::string, size_t> class_sizes;
+  for (const auto& record : result->records) {
+    std::string key;
+    for (const Value& v : record.values) key += v.ToString() + "|";
+    ++class_sizes[key];
+    EXPECT_GE(record.class_size, k);
+  }
+  for (const auto& [key, size] : class_sizes) {
+    EXPECT_GE(size, k) << key;
+  }
+  EXPECT_GE(result->num_classes, 1u);
+  if (k <= 10) EXPECT_GT(result->num_classes, 1u);
+}
+
+TEST_P(MondrianTest, GeneralizedValuesCoverOriginals) {
+  const size_t k = GetParam();
+  auto location = SyntheticLocationDomain(3, 3, 3, 3);
+  Mondrian mondrian({location, SalaryDomain()}, k);
+  const auto records = RandomRecords(150, 13);
+  auto result = mondrian.Anonymize(records);
+  ASSERT_TRUE(result.ok());
+  auto salary = SalaryDomain();
+  const std::vector<std::shared_ptr<const DomainHierarchy>> domains = {
+      location, salary};
+  for (size_t i = 0; i < records.size(); ++i) {
+    for (size_t d = 0; d < domains.size(); ++d) {
+      EXPECT_TRUE(domains[d]->Covers(result->records[i].values[d],
+                                     result->records[i].levels[d],
+                                     records[i].quasi_identifiers[d], 0))
+          << "record " << i << " dim " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, MondrianTest,
+                         ::testing::Values(2, 5, 10, 50),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+TEST(MondrianEdgeTest, RejectsTooFewRecords) {
+  Mondrian mondrian({SalaryDomain()}, 10);
+  std::vector<MondrianRecord> records(5);
+  for (auto& r : records) r.quasi_identifiers = {Value::Int64(1)};
+  EXPECT_FALSE(mondrian.Anonymize(records).ok());
+}
+
+TEST(MondrianEdgeTest, IdenticalRecordsFormOneClass) {
+  Mondrian mondrian({SalaryDomain()}, 3);
+  std::vector<MondrianRecord> records(12);
+  for (auto& r : records) r.quasi_identifiers = {Value::Int64(500)};
+  auto result = mondrian.Anonymize(records);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_classes, 1u);
+  // No generalization needed: all values identical.
+  EXPECT_EQ(result->records[0].levels[0], 0);
+  EXPECT_EQ(result->records[0].values[0], Value::Int64(500));
+}
+
+TEST(MondrianEdgeTest, InformationLossGrowsWithK) {
+  auto location = SyntheticLocationDomain(3, 3, 3, 3);
+  const auto records = RandomRecords(300, 21);
+  double prev_loss = -1;
+  for (size_t k : {2, 10, 75}) {
+    Mondrian mondrian({location, SalaryDomain()}, k);
+    auto result = mondrian.Anonymize(records);
+    ASSERT_TRUE(result.ok());
+    const double loss = result->avg_level[0] + result->avg_level[1];
+    EXPECT_GE(loss, prev_loss) << "k=" << k;
+    prev_loss = loss;
+  }
+}
+
+}  // namespace
+}  // namespace instantdb

@@ -1,0 +1,632 @@
+#include <map>
+#include <set>
+
+#include "catalog/builtin_domains.h"
+#include "common/random.h"
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+#include "storage/key_manager.h"
+#include "storage/record.h"
+#include "storage/state_store.h"
+#include "common/strings.h"
+#include "util/file.h"
+
+namespace instantdb {
+namespace {
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/idb_storage_test";
+    ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
+    ASSERT_TRUE(CreateDirs(dir_).ok());
+  }
+  void TearDown() override { RemoveDirRecursive(dir_).ok(); }
+
+  std::string dir_;
+};
+
+// --- DiskManager ---------------------------------------------------------------
+
+TEST_F(StorageTest, DiskManagerAllocateReadWrite) {
+  auto dm = DiskManager::Open(dir_ + "/heap.db", 4096);
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ((*dm)->num_pages(), 0u);
+  auto p0 = (*dm)->AllocatePage();
+  auto p1 = (*dm)->AllocatePage();
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p0, 0u);
+  EXPECT_EQ(*p1, 1u);
+
+  std::string page(4096, 'x');
+  ASSERT_TRUE((*dm)->WritePage(*p1, page.data()).ok());
+  std::string read(4096, 0);
+  ASSERT_TRUE((*dm)->ReadPage(*p1, read.data()).ok());
+  EXPECT_EQ(read, page);
+  // Fresh pages read back zeroed.
+  ASSERT_TRUE((*dm)->ReadPage(*p0, read.data()).ok());
+  EXPECT_EQ(read, std::string(4096, '\0'));
+  EXPECT_FALSE((*dm)->ReadPage(7, read.data()).ok());
+  EXPECT_FALSE((*dm)->WritePage(7, page.data()).ok());
+}
+
+TEST_F(StorageTest, DiskManagerReopenKeepsPages) {
+  const std::string path = dir_ + "/heap.db";
+  {
+    auto dm = DiskManager::Open(path, 4096);
+    ASSERT_TRUE(dm.ok());
+    ASSERT_TRUE((*dm)->AllocatePage().ok());
+    std::string page(4096, 'z');
+    ASSERT_TRUE((*dm)->WritePage(0, page.data()).ok());
+    ASSERT_TRUE((*dm)->Sync().ok());
+  }
+  auto dm = DiskManager::Open(path, 4096);
+  ASSERT_TRUE(dm.ok());
+  EXPECT_EQ((*dm)->num_pages(), 1u);
+  std::string read(4096, 0);
+  ASSERT_TRUE((*dm)->ReadPage(0, read.data()).ok());
+  EXPECT_EQ(read[100], 'z');
+}
+
+// --- BufferPool ------------------------------------------------------------------
+
+TEST_F(StorageTest, BufferPoolCachesAndEvicts) {
+  auto dm = DiskManager::Open(dir_ + "/heap.db", 4096);
+  ASSERT_TRUE(dm.ok());
+  BufferPool pool(dm->get(), 2);
+
+  PageId ids[3];
+  for (auto& id : ids) {
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+    id = guard->id();
+    guard->data()[0] = static_cast<char>('a' + id);
+    guard->MarkDirty();
+  }
+  // Pool capacity 2: fetching all three again forces eviction + re-read.
+  for (PageId id : ids) {
+    auto guard = pool.FetchPage(id);
+    ASSERT_TRUE(guard.ok());
+    EXPECT_EQ(guard->data()[0], static_cast<char>('a' + id));
+  }
+  const auto stats = pool.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.dirty_writebacks, 0u);
+}
+
+TEST_F(StorageTest, BufferPoolPinPreventsEviction) {
+  auto dm = DiskManager::Open(dir_ + "/heap.db", 4096);
+  ASSERT_TRUE(dm.ok());
+  BufferPool pool(dm->get(), 2);
+  auto g0 = pool.NewPage();
+  auto g1 = pool.NewPage();
+  ASSERT_TRUE(g0.ok());
+  ASSERT_TRUE(g1.ok());
+  // Both frames pinned: a third page cannot be brought in.
+  auto g2 = pool.NewPage();
+  EXPECT_TRUE(g2.status().IsBusy());
+  g0->Release();
+  auto g3 = pool.NewPage();
+  EXPECT_TRUE(g3.ok());
+}
+
+TEST_F(StorageTest, BufferPoolFlushAllPersists) {
+  const std::string path = dir_ + "/heap.db";
+  auto dm = DiskManager::Open(path, 4096);
+  ASSERT_TRUE(dm.ok());
+  {
+    BufferPool pool(dm->get(), 4);
+    auto guard = pool.NewPage();
+    ASSERT_TRUE(guard.ok());
+    std::memcpy(guard->data(), "persist-me", 10);
+    guard->MarkDirty();
+    guard->Release();
+    ASSERT_TRUE(pool.FlushAll().ok());
+  }
+  std::string read(4096, 0);
+  ASSERT_TRUE((*dm)->ReadPage(0, read.data()).ok());
+  EXPECT_EQ(read.substr(0, 10), "persist-me");
+}
+
+// --- HeapFile --------------------------------------------------------------------
+
+class HeapFileTest : public StorageTest {
+ protected:
+  void SetUp() override {
+    StorageTest::SetUp();
+    auto dm = DiskManager::Open(dir_ + "/heap.db", 4096);
+    ASSERT_TRUE(dm.ok());
+    disk_ = std::move(*dm);
+    pool_ = std::make_unique<BufferPool>(disk_.get(), 64);
+    heap_ = std::make_unique<HeapFile>(pool_.get());
+    ASSERT_TRUE(heap_->Open().ok());
+  }
+
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<HeapFile> heap_;
+};
+
+TEST_F(HeapFileTest, InsertGetDelete) {
+  auto rid = heap_->Insert("hello record");
+  ASSERT_TRUE(rid.ok());
+  auto got = heap_->Get(*rid);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "hello record");
+  EXPECT_EQ(heap_->live_records(), 1u);
+  ASSERT_TRUE(heap_->Delete(*rid).ok());
+  EXPECT_TRUE(heap_->Get(*rid).status().IsNotFound());
+  EXPECT_TRUE(heap_->Delete(*rid).IsNotFound());
+  EXPECT_EQ(heap_->live_records(), 0u);
+}
+
+TEST_F(HeapFileTest, DeleteScrubsBytes) {
+  // The record's bytes must be zeroed in the page image (paper §III:
+  // deleted data must be physically cleaned in the data space).
+  const std::string payload = "TOP-SECRET-ADDRESS";
+  auto rid = heap_->Insert(payload);
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(heap_->Delete(*rid).ok());
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  auto raw = ReadFileToString(dir_ + "/heap.db");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->find(payload), std::string::npos);
+}
+
+TEST_F(HeapFileTest, ManyInsertsSpanPages) {
+  std::vector<Rid> rids;
+  for (int i = 0; i < 2000; ++i) {
+    auto rid = heap_->Insert(StringPrintf("record-%04d-xxxxxxxxxxxxxxxx", i));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  EXPECT_GT(disk_->num_pages(), 1u);
+  for (int i = 0; i < 2000; ++i) {
+    auto got = heap_->Get(rids[i]);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got->substr(0, 11), StringPrintf("record-%04d", i));
+  }
+  EXPECT_EQ(heap_->live_records(), 2000u);
+}
+
+TEST_F(HeapFileTest, SlotReuseAfterDelete) {
+  auto r1 = heap_->Insert("aaaa");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(heap_->Delete(*r1).ok());
+  auto r2 = heap_->Insert("bbbb");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->page, r2->page);
+  EXPECT_EQ(r1->slot, r2->slot);  // slot recycled
+}
+
+TEST_F(HeapFileTest, UpdateInPlaceAndRelocating) {
+  auto rid = heap_->Insert("0123456789");
+  ASSERT_TRUE(rid.ok());
+  Rid out;
+  // Shrink stays put and scrubs the tail.
+  ASSERT_TRUE(heap_->Update(*rid, "abc", &out).ok());
+  EXPECT_EQ(out, *rid);
+  EXPECT_EQ(*heap_->Get(out), "abc");
+  // Grow may relocate but keeps the data intact.
+  const std::string big(1000, 'G');
+  ASSERT_TRUE(heap_->Update(out, big, &out).ok());
+  EXPECT_EQ(*heap_->Get(out), big);
+  EXPECT_EQ(heap_->live_records(), 1u);
+}
+
+TEST_F(HeapFileTest, ScanVisitsAllLiveRecords) {
+  std::set<std::string> expect;
+  for (int i = 0; i < 50; ++i) {
+    const std::string payload = StringPrintf("row-%02d", i);
+    ASSERT_TRUE(heap_->Insert(payload).ok());
+    expect.insert(payload);
+  }
+  std::set<std::string> seen;
+  ASSERT_TRUE(heap_->Scan([&](Rid, Slice record) {
+                seen.insert(std::string(record));
+                return true;
+              }).ok());
+  EXPECT_EQ(seen, expect);
+  // Early stop.
+  int count = 0;
+  ASSERT_TRUE(heap_->Scan([&](Rid, Slice) { return ++count < 5; }).ok());
+  EXPECT_EQ(count, 5);
+}
+
+TEST_F(HeapFileTest, OpenRebuildsFreeSpaceMap) {
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(heap_->Insert(StringPrintf("record-%03d-yyyyyyyy", i)).ok());
+  }
+  ASSERT_TRUE(pool_->FlushAll().ok());
+  // Re-open over the same file.
+  HeapFile reopened(pool_.get());
+  ASSERT_TRUE(reopened.Open().ok());
+  EXPECT_EQ(reopened.live_records(), 300u);
+  auto rid = reopened.Insert("after-reopen");
+  ASSERT_TRUE(rid.ok());
+  EXPECT_EQ(*reopened.Get(*rid), "after-reopen");
+}
+
+TEST_F(HeapFileTest, RejectsOversizedRecord) {
+  EXPECT_FALSE(heap_->Insert(std::string(5000, 'x')).ok());
+}
+
+// --- record codec ------------------------------------------------------------------
+
+TEST(RecordCodecTest, StateStoresLayoutRoundTrip) {
+  auto schema = *Schema::Make(
+      {ColumnDef::Stable("id", ValueType::kInt64),
+       ColumnDef::Stable("name", ValueType::kString),
+       ColumnDef::Degradable("location", LocationDomain(), Fig2LocationLcp())});
+  HeapTuple tuple;
+  tuple.row_id = 42;
+  tuple.insert_time = kMicrosPerHour;
+  tuple.stable = {Value::Int64(7), Value::String("alice")};
+  std::string buf;
+  EncodeHeapTuple(schema, DegradableLayout::kStateStores, tuple, &buf);
+  HeapTuple out;
+  ASSERT_TRUE(
+      DecodeHeapTuple(schema, DegradableLayout::kStateStores, buf, &out).ok());
+  EXPECT_EQ(out.row_id, 42u);
+  EXPECT_EQ(out.insert_time, kMicrosPerHour);
+  ASSERT_EQ(out.stable.size(), 2u);
+  EXPECT_EQ(out.stable[1], Value::String("alice"));
+  EXPECT_TRUE(out.degradable.empty());
+}
+
+TEST(RecordCodecTest, InPlaceLayoutCarriesDegradables) {
+  auto schema = *Schema::Make(
+      {ColumnDef::Stable("id", ValueType::kInt64),
+       ColumnDef::Degradable("location", LocationDomain(), Fig2LocationLcp()),
+       ColumnDef::Degradable("salary", SalaryDomain(),
+                             AttributeLcp::Retention(kMicrosPerDay))});
+  HeapTuple tuple;
+  tuple.row_id = 1;
+  tuple.insert_time = 5;
+  tuple.stable = {Value::Int64(9)};
+  tuple.degradable = {{1, Value::String("Paris")}, {0, Value::Int64(2345)}};
+  std::string buf;
+  EncodeHeapTuple(schema, DegradableLayout::kInPlace, tuple, &buf);
+  HeapTuple out;
+  ASSERT_TRUE(
+      DecodeHeapTuple(schema, DegradableLayout::kInPlace, buf, &out).ok());
+  ASSERT_EQ(out.degradable.size(), 2u);
+  EXPECT_EQ(out.degradable[0].phase, 1);
+  EXPECT_EQ(out.degradable[0].value, Value::String("Paris"));
+  EXPECT_EQ(out.degradable[1].value, Value::Int64(2345));
+  // Decoding with the wrong layout fails loudly (trailing bytes).
+  EXPECT_FALSE(
+      DecodeHeapTuple(schema, DegradableLayout::kStateStores, buf, &out).ok());
+}
+
+// --- KeyManager ------------------------------------------------------------------
+
+TEST_F(StorageTest, KeyManagerMintGetDestroy) {
+  KeyManager keys(dir_ + "/keystore");
+  ASSERT_TRUE(keys.Open().ok());
+  auto k1 = keys.GetOrCreate("t1.c0.p0.s0");
+  ASSERT_TRUE(k1.ok());
+  auto k1_again = keys.GetOrCreate("t1.c0.p0.s0");
+  ASSERT_TRUE(k1_again.ok());
+  EXPECT_EQ(*k1, *k1_again);
+  auto k2 = keys.GetOrCreate("t1.c0.p0.s1");
+  ASSERT_TRUE(k2.ok());
+  EXPECT_NE(*k1, *k2);
+
+  ASSERT_TRUE(keys.Destroy("t1.c0.p0.s0").ok());
+  EXPECT_TRUE(keys.Get("t1.c0.p0.s0").status().IsNotFound());
+  EXPECT_TRUE(keys.IsDestroyed("t1.c0.p0.s0"));
+  EXPECT_EQ(keys.live_keys(), 1u);
+  EXPECT_EQ(keys.keys_destroyed(), 1u);
+}
+
+TEST_F(StorageTest, KeyManagerPersistsAcrossReopen) {
+  const std::string path = dir_ + "/keystore";
+  ChaCha20::Key original;
+  {
+    KeyManager keys(path);
+    ASSERT_TRUE(keys.Open().ok());
+    original = *keys.GetOrCreate("a");
+    ASSERT_TRUE(keys.GetOrCreate("b").ok());
+    ASSERT_TRUE(keys.Destroy("b").ok());
+  }
+  KeyManager keys(path);
+  ASSERT_TRUE(keys.Open().ok());
+  auto a = keys.Get("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, original);
+  EXPECT_TRUE(keys.Get("b").status().IsNotFound());
+  EXPECT_TRUE(keys.IsDestroyed("b"));
+}
+
+TEST_F(StorageTest, KeyManagerDestroyRemovesBytesFromDisk) {
+  const std::string path = dir_ + "/keystore";
+  KeyManager keys(path);
+  ASSERT_TRUE(keys.Open().ok());
+  auto key = keys.GetOrCreate("victim");
+  ASSERT_TRUE(key.ok());
+  const std::string key_bytes(reinterpret_cast<const char*>(key->data()),
+                              key->size());
+  {
+    auto contents = ReadFileToString(path);
+    ASSERT_TRUE(contents.ok());
+    EXPECT_NE(contents->find(key_bytes), std::string::npos);
+  }
+  ASSERT_TRUE(keys.Destroy("victim").ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->find(key_bytes), std::string::npos);
+}
+
+// --- StateStore -------------------------------------------------------------------
+
+class StateStoreTest : public StorageTest,
+                       public ::testing::WithParamInterface<EraseMode> {
+ protected:
+  StorageOptions MakeOptions() {
+    StorageOptions options;
+    options.segment_bytes = 256;  // tiny segments to exercise rollover
+    options.erase_mode = GetParam();
+    return options;
+  }
+
+  std::unique_ptr<StateStore> MakeStore(int phase = 0) {
+    keys_ = std::make_unique<KeyManager>(dir_ + "/keystore");
+    if (!keys_->Open().ok()) return nullptr;
+    return std::make_unique<StateStore>(dir_ + "/store", TableId{1}, 0, phase,
+                                        MakeOptions(), keys_.get());
+  }
+
+  StoreEntry Entry(RowId id, const std::string& value) {
+    return StoreEntry{id, static_cast<Micros>(id) * kMicrosPerMinute,
+                      Value::String(value)};
+  }
+
+  std::unique_ptr<KeyManager> keys_;
+};
+
+TEST_P(StateStoreTest, AppendPopFifoOrder) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  for (RowId id = 1; id <= 100; ++id) {
+    ASSERT_TRUE(store->Append(Entry(id, StringPrintf("v%llu",
+                                     static_cast<unsigned long long>(id))))
+                    .ok());
+  }
+  EXPECT_EQ(store->size(), 100u);
+  for (RowId id = 1; id <= 100; ++id) {
+    StoreEntry out;
+    ASSERT_TRUE(store->PopHead(&out).ok());
+    EXPECT_EQ(out.row_id, id);
+  }
+  EXPECT_TRUE(store->empty());
+  StoreEntry out;
+  EXPECT_TRUE(store->PopHead(&out).IsNotFound());
+  // With 256-byte segments, 100 entries spanned several segments, and all
+  // must have been erased.
+  EXPECT_GT(store->stats().segments_created, 2u);
+  EXPECT_EQ(store->stats().segments_erased, store->stats().segments_created);
+}
+
+TEST_P(StateStoreTest, FindAndForEach) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  for (RowId id = 10; id <= 100; id += 10) {
+    ASSERT_TRUE(store->Append(Entry(id, "x")).ok());
+  }
+  ASSERT_NE(store->Find(50), nullptr);
+  EXPECT_EQ(store->Find(50)->row_id, 50u);
+  EXPECT_EQ(store->Find(55), nullptr);
+  EXPECT_EQ(store->Find(5), nullptr);
+  EXPECT_EQ(store->Find(500), nullptr);
+  size_t n = 0;
+  store->ForEach([&](const StoreEntry&) { return ++n < 4; });
+  EXPECT_EQ(n, 4u);
+}
+
+TEST_P(StateStoreTest, AppendIsIdempotentOnRowId) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  ASSERT_TRUE(store->Append(Entry(5, "a")).ok());
+  ASSERT_TRUE(store->Append(Entry(5, "a-again")).ok());  // ignored
+  ASSERT_TRUE(store->Append(Entry(3, "late")).ok());     // ignored
+  EXPECT_EQ(store->size(), 1u);
+  EXPECT_EQ(store->Head().value, Value::String("a"));
+}
+
+TEST_P(StateStoreTest, PopThroughIsIdempotent) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  for (RowId id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(store->Append(Entry(id, "v")).ok());
+  }
+  auto popped = store->PopThrough(4);
+  ASSERT_TRUE(popped.ok());
+  EXPECT_EQ(*popped, 4u);
+  popped = store->PopThrough(4);
+  ASSERT_TRUE(popped.ok());
+  EXPECT_EQ(*popped, 0u);
+  EXPECT_EQ(store->Head().row_id, 5u);
+}
+
+TEST_P(StateStoreTest, ReopenRecoversLiveEntries) {
+  {
+    auto store = MakeStore();
+    ASSERT_TRUE(store->Open().ok());
+    for (RowId id = 1; id <= 40; ++id) {
+      ASSERT_TRUE(store->Append(Entry(id, StringPrintf("value-%llu",
+                                       static_cast<unsigned long long>(id))))
+                      .ok());
+    }
+    ASSERT_TRUE(store->PopThrough(15).ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+  }
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  EXPECT_EQ(store->size(), 25u);
+  EXPECT_EQ(store->Head().row_id, 16u);
+  EXPECT_EQ(store->LastAppendedRowId(), 40u);
+  // Appends continue after the recovered tail.
+  ASSERT_TRUE(store->Append(Entry(41, "new")).ok());
+  EXPECT_EQ(store->size(), 26u);
+}
+
+TEST_P(StateStoreTest, ReopenWithoutCheckpointReplaysViaPops) {
+  // Without a checkpoint meta, pops since the last checkpoint come back as
+  // live entries; the WAL redo (PopThrough) must drain them again.
+  {
+    auto store = MakeStore();
+    ASSERT_TRUE(store->Open().ok());
+    for (RowId id = 1; id <= 20; ++id) {
+      ASSERT_TRUE(store->Append(Entry(id, "v")).ok());
+    }
+    ASSERT_TRUE(store->Checkpoint().ok());
+    ASSERT_TRUE(store->PopThrough(8).ok());
+    // Crash here: no second checkpoint.
+  }
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  // Entries in segments that were fully drained+erased stay gone; the
+  // partially drained head segment resurfaces its entries.
+  ASSERT_FALSE(store->empty());
+  ASSERT_TRUE(store->PopThrough(8).ok());  // idempotent redo
+  EXPECT_EQ(store->Head().row_id, 9u);
+  EXPECT_EQ(store->size(), 12u);
+}
+
+TEST_P(StateStoreTest, ErasedSegmentsLeaveNoPlaintext) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  const std::string secret = "VERY-SENSITIVE-LOCATION";
+  for (RowId id = 1; id <= 30; ++id) {
+    ASSERT_TRUE(store->Append(Entry(id, secret)).ok());
+  }
+  ASSERT_TRUE(store->Checkpoint().ok());
+  ASSERT_TRUE(store->PopThrough(30).ok());
+  // Every byte under the store directory must be free of the secret.
+  auto names = ListDir(dir_ + "/store");
+  ASSERT_TRUE(names.ok());
+  for (const std::string& name : *names) {
+    auto contents = ReadFileToString(dir_ + "/store/" + name);
+    ASSERT_TRUE(contents.ok());
+    EXPECT_EQ(contents->find(secret), std::string::npos) << name;
+  }
+}
+
+TEST_P(StateStoreTest, CiphertextAtRestForCryptoMode) {
+  if (GetParam() != EraseMode::kCryptoErase) GTEST_SKIP();
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  const std::string secret = "PLAINTEXT-SHOULD-NOT-APPEAR";
+  ASSERT_TRUE(store->Append(Entry(1, secret)).ok());
+  ASSERT_TRUE(store->Checkpoint().ok());
+  auto names = ListDir(dir_ + "/store");
+  ASSERT_TRUE(names.ok());
+  for (const std::string& name : *names) {
+    if (!StartsWith(name, "seg_")) continue;
+    auto contents = ReadFileToString(dir_ + "/store/" + name);
+    ASSERT_TRUE(contents.ok());
+    EXPECT_EQ(contents->find(secret), std::string::npos) << name;
+  }
+}
+
+TEST_P(StateStoreTest, TornTailFrameIsDropped) {
+  {
+    auto store = MakeStore();
+    ASSERT_TRUE(store->Open().ok());
+    for (RowId id = 1; id <= 3; ++id) {
+      ASSERT_TRUE(store->Append(Entry(id, "abcdef")).ok());
+    }
+    ASSERT_TRUE(store->Checkpoint().ok());
+  }
+  // Simulate a torn write by chopping bytes off the tail segment.
+  auto names = ListDir(dir_ + "/store");
+  ASSERT_TRUE(names.ok());
+  for (const std::string& name : *names) {
+    if (!StartsWith(name, "seg_")) continue;
+    const std::string path = dir_ + "/store/" + name;
+    auto size = GetFileSize(path);
+    ASSERT_TRUE(size.ok());
+    if (*size > 3) {
+      ASSERT_TRUE(TruncateFile(path, *size - 3).ok());
+    }
+  }
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  EXPECT_EQ(store->size(), 2u);  // last frame dropped
+  // The dropped entry is re-appended by WAL redo.
+  ASSERT_TRUE(store->Append(Entry(3, "abcdef")).ok());
+  EXPECT_EQ(store->size(), 3u);
+}
+
+TEST_P(StateStoreTest, SecureDeleteEntryScrubsAndSkips) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  const std::string secret = "DELETED-SECRET-PAYLOAD";
+  for (RowId id = 1; id <= 9; ++id) {
+    ASSERT_TRUE(store->Append(Entry(id, id == 5 ? secret : "keep")).ok());
+  }
+  ASSERT_TRUE(store->Checkpoint().ok());
+  ASSERT_TRUE(store->SecureDeleteEntry(5).ok());
+  EXPECT_TRUE(store->SecureDeleteEntry(5).IsNotFound());
+  EXPECT_EQ(store->size(), 8u);
+  EXPECT_EQ(store->Find(5), nullptr);
+  ASSERT_NE(store->Find(6), nullptr);
+  // The deleted payload is gone from disk immediately.
+  auto names = ListDir(dir_ + "/store");
+  ASSERT_TRUE(names.ok());
+  for (const std::string& name : *names) {
+    auto contents = ReadFileToString(dir_ + "/store/" + name);
+    ASSERT_TRUE(contents.ok());
+    EXPECT_EQ(contents->find(secret), std::string::npos) << name;
+  }
+  // Tombstones survive reopen.
+  auto reopened = MakeStore();
+  ASSERT_TRUE(reopened->Open().ok());
+  EXPECT_EQ(reopened->size(), 8u);
+  EXPECT_EQ(reopened->Find(5), nullptr);
+  // FIFO popping skips the deleted entry.
+  ASSERT_TRUE(reopened->PopThrough(6).ok());
+  EXPECT_EQ(reopened->Head().row_id, 7u);
+}
+
+TEST_P(StateStoreTest, DeletingWholeSegmentErasesIt) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  for (RowId id = 1; id <= 60; ++id) {
+    ASSERT_TRUE(store->Append(Entry(id, "vvvvvvvvvvvv")).ok());
+  }
+  const auto created = store->stats().segments_created;
+  ASSERT_GT(created, 2u);
+  // Delete every row: all segments must end up erased.
+  for (RowId id = 1; id <= 60; ++id) {
+    ASSERT_TRUE(store->SecureDeleteEntry(id).ok());
+  }
+  EXPECT_TRUE(store->empty());
+  EXPECT_EQ(store->stats().segments_erased, store->stats().segments_created);
+}
+
+TEST_P(StateStoreTest, DropErasesEverything) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  for (RowId id = 1; id <= 50; ++id) {
+    ASSERT_TRUE(store->Append(Entry(id, "payload")).ok());
+  }
+  ASSERT_TRUE(store->Drop().ok());
+  EXPECT_FALSE(FileExists(dir_ + "/store"));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEraseModes, StateStoreTest,
+                         ::testing::Values(EraseMode::kOverwrite,
+                                           EraseMode::kCryptoErase),
+                         [](const auto& info) {
+                           return info.param == EraseMode::kOverwrite
+                                      ? "Overwrite"
+                                      : "CryptoErase";
+                         });
+
+}  // namespace
+}  // namespace instantdb
