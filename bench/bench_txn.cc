@@ -84,6 +84,81 @@ void RunInterference() {
       "the accurate set) — the bounded interference the design targets.\n");
 }
 
+// Scalable-ingest comparison: the per-row Database::Insert convenience path
+// (one transaction + one WAL sync per row when durability is requested)
+// against a WriteBatch committing the same rows through ONE transaction and
+// one group-commit WAL sync per batch.
+void RunIngestComparison() {
+  constexpr size_t kRows = 5000;
+  constexpr size_t kBatchRows = 1000;
+
+  TablePrinter table({"ingest path", "rows", "wall ms", "ops/sec", "p50 us",
+                      "p99 us", "wal syncs"});
+  double per_row_ops = 0, batched_ops = 0;
+
+  for (const bool batched : {false, true}) {
+    VirtualClock clock;
+    auto test = bench::OpenFreshDb(batched ? "ingest_batched" : "ingest_row",
+                                   &clock);
+    auto workload = bench::MakePingWorkload(Fig2LocationLcp(), 3);
+    test.db->CreateTable("pings", workload.schema).status();
+
+    WriteOptions durable;
+    durable.sync = true;
+    SystemClock wall;
+    Histogram latency;
+    const uint64_t syncs_before = test.db->wal()->stats().syncs;
+    const Micros start = wall.NowMicros();
+    if (batched) {
+      WriteBatch batch;
+      for (size_t i = 0; i < kRows; ++i) {
+        batch.Insert("pings", {Value::String("u"),
+                               Value::String(
+                                   workload.addresses[i %
+                                                      workload.addresses.size()])});
+        if (batch.size() == kBatchRows || i + 1 == kRows) {
+          const Micros op_start = wall.NowMicros();
+          test.db->Write(&batch, durable).ok();
+          latency.Add(static_cast<double>(wall.NowMicros() - op_start));
+          batch.Clear();
+        }
+      }
+    } else {
+      for (size_t i = 0; i < kRows; ++i) {
+        const Micros op_start = wall.NowMicros();
+        test.db
+            ->Insert("pings",
+                     {Value::String("u"),
+                      Value::String(
+                          workload.addresses[i % workload.addresses.size()])},
+                     durable)
+            .status();
+        latency.Add(static_cast<double>(wall.NowMicros() - op_start));
+      }
+    }
+    const Micros elapsed = wall.NowMicros() - start;
+    const double ops =
+        elapsed == 0 ? 0 : kRows * 1e6 / static_cast<double>(elapsed);
+    (batched ? batched_ops : per_row_ops) = ops;
+    const char* name = batched ? "WriteBatch(1000) + group commit"
+                               : "per-row Database::Insert";
+    table.AddRow({name, std::to_string(kRows),
+                  StringPrintf("%.1f", elapsed / 1000.0),
+                  StringPrintf("%.0f", ops),
+                  StringPrintf("%.0f", latency.Percentile(50)),
+                  StringPrintf("%.0f", latency.Percentile(99)),
+                  std::to_string(test.db->wal()->stats().syncs - syncs_before)});
+    bench::JsonEmitter::Instance().AddSeries(
+        batched ? "ingest_batched" : "ingest_per_row", ops, latency);
+  }
+  table.Print("Durable ingest: per-row transactions vs WriteBatch group "
+              "commit (sync on commit)");
+  const double speedup = per_row_ops == 0 ? 0 : batched_ops / per_row_ops;
+  bench::JsonEmitter::Instance().AddScalar("batched_ingest_speedup", speedup);
+  std::printf("\nBatched ingest throughput is %.1fx the per-row path "
+              "(target: >= 5x).\n", speedup);
+}
+
 void BM_CommitPath(benchmark::State& state) {
   VirtualClock clock;
   auto test = bench::OpenFreshDb("txn_micro", &clock);
@@ -121,10 +196,31 @@ void BM_AbortPath(benchmark::State& state) {
 }
 BENCHMARK(BM_AbortPath);
 
+void BM_WriteBatchCommit(benchmark::State& state) {
+  VirtualClock clock;
+  auto test = bench::OpenFreshDb("txn_batch_micro", &clock);
+  auto workload = bench::MakePingWorkload(Fig2LocationLcp(), 3);
+  test.db->CreateTable("pings", workload.schema).status();
+  const size_t batch_rows = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    WriteBatch batch;
+    for (size_t i = 0; i < batch_rows; ++i) {
+      batch.Insert("pings", {Value::String("u"),
+                             Value::String(workload.addresses[0])});
+    }
+    auto status = test.db->Write(&batch);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(batch_rows));
+}
+BENCHMARK(BM_WriteBatchCommit)->Arg(1)->Arg(100)->Arg(1000);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   RunInterference();
+  RunIngestComparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,10 +1,115 @@
 #include "support/bench_util.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/random.h"
 
 namespace instantdb::bench {
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StringPrintf("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonStringArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += '"' + JsonEscape(items[i]) + '"';
+  }
+  out += ']';
+  return out;
+}
+
+void FlushJsonAtExit() { JsonEmitter::Instance().Flush(); }
+
+}  // namespace
+
+JsonEmitter& JsonEmitter::Instance() {
+  static JsonEmitter* emitter = [] {
+    auto* e = new JsonEmitter();
+    std::atexit(FlushJsonAtExit);
+    return e;
+  }();
+  return *emitter;
+}
+
+void JsonEmitter::AddTable(const std::string& title,
+                           const std::vector<std::string>& headers,
+                           const std::vector<std::vector<std::string>>& rows) {
+  std::string json = "{\"title\": \"" + JsonEscape(title) + "\", ";
+  json += "\"headers\": " + JsonStringArray(headers) + ", \"rows\": [";
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (r > 0) json += ", ";
+    json += JsonStringArray(rows[r]);
+  }
+  json += "]}";
+  tables_.push_back(std::move(json));
+}
+
+void JsonEmitter::AddSeries(const std::string& name, double ops_per_sec,
+                            const Histogram& latency_micros) {
+  series_.push_back(StringPrintf(
+      "{\"name\": \"%s\", \"ops_per_sec\": %.6g, \"count\": %zu, "
+      "\"p50_us\": %.6g, \"p99_us\": %.6g, \"mean_us\": %.6g, "
+      "\"max_us\": %.6g}",
+      JsonEscape(name).c_str(), ops_per_sec, latency_micros.count(),
+      latency_micros.Percentile(50), latency_micros.Percentile(99),
+      latency_micros.mean(), latency_micros.max()));
+}
+
+void JsonEmitter::AddScalar(const std::string& name, double value) {
+  scalars_.push_back(StringPrintf("{\"name\": \"%s\", \"value\": %.6g}",
+                                  JsonEscape(name).c_str(), value));
+}
+
+void JsonEmitter::Flush() {
+  if (tables_.empty() && series_.empty() && scalars_.empty()) return;
+  const char* program = program_invocation_short_name;  // GNU
+  const char* dir = std::getenv("BENCH_JSON_DIR");
+  const std::string path = std::string(dir == nullptr ? "." : dir) + "/BENCH_" +
+                           (program == nullptr ? "unknown" : program) + ".json";
+  std::string json = "{\n  \"bench\": \"";
+  json += JsonEscape(program == nullptr ? "unknown" : program);
+  json += "\",\n  \"tables\": [\n    " + Join(tables_, ",\n    ");
+  json += "\n  ],\n  \"series\": [\n    " + Join(series_, ",\n    ");
+  json += "\n  ],\n  \"scalars\": [\n    " + Join(scalars_, ",\n    ");
+  json += "\n  ]\n}\n";
+  const Status status = WriteStringToFile(path, json, /*sync=*/false);
+  if (!status.ok()) {
+    std::fprintf(stderr, "BENCH json write failed: %s\n",
+                 status.ToString().c_str());
+  } else {
+    std::printf("[machine-readable metrics written to %s]\n", path.c_str());
+  }
+}
 
 TestDb OpenFreshDb(const std::string& name, VirtualClock* clock,
                    DbOptions base) {
@@ -87,6 +192,7 @@ void TablePrinter::AddRow(std::vector<std::string> cells) {
 }
 
 void TablePrinter::Print(const std::string& title) const {
+  JsonEmitter::Instance().AddTable(title, headers_, rows_);
   std::vector<size_t> widths(headers_.size());
   for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
   for (const auto& row : rows_) {

@@ -41,8 +41,43 @@ std::vector<RowId> InsertPings(Database* db, VirtualClock* clock,
 /// skipping the CATALOG (domain metadata, not tuple data).
 size_t ForensicScan(const std::string& dir, const std::string& needle);
 
+/// \brief Process-wide machine-readable benchmark output.
+///
+/// Every table printed through TablePrinter and every explicitly recorded
+/// metric series is collected here and written to `BENCH_<program>.json`
+/// (directory overridable with $BENCH_JSON_DIR, default the working
+/// directory) at process exit — the perf-trajectory files consumed by
+/// tooling alongside the human-readable console output.
+class JsonEmitter {
+ public:
+  static JsonEmitter& Instance();
+
+  void AddTable(const std::string& title,
+                const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows);
+
+  /// One named series: throughput plus latency percentiles (microseconds)
+  /// from a util/histogram of per-op latencies.
+  void AddSeries(const std::string& name, double ops_per_sec,
+                 const Histogram& latency_micros);
+
+  /// One named scalar (speedups, counts, byte totals, ...).
+  void AddScalar(const std::string& name, double value);
+
+  /// Writes BENCH_<program>.json now (also runs automatically at exit).
+  void Flush();
+
+ private:
+  JsonEmitter() = default;
+
+  std::vector<std::string> tables_;   // pre-rendered JSON objects
+  std::vector<std::string> series_;   // pre-rendered JSON objects
+  std::vector<std::string> scalars_;  // pre-rendered JSON objects
+};
+
 /// Aligned-column table printer for the experiment series the paper-shaped
-/// reports are generated from.
+/// reports are generated from. Tables are echoed into the JsonEmitter so
+/// every benchmark emits machine-readable output for free.
 class TablePrinter {
  public:
   explicit TablePrinter(std::vector<std::string> headers);

@@ -152,32 +152,55 @@ Table* Database::GetTable(TableId id) const {
   return it == tables_.end() ? nullptr : it->second.get();
 }
 
+Status Database::Write(WriteBatch* batch, const WriteOptions& options) {
+  batch->row_ids_.clear();
+  if (batch->ops_.empty()) return Status::OK();
+  batch->row_ids_.reserve(batch->ops_.size());
+  auto txn = Begin();
+  for (const WriteBatch::Op& op : batch->ops_) {
+    Table* table = GetTable(op.table);
+    if (table == nullptr) {
+      Abort(txn.get());
+      batch->row_ids_.clear();
+      return Status::NotFound("no such table: " + op.table);
+    }
+    if (op.is_insert) {
+      auto row_id = table->Insert(txn.get(), op.row);
+      if (!row_id.ok()) {
+        Abort(txn.get());
+        batch->row_ids_.clear();
+        return row_id.status();
+      }
+      batch->row_ids_.push_back(*row_id);
+    } else {
+      const Status status = table->Delete(txn.get(), op.row_id);
+      if (!status.ok()) {
+        Abort(txn.get());
+        batch->row_ids_.clear();
+        return status;
+      }
+      batch->row_ids_.push_back(kInvalidRowId);
+    }
+  }
+  const Status status = tm_->Commit(txn.get(), options.sync);
+  if (!status.ok()) batch->row_ids_.clear();
+  return status;
+}
+
 Result<RowId> Database::Insert(const std::string& table_name,
                                const std::vector<Value>& row,
                                const WriteOptions& options) {
-  Table* table = GetTable(table_name);
-  if (table == nullptr) return Status::NotFound("no such table: " + table_name);
-  auto txn = Begin();
-  auto row_id = table->Insert(txn.get(), row);
-  if (!row_id.ok()) {
-    Abort(txn.get());
-    return row_id;
-  }
-  IDB_RETURN_IF_ERROR(tm_->Commit(txn.get(), options.sync));
-  return row_id;
+  WriteBatch batch;
+  batch.Insert(table_name, row);
+  IDB_RETURN_IF_ERROR(Write(&batch, options));
+  return batch.row_ids()[0];
 }
 
 Status Database::Delete(const std::string& table_name, RowId row_id,
                         const WriteOptions& options) {
-  Table* table = GetTable(table_name);
-  if (table == nullptr) return Status::NotFound("no such table: " + table_name);
-  auto txn = Begin();
-  Status status = table->Delete(txn.get(), row_id);
-  if (!status.ok()) {
-    Abort(txn.get());
-    return status;
-  }
-  return tm_->Commit(txn.get(), options.sync);
+  WriteBatch batch;
+  batch.Delete(table_name, row_id);
+  return Write(&batch, options);
 }
 
 Status Database::Checkpoint() {

@@ -8,6 +8,7 @@
 #include "catalog/catalog.h"
 #include "common/options.h"
 #include "db/table.h"
+#include "db/write_batch.h"
 #include "degrade/degradation_engine.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
@@ -76,8 +77,16 @@ class Database {
   }
   void Abort(Transaction* txn) { tm_->Abort(txn); }
 
+  /// Applies every staged operation of `batch` atomically: one transaction,
+  /// one WAL append/sync (group commit). On success the batch's `row_ids()`
+  /// carry the assigned id of each staged insert. This is the scalable
+  /// ingest path — per-row Insert/Delete pay the full commit overhead per
+  /// row. On failure (including a wait-die lock abort) nothing is applied.
+  Status Write(WriteBatch* batch, const WriteOptions& options = {});
+
   /// Single-statement convenience: insert one row (schema order) in its own
-  /// transaction. Returns the assigned row id.
+  /// transaction. Returns the assigned row id. Thin wrapper over the same
+  /// path WriteBatch uses with a batch of one.
   Result<RowId> Insert(const std::string& table, const std::vector<Value>& row,
                        const WriteOptions& options = {});
   /// Single-statement convenience: delete one row by id.

@@ -419,6 +419,28 @@ Status Table::ScanRows(const std::function<bool(const RowView&)>& fn) const {
   return decode_status;
 }
 
+Status Table::ScanBatch(Rid* pos, size_t limit, std::vector<RowView>* out,
+                        bool* done) const {
+  std::shared_lock<std::shared_mutex> latch(latch_);
+  out->clear();
+  *done = true;
+  Status decode_status;
+  IDB_RETURN_IF_ERROR(heap_->ScanFrom(*pos, [&](Rid rid, Slice record) {
+    if (out->size() >= limit) {
+      *pos = rid;  // resume here: this record has not been consumed
+      *done = false;
+      return false;
+    }
+    HeapTuple tuple;
+    decode_status = DecodeHeapTuple(schema(), runtime_.layout, record, &tuple);
+    if (!decode_status.ok()) return false;
+    RowView view;
+    if (AssembleRow(tuple, &view)) out->push_back(std::move(view));
+    return true;
+  }));
+  return decode_status;
+}
+
 bool Table::AssembleRow(const HeapTuple& tuple, RowView* view) const {
   view->row_id = tuple.row_id;
   view->insert_time = tuple.insert_time;

@@ -96,6 +96,18 @@ class Table {
   /// early when `fn` returns false.
   Status ScanRows(const std::function<bool(const RowView&)>& fn) const;
 
+  /// Cursor support: assembles up to `limit` live rows starting at heap
+  /// position `*pos` (`Rid{0, 0}` to start) under the shared latch,
+  /// advancing `*pos` to the resume position and setting `*done` once the
+  /// heap is exhausted. The latch is released between batches, so a slow
+  /// consumer never blocks writers or the degrader; isolation is weak
+  /// across batches: rows changed between two batches may or may not be
+  /// observed, and a row physically relocated by a concurrent update may
+  /// be missed or observed twice. Pass SIZE_MAX to scan everything under
+  /// one latch (single-snapshot semantics).
+  Status ScanBatch(Rid* pos, size_t limit, std::vector<RowView>* out,
+                   bool* done) const;
+
   Result<std::optional<RowView>> GetRow(RowId row_id) const;
 
   uint64_t live_rows() const;

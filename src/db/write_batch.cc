@@ -1,0 +1,26 @@
+#include "db/write_batch.h"
+
+namespace instantdb {
+
+void WriteBatch::Insert(std::string table, std::vector<Value> row) {
+  Op op;
+  op.is_insert = true;
+  op.table = std::move(table);
+  op.row = std::move(row);
+  ops_.push_back(std::move(op));
+}
+
+void WriteBatch::Delete(std::string table, RowId row_id) {
+  Op op;
+  op.is_insert = false;
+  op.table = std::move(table);
+  op.row_id = row_id;
+  ops_.push_back(std::move(op));
+}
+
+void WriteBatch::Clear() {
+  ops_.clear();
+  row_ids_.clear();
+}
+
+}  // namespace instantdb

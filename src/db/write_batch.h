@@ -1,0 +1,65 @@
+#ifndef INSTANTDB_DB_WRITE_BATCH_H_
+#define INSTANTDB_DB_WRITE_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "storage/page.h"
+
+namespace instantdb {
+
+/// \brief Staged multi-table write set, applied atomically by
+/// `Database::Write` through ONE transaction and one WAL append/sync
+/// (group commit).
+///
+/// This is the scalable ingest path: the per-row convenience APIs
+/// (`Database::Insert`/`Delete`) pay a transaction begin/commit — and, with
+/// `WriteOptions::sync`, a WAL fsync — per row, while a WriteBatch amortizes
+/// all of that over the whole batch:
+///
+/// \code
+///   WriteBatch batch;
+///   for (const Ping& p : arrivals)
+///     batch.Insert("pings", {Value::String(p.user), Value::String(p.addr)});
+///   Status s = db->Write(&batch, {.sync = true});   // one txn, one sync
+///   if (s.ok()) UseRowIds(batch.row_ids());
+/// \endcode
+///
+/// Either every staged operation commits or none does. After a successful
+/// Write, `row_ids()` holds the engine-assigned row id of each staged
+/// insert, in staging order (kInvalidRowId entries for deletes). A batch
+/// can be reused after Clear().
+class WriteBatch {
+ public:
+  /// Stages one full-accuracy row (schema order) for insertion.
+  void Insert(std::string table, std::vector<Value> row);
+
+  /// Stages the removal of one tuple (stable + degradable parts).
+  void Delete(std::string table, RowId row_id);
+
+  size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+  void Clear();
+
+  /// Per staged operation, in order: the assigned row id of each insert
+  /// (kInvalidRowId for deletes). Valid after a successful Database::Write.
+  const std::vector<RowId>& row_ids() const { return row_ids_; }
+
+ private:
+  friend class Database;
+
+  struct Op {
+    bool is_insert = true;
+    std::string table;
+    std::vector<Value> row;   // insert only
+    RowId row_id = kInvalidRowId;  // delete only
+  };
+
+  std::vector<Op> ops_;
+  std::vector<RowId> row_ids_;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_DB_WRITE_BATCH_H_

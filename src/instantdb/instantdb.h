@@ -13,6 +13,19 @@
 ///  - Database — engine facade (storage, WAL, transactions, degrader).
 ///  - Session — SQL with DECLARE PURPOSE accuracy binding.
 ///  - Mondrian — k-anonymity comparison baseline.
+///
+/// Scalable read/write surfaces (designed for high-rate append streams and
+/// bounded-memory consumers):
+///  - WriteBatch + Database::Write — stage N inserts/deletes across tables,
+///    commit atomically through one transaction and one WAL append/sync
+///    (group commit); assigned row ids come back per staged insert.
+///  - Session::ExecuteCursor → Cursor — pull-based row-at-a-time iterator
+///    (scan → σ at accuracy level → π pipeline); a SELECT over millions of
+///    rows never materializes more than one small scan batch.
+///  - Session::Prepare → PreparedStatement — parse once, bind `?`
+///    parameters, execute many; the hot path for ingest loops.
+/// `Session::Execute` remains the convenience wrapper: it opens a cursor
+/// and drains it into a fully materialized QueryResult.
 
 #include "anonymize/mondrian.h"
 #include "catalog/builtin_domains.h"
@@ -27,7 +40,10 @@
 #include "common/status.h"
 #include "db/database.h"
 #include "db/table.h"
+#include "db/write_batch.h"
 #include "degrade/degradation_engine.h"
+#include "query/cursor.h"
+#include "query/prepared_statement.h"
 #include "query/session.h"
 
 #endif  // INSTANTDB_INSTANTDB_H_

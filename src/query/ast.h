@@ -21,12 +21,17 @@ enum class ComparisonOp : uint8_t {
 };
 
 /// One conjunct of a WHERE clause: `column op literal` (the paper's example
-/// queries are conjunctions of simple predicates).
+/// queries are conjunctions of simple predicates). Literal positions may be
+/// `?` parameter markers: `param`/`param2` then carry the 0-based ordinal of
+/// the marker (in order of appearance across the statement) and the Value
+/// holds NULL until a PreparedStatement binds it.
 struct PredicateAst {
   std::string column;
   ComparisonOp op = ComparisonOp::kEq;
   Value value;
-  Value value2;  // kBetween upper bound
+  Value value2;   // kBetween upper bound
+  int param = -1;   // ? ordinal for value, -1 = literal
+  int param2 = -1;  // ? ordinal for value2, -1 = literal
 };
 
 enum class AggregateKind : uint8_t { kNone, kCount, kSum, kAvg, kMin, kMax };
@@ -48,7 +53,9 @@ struct SelectAst {
 
 struct InsertAst {
   std::string table;
-  std::vector<Value> values;  // schema order
+  std::vector<Value> values;  // schema order; NULL placeholder at ? markers
+  /// Aligned with `values`: ? ordinal of each position, -1 = literal.
+  std::vector<int> params;
 };
 
 struct DeleteAst {
@@ -77,6 +84,11 @@ struct UsePurposeAst {
 
 using StatementAst = std::variant<SelectAst, InsertAst, DeleteAst,
                                   DeclarePurposeAst, UsePurposeAst>;
+
+/// Number of `?` parameter markers in the statement (0 when none). A
+/// statement with markers can only run through a PreparedStatement, which
+/// substitutes bound values before execution.
+int CountParameters(const StatementAst& statement);
 
 }  // namespace instantdb
 

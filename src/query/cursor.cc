@@ -1,0 +1,115 @@
+#include "query/cursor.h"
+
+#include "query/executor.h"
+#include "query/plan.h"
+#include "query/session.h"
+
+namespace instantdb {
+
+/// Pipeline state: either a live streaming pipeline (non-aggregate SELECT)
+/// or a buffered result (aggregates, DML, purpose statements).
+struct Cursor::Impl {
+  // Streaming: plan owns the bound query the source references, so it lives
+  // behind a stable pointer and must be destroyed after the source.
+  std::unique_ptr<plan::SelectPlan> plan;
+  std::unique_ptr<plan::RowSource> source;
+
+  // Buffered fallback.
+  QueryResult buffered;
+  size_t buffered_next = 0;
+  bool use_buffer = false;
+
+  std::vector<std::string> columns;
+  uint64_t rows_returned = 0;
+  bool closed = false;
+};
+
+Cursor::Cursor(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+Cursor::~Cursor() { Close(); }
+
+const std::vector<std::string>& Cursor::columns() const {
+  return impl_->columns;
+}
+
+uint64_t Cursor::rows_returned() const { return impl_->rows_returned; }
+
+void Cursor::Close() {
+  if (impl_ == nullptr || impl_->closed) return;
+  impl_->closed = true;
+  impl_->source.reset();
+  impl_->plan.reset();
+  impl_->buffered = QueryResult{};
+}
+
+Result<bool> Cursor::Next(CursorRow* out) {
+  Impl& impl = *impl_;
+  if (impl.closed) return false;
+
+  if (impl.use_buffer) {
+    if (impl.buffered_next >= impl.buffered.rows.size()) return false;
+    // The buffer is drained exactly once (buffered_next only advances), so
+    // rows move out instead of copying.
+    const size_t i = impl.buffered_next++;
+    out->row_id = kInvalidRowId;
+    out->values = std::move(impl.buffered.rows[i]);
+    out->display = i < impl.buffered.display.size()
+                       ? std::move(impl.buffered.display[i])
+                       : std::vector<std::string>{};
+    ++impl.rows_returned;
+    return true;
+  }
+
+  plan::EvaluatedRow row;
+  IDB_ASSIGN_OR_RETURN(const bool more, impl.source->Next(&row));
+  if (!more) return false;
+
+  // π: project + render the requested items.
+  const plan::SelectPlan& select = *impl.plan;
+  out->row_id = row.row_id;
+  out->values.clear();
+  out->display.clear();
+  out->values.reserve(select.item_columns.size());
+  out->display.reserve(select.item_columns.size());
+  for (int col : select.item_columns) {
+    out->values.push_back(row.values[col]);
+    out->display.push_back(plan::RenderValue(*select.schema, col,
+                                             row.values[col],
+                                             row.degradable_level));
+  }
+  ++impl.rows_returned;
+  return true;
+}
+
+Result<std::unique_ptr<Cursor>> Cursor::Open(Session* session,
+                                             const StatementAst& statement,
+                                             size_t scan_batch_rows) {
+  if (scan_batch_rows == 0) scan_batch_rows = plan::kStreamingScanBatchRows;
+  auto impl = std::make_unique<Impl>();
+  const auto* select_ast = std::get_if<SelectAst>(&statement);
+  if (select_ast != nullptr) {
+    // Plan exactly once, whichever entry point the statement came through.
+    auto plan = std::make_unique<plan::SelectPlan>();
+    IDB_ASSIGN_OR_RETURN(*plan, plan::BindSelect(session, *select_ast));
+    if (!plan->has_aggregate) {
+      impl->columns = plan->output_columns;
+      impl->plan = std::move(plan);
+      IDB_ASSIGN_OR_RETURN(impl->source,
+                           plan::MakeRowSource(session, impl->plan->query,
+                                               scan_batch_rows));
+      return std::unique_ptr<Cursor>(new Cursor(std::move(impl)));
+    }
+    // Aggregates execute eagerly over the bound plan; the cursor streams
+    // the (small) aggregated result.
+    IDB_ASSIGN_OR_RETURN(impl->buffered, ExecuteAggregate(session, *plan));
+  } else {
+    // Non-SELECT statements execute eagerly; the cursor streams their
+    // summary result.
+    IDB_ASSIGN_OR_RETURN(impl->buffered, ExecuteStatement(session, statement));
+  }
+  impl->use_buffer = true;
+  impl->columns = impl->buffered.columns;
+  return std::unique_ptr<Cursor>(new Cursor(std::move(impl)));
+}
+
+}  // namespace instantdb

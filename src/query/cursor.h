@@ -1,0 +1,94 @@
+#ifndef INSTANTDB_QUERY_CURSOR_H_
+#define INSTANTDB_QUERY_CURSOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/value.h"
+#include "common/result.h"
+#include "query/ast.h"
+#include "storage/page.h"
+
+namespace instantdb {
+
+class Session;
+
+/// One streamed output row: projected values at purpose accuracy plus their
+/// display rendering (bucket values render as "[lo..hi]").
+struct CursorRow {
+  RowId row_id = kInvalidRowId;
+  std::vector<Value> values;
+  std::vector<std::string> display;
+};
+
+/// \brief Pull-based result iterator: the scalable read path.
+///
+/// A cursor executes a SELECT as an operator pipeline (scan → σ at the
+/// purpose's accuracy level → π) and hands rows out one at a time, so a
+/// SELECT over millions of rows never materializes more than one scan batch
+/// (a few hundred rows) at once. Obtained from `Session::ExecuteCursor` or
+/// `PreparedStatement::ExecuteCursor`:
+///
+/// \code
+///   auto cursor = session.ExecuteCursor("SELECT user, location FROM pings");
+///   CursorRow row;
+///   while (true) {
+///     auto more = (*cursor)->Next(&row);
+///     if (!more.ok() || !*more) break;
+///     Consume(row);
+///   }
+/// \endcode
+///
+/// Isolation is snapshot-per-batch: rows inserted, deleted or degraded
+/// while the cursor is open may or may not be observed (never torn), and a
+/// row physically relocated by a concurrent update can be missed or seen
+/// twice. Materialized reads through `Session::Execute` are not subject to
+/// this — they drain with a single-latch scan. Aggregate/GROUP BY
+/// statements are supported but buffer their (small) aggregated result
+/// before streaming it.
+class Cursor {
+ public:
+  ~Cursor();
+  Cursor(const Cursor&) = delete;
+  Cursor& operator=(const Cursor&) = delete;
+
+  /// Output column names, available immediately after open.
+  const std::vector<std::string>& columns() const;
+
+  /// Pulls the next row into `*out`. Returns true when a row was produced,
+  /// false at end of stream. Calling Next after the end (or after Close)
+  /// keeps returning false.
+  Result<bool> Next(CursorRow* out);
+
+  /// Releases pipeline resources early; Next returns false afterwards.
+  /// Also run by the destructor.
+  void Close();
+
+  /// Rows handed out so far.
+  uint64_t rows_returned() const;
+
+  /// Opens the pipeline for one parsed statement (SELECT streams; other
+  /// statements execute eagerly and stream their result rows). Most callers
+  /// use `Session::ExecuteCursor(sql)` instead.
+  ///
+  /// `scan_batch_rows` bounds how many rows one heap-scan batch assembles
+  /// under the table's shared latch. The streaming default (0) keeps memory
+  /// bounded; `Session::Execute` drains with SIZE_MAX, which runs the whole
+  /// scan under one latch and keeps the pre-cursor executor's
+  /// single-snapshot read consistency.
+  static Result<std::unique_ptr<Cursor>> Open(Session* session,
+                                              const StatementAst& statement,
+                                              size_t scan_batch_rows = 0);
+
+ private:
+  struct Impl;
+  explicit Cursor(std::unique_ptr<Impl> impl);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_QUERY_CURSOR_H_

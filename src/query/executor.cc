@@ -1,507 +1,49 @@
 #include "query/executor.h"
 
-#include <algorithm>
-#include <cctype>
-#include <climits>
+#include <cstdint>
 #include <map>
-#include <set>
 
 #include "common/strings.h"
+#include "query/cursor.h"
+#include "query/plan.h"
 
 namespace instantdb {
 
 namespace {
 
-/// A WHERE conjunct after binding: resolved column, effective accuracy
-/// level, and (for degradable columns) the literal normalized to a
-/// hierarchy node with its leaf interval.
-struct BoundPredicate {
-  int column = -1;
-  bool degradable = false;
-  int level = 0;  // accuracy k of this column under the active purpose
-  ComparisonOp op = ComparisonOp::kEq;
-  Value value;
-  Value value2;
-
-  // Degradable Eq/Like-as-label/Between: literal as hierarchy node.
-  int literal_level = -1;
-  LeafInterval literal_interval;
-  LeafInterval literal_interval2;  // BETWEEN upper bound
-  bool index_usable = false;
-
-  // Unresolved LIKE: case-insensitive substring match flags.
-  std::string like_core;
-  bool like_prefix_wildcard = false;  // pattern starts with %
-  bool like_suffix_wildcard = false;  // pattern ends with %
-};
-
-struct BoundQuery {
-  Table* table = nullptr;
-  std::vector<BoundPredicate> predicates;
-  /// Accuracy per referenced degradable column index.
-  std::map<int, int> accuracy;
-  /// Referenced degradable column indexes (projection + predicates).
-  std::set<int> referenced_degradable;
-};
-
-bool ContainsIgnoreCase(const std::string& haystack,
-                        const std::string& needle) {
-  if (needle.empty()) return true;
-  auto it = std::search(haystack.begin(), haystack.end(), needle.begin(),
-                        needle.end(), [](char a, char b) {
-                          return std::toupper(static_cast<unsigned char>(a)) ==
-                                 std::toupper(static_cast<unsigned char>(b));
-                        });
-  return it != haystack.end();
-}
-
-bool MatchLike(const std::string& text, const BoundPredicate& pred) {
-  const std::string& core = pred.like_core;
-  if (pred.like_prefix_wildcard && pred.like_suffix_wildcard) {
-    return ContainsIgnoreCase(text, core);
-  }
-  if (pred.like_prefix_wildcard) {  // %core — suffix match
-    return text.size() >= core.size() &&
-           EqualsIgnoreCase(text.substr(text.size() - core.size()), core);
-  }
-  if (pred.like_suffix_wildcard) {  // core% — prefix match
-    return text.size() >= core.size() &&
-           EqualsIgnoreCase(text.substr(0, core.size()), core);
-  }
-  return EqualsIgnoreCase(text, core);
-}
-
-/// Finds the level of a literal value in a hierarchy (tree labels can sit at
-/// any level; interval bucket bounds at several — prefer the leaf).
-Result<int> LiteralLevel(const DomainHierarchy& hierarchy, const Value& value) {
-  for (int level = 0; level < hierarchy.height(); ++level) {
-    if (hierarchy.ValidateAtLevel(value, level).ok()) return level;
-  }
-  return Status::InvalidArgument("literal '" + value.ToString() +
-                                 "' is not a value of domain " +
-                                 hierarchy.name());
-}
-
-/// Case-insensitive label lookup across all levels of a tree domain (the
-/// paper's `LIKE "%FRANCE%"` names the node "France").
-Result<std::pair<Value, int>> ResolveLabel(const DomainHierarchy& hierarchy,
-                                           const std::string& label) {
-  const auto* tree = dynamic_cast<const GeneralizationTree*>(&hierarchy);
-  if (tree == nullptr) {
-    return Status::NotFound("not a tree domain");
-  }
-  for (int level = 0; level < tree->height(); ++level) {
-    for (const std::string& candidate : tree->LabelsAtLevel(level)) {
-      if (EqualsIgnoreCase(candidate, label)) {
-        return std::make_pair(Value::String(candidate), level);
-      }
-    }
-  }
-  return Status::NotFound("no label '" + label + "' in domain " +
-                          hierarchy.name());
-}
-
-/// Parses the paper's bucket literal syntax 'lo-hi' for interval domains.
-bool ParseBucketLiteral(const std::string& text, int64_t* lo, int64_t* hi) {
-  const size_t dash = text.find('-', 1);
-  if (dash == std::string::npos) return false;
-  char* end = nullptr;
-  *lo = std::strtoll(text.c_str(), &end, 10);
-  if (end != text.c_str() + dash) return false;
-  *hi = std::strtoll(text.c_str() + dash + 1, &end, 10);
-  return *end == '\0';
-}
-
-Status BindPredicate(const Schema& schema, Session* session, TableId table_id,
-                     const PredicateAst& ast, BoundPredicate* out) {
-  out->column = ResolveColumnName(schema, ast.column);
-  if (out->column < 0) {
-    return Status::InvalidArgument("unknown column: " + ast.column);
-  }
-  const ColumnDef& column = schema.column(out->column);
-  out->degradable = column.kind == ColumnKind::kDegradable;
-  out->op = ast.op;
-  out->value = ast.value;
-  out->value2 = ast.value2;
-  if (!out->degradable) {
-    if (ast.op == ComparisonOp::kLike) {
-      std::string pattern = ast.value.str();
-      out->like_prefix_wildcard = StartsWith(pattern, "%");
-      out->like_suffix_wildcard = EndsWith(pattern, "%") && pattern.size() > 1;
-      if (out->like_prefix_wildcard) pattern.erase(0, 1);
-      if (out->like_suffix_wildcard && !pattern.empty()) pattern.pop_back();
-      out->like_core = pattern;
-    }
-    return Status::OK();
-  }
-
-  const DomainHierarchy& hierarchy = *column.hierarchy;
-  out->level = session->AccuracyFor(table_id, out->column);
-
-  switch (ast.op) {
-    case ComparisonOp::kEq:
-    case ComparisonOp::kNe: {
-      Value literal = ast.value;
-      if (hierarchy.value_type() == ValueType::kInt64 &&
-          literal.type() == ValueType::kString) {
-        // '2000-3000' bucket syntax: the width names the level.
-        int64_t lo, hi;
-        if (!ParseBucketLiteral(literal.str(), &lo, &hi)) {
-          return Status::InvalidArgument("bad bucket literal: " +
-                                         literal.str());
-        }
-        const auto* interval =
-            static_cast<const IntervalHierarchy*>(&hierarchy);
-        IDB_ASSIGN_OR_RETURN(out->literal_level,
-                             interval->LevelForWidth(hi - lo));
-        literal = Value::Int64(lo);
-      } else {
-        IDB_ASSIGN_OR_RETURN(out->literal_level,
-                             LiteralLevel(hierarchy, literal));
-      }
-      IDB_ASSIGN_OR_RETURN(out->literal_interval,
-                           hierarchy.LeafRange(literal, out->literal_level));
-      out->value = literal;
-      out->index_usable = ast.op == ComparisonOp::kEq;
-      return Status::OK();
-    }
-    case ComparisonOp::kLike: {
-      std::string pattern = ast.value.str();
-      out->like_prefix_wildcard = StartsWith(pattern, "%");
-      out->like_suffix_wildcard = EndsWith(pattern, "%") && pattern.size() > 1;
-      if (out->like_prefix_wildcard) pattern.erase(0, 1);
-      if (out->like_suffix_wildcard && !pattern.empty()) pattern.pop_back();
-      out->like_core = pattern;
-      // `%France%` resolves to the France node: evaluated (and indexed) as
-      // an equality against that node's subtree.
-      auto label = ResolveLabel(hierarchy, pattern);
-      if (label.ok()) {
-        out->value = label->first;
-        out->literal_level = label->second;
-        auto interval = hierarchy.LeafRange(label->first, label->second);
-        if (interval.ok()) {
-          out->literal_interval = *interval;
-          out->index_usable = true;
-        }
-      }
-      return Status::OK();
-    }
-    case ComparisonOp::kBetween: {
-      if (hierarchy.value_type() != ValueType::kInt64) {
-        return Status::NotSupported("BETWEEN on categorical domains");
-      }
-      if (ast.value.type() != ValueType::kInt64 ||
-          ast.value2.type() != ValueType::kInt64) {
-        return Status::InvalidArgument("BETWEEN bounds must be integers");
-      }
-      // Bounds generalize to the demanded level's buckets.
-      IDB_ASSIGN_OR_RETURN(Value lo,
-                           hierarchy.Generalize(ast.value, 0, out->level));
-      IDB_ASSIGN_OR_RETURN(Value hi,
-                           hierarchy.Generalize(ast.value2, 0, out->level));
-      out->value = lo;
-      out->value2 = hi;
-      out->literal_level = out->level;
-      IDB_ASSIGN_OR_RETURN(out->literal_interval,
-                           hierarchy.LeafRange(lo, out->level));
-      IDB_ASSIGN_OR_RETURN(out->literal_interval2,
-                           hierarchy.LeafRange(hi, out->level));
-      out->index_usable = true;
-      return Status::OK();
-    }
-    case ComparisonOp::kLt:
-    case ComparisonOp::kLe:
-    case ComparisonOp::kGt:
-    case ComparisonOp::kGe: {
-      if (hierarchy.value_type() != ValueType::kInt64) {
-        return Status::NotSupported("ordering predicates on categorical domains");
-      }
-      if (ast.value.type() != ValueType::kInt64) {
-        return Status::InvalidArgument("ordering literal must be an integer");
-      }
-      return Status::OK();
-    }
-  }
-  return Status::OK();
-}
-
-/// Evaluates one bound predicate against a value already generalized to
-/// `value_level` (== min(k, stored level) under include_coarser).
-bool EvalDegradablePredicate(const DomainHierarchy& hierarchy,
-                             const BoundPredicate& pred, const Value& value,
-                             int value_level) {
-  switch (pred.op) {
-    case ComparisonOp::kEq:
-    case ComparisonOp::kNe: {
-      auto row_interval = hierarchy.LeafRange(value, value_level);
-      if (!row_interval.ok()) return false;
-      const bool contains = pred.literal_interval.Contains(*row_interval);
-      return pred.op == ComparisonOp::kEq ? contains : !contains;
-    }
-    case ComparisonOp::kLike: {
-      if (pred.literal_level >= 0) {
-        auto row_interval = hierarchy.LeafRange(value, value_level);
-        return row_interval.ok() &&
-               pred.literal_interval.Contains(*row_interval);
-      }
-      return MatchLike(hierarchy.DisplayValue(value, value_level), pred);
-    }
-    case ComparisonOp::kBetween: {
-      auto row_interval = hierarchy.LeafRange(value, value_level);
-      if (!row_interval.ok()) return false;
-      return row_interval->lo >= pred.literal_interval.lo &&
-             row_interval->hi <= pred.literal_interval2.hi;
-    }
-    case ComparisonOp::kLt:
-      return value.int64() < pred.value.int64();
-    case ComparisonOp::kLe:
-      return value.int64() <= pred.value.int64();
-    case ComparisonOp::kGt:
-      // Bucket lower-bound comparison: a bucket qualifies when it lies
-      // entirely above the literal is too strict for coarse levels; we
-      // compare lower bounds (documented choice).
-      return value.int64() > pred.value.int64();
-    case ComparisonOp::kGe:
-      return value.int64() >= pred.value.int64();
-  }
-  return false;
-}
-
-bool EvalStablePredicate(const BoundPredicate& pred, const Value& value) {
-  if (value.is_null()) return false;
-  switch (pred.op) {
-    case ComparisonOp::kEq:
-      return value == pred.value;
-    case ComparisonOp::kNe:
-      return !(value == pred.value);
-    case ComparisonOp::kLt:
-      return value.Compare(pred.value) < 0;
-    case ComparisonOp::kLe:
-      return value.Compare(pred.value) <= 0;
-    case ComparisonOp::kGt:
-      return value.Compare(pred.value) > 0;
-    case ComparisonOp::kGe:
-      return value.Compare(pred.value) >= 0;
-    case ComparisonOp::kBetween:
-      return value.Compare(pred.value) >= 0 && value.Compare(pred.value2) <= 0;
-    case ComparisonOp::kLike:
-      return value.type() == ValueType::kString && MatchLike(value.str(), pred);
-  }
-  return false;
-}
-
-/// One materialized output row: schema-ordered values at purpose accuracy,
-/// plus the effective level of each degradable column (for display).
-struct EvaluatedRow {
-  RowId row_id = kInvalidRowId;
-  std::vector<Value> values;
-  std::map<int, int> degradable_level;  // column -> rendered level
-};
-
-/// Applies computability + f_k + σ_P to one stored row.
-/// Returns true and fills `out` when the row qualifies.
-bool EvaluateRow(const BoundQuery& query, const ReadOptions& read_options,
-                 const RowView& view, EvaluatedRow* out) {
-  const Schema& schema = query.table->schema();
-  out->row_id = view.row_id;
-  out->values = view.values;
-  out->degradable_level.clear();
-
-  // Computability (σ over ∪_{j≤k} ST_j) and f_k generalization.
-  for (int col : query.referenced_degradable) {
-    const ColumnDef& column = schema.column(col);
-    const int ordinal = schema.DegradableOrdinal(col);
-    const int phase = view.phases[ordinal];
-    const int k = query.accuracy.at(col);
-    if (phase >= column.lcp.num_phases()) {
-      return false;  // value removed (⊥): never computable
-    }
-    const int stored_level = column.lcp.phase(phase).level;
-    if (stored_level > k && !read_options.include_coarser) {
-      return false;  // coarser than demanded: not in any ST_{j<=k}
-    }
-    const int target_level = std::max(stored_level, k);
-    Value vk = view.values[col];
-    if (stored_level < target_level) {
-      auto generalized = column.hierarchy->Generalize(vk, stored_level,
-                                                      target_level);
-      if (!generalized.ok()) return false;
-      vk = *generalized;
-    }
-    out->values[col] = vk;
-    out->degradable_level[col] = target_level;
-  }
-
-  // σ_P over the generalized image.
-  for (const BoundPredicate& pred : query.predicates) {
-    const ColumnDef& column = schema.column(pred.column);
-    if (pred.degradable) {
-      const int level = out->degradable_level.at(pred.column);
-      if (!EvalDegradablePredicate(*column.hierarchy, pred,
-                                   out->values[pred.column], level)) {
-        return false;
-      }
-    } else {
-      if (!EvalStablePredicate(pred, out->values[pred.column])) return false;
-    }
-  }
-  return true;
-}
-
-/// Collects qualifying rows, via the multi-resolution index when a usable
-/// predicate exists, else by heap scan.
-Status CollectRows(Session* session, const BoundQuery& query,
-                   std::vector<EvaluatedRow>* out) {
-  const ReadOptions& read_options = session->read_options();
-  const BoundPredicate* index_pred = nullptr;
-  if (session->use_indexes() && !read_options.include_coarser) {
-    for (const BoundPredicate& pred : query.predicates) {
-      if (pred.degradable && pred.index_usable) {
-        index_pred = &pred;
-        break;
-      }
-    }
-  }
-  if (index_pred != nullptr) {
-    std::vector<RowId> rids;
-    if (index_pred->op == ComparisonOp::kBetween) {
-      IDB_RETURN_IF_ERROR(query.table->IndexLookupRange(
-          index_pred->column, index_pred->value, index_pred->value2,
-          index_pred->level, &rids));
-    } else {
-      // Equality / label-LIKE: probe at the literal's own level so every
-      // computable phase tree is visited.
-      IDB_RETURN_IF_ERROR(query.table->IndexLookupEqual(
-          index_pred->column, index_pred->value,
-          std::max(index_pred->literal_level, index_pred->level), &rids));
-    }
-    std::sort(rids.begin(), rids.end());
-    for (RowId rid : rids) {
-      IDB_ASSIGN_OR_RETURN(auto view, query.table->GetRow(rid));
-      if (!view.has_value()) continue;
-      EvaluatedRow row;
-      if (EvaluateRow(query, read_options, *view, &row)) {
-        out->push_back(std::move(row));
-      }
-    }
-    return Status::OK();
-  }
-  return query.table->ScanRows([&](const RowView& view) {
-    EvaluatedRow row;
-    if (EvaluateRow(query, read_options, view, &row)) {
-      out->push_back(std::move(row));
-    }
-    return true;
-  });
-}
-
-std::string RenderValue(const Schema& schema, int col, const Value& value,
-                        const std::map<int, int>& levels) {
-  const ColumnDef& column = schema.column(col);
-  if (value.is_null()) return "NULL";
-  if (column.kind == ColumnKind::kDegradable) {
-    auto it = levels.find(col);
-    const int level = it == levels.end() ? 0 : it->second;
-    return column.hierarchy->DisplayValue(value, level);
-  }
-  return value.ToString();
-}
-
-Result<BoundQuery> BindQuery(Session* session, const std::string& table_name,
-                             const std::vector<PredicateAst>& where,
-                             const std::vector<int>& projected_columns) {
-  BoundQuery query;
-  const TableDef* def = ResolveTableName(session->db()->catalog(), table_name,
-                                         /*allow_prefix=*/false);
-  if (def == nullptr) {
-    return Status::NotFound("no such table: " + table_name);
-  }
-  query.table = session->db()->GetTable(def->id);
-  const Schema& schema = query.table->schema();
-
-  for (const PredicateAst& ast : where) {
-    BoundPredicate pred;
-    IDB_RETURN_IF_ERROR(
-        BindPredicate(schema, session, def->id, ast, &pred));
-    if (pred.degradable) {
-      query.referenced_degradable.insert(pred.column);
-      query.accuracy[pred.column] = pred.level;
-    }
-    query.predicates.push_back(std::move(pred));
-  }
-  for (int col : projected_columns) {
-    if (schema.column(col).kind == ColumnKind::kDegradable) {
-      query.referenced_degradable.insert(col);
-      query.accuracy[col] = session->AccuracyFor(def->id, col);
-    }
-  }
-  return query;
-}
-
-// --- statement execution ------------------------------------------------------------
-
-Result<QueryResult> ExecuteSelect(Session* session, const SelectAst& ast) {
-  const Schema* schema = nullptr;
-  // Resolve projection column indexes first (needed by the binder).
-  {
-    const TableDef* def = ResolveTableName(session->db()->catalog(), ast.table,
-                                           /*allow_prefix=*/false);
-    if (def == nullptr) return Status::NotFound("no such table: " + ast.table);
-    schema = &def->schema;
-  }
-
-  std::vector<SelectItem> items = ast.items;
-  if (ast.star) {
-    for (int i = 0; i < schema->num_columns(); ++i) {
-      items.push_back(SelectItem{AggregateKind::kNone, schema->column(i).name});
-    }
-  }
-  std::vector<int> projected;
-  bool has_aggregate = false;
-  for (const SelectItem& item : items) {
-    if (item.aggregate != AggregateKind::kNone) has_aggregate = true;
-    if (!item.column.empty()) {
-      const int col = ResolveColumnName(*schema, item.column);
-      if (col < 0) return Status::InvalidArgument("unknown column: " + item.column);
-      projected.push_back(col);
-    }
-  }
-  int group_col = -1;
-  if (!ast.group_by.empty()) {
-    group_col = ResolveColumnName(*schema, ast.group_by);
-    if (group_col < 0) {
-      return Status::InvalidArgument("unknown column: " + ast.group_by);
-    }
-    projected.push_back(group_col);
-    has_aggregate = true;
-  }
-
-  IDB_ASSIGN_OR_RETURN(BoundQuery query,
-                       BindQuery(session, ast.table, ast.where, projected));
-  std::vector<EvaluatedRow> rows;
-  IDB_RETURN_IF_ERROR(CollectRows(session, query, &rows));
-
+/// SELECT: open the cursor pipeline (streaming for plain selects, buffered
+/// for aggregates — Cursor::Open plans once and dispatches) and drain it.
+/// This keeps Execute and ExecuteCursor behaviorally identical — Execute is
+/// just "drain into a QueryResult".
+Result<QueryResult> DrainSelectCursor(Session* session,
+                                      const StatementAst& statement) {
+  // SIZE_MAX batch: the whole heap scan runs under one shared latch, so a
+  // materialized Execute keeps the pre-cursor single-snapshot semantics.
+  IDB_ASSIGN_OR_RETURN(std::unique_ptr<Cursor> cursor,
+                       Cursor::Open(session, statement, SIZE_MAX));
   QueryResult result;
-  if (!has_aggregate) {
-    for (const SelectItem& item : items) {
-      result.columns.push_back(item.column);
-    }
-    for (const EvaluatedRow& row : rows) {
-      std::vector<Value> out;
-      std::vector<std::string> rendered;
-      for (const SelectItem& item : items) {
-        const int col = ResolveColumnName(*schema, item.column);
-        out.push_back(row.values[col]);
-        rendered.push_back(RenderValue(*schema, col, row.values[col],
-                                       row.degradable_level));
-      }
-      result.rows.push_back(std::move(out));
-      result.display.push_back(std::move(rendered));
-    }
-    return result;
+  result.columns = cursor->columns();
+  CursorRow row;
+  while (true) {
+    IDB_ASSIGN_OR_RETURN(const bool more, cursor->Next(&row));
+    if (!more) break;
+    result.rows.push_back(std::move(row.values));
+    result.display.push_back(std::move(row.display));
   }
+  result.affected_rows = result.rows.size();
+  return result;
+}
 
-  // Aggregation (optionally grouped by one column).
+}  // namespace
+
+/// Aggregation (optionally grouped by one column), pulling evaluated rows
+/// straight from the scan → σ source: no intermediate materialization of
+/// the qualifying set.
+Result<QueryResult> ExecuteAggregate(Session* session,
+                                     const plan::SelectPlan& select) {
+  const Schema& schema = *select.schema;
+  const auto& items = select.items;
+
   struct AggState {
     Value group_value;
     std::map<int, int> group_levels;
@@ -511,11 +53,18 @@ Result<QueryResult> ExecuteSelect(Session* session, const SelectAst& ast) {
     std::vector<uint64_t> non_null;
   };
   std::map<std::string, AggState> groups;
-  for (const EvaluatedRow& row : rows) {
+
+  IDB_ASSIGN_OR_RETURN(std::unique_ptr<plan::RowSource> source,
+                       plan::MakeRowSource(session, select.query, SIZE_MAX));
+  plan::EvaluatedRow row;
+  while (true) {
+    IDB_ASSIGN_OR_RETURN(const bool more, source->Next(&row));
+    if (!more) break;
     std::string key = "*";
-    if (group_col >= 0) {
-      key = RenderValue(*schema, group_col, row.values[group_col],
-                        row.degradable_level);
+    if (select.group_col >= 0) {
+      key = plan::RenderValue(schema, select.group_col,
+                              row.values[select.group_col],
+                              row.degradable_level);
     }
     AggState& state = groups[key];
     if (state.count == 0) {
@@ -523,18 +72,18 @@ Result<QueryResult> ExecuteSelect(Session* session, const SelectAst& ast) {
       state.mins.assign(items.size(), Value::Null());
       state.maxs.assign(items.size(), Value::Null());
       state.non_null.assign(items.size(), 0);
-      if (group_col >= 0) {
-        state.group_value = row.values[group_col];
+      if (select.group_col >= 0) {
+        state.group_value = row.values[select.group_col];
         state.group_levels = row.degradable_level;
       }
     }
     ++state.count;
     for (size_t i = 0; i < items.size(); ++i) {
-      if (items[i].aggregate == AggregateKind::kNone || items[i].column.empty()) {
+      if (items[i].aggregate == AggregateKind::kNone ||
+          items[i].column.empty()) {
         continue;
       }
-      const int col = ResolveColumnName(*schema, items[i].column);
-      const Value& v = row.values[col];
+      const Value& v = row.values[select.item_columns[i]];
       if (v.is_null()) continue;
       ++state.non_null[i];
       if (v.type() == ValueType::kInt64 || v.type() == ValueType::kTimestamp) {
@@ -551,29 +100,8 @@ Result<QueryResult> ExecuteSelect(Session* session, const SelectAst& ast) {
     }
   }
 
-  for (const SelectItem& item : items) {
-    switch (item.aggregate) {
-      case AggregateKind::kNone:
-        result.columns.push_back(item.column);
-        break;
-      case AggregateKind::kCount:
-        result.columns.push_back(
-            item.column.empty() ? "COUNT(*)" : "COUNT(" + item.column + ")");
-        break;
-      case AggregateKind::kSum:
-        result.columns.push_back("SUM(" + item.column + ")");
-        break;
-      case AggregateKind::kAvg:
-        result.columns.push_back("AVG(" + item.column + ")");
-        break;
-      case AggregateKind::kMin:
-        result.columns.push_back("MIN(" + item.column + ")");
-        break;
-      case AggregateKind::kMax:
-        result.columns.push_back("MAX(" + item.column + ")");
-        break;
-    }
-  }
+  QueryResult result;
+  result.columns = select.output_columns;
   for (auto& [key, state] : groups) {
     std::vector<Value> out;
     std::vector<std::string> rendered;
@@ -581,8 +109,7 @@ Result<QueryResult> ExecuteSelect(Session* session, const SelectAst& ast) {
       const SelectItem& item = items[i];
       switch (item.aggregate) {
         case AggregateKind::kNone: {
-          const int col = ResolveColumnName(*schema, item.column);
-          if (col != group_col) {
+          if (select.item_columns[i] != select.group_col) {
             return Status::InvalidArgument(
                 "non-aggregate column must be the GROUP BY column");
           }
@@ -602,10 +129,10 @@ Result<QueryResult> ExecuteSelect(Session* session, const SelectAst& ast) {
           rendered.push_back(StringPrintf("%.6g", state.sums[i]));
           break;
         case AggregateKind::kAvg: {
-          const double avg = state.non_null[i] == 0
-                                 ? 0
-                                 : state.sums[i] /
-                                       static_cast<double>(state.non_null[i]);
+          const double avg =
+              state.non_null[i] == 0
+                  ? 0
+                  : state.sums[i] / static_cast<double>(state.non_null[i]);
           out.push_back(Value::Double(avg));
           rendered.push_back(StringPrintf("%.6g", avg));
           break;
@@ -623,8 +150,11 @@ Result<QueryResult> ExecuteSelect(Session* session, const SelectAst& ast) {
     result.rows.push_back(std::move(out));
     result.display.push_back(std::move(rendered));
   }
+  result.affected_rows = result.rows.size();
   return result;
 }
+
+namespace {
 
 Result<QueryResult> ExecuteInsert(Session* session, const InsertAst& ast) {
   const TableDef* def = ResolveTableName(session->db()->catalog(), ast.table,
@@ -632,7 +162,8 @@ Result<QueryResult> ExecuteInsert(Session* session, const InsertAst& ast) {
   if (def == nullptr) return Status::NotFound("no such table: " + ast.table);
   std::vector<Value> row = ast.values;
   // Coerce integer literals into timestamp columns.
-  for (size_t i = 0; i < row.size() && i < static_cast<size_t>(def->schema.num_columns());
+  for (size_t i = 0;
+       i < row.size() && i < static_cast<size_t>(def->schema.num_columns());
        ++i) {
     if (def->schema.column(static_cast<int>(i)).type == ValueType::kTimestamp &&
         row[i].type() == ValueType::kInt64) {
@@ -643,28 +174,40 @@ Result<QueryResult> ExecuteInsert(Session* session, const InsertAst& ast) {
   QueryResult result;
   result.affected_rows = 1;
   result.last_insert_id = row_id;
+  result.statement = StatementKind::kInsert;
   return result;
 }
 
 Result<QueryResult> ExecuteDelete(Session* session, const DeleteAst& ast) {
-  IDB_ASSIGN_OR_RETURN(BoundQuery query,
-                       BindQuery(session, ast.table, ast.where, {}));
-  std::vector<EvaluatedRow> rows;
-  IDB_RETURN_IF_ERROR(CollectRows(session, query, &rows));
+  IDB_ASSIGN_OR_RETURN(plan::BoundQuery query,
+                       plan::BindQuery(session, ast.table, ast.where, {}));
 
   // View-style delete (paper §II): the predicate selects at the session's
   // accuracy; the delete removes both stable and degradable parts.
+  IDB_ASSIGN_OR_RETURN(std::unique_ptr<plan::RowSource> source,
+                       plan::MakeRowSource(session, query, SIZE_MAX));
   auto txn = session->db()->Begin();
-  for (const EvaluatedRow& row : rows) {
+  uint64_t deleted = 0;
+  plan::EvaluatedRow row;
+  while (true) {
+    auto more = source->Next(&row);
+    if (!more.ok()) {
+      session->db()->Abort(txn.get());
+      return more.status();
+    }
+    if (!*more) break;
     const Status status = query.table->Delete(txn.get(), row.row_id);
-    if (!status.ok() && !status.IsNotFound()) {
+    if (status.ok()) {
+      ++deleted;
+    } else if (!status.IsNotFound()) {
       session->db()->Abort(txn.get());
       return status;
     }
   }
   IDB_RETURN_IF_ERROR(session->db()->Commit(txn.get()));
   QueryResult result;
-  result.affected_rows = rows.size();
+  result.affected_rows = deleted;
+  result.statement = StatementKind::kDelete;
   return result;
 }
 
@@ -672,8 +215,8 @@ Result<QueryResult> ExecuteDelete(Session* session, const DeleteAst& ast) {
 
 Result<QueryResult> ExecuteStatement(Session* session,
                                      const StatementAst& statement) {
-  if (const auto* select = std::get_if<SelectAst>(&statement)) {
-    return ExecuteSelect(session, *select);
+  if (std::get_if<SelectAst>(&statement) != nullptr) {
+    return DrainSelectCursor(session, statement);
   }
   if (const auto* insert = std::get_if<InsertAst>(&statement)) {
     return ExecuteInsert(session, *insert);
@@ -682,12 +225,17 @@ Result<QueryResult> ExecuteStatement(Session* session,
     return ExecuteDelete(session, *del);
   }
   if (const auto* declare = std::get_if<DeclarePurposeAst>(&statement)) {
-    IDB_RETURN_IF_ERROR(session->DeclarePurpose(declare->name, declare->clauses));
-    return QueryResult{};
+    IDB_RETURN_IF_ERROR(
+        session->DeclarePurpose(declare->name, declare->clauses));
+    QueryResult result;
+    result.statement = StatementKind::kCommand;
+    return result;
   }
   if (const auto* use = std::get_if<UsePurposeAst>(&statement)) {
     IDB_RETURN_IF_ERROR(session->UsePurpose(use->name));
-    return QueryResult{};
+    QueryResult result;
+    result.statement = StatementKind::kCommand;
+    return result;
   }
   return Status::NotSupported("unhandled statement kind");
 }

@@ -2,6 +2,7 @@
 #define INSTANTDB_QUERY_EXECUTOR_H_
 
 #include "query/ast.h"
+#include "query/plan.h"
 #include "query/session.h"
 
 namespace instantdb {
@@ -23,6 +24,12 @@ namespace instantdb {
 /// session allows indexes; everything else falls back to a heap scan.
 Result<QueryResult> ExecuteStatement(Session* session,
                                      const StatementAst& statement);
+
+/// Internal plumbing shared with the cursor layer: runs the aggregation /
+/// GROUP BY pipeline over an already-bound SELECT plan (so each statement
+/// is planned exactly once, whichever entry point it came through).
+Result<QueryResult> ExecuteAggregate(Session* session,
+                                     const plan::SelectPlan& select);
 
 }  // namespace instantdb
 

@@ -79,7 +79,7 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
       token.type = TokenType::kSymbol;
       token.text = ">=";
       i += 2;
-    } else if (std::strchr("=<>(),.*;", c) != nullptr) {
+    } else if (std::strchr("=<>(),.*;?", c) != nullptr) {
       token.type = TokenType::kSymbol;
       token.text = std::string(1, c);
       ++i;

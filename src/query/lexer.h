@@ -12,7 +12,7 @@ enum class TokenType : uint8_t {
   kIdentifier,  // bare word (keywords are identifiers; parser matches them)
   kNumber,      // integer or decimal literal
   kString,      // '...'-quoted
-  kSymbol,      // one of  = <> < <= > >= ( ) , . *
+  kSymbol,      // one of  = <> < <= > >= ( ) , . * ?
   kEnd,
 };
 

@@ -1,5 +1,6 @@
 #include "query/parser.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/strings.h"
@@ -85,6 +86,18 @@ class Parser {
     return Error("expected a literal");
   }
 
+  /// A literal, or a `?` parameter marker. Markers are numbered 0-based in
+  /// order of appearance; `*param` receives the ordinal (-1 for a literal)
+  /// and the returned Value is a NULL placeholder until binding.
+  Result<Value> ParseLiteralOrParam(int* param) {
+    if (MatchSymbol("?")) {
+      *param = num_params_++;
+      return Value::Null();
+    }
+    *param = -1;
+    return ParseLiteral();
+  }
+
   Result<StatementAst> ParseDeclarePurpose() {
     IDB_RETURN_IF_ERROR(ExpectKeyword("PURPOSE"));
     DeclarePurposeAst ast;
@@ -149,15 +162,15 @@ class Parser {
       IDB_ASSIGN_OR_RETURN(pred.column, ExpectIdentifier("column"));
       if (MatchKeyword("LIKE")) {
         pred.op = ComparisonOp::kLike;
-        IDB_ASSIGN_OR_RETURN(pred.value, ParseLiteral());
-        if (pred.value.type() != ValueType::kString) {
+        IDB_ASSIGN_OR_RETURN(pred.value, ParseLiteralOrParam(&pred.param));
+        if (pred.param < 0 && pred.value.type() != ValueType::kString) {
           return Error("LIKE needs a string pattern");
         }
       } else if (MatchKeyword("BETWEEN")) {
         pred.op = ComparisonOp::kBetween;
-        IDB_ASSIGN_OR_RETURN(pred.value, ParseLiteral());
+        IDB_ASSIGN_OR_RETURN(pred.value, ParseLiteralOrParam(&pred.param));
         IDB_RETURN_IF_ERROR(ExpectKeyword("AND"));
-        IDB_ASSIGN_OR_RETURN(pred.value2, ParseLiteral());
+        IDB_ASSIGN_OR_RETURN(pred.value2, ParseLiteralOrParam(&pred.param2));
       } else if (Peek().Is(TokenType::kSymbol)) {
         const std::string op = Advance().text;
         if (op == "=") {
@@ -175,7 +188,7 @@ class Parser {
         } else {
           return Error("unknown comparison operator");
         }
-        IDB_ASSIGN_OR_RETURN(pred.value, ParseLiteral());
+        IDB_ASSIGN_OR_RETURN(pred.value, ParseLiteralOrParam(&pred.param));
       } else {
         return Error("expected comparison operator");
       }
@@ -214,8 +227,10 @@ class Parser {
     IDB_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
     IDB_RETURN_IF_ERROR(ExpectSymbol("("));
     do {
-      IDB_ASSIGN_OR_RETURN(Value value, ParseLiteral());
+      int param = -1;
+      IDB_ASSIGN_OR_RETURN(Value value, ParseLiteralOrParam(&param));
       ast.values.push_back(std::move(value));
+      ast.params.push_back(param);
     } while (MatchSymbol(","));
     IDB_RETURN_IF_ERROR(ExpectSymbol(")"));
     IDB_RETURN_IF_ERROR(ExpectEnd());
@@ -240,6 +255,7 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int num_params_ = 0;
 };
 
 }  // namespace
@@ -248,6 +264,23 @@ Result<StatementAst> ParseStatement(const std::string& sql) {
   IDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens));
   return parser.Parse();
+}
+
+int CountParameters(const StatementAst& statement) {
+  int max_ordinal = -1;
+  auto visit_predicates = [&](const std::vector<PredicateAst>& where) {
+    for (const PredicateAst& pred : where) {
+      max_ordinal = std::max({max_ordinal, pred.param, pred.param2});
+    }
+  };
+  if (const auto* select = std::get_if<SelectAst>(&statement)) {
+    visit_predicates(select->where);
+  } else if (const auto* insert = std::get_if<InsertAst>(&statement)) {
+    for (int param : insert->params) max_ordinal = std::max(max_ordinal, param);
+  } else if (const auto* del = std::get_if<DeleteAst>(&statement)) {
+    visit_predicates(del->where);
+  }
+  return max_ordinal + 1;
 }
 
 }  // namespace instantdb

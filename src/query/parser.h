@@ -16,10 +16,11 @@ namespace instantdb {
 ///   SELECT * | item{,item} FROM <t> [WHERE pred {AND pred}]
 ///                          [GROUP BY <col>]
 ///     item  ::= <col> | COUNT(*) | COUNT|SUM|AVG|MIN|MAX(<col>)
-///     pred  ::= <col> (=|<>|<|<=|>|>=) literal
+///     pred  ::= <col> (=|<>|<|<=|>|>=) lit
 ///             | <col> LIKE 'pattern'        -- % at either end
 ///             | <col> BETWEEN lit AND lit
-///   INSERT INTO <t> VALUES (literal {, literal})
+///     lit   ::= literal | ?                 -- ? = PreparedStatement param
+///   INSERT INTO <t> VALUES (lit {, lit})
 ///   DELETE FROM <t> [WHERE pred {AND pred}]
 ///
 /// This covers the paper's §II examples verbatim, e.g.:

@@ -1,0 +1,562 @@
+#include "query/plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace instantdb {
+namespace plan {
+
+namespace {
+
+bool ContainsIgnoreCase(const std::string& haystack,
+                        const std::string& needle) {
+  if (needle.empty()) return true;
+  auto it = std::search(haystack.begin(), haystack.end(), needle.begin(),
+                        needle.end(), [](char a, char b) {
+                          return std::toupper(static_cast<unsigned char>(a)) ==
+                                 std::toupper(static_cast<unsigned char>(b));
+                        });
+  return it != haystack.end();
+}
+
+bool MatchLike(const std::string& text, const BoundPredicate& pred) {
+  const std::string& core = pred.like_core;
+  if (pred.like_prefix_wildcard && pred.like_suffix_wildcard) {
+    return ContainsIgnoreCase(text, core);
+  }
+  if (pred.like_prefix_wildcard) {  // %core — suffix match
+    return text.size() >= core.size() &&
+           EqualsIgnoreCase(text.substr(text.size() - core.size()), core);
+  }
+  if (pred.like_suffix_wildcard) {  // core% — prefix match
+    return text.size() >= core.size() &&
+           EqualsIgnoreCase(text.substr(0, core.size()), core);
+  }
+  return EqualsIgnoreCase(text, core);
+}
+
+/// Finds the level of a literal value in a hierarchy (tree labels can sit at
+/// any level; interval bucket bounds at several — prefer the leaf).
+Result<int> LiteralLevel(const DomainHierarchy& hierarchy, const Value& value) {
+  for (int level = 0; level < hierarchy.height(); ++level) {
+    if (hierarchy.ValidateAtLevel(value, level).ok()) return level;
+  }
+  return Status::InvalidArgument("literal '" + value.ToString() +
+                                 "' is not a value of domain " +
+                                 hierarchy.name());
+}
+
+/// Case-insensitive label lookup across all levels of a tree domain (the
+/// paper's `LIKE "%FRANCE%"` names the node "France").
+Result<std::pair<Value, int>> ResolveLabel(const DomainHierarchy& hierarchy,
+                                           const std::string& label) {
+  const auto* tree = dynamic_cast<const GeneralizationTree*>(&hierarchy);
+  if (tree == nullptr) {
+    return Status::NotFound("not a tree domain");
+  }
+  for (int level = 0; level < tree->height(); ++level) {
+    for (const std::string& candidate : tree->LabelsAtLevel(level)) {
+      if (EqualsIgnoreCase(candidate, label)) {
+        return std::make_pair(Value::String(candidate), level);
+      }
+    }
+  }
+  return Status::NotFound("no label '" + label + "' in domain " +
+                          hierarchy.name());
+}
+
+/// Parses the paper's bucket literal syntax 'lo-hi' for interval domains.
+bool ParseBucketLiteral(const std::string& text, int64_t* lo, int64_t* hi) {
+  const size_t dash = text.find('-', 1);
+  if (dash == std::string::npos) return false;
+  char* end = nullptr;
+  *lo = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() + dash) return false;
+  *hi = std::strtoll(text.c_str() + dash + 1, &end, 10);
+  return *end == '\0';
+}
+
+Status BindPredicate(const Schema& schema, Session* session, TableId table_id,
+                     const PredicateAst& ast, BoundPredicate* out) {
+  out->column = ResolveColumnName(schema, ast.column);
+  if (out->column < 0) {
+    return Status::InvalidArgument("unknown column: " + ast.column);
+  }
+  const ColumnDef& column = schema.column(out->column);
+  out->degradable = column.kind == ColumnKind::kDegradable;
+  out->op = ast.op;
+  out->value = ast.value;
+  out->value2 = ast.value2;
+  if (!out->degradable) {
+    if (ast.op == ComparisonOp::kLike) {
+      if (ast.value.type() != ValueType::kString) {
+        return Status::InvalidArgument("LIKE needs a string pattern");
+      }
+      std::string pattern = ast.value.str();
+      out->like_prefix_wildcard = StartsWith(pattern, "%");
+      out->like_suffix_wildcard = EndsWith(pattern, "%") && pattern.size() > 1;
+      if (out->like_prefix_wildcard) pattern.erase(0, 1);
+      if (out->like_suffix_wildcard && !pattern.empty()) pattern.pop_back();
+      out->like_core = pattern;
+    }
+    return Status::OK();
+  }
+
+  const DomainHierarchy& hierarchy = *column.hierarchy;
+  out->level = session->AccuracyFor(table_id, out->column);
+
+  switch (ast.op) {
+    case ComparisonOp::kEq:
+    case ComparisonOp::kNe: {
+      Value literal = ast.value;
+      if (hierarchy.value_type() == ValueType::kInt64 &&
+          literal.type() == ValueType::kString) {
+        // '2000-3000' bucket syntax: the width names the level.
+        int64_t lo, hi;
+        if (!ParseBucketLiteral(literal.str(), &lo, &hi)) {
+          return Status::InvalidArgument("bad bucket literal: " +
+                                         literal.str());
+        }
+        const auto* interval =
+            static_cast<const IntervalHierarchy*>(&hierarchy);
+        IDB_ASSIGN_OR_RETURN(out->literal_level,
+                             interval->LevelForWidth(hi - lo));
+        literal = Value::Int64(lo);
+      } else {
+        IDB_ASSIGN_OR_RETURN(out->literal_level,
+                             LiteralLevel(hierarchy, literal));
+      }
+      IDB_ASSIGN_OR_RETURN(out->literal_interval,
+                           hierarchy.LeafRange(literal, out->literal_level));
+      out->value = literal;
+      out->index_usable = ast.op == ComparisonOp::kEq;
+      return Status::OK();
+    }
+    case ComparisonOp::kLike: {
+      if (ast.value.type() != ValueType::kString) {
+        return Status::InvalidArgument("LIKE needs a string pattern");
+      }
+      std::string pattern = ast.value.str();
+      out->like_prefix_wildcard = StartsWith(pattern, "%");
+      out->like_suffix_wildcard = EndsWith(pattern, "%") && pattern.size() > 1;
+      if (out->like_prefix_wildcard) pattern.erase(0, 1);
+      if (out->like_suffix_wildcard && !pattern.empty()) pattern.pop_back();
+      out->like_core = pattern;
+      // `%France%` resolves to the France node: evaluated (and indexed) as
+      // an equality against that node's subtree.
+      auto label = ResolveLabel(hierarchy, pattern);
+      if (label.ok()) {
+        out->value = label->first;
+        out->literal_level = label->second;
+        auto interval = hierarchy.LeafRange(label->first, label->second);
+        if (interval.ok()) {
+          out->literal_interval = *interval;
+          out->index_usable = true;
+        }
+      }
+      return Status::OK();
+    }
+    case ComparisonOp::kBetween: {
+      if (hierarchy.value_type() != ValueType::kInt64) {
+        return Status::NotSupported("BETWEEN on categorical domains");
+      }
+      if (ast.value.type() != ValueType::kInt64 ||
+          ast.value2.type() != ValueType::kInt64) {
+        return Status::InvalidArgument("BETWEEN bounds must be integers");
+      }
+      // Bounds generalize to the demanded level's buckets.
+      IDB_ASSIGN_OR_RETURN(Value lo,
+                           hierarchy.Generalize(ast.value, 0, out->level));
+      IDB_ASSIGN_OR_RETURN(Value hi,
+                           hierarchy.Generalize(ast.value2, 0, out->level));
+      out->value = lo;
+      out->value2 = hi;
+      out->literal_level = out->level;
+      IDB_ASSIGN_OR_RETURN(out->literal_interval,
+                           hierarchy.LeafRange(lo, out->level));
+      IDB_ASSIGN_OR_RETURN(out->literal_interval2,
+                           hierarchy.LeafRange(hi, out->level));
+      out->index_usable = true;
+      return Status::OK();
+    }
+    case ComparisonOp::kLt:
+    case ComparisonOp::kLe:
+    case ComparisonOp::kGt:
+    case ComparisonOp::kGe: {
+      if (hierarchy.value_type() != ValueType::kInt64) {
+        return Status::NotSupported(
+            "ordering predicates on categorical domains");
+      }
+      if (ast.value.type() != ValueType::kInt64) {
+        return Status::InvalidArgument("ordering literal must be an integer");
+      }
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+/// Evaluates one bound predicate against a value already generalized to
+/// `value_level` (== min(k, stored level) under include_coarser).
+bool EvalDegradablePredicate(const DomainHierarchy& hierarchy,
+                             const BoundPredicate& pred, const Value& value,
+                             int value_level) {
+  switch (pred.op) {
+    case ComparisonOp::kEq:
+    case ComparisonOp::kNe: {
+      auto row_interval = hierarchy.LeafRange(value, value_level);
+      if (!row_interval.ok()) return false;
+      const bool contains = pred.literal_interval.Contains(*row_interval);
+      return pred.op == ComparisonOp::kEq ? contains : !contains;
+    }
+    case ComparisonOp::kLike: {
+      if (pred.literal_level >= 0) {
+        auto row_interval = hierarchy.LeafRange(value, value_level);
+        return row_interval.ok() &&
+               pred.literal_interval.Contains(*row_interval);
+      }
+      return MatchLike(hierarchy.DisplayValue(value, value_level), pred);
+    }
+    case ComparisonOp::kBetween: {
+      auto row_interval = hierarchy.LeafRange(value, value_level);
+      if (!row_interval.ok()) return false;
+      return row_interval->lo >= pred.literal_interval.lo &&
+             row_interval->hi <= pred.literal_interval2.hi;
+    }
+    case ComparisonOp::kLt:
+      return value.int64() < pred.value.int64();
+    case ComparisonOp::kLe:
+      return value.int64() <= pred.value.int64();
+    case ComparisonOp::kGt:
+      // Bucket lower-bound comparison: a bucket qualifies when it lies
+      // entirely above the literal is too strict for coarse levels; we
+      // compare lower bounds (documented choice).
+      return value.int64() > pred.value.int64();
+    case ComparisonOp::kGe:
+      return value.int64() >= pred.value.int64();
+  }
+  return false;
+}
+
+bool EvalStablePredicate(const BoundPredicate& pred, const Value& value) {
+  if (value.is_null()) return false;
+  switch (pred.op) {
+    case ComparisonOp::kEq:
+      return value == pred.value;
+    case ComparisonOp::kNe:
+      return !(value == pred.value);
+    case ComparisonOp::kLt:
+      return value.Compare(pred.value) < 0;
+    case ComparisonOp::kLe:
+      return value.Compare(pred.value) <= 0;
+    case ComparisonOp::kGt:
+      return value.Compare(pred.value) > 0;
+    case ComparisonOp::kGe:
+      return value.Compare(pred.value) >= 0;
+    case ComparisonOp::kBetween:
+      return value.Compare(pred.value) >= 0 && value.Compare(pred.value2) <= 0;
+    case ComparisonOp::kLike:
+      return value.type() == ValueType::kString && MatchLike(value.str(), pred);
+  }
+  return false;
+}
+
+/// Streams the heap in batches of `kBatchRows` RowViews, re-acquiring the
+/// table's shared latch per batch so a slow consumer never blocks the
+/// degrader. Isolation is snapshot-per-batch (standard cursor semantics):
+/// rows inserted, deleted or degraded between two pulls may or may not be
+/// observed.
+class HeapScanSource : public RowSource {
+ public:
+  HeapScanSource(Session* session, const BoundQuery& query,
+                 size_t batch_rows)
+      : session_(session), query_(query), batch_rows_(batch_rows) {}
+
+  Result<bool> Next(EvaluatedRow* out) override {
+    while (true) {
+      while (next_ < batch_.size()) {
+        const RowView& view = batch_[next_++];
+        if (EvaluateRow(query_, session_->read_options(), view, out)) {
+          return true;
+        }
+      }
+      if (done_) return false;
+      batch_.clear();
+      next_ = 0;
+      IDB_RETURN_IF_ERROR(
+          query_.table->ScanBatch(&pos_, batch_rows_, &batch_, &done_));
+      if (batch_.empty() && done_) return false;
+    }
+  }
+
+ private:
+  Session* const session_;
+  const BoundQuery& query_;
+  const size_t batch_rows_;
+  Rid pos_{0, 0};
+  bool done_ = false;
+  std::vector<RowView> batch_;
+  size_t next_ = 0;
+};
+
+/// Materializing-path source: one ScanRows pass under a single shared
+/// latch with σ applied inside the callback, so only qualifying rows are
+/// ever held — the pre-cursor executor's exact memory and consistency
+/// profile. Used when the caller asks for an unbounded batch.
+class SnapshotScanSource : public RowSource {
+ public:
+  SnapshotScanSource(Session* session, const BoundQuery& query)
+      : session_(session), query_(query) {}
+
+  Result<bool> Next(EvaluatedRow* out) override {
+    if (!scanned_) {
+      scanned_ = true;
+      const ReadOptions& read_options = session_->read_options();
+      IDB_RETURN_IF_ERROR(query_.table->ScanRows([&](const RowView& view) {
+        EvaluatedRow row;
+        if (EvaluateRow(query_, read_options, view, &row)) {
+          rows_.push_back(std::move(row));
+        }
+        return true;
+      }));
+    }
+    if (next_ >= rows_.size()) return false;
+    *out = std::move(rows_[next_++]);
+    return true;
+  }
+
+ private:
+  Session* const session_;
+  const BoundQuery& query_;
+  bool scanned_ = false;
+  std::vector<EvaluatedRow> rows_;
+  size_t next_ = 0;
+};
+
+/// Probes the multi-resolution index once (row ids only — cheap), then
+/// fetches and evaluates one row per pull.
+class IndexScanSource : public RowSource {
+ public:
+  IndexScanSource(Session* session, const BoundQuery& query,
+                  std::vector<RowId> rids)
+      : session_(session), query_(query), rids_(std::move(rids)) {}
+
+  Result<bool> Next(EvaluatedRow* out) override {
+    while (next_ < rids_.size()) {
+      IDB_ASSIGN_OR_RETURN(auto view, query_.table->GetRow(rids_[next_++]));
+      if (!view.has_value()) continue;
+      if (EvaluateRow(query_, session_->read_options(), *view, out)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  Session* const session_;
+  const BoundQuery& query_;
+  std::vector<RowId> rids_;
+  size_t next_ = 0;
+};
+
+}  // namespace
+
+Result<BoundQuery> BindQuery(Session* session, const std::string& table_name,
+                             const std::vector<PredicateAst>& where,
+                             const std::vector<int>& projected_columns) {
+  BoundQuery query;
+  const TableDef* def = ResolveTableName(session->db()->catalog(), table_name,
+                                         /*allow_prefix=*/false);
+  if (def == nullptr) {
+    return Status::NotFound("no such table: " + table_name);
+  }
+  query.table = session->db()->GetTable(def->id);
+  const Schema& schema = query.table->schema();
+
+  for (const PredicateAst& ast : where) {
+    BoundPredicate pred;
+    IDB_RETURN_IF_ERROR(BindPredicate(schema, session, def->id, ast, &pred));
+    if (pred.degradable) {
+      query.referenced_degradable.insert(pred.column);
+      query.accuracy[pred.column] = pred.level;
+    }
+    query.predicates.push_back(std::move(pred));
+  }
+  for (int col : projected_columns) {
+    if (col >= 0 && schema.column(col).kind == ColumnKind::kDegradable) {
+      query.referenced_degradable.insert(col);
+      query.accuracy[col] = session->AccuracyFor(def->id, col);
+    }
+  }
+  return query;
+}
+
+bool EvaluateRow(const BoundQuery& query, const ReadOptions& read_options,
+                 const RowView& view, EvaluatedRow* out) {
+  const Schema& schema = query.table->schema();
+  out->row_id = view.row_id;
+  out->values = view.values;
+  out->degradable_level.clear();
+
+  // Computability (σ over ∪_{j≤k} ST_j) and f_k generalization.
+  for (int col : query.referenced_degradable) {
+    const ColumnDef& column = schema.column(col);
+    const int ordinal = schema.DegradableOrdinal(col);
+    const int phase = view.phases[ordinal];
+    const int k = query.accuracy.at(col);
+    if (phase >= column.lcp.num_phases()) {
+      return false;  // value removed (⊥): never computable
+    }
+    const int stored_level = column.lcp.phase(phase).level;
+    if (stored_level > k && !read_options.include_coarser) {
+      return false;  // coarser than demanded: not in any ST_{j<=k}
+    }
+    const int target_level = std::max(stored_level, k);
+    Value vk = view.values[col];
+    if (stored_level < target_level) {
+      auto generalized =
+          column.hierarchy->Generalize(vk, stored_level, target_level);
+      if (!generalized.ok()) return false;
+      vk = *generalized;
+    }
+    out->values[col] = vk;
+    out->degradable_level[col] = target_level;
+  }
+
+  // σ_P over the generalized image.
+  for (const BoundPredicate& pred : query.predicates) {
+    const ColumnDef& column = schema.column(pred.column);
+    if (pred.degradable) {
+      const int level = out->degradable_level.at(pred.column);
+      if (!EvalDegradablePredicate(*column.hierarchy, pred,
+                                   out->values[pred.column], level)) {
+        return false;
+      }
+    } else {
+      if (!EvalStablePredicate(pred, out->values[pred.column])) return false;
+    }
+  }
+  return true;
+}
+
+std::string RenderValue(const Schema& schema, int col, const Value& value,
+                        const std::map<int, int>& levels) {
+  const ColumnDef& column = schema.column(col);
+  if (value.is_null()) return "NULL";
+  if (column.kind == ColumnKind::kDegradable) {
+    auto it = levels.find(col);
+    const int level = it == levels.end() ? 0 : it->second;
+    return column.hierarchy->DisplayValue(value, level);
+  }
+  return value.ToString();
+}
+
+Result<std::unique_ptr<RowSource>> MakeRowSource(Session* session,
+                                                 const BoundQuery& query,
+                                                 size_t scan_batch_rows) {
+  const ReadOptions& read_options = session->read_options();
+  const BoundPredicate* index_pred = nullptr;
+  if (session->use_indexes() && !read_options.include_coarser) {
+    for (const BoundPredicate& pred : query.predicates) {
+      if (pred.degradable && pred.index_usable) {
+        index_pred = &pred;
+        break;
+      }
+    }
+  }
+  if (index_pred != nullptr) {
+    std::vector<RowId> rids;
+    if (index_pred->op == ComparisonOp::kBetween) {
+      IDB_RETURN_IF_ERROR(query.table->IndexLookupRange(
+          index_pred->column, index_pred->value, index_pred->value2,
+          index_pred->level, &rids));
+    } else {
+      // Equality / label-LIKE: probe at the literal's own level so every
+      // computable phase tree is visited.
+      IDB_RETURN_IF_ERROR(query.table->IndexLookupEqual(
+          index_pred->column, index_pred->value,
+          std::max(index_pred->literal_level, index_pred->level), &rids));
+    }
+    std::sort(rids.begin(), rids.end());
+    return std::unique_ptr<RowSource>(
+        new IndexScanSource(session, query, std::move(rids)));
+  }
+  if (scan_batch_rows == SIZE_MAX) {
+    return std::unique_ptr<RowSource>(new SnapshotScanSource(session, query));
+  }
+  return std::unique_ptr<RowSource>(
+      new HeapScanSource(session, query, scan_batch_rows));
+}
+
+Result<SelectPlan> BindSelect(Session* session, const SelectAst& ast) {
+  SelectPlan select;
+  {
+    const TableDef* def = ResolveTableName(session->db()->catalog(), ast.table,
+                                           /*allow_prefix=*/false);
+    if (def == nullptr) return Status::NotFound("no such table: " + ast.table);
+    select.schema = &def->schema;
+  }
+  const Schema& schema = *select.schema;
+
+  select.items = ast.items;
+  if (ast.star) {
+    for (int i = 0; i < schema.num_columns(); ++i) {
+      select.items.push_back(
+          SelectItem{AggregateKind::kNone, schema.column(i).name});
+    }
+  }
+
+  std::vector<int> projected;
+  for (const SelectItem& item : select.items) {
+    if (item.aggregate != AggregateKind::kNone) select.has_aggregate = true;
+    int col = -1;
+    if (!item.column.empty()) {
+      col = ResolveColumnName(schema, item.column);
+      if (col < 0) {
+        return Status::InvalidArgument("unknown column: " + item.column);
+      }
+      projected.push_back(col);
+    }
+    select.item_columns.push_back(col);
+    switch (item.aggregate) {
+      case AggregateKind::kNone:
+        select.output_columns.push_back(item.column);
+        break;
+      case AggregateKind::kCount:
+        select.output_columns.push_back(
+            item.column.empty() ? "COUNT(*)" : "COUNT(" + item.column + ")");
+        break;
+      case AggregateKind::kSum:
+        select.output_columns.push_back("SUM(" + item.column + ")");
+        break;
+      case AggregateKind::kAvg:
+        select.output_columns.push_back("AVG(" + item.column + ")");
+        break;
+      case AggregateKind::kMin:
+        select.output_columns.push_back("MIN(" + item.column + ")");
+        break;
+      case AggregateKind::kMax:
+        select.output_columns.push_back("MAX(" + item.column + ")");
+        break;
+    }
+  }
+  if (!ast.group_by.empty()) {
+    select.group_col = ResolveColumnName(schema, ast.group_by);
+    if (select.group_col < 0) {
+      return Status::InvalidArgument("unknown column: " + ast.group_by);
+    }
+    projected.push_back(select.group_col);
+    select.has_aggregate = true;
+  }
+
+  IDB_ASSIGN_OR_RETURN(select.query,
+                       BindQuery(session, ast.table, ast.where, projected));
+  return select;
+}
+
+}  // namespace plan
+}  // namespace instantdb

@@ -1,0 +1,128 @@
+#ifndef INSTANTDB_QUERY_PLAN_H_
+#define INSTANTDB_QUERY_PLAN_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "db/table.h"
+#include "query/ast.h"
+#include "query/session.h"
+
+/// \file
+/// \brief Internal query-plan layer shared by the streaming Cursor and the
+/// materializing executor: predicate binding, accuracy resolution, and the
+/// pull-based row source (scan → σ at accuracy level) that both build on.
+///
+/// Nothing here is part of the stable public API; embedders should use
+/// `Session` / `Cursor` (query/session.h, query/cursor.h).
+
+namespace instantdb {
+namespace plan {
+
+/// A WHERE conjunct after binding: resolved column, effective accuracy
+/// level, and (for degradable columns) the literal normalized to a
+/// hierarchy node with its leaf interval.
+struct BoundPredicate {
+  int column = -1;
+  bool degradable = false;
+  int level = 0;  // accuracy k of this column under the active purpose
+  ComparisonOp op = ComparisonOp::kEq;
+  Value value;
+  Value value2;
+
+  // Degradable Eq/Like-as-label/Between: literal as hierarchy node.
+  int literal_level = -1;
+  LeafInterval literal_interval;
+  LeafInterval literal_interval2;  // BETWEEN upper bound
+  bool index_usable = false;
+
+  // Unresolved LIKE: case-insensitive substring match flags.
+  std::string like_core;
+  bool like_prefix_wildcard = false;  // pattern starts with %
+  bool like_suffix_wildcard = false;  // pattern ends with %
+};
+
+/// One bound table access: σ conjuncts plus the accuracy demanded of every
+/// referenced degradable column.
+struct BoundQuery {
+  Table* table = nullptr;
+  std::vector<BoundPredicate> predicates;
+  /// Accuracy per referenced degradable column index.
+  std::map<int, int> accuracy;
+  /// Referenced degradable column indexes (projection + predicates).
+  std::set<int> referenced_degradable;
+};
+
+/// One evaluated row: schema-ordered values at purpose accuracy, plus the
+/// effective level of each degradable column (for display rendering).
+struct EvaluatedRow {
+  RowId row_id = kInvalidRowId;
+  std::vector<Value> values;
+  std::map<int, int> degradable_level;  // column -> rendered level
+};
+
+/// Binds table + WHERE conjuncts + projected columns against the catalog and
+/// the session's active purpose.
+Result<BoundQuery> BindQuery(Session* session, const std::string& table_name,
+                             const std::vector<PredicateAst>& where,
+                             const std::vector<int>& projected_columns);
+
+/// Applies computability + f_k + σ_P to one stored row. Returns true and
+/// fills `out` when the row qualifies under the bound accuracy levels.
+bool EvaluateRow(const BoundQuery& query, const ReadOptions& read_options,
+                 const RowView& view, EvaluatedRow* out);
+
+/// Renders one output value (buckets as "[lo..hi]", levels applied).
+std::string RenderValue(const Schema& schema, int col, const Value& value,
+                        const std::map<int, int>& levels);
+
+/// \brief Pull-based source of qualifying rows: the scan → σ stage of the
+/// operator pipeline. Implementations stream either from the heap (batched
+/// snapshots under the shared latch, bounded memory) or from a
+/// multi-resolution index probe.
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+  /// Pulls the next qualifying row. Returns false at end of stream.
+  virtual Result<bool> Next(EvaluatedRow* out) = 0;
+};
+
+/// Default heap-scan batch for streaming cursors: bounds both peak memory
+/// and how long one batch holds the table's shared latch.
+inline constexpr size_t kStreamingScanBatchRows = 256;
+
+/// Chooses the access path (index probe when a usable degradable predicate
+/// exists and the session allows indexes, heap scan otherwise) and returns
+/// the corresponding source. `query` must outlive the source.
+///
+/// `scan_batch_rows` sets the heap-scan batch size. The streaming default
+/// keeps memory bounded but releases the latch between batches (weak
+/// cursor isolation: a row relocated by a concurrent update may be missed
+/// or observed twice). Materializing callers (Execute, DELETE, aggregates)
+/// pass SIZE_MAX: the whole scan happens under one shared latch, the
+/// pre-cursor executor's single-snapshot semantics.
+Result<std::unique_ptr<RowSource>> MakeRowSource(
+    Session* session, const BoundQuery& query,
+    size_t scan_batch_rows = kStreamingScanBatchRows);
+
+/// Fully bound SELECT: access path + projection + aggregation shape.
+struct SelectPlan {
+  const Schema* schema = nullptr;
+  std::vector<SelectItem> items;    // star already expanded
+  std::vector<int> item_columns;    // per item: schema column (-1 = COUNT(*))
+  std::vector<std::string> output_columns;  // rendered header names
+  int group_col = -1;               // schema column, -1 = none
+  bool has_aggregate = false;
+  BoundQuery query;
+};
+
+/// Binds a SELECT statement into an executable plan.
+Result<SelectPlan> BindSelect(Session* session, const SelectAst& ast);
+
+}  // namespace plan
+}  // namespace instantdb
+
+#endif  // INSTANTDB_QUERY_PLAN_H_

@@ -1,0 +1,81 @@
+#include "query/prepared_statement.h"
+
+#include "query/cursor.h"
+#include "query/executor.h"
+
+namespace instantdb {
+
+PreparedStatement::PreparedStatement(Session* session, StatementAst ast)
+    : session_(session),
+      template_(std::move(ast)),
+      bound_(template_),
+      params_(CountParameters(template_)),
+      is_bound_(params_.size(), false) {}
+
+Status PreparedStatement::Bind(size_t index, Value value) {
+  if (index >= params_.size()) {
+    return Status::InvalidArgument(
+        "parameter index out of range (statement has " +
+        std::to_string(params_.size()) + " markers)");
+  }
+  params_[index] = std::move(value);
+  is_bound_[index] = true;
+  return Status::OK();
+}
+
+Status PreparedStatement::BindAll(std::vector<Value> values) {
+  if (values.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(params_.size()) + " parameters, got " +
+        std::to_string(values.size()));
+  }
+  params_ = std::move(values);
+  is_bound_.assign(params_.size(), true);
+  return Status::OK();
+}
+
+void PreparedStatement::ClearBindings() {
+  params_.assign(params_.size(), Value::Null());
+  is_bound_.assign(params_.size(), false);
+}
+
+Result<const StatementAst*> PreparedStatement::BindAst() {
+  for (size_t i = 0; i < is_bound_.size(); ++i) {
+    if (!is_bound_[i]) {
+      return Status::InvalidArgument("parameter " + std::to_string(i) +
+                                     " is not bound");
+    }
+  }
+  // Substitute into the reusable bound copy: predicates and insert values
+  // keep their positions, so only marker slots are rewritten.
+  auto substitute_predicates = [&](std::vector<PredicateAst>* where) {
+    for (PredicateAst& pred : *where) {
+      if (pred.param >= 0) pred.value = params_[pred.param];
+      if (pred.param2 >= 0) pred.value2 = params_[pred.param2];
+    }
+  };
+  if (auto* select = std::get_if<SelectAst>(&bound_)) {
+    substitute_predicates(&select->where);
+  } else if (auto* insert = std::get_if<InsertAst>(&bound_)) {
+    for (size_t i = 0; i < insert->params.size(); ++i) {
+      if (insert->params[i] >= 0) {
+        insert->values[i] = params_[insert->params[i]];
+      }
+    }
+  } else if (auto* del = std::get_if<DeleteAst>(&bound_)) {
+    substitute_predicates(&del->where);
+  }
+  return &bound_;
+}
+
+Result<QueryResult> PreparedStatement::Execute() {
+  IDB_ASSIGN_OR_RETURN(const StatementAst* statement, BindAst());
+  return ExecuteStatement(session_, *statement);
+}
+
+Result<std::unique_ptr<Cursor>> PreparedStatement::ExecuteCursor() {
+  IDB_ASSIGN_OR_RETURN(const StatementAst* statement, BindAst());
+  return Cursor::Open(session_, *statement);
+}
+
+}  // namespace instantdb

@@ -1,0 +1,76 @@
+#ifndef INSTANTDB_QUERY_PREPARED_STATEMENT_H_
+#define INSTANTDB_QUERY_PREPARED_STATEMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "query/ast.h"
+#include "query/session.h"
+
+namespace instantdb {
+
+class Cursor;
+
+/// \brief Parse-once / execute-many statement handle.
+///
+/// `Session::Prepare` parses a statement containing `?` parameter markers
+/// (numbered 0-based in order of appearance) once; each Execute substitutes
+/// the currently bound parameters and runs the statement without re-lexing
+/// or re-parsing — the hot path for ingest and benchmark loops:
+///
+/// \code
+///   auto stmt = session.Prepare("INSERT INTO pings VALUES (?, ?)");
+///   for (const Ping& p : batch) {
+///     (*stmt)->Bind(0, Value::String(p.user));
+///     (*stmt)->Bind(1, Value::String(p.address));
+///     auto result = (*stmt)->Execute();
+///   }
+/// \endcode
+///
+/// Bindings persist across Execute calls (rebind only what changes). A
+/// statement is bound to the Session that prepared it and must not outlive
+/// it; accuracy purposes declared on the session apply at execution time,
+/// not preparation time.
+class PreparedStatement {
+ public:
+  /// Number of `?` markers in the statement.
+  size_t parameter_count() const { return params_.size(); }
+
+  /// Binds parameter `index` (0-based). InvalidArgument when out of range.
+  Status Bind(size_t index, Value value);
+
+  /// Binds all parameters at once; `values.size()` must equal
+  /// parameter_count().
+  Status BindAll(std::vector<Value> values);
+
+  /// Drops all bindings (Execute then requires a fresh BindAll/Bind set).
+  void ClearBindings();
+
+  /// Executes with the current bindings, materializing the result.
+  Result<QueryResult> Execute();
+
+  /// Streaming execution: opens a cursor over the result (see
+  /// query/cursor.h).
+  Result<std::unique_ptr<Cursor>> ExecuteCursor();
+
+ private:
+  friend class Session;
+
+  PreparedStatement(Session* session, StatementAst ast);
+
+  /// The parsed template with current bindings substituted. Fails if any
+  /// marker is unbound.
+  Result<const StatementAst*> BindAst();
+
+  Session* const session_;
+  const StatementAst template_;
+  StatementAst bound_;        // template with parameters substituted
+  std::vector<Value> params_;
+  std::vector<bool> is_bound_;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_QUERY_PREPARED_STATEMENT_H_

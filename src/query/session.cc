@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "query/cursor.h"
 #include "query/executor.h"
 #include "query/parser.h"
+#include "query/prepared_statement.h"
 
 namespace instantdb {
 
@@ -31,6 +33,18 @@ int ResolveColumnName(const Schema& schema, const std::string& name) {
 }
 
 std::string QueryResult::ToString() const {
+  if (statement != StatementKind::kSelect) {
+    if (statement == StatementKind::kCommand) return "OK\n";
+    std::string out =
+        StringPrintf("%llu row(s) affected",
+                     static_cast<unsigned long long>(affected_rows));
+    if (last_insert_id != kInvalidRowId) {
+      out += StringPrintf(", last insert id %llu",
+                          static_cast<unsigned long long>(last_insert_id));
+    }
+    out += '\n';
+    return out;
+  }
   std::vector<size_t> widths(columns.size());
   for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
   for (const auto& row : display) {
@@ -67,9 +81,37 @@ std::string QueryResult::ToString() const {
   return out;
 }
 
+namespace {
+
+/// `?` markers only make sense through Session::Prepare; executing them
+/// directly would silently run with NULL placeholders.
+Status RejectParameterMarkers(const StatementAst& statement) {
+  if (CountParameters(statement) > 0) {
+    return Status::InvalidArgument(
+        "statement has ? parameter markers; use Session::Prepare");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<QueryResult> Session::Execute(const std::string& sql) {
   IDB_ASSIGN_OR_RETURN(StatementAst statement, ParseStatement(sql));
+  IDB_RETURN_IF_ERROR(RejectParameterMarkers(statement));
   return ExecuteStatement(this, statement);
+}
+
+Result<std::unique_ptr<Cursor>> Session::ExecuteCursor(const std::string& sql) {
+  IDB_ASSIGN_OR_RETURN(StatementAst statement, ParseStatement(sql));
+  IDB_RETURN_IF_ERROR(RejectParameterMarkers(statement));
+  return Cursor::Open(this, statement);
+}
+
+Result<std::unique_ptr<PreparedStatement>> Session::Prepare(
+    const std::string& sql) {
+  IDB_ASSIGN_OR_RETURN(StatementAst statement, ParseStatement(sql));
+  return std::unique_ptr<PreparedStatement>(
+      new PreparedStatement(this, std::move(statement)));
 }
 
 Status Session::DeclarePurpose(

@@ -2,6 +2,7 @@
 #define INSTANTDB_QUERY_SESSION_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,9 @@
 
 namespace instantdb {
 
+class Cursor;
+class PreparedStatement;
+
 /// Case-insensitive table resolution; with `allow_prefix`, a name may be a
 /// prefix of the real table name (the paper's `P.LOCATION` for PERSON).
 const TableDef* ResolveTableName(const Catalog& catalog,
@@ -18,16 +22,24 @@ const TableDef* ResolveTableName(const Catalog& catalog,
 /// Case-insensitive column resolution; -1 when absent.
 int ResolveColumnName(const Schema& schema, const std::string& name);
 
+/// What kind of statement produced a QueryResult (drives ToString: tabular
+/// rendering for SELECT, a summary line for DML and commands).
+enum class StatementKind : uint8_t { kSelect, kInsert, kDelete, kCommand };
+
 /// Tabular result of one SQL statement.
 struct QueryResult {
   std::vector<std::string> columns;
   std::vector<std::vector<Value>> rows;
   /// Pre-rendered display strings (bucket values render as "[lo..hi]").
   std::vector<std::vector<std::string>> display;
+  /// SELECT: number of result rows. INSERT/DELETE: rows written/removed.
   uint64_t affected_rows = 0;
+  /// Row id assigned by the most recent INSERT (kInvalidRowId otherwise).
   RowId last_insert_id = kInvalidRowId;
+  StatementKind statement = StatementKind::kSelect;
 
-  /// ASCII table rendering for examples and the CLI-style demos.
+  /// ASCII table rendering for SELECT results; a one-line summary
+  /// ("2 row(s) affected, last insert id 7") for DML and commands.
   std::string ToString() const;
 };
 
@@ -44,8 +56,21 @@ class Session {
  public:
   explicit Session(Database* db) : db_(db) {}
 
-  /// Parses and executes one statement.
+  /// Parses and executes one statement, materializing the full result.
+  /// Implemented as "open a cursor, drain it" — prefer ExecuteCursor for
+  /// reads whose result may be large.
   Result<QueryResult> Execute(const std::string& sql);
+
+  /// Scalable read entry point: parses one statement and opens a pull-based
+  /// cursor over its result. Non-aggregate SELECTs stream row-at-a-time with
+  /// bounded memory; aggregates and DML execute eagerly and stream the
+  /// (small) materialized result.
+  Result<std::unique_ptr<Cursor>> ExecuteCursor(const std::string& sql);
+
+  /// Parses one statement (with optional `?` parameter markers) into a
+  /// reusable handle: bind parameters, execute many times without
+  /// re-parsing. See query/prepared_statement.h.
+  Result<std::unique_ptr<PreparedStatement>> Prepare(const std::string& sql);
 
   /// Programmatic equivalent of DECLARE PURPOSE (also activates it).
   Status DeclarePurpose(const std::string& name,

@@ -217,12 +217,18 @@ Status HeapFile::Update(Rid rid, Slice record, Rid* out) {
 }
 
 Status HeapFile::Scan(const std::function<bool(Rid, Slice)>& fn) const {
+  return ScanFrom(Rid{0, 0}, fn);
+}
+
+Status HeapFile::ScanFrom(Rid start,
+                          const std::function<bool(Rid, Slice)>& fn) const {
   const PageId n = pool_->disk()->num_pages();
-  for (PageId p = 0; p < n; ++p) {
+  for (PageId p = start.page; p < n; ++p) {
     IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(p));
     const char* page = guard.data();
     const PageHeader header = ReadHeader(page);
-    for (uint16_t s = 0; s < header.num_slots; ++s) {
+    for (uint16_t s = p == start.page ? start.slot : 0; s < header.num_slots;
+         ++s) {
       const uint16_t offset = SlotOffset(page, s);
       if (offset == 0) continue;
       if (!fn(Rid{p, s}, Slice(page + offset, SlotLen(page, s)))) {

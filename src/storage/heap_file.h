@@ -43,6 +43,10 @@ class HeapFile {
   Status Scan(
       const std::function<bool(Rid, Slice)>& fn) const;
 
+  /// Resumable variant for cursors: scans live records in (page, slot)
+  /// order starting at `start` (inclusive). `Rid{0, 0}` scans everything.
+  Status ScanFrom(Rid start, const std::function<bool(Rid, Slice)>& fn) const;
+
   /// Number of live records (maintained incrementally).
   uint64_t live_records() const { return live_records_; }
 

@@ -16,14 +16,31 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
 Status TransactionManager::Commit(Transaction* txn, bool sync) {
   assert(txn->state_ == TxnState::kActive);
   if (!txn->ops_.empty()) {
-    for (Transaction::PendingOp& op : txn->ops_) {
-      op.record.txn_id = txn->id_;
-      IDB_RETURN_IF_ERROR(wal_->Append(op.record, /*sync=*/false).status());
-    }
+    // Group commit: every queued record plus the COMMIT marker goes to the
+    // log as one buffered write and at most one sync, so batch size N costs
+    // the same durability overhead as a single-row transaction.
     WalRecord commit;
     commit.type = WalRecordType::kCommit;
     commit.txn_id = txn->id_;
-    IDB_RETURN_IF_ERROR(wal_->Append(commit, sync).status());
+    std::vector<const WalRecord*> records;
+    records.reserve(txn->ops_.size() + 1);
+    for (Transaction::PendingOp& op : txn->ops_) {
+      op.record.txn_id = txn->id_;
+      records.push_back(&op.record);
+    }
+    records.push_back(&commit);
+    const Status logged = wal_->AppendBatch(records, sync).status();
+    if (!logged.ok()) {
+      // The commit never became durable and nothing was applied: treat it
+      // as an abort so a WAL failure cannot leak 2PL locks for the rest of
+      // the process lifetime.
+      txn->ops_.clear();
+      txn->state_ = TxnState::kAborted;
+      locks_->ReleaseAll(txn->id_);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.aborted;
+      return logged;
+    }
     // Point of no return: the transaction is durable; now surface it.
     for (Transaction::PendingOp& op : txn->ops_) {
       IDB_RETURN_IF_ERROR(op.apply());

@@ -140,6 +140,53 @@ Result<Lsn> WalManager::Append(const WalRecord& record, bool sync) {
   return lsn;
 }
 
+Result<Lsn> WalManager::AppendBatch(
+    const std::vector<const WalRecord*>& records, bool sync) {
+  if (records.empty()) return next_lsn_;
+  Lsn first_lsn = 0;
+  // Frames accumulate against a provisional LSN; shared state (next_lsn_,
+  // segment end, stats) only advances once the buffered bytes are actually
+  // on the file, so a failed write cannot desync LSNs from the physical
+  // log (the per-LSN encryption nonces depend on this).
+  Lsn lsn = next_lsn_;
+  std::string buffer;
+  uint64_t buffered_records = 0;
+  auto flush = [&]() -> Status {
+    if (buffer.empty()) return Status::OK();
+    IDB_RETURN_IF_ERROR(writer_->Append(buffer));
+    next_lsn_ = lsn;
+    segments_.back().end = next_lsn_;
+    stats_.records_appended += buffered_records;
+    stats_.bytes_appended += buffer.size();
+    buffer.clear();
+    buffered_records = 0;
+    return Status::OK();
+  };
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (writer_ == nullptr ||
+        (lsn - segments_.back().start) >= options_.segment_bytes) {
+      // The buffered frames belong to the segment being closed: flush them
+      // before rotating.
+      IDB_RETURN_IF_ERROR(flush());
+      IDB_RETURN_IF_ERROR(OpenNewSegment());
+    }
+    if (i == 0) first_lsn = lsn;
+    std::string body;
+    EncodeWalRecord(*records[i], MakeEncryptor(lsn), &body);
+    PutFixed32(&buffer, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+    PutFixed32(&buffer, static_cast<uint32_t>(body.size()));
+    buffer += body;
+    lsn += 8 + body.size();
+    ++buffered_records;
+  }
+  IDB_RETURN_IF_ERROR(flush());
+  if (sync || options_.sync_on_commit) {
+    IDB_RETURN_IF_ERROR(writer_->Sync());
+    ++stats_.syncs;
+  }
+  return first_lsn;
+}
+
 Status WalManager::Sync() {
   if (writer_ == nullptr) return Status::OK();
   ++stats_.syncs;

@@ -52,6 +52,13 @@ class WalManager {
   /// WriteOptions::sync or WalOptions::sync_on_commit).
   Result<Lsn> Append(const WalRecord& record, bool sync);
 
+  /// Group commit: appends all records as ONE buffered file write followed
+  /// by at most one sync, instead of a write (and possible sync) per
+  /// record. This is what makes a WriteBatch of N inserts cost one WAL sync
+  /// rather than N. Returns the LSN of the first record.
+  Result<Lsn> AppendBatch(const std::vector<const WalRecord*>& records,
+                          bool sync);
+
   Status Sync();
 
   Lsn next_lsn() const { return next_lsn_; }

@@ -1,0 +1,222 @@
+#include "query/prepared_statement.h"
+
+#include "catalog/builtin_domains.h"
+#include "db/database.h"
+#include "gtest/gtest.h"
+#include "query/cursor.h"
+#include "query/session.h"
+#include "util/file.h"
+
+namespace instantdb {
+namespace {
+
+class PreparedStatementTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/idb_prepared_test";
+    ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
+    clock_ = std::make_unique<VirtualClock>(0);
+    DbOptions options;
+    options.path = dir_;
+    options.clock = clock_.get();
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+
+    auto schema = Schema::Make(
+        {ColumnDef::Stable("name", ValueType::kString),
+         ColumnDef::Degradable("location", LocationDomain(), Fig2LocationLcp()),
+         ColumnDef::Degradable(
+             "salary", SalaryDomain(),
+             *AttributeLcp::Make({{0, kMicrosPerDay}, {1, kMicrosPerMonth}}))});
+    ASSERT_TRUE(schema.ok());
+    ASSERT_TRUE(db_->CreateTable("person", *schema).ok());
+    session_ = std::make_unique<Session>(db_.get());
+  }
+  void TearDown() override {
+    session_.reset();
+    db_.reset();
+    RemoveDirRecursive(dir_).ok();
+  }
+
+  std::string dir_;
+  std::unique_ptr<VirtualClock> clock_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(PreparedStatementTest, InsertParseOnceExecuteMany) {
+  auto stmt = session_->Prepare("INSERT INTO person VALUES (?, ?, ?)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->parameter_count(), 3u);
+
+  const struct {
+    const char* name;
+    const char* address;
+    int64_t salary;
+  } people[] = {{"alice", "11 Rue Lepic", 2345},
+                {"bob", "3 Av Foch", 2999},
+                {"carol", "4 Rue Breteuil", 3500}};
+  RowId last = 0;
+  for (const auto& p : people) {
+    ASSERT_TRUE((*stmt)->Bind(0, Value::String(p.name)).ok());
+    ASSERT_TRUE((*stmt)->Bind(1, Value::String(p.address)).ok());
+    ASSERT_TRUE((*stmt)->Bind(2, Value::Int64(p.salary)).ok());
+    auto result = (*stmt)->Execute();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->affected_rows, 1u);
+    EXPECT_GT(result->last_insert_id, last);
+    last = result->last_insert_id;
+  }
+
+  auto all = session_->Execute("SELECT name, salary FROM person");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->rows.size(), 3u);
+  EXPECT_EQ(all->rows[2][0], Value::String("carol"));
+  EXPECT_EQ(all->rows[2][1], Value::Int64(3500));
+}
+
+TEST_F(PreparedStatementTest, SelectWithParameterizedPredicates) {
+  ASSERT_TRUE(
+      session_->Execute("INSERT INTO person VALUES ('alice', '11 Rue Lepic', 2345)")
+          .ok());
+  ASSERT_TRUE(
+      session_->Execute("INSERT INTO person VALUES ('bob', '3 Av Foch', 2999)")
+          .ok());
+  ASSERT_TRUE(
+      session_
+          ->Execute("INSERT INTO person VALUES ('carol', '4 Rue Breteuil', 3500)")
+          .ok());
+
+  auto by_name = session_->Prepare("SELECT name FROM person WHERE name = ?");
+  ASSERT_TRUE(by_name.ok());
+  ASSERT_TRUE((*by_name)->BindAll({Value::String("bob")}).ok());
+  auto bob = (*by_name)->Execute();
+  ASSERT_TRUE(bob.ok());
+  ASSERT_EQ(bob->rows.size(), 1u);
+  EXPECT_EQ(bob->rows[0][0], Value::String("bob"));
+
+  // Rebinding reuses the same parsed template.
+  ASSERT_TRUE((*by_name)->BindAll({Value::String("carol")}).ok());
+  auto carol = (*by_name)->Execute();
+  ASSERT_TRUE(carol.ok());
+  ASSERT_EQ(carol->rows.size(), 1u);
+  EXPECT_EQ(carol->rows[0][0], Value::String("carol"));
+
+  auto by_range = session_->Prepare(
+      "SELECT name FROM person WHERE salary BETWEEN ? AND ?");
+  ASSERT_TRUE(by_range.ok());
+  EXPECT_EQ((*by_range)->parameter_count(), 2u);
+  ASSERT_TRUE(
+      (*by_range)->BindAll({Value::Int64(2000), Value::Int64(3000)}).ok());
+  auto mid = (*by_range)->Execute();
+  ASSERT_TRUE(mid.ok());
+  EXPECT_EQ(mid->rows.size(), 2u);  // alice + bob
+
+  auto by_like = session_->Prepare("SELECT name FROM person WHERE name LIKE ?");
+  ASSERT_TRUE(by_like.ok());
+  ASSERT_TRUE((*by_like)->BindAll({Value::String("%o%")}).ok());
+  auto contains = (*by_like)->Execute();
+  ASSERT_TRUE(contains.ok());
+  EXPECT_EQ(contains->rows.size(), 2u);  // bob, carol
+}
+
+TEST_F(PreparedStatementTest, PurposeAppliesAtExecutionNotPreparation) {
+  ASSERT_TRUE(
+      session_->Execute("INSERT INTO person VALUES ('alice', '11 Rue Lepic', 2345)")
+          .ok());
+  auto stmt = session_->Prepare("SELECT location FROM person WHERE location = ?");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE((*stmt)->BindAll({Value::String("Paris")}).ok());
+
+  // The purpose is declared AFTER Prepare: execution still honors it.
+  ASSERT_TRUE(session_
+                  ->Execute("DECLARE PURPOSE GEO SET ACCURACY LEVEL CITY "
+                            "FOR person.location")
+                  .ok());
+  auto result = (*stmt)->Execute();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->rows.size(), 1u);
+  EXPECT_EQ(result->rows[0][0], Value::String("Paris"));
+}
+
+TEST_F(PreparedStatementTest, BindingErrors) {
+  auto stmt = session_->Prepare("SELECT name FROM person WHERE salary = ?");
+  ASSERT_TRUE(stmt.ok());
+  // Unbound parameter fails fast.
+  EXPECT_FALSE((*stmt)->Execute().ok());
+  // Out-of-range ordinal and wrong BindAll arity are rejected.
+  EXPECT_FALSE((*stmt)->Bind(1, Value::Int64(1)).ok());
+  EXPECT_FALSE((*stmt)->BindAll({Value::Int64(1), Value::Int64(2)}).ok());
+  // ClearBindings drops a valid binding.
+  ASSERT_TRUE((*stmt)->Bind(0, Value::Int64(2345)).ok());
+  (*stmt)->ClearBindings();
+  EXPECT_FALSE((*stmt)->Execute().ok());
+
+  // Statements without markers work as plain reusable statements.
+  auto plain = session_->Prepare("SELECT name FROM person");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ((*plain)->parameter_count(), 0u);
+  EXPECT_TRUE((*plain)->Execute().ok());
+}
+
+TEST_F(PreparedStatementTest, ExecuteCursorStreamsPreparedSelect) {
+  for (int i = 0; i < 10; ++i) {
+    auto insert = session_->Prepare("INSERT INTO person VALUES (?, ?, ?)");
+    ASSERT_TRUE(insert.ok());
+    ASSERT_TRUE((*insert)
+                    ->BindAll({Value::String("user" + std::to_string(i)),
+                               Value::String("11 Rue Lepic"),
+                               Value::Int64(1000 + i)})
+                    .ok());
+    ASSERT_TRUE((*insert)->Execute().ok());
+  }
+  auto stmt = session_->Prepare("SELECT name FROM person WHERE salary >= ?");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE((*stmt)->BindAll({Value::Int64(1005)}).ok());
+  auto cursor = (*stmt)->ExecuteCursor();
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  CursorRow row;
+  size_t n = 0;
+  while (true) {
+    auto more = (*cursor)->Next(&row);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    ++n;
+  }
+  EXPECT_EQ(n, 5u);
+}
+
+TEST_F(PreparedStatementTest, ParameterizedDelete) {
+  for (const char* name : {"alice", "bob"}) {
+    ASSERT_TRUE(session_
+                    ->Execute(std::string("INSERT INTO person VALUES ('") +
+                              name + "', '11 Rue Lepic', 1000)")
+                    .ok());
+  }
+  auto del = session_->Prepare("DELETE FROM person WHERE name = ?");
+  ASSERT_TRUE(del.ok());
+  ASSERT_TRUE((*del)->BindAll({Value::String("alice")}).ok());
+  auto result = (*del)->Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->affected_rows, 1u);
+  EXPECT_EQ(db_->GetTable("person")->live_rows(), 1u);
+}
+
+TEST_F(PreparedStatementTest, ParserRejectsMarkersOutsideLiteralPositions) {
+  EXPECT_FALSE(session_->Prepare("SELECT ? FROM person").ok());
+  EXPECT_FALSE(session_->Prepare("SELECT name FROM ?").ok());
+}
+
+TEST_F(PreparedStatementTest, DirectExecutionOfMarkersIsRejected) {
+  // Without this, a ? would silently execute as a NULL literal (matching
+  // nothing) instead of failing loudly.
+  EXPECT_FALSE(session_->Execute("SELECT name FROM person WHERE name = ?").ok());
+  EXPECT_FALSE(session_->Execute("DELETE FROM person WHERE name = ?").ok());
+  EXPECT_FALSE(session_->Execute("INSERT INTO person VALUES (?, ?, ?)").ok());
+  EXPECT_FALSE(
+      session_->ExecuteCursor("SELECT name FROM person WHERE name = ?").ok());
+}
+
+}  // namespace
+}  // namespace instantdb

@@ -1,0 +1,183 @@
+#include "query/session.h"
+
+#include "catalog/builtin_domains.h"
+#include "db/database.h"
+#include "gtest/gtest.h"
+#include "util/file.h"
+
+namespace instantdb {
+namespace {
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/idb_session_test";
+    ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
+    clock_ = std::make_unique<VirtualClock>(0);
+    DbOptions options;
+    options.path = dir_;
+    options.clock = clock_.get();
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+
+    auto schema = Schema::Make(
+        {ColumnDef::Stable("name", ValueType::kString),
+         ColumnDef::Degradable("location", LocationDomain(),
+                               Fig2LocationLcp())});
+    ASSERT_TRUE(schema.ok());
+    ASSERT_TRUE(db_->CreateTable("person", *schema).ok());
+    person_ = db_->catalog().GetTable("person")->id;
+    session_ = std::make_unique<Session>(db_.get());
+  }
+  void TearDown() override {
+    session_.reset();
+    db_.reset();
+    RemoveDirRecursive(dir_).ok();
+  }
+
+  std::string dir_;
+  std::unique_ptr<VirtualClock> clock_;
+  std::unique_ptr<Database> db_;
+  TableId person_ = 0;
+  std::unique_ptr<Session> session_;
+};
+
+// --- purpose lifecycle -------------------------------------------------------------
+
+TEST_F(SessionTest, NoActivePurposeDefaultsToFullAccuracy) {
+  EXPECT_TRUE(session_->active_purpose().empty());
+  EXPECT_EQ(session_->AccuracyFor(person_, 1), 0);
+  EXPECT_EQ(session_->AccuracyFor(person_, 0), 0);   // stable column
+  EXPECT_EQ(session_->AccuracyFor(999, 5), 0);       // unknown table/column
+}
+
+TEST_F(SessionTest, DeclarePurposeBindsLevelsAndActivates) {
+  ASSERT_TRUE(session_
+                  ->DeclarePurpose("GEO", {{"CITY", "person", "location"}})
+                  .ok());
+  EXPECT_EQ(session_->active_purpose(), "GEO");
+  EXPECT_EQ(session_->AccuracyFor(person_, 1), 1);  // CITY = level 1
+  // Unbound columns stay at full accuracy.
+  EXPECT_EQ(session_->AccuracyFor(person_, 0), 0);
+}
+
+TEST_F(SessionTest, UsePurposeSwitchesBetweenDeclaredPurposes) {
+  ASSERT_TRUE(session_
+                  ->DeclarePurpose("GEO", {{"CITY", "person", "location"}})
+                  .ok());
+  ASSERT_TRUE(session_
+                  ->DeclarePurpose("NATL", {{"COUNTRY", "person", "location"}})
+                  .ok());
+  // Declaring activates the newest purpose.
+  EXPECT_EQ(session_->active_purpose(), "NATL");
+  EXPECT_EQ(session_->AccuracyFor(person_, 1), 3);  // COUNTRY = level 3
+
+  ASSERT_TRUE(session_->UsePurpose("GEO").ok());
+  EXPECT_EQ(session_->active_purpose(), "GEO");
+  EXPECT_EQ(session_->AccuracyFor(person_, 1), 1);
+
+  EXPECT_TRUE(session_->UsePurpose("NOPE").IsNotFound());
+  EXPECT_EQ(session_->active_purpose(), "GEO");  // unchanged on error
+}
+
+TEST_F(SessionTest, ClearPurposeRestoresFullAccuracyDefaults) {
+  ASSERT_TRUE(session_
+                  ->DeclarePurpose("GEO", {{"REGION", "person", "location"}})
+                  .ok());
+  EXPECT_EQ(session_->AccuracyFor(person_, 1), 2);
+  session_->ClearPurpose();
+  EXPECT_TRUE(session_->active_purpose().empty());
+  EXPECT_EQ(session_->AccuracyFor(person_, 1), 0);
+  // A cleared purpose stays declared and can be re-activated.
+  ASSERT_TRUE(session_->UsePurpose("GEO").ok());
+  EXPECT_EQ(session_->AccuracyFor(person_, 1), 2);
+}
+
+TEST_F(SessionTest, DeclarePurposeValidation) {
+  // Stable column rejected.
+  EXPECT_FALSE(session_->DeclarePurpose("BAD", {{"L1", "person", "name"}}).ok());
+  // Unknown table / column / level spec rejected.
+  EXPECT_TRUE(session_->DeclarePurpose("BAD", {{"CITY", "nosuch", "location"}})
+                  .IsNotFound());
+  EXPECT_TRUE(session_->DeclarePurpose("BAD", {{"CITY", "person", "nocol"}})
+                  .IsNotFound());
+  EXPECT_FALSE(
+      session_->DeclarePurpose("BAD", {{"GALAXY", "person", "location"}}).ok());
+  // Failed declarations never activate.
+  EXPECT_TRUE(session_->active_purpose().empty());
+}
+
+TEST_F(SessionTest, BareColumnClauseBindsAcrossTables) {
+  // No table qualifier: the binder resolves the column over all tables.
+  ASSERT_TRUE(session_->DeclarePurpose("GEO", {{"CITY", "", "location"}}).ok());
+  EXPECT_EQ(session_->AccuracyFor(person_, 1), 1);
+}
+
+// --- name resolution ---------------------------------------------------------------
+
+TEST_F(SessionTest, ResolveTableNameIsCaseInsensitive) {
+  const Catalog& catalog = db_->catalog();
+  EXPECT_NE(ResolveTableName(catalog, "person", false), nullptr);
+  EXPECT_NE(ResolveTableName(catalog, "PERSON", false), nullptr);
+  EXPECT_NE(ResolveTableName(catalog, "PeRsOn", false), nullptr);
+  EXPECT_EQ(ResolveTableName(catalog, "nosuch", false), nullptr);
+}
+
+TEST_F(SessionTest, ResolveTableNamePrefixOnlyWhenAllowed) {
+  const Catalog& catalog = db_->catalog();
+  // The paper's `P.LOCATION` style: "P" is a prefix of "person".
+  EXPECT_EQ(ResolveTableName(catalog, "P", false), nullptr);
+  const TableDef* by_prefix = ResolveTableName(catalog, "P", true);
+  ASSERT_NE(by_prefix, nullptr);
+  EXPECT_EQ(by_prefix->name, "person");
+  EXPECT_NE(ResolveTableName(catalog, "pers", true), nullptr);
+  // Exact match wins over prefix; longer-than-name never matches.
+  EXPECT_EQ(ResolveTableName(catalog, "personx", true), nullptr);
+}
+
+TEST_F(SessionTest, ResolveColumnNameIsCaseInsensitive) {
+  const Schema& schema = db_->catalog().GetTable("person")->schema;
+  EXPECT_EQ(ResolveColumnName(schema, "name"), 0);
+  EXPECT_EQ(ResolveColumnName(schema, "NAME"), 0);
+  EXPECT_EQ(ResolveColumnName(schema, "Location"), 1);
+  EXPECT_EQ(ResolveColumnName(schema, "missing"), -1);
+}
+
+// --- DML result rendering ----------------------------------------------------------
+
+TEST_F(SessionTest, DmlResultsPopulateCountsAndRenderSummaries) {
+  auto insert =
+      session_->Execute("INSERT INTO person VALUES ('alice', '11 Rue Lepic')");
+  ASSERT_TRUE(insert.ok());
+  EXPECT_EQ(insert->statement, StatementKind::kInsert);
+  EXPECT_EQ(insert->affected_rows, 1u);
+  EXPECT_NE(insert->last_insert_id, kInvalidRowId);
+  EXPECT_NE(insert->ToString().find("1 row(s) affected"), std::string::npos);
+  EXPECT_NE(insert->ToString().find("last insert id"), std::string::npos);
+
+  auto insert2 =
+      session_->Execute("INSERT INTO person VALUES ('bob', '3 Av Foch')");
+  ASSERT_TRUE(insert2.ok());
+  EXPECT_GT(insert2->last_insert_id, insert->last_insert_id);
+
+  auto del = session_->Execute("DELETE FROM person WHERE name = 'alice'");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->statement, StatementKind::kDelete);
+  EXPECT_EQ(del->affected_rows, 1u);
+  EXPECT_EQ(del->last_insert_id, kInvalidRowId);
+  EXPECT_EQ(del->ToString(), "1 row(s) affected\n");
+
+  auto none = session_->Execute("DELETE FROM person WHERE name = 'nobody'");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->affected_rows, 0u);
+
+  auto command = session_->Execute(
+      "DECLARE PURPOSE GEO SET ACCURACY LEVEL CITY FOR person.location");
+  ASSERT_TRUE(command.ok());
+  EXPECT_EQ(command->statement, StatementKind::kCommand);
+  EXPECT_EQ(command->ToString(), "OK\n");
+}
+
+}  // namespace
+}  // namespace instantdb
