@@ -47,9 +47,11 @@ void RunTimeliness() {
 
       const Table* t = test.db->GetTable("pings");
       uint64_t erased = 0;
-      for (int p = 0; p < 4; ++p) {
-        const StateStore* store = t->store(1, p);
-        if (store != nullptr) erased += store->stats().segments_erased;
+      for (uint32_t part = 0; part < t->num_partitions(); ++part) {
+        for (int p = 0; p < 4; ++p) {
+          const StateStore* store = t->partition(part)->store(1, p);
+          if (store != nullptr) erased += store->stats().segments_erased;
+        }
       }
       table.AddRow(
           {LayoutName(layout), std::to_string(*moved),

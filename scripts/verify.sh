@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 verification: what CI should invoke.
+#
+#   scripts/verify.sh            # plain build + full ctest suite
+#   scripts/verify.sh --tsan     # additionally build with -fsanitize=thread
+#                                # and run the concurrency-heavy tests
+#   scripts/verify.sh --asan     # AddressSanitizer variant of the same
+#
+# The sanitizer pass uses a separate build directory so the plain build
+# stays incremental.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_plain() {
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+}
+
+# Sanitized pass: the tests that drive real thread interleavings. The rest
+# of the suite is single-threaded and adds only build time.
+SANITIZE_TESTS="concurrency_stress_test|partition_test|degradation_engine_test|write_batch_test"
+
+run_sanitized() {
+  local kind="$1"
+  local dir="build-$kind"
+  cmake -B "$dir" -S . -DINSTANTDB_SANITIZE="$kind" \
+    -DINSTANTDB_BUILD_BENCHMARKS=OFF -DINSTANTDB_BUILD_EXAMPLES=OFF
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" --output-on-failure -j 1 -R "$SANITIZE_TESTS"
+}
+
+case "${1:-}" in
+  --tsan) run_plain && run_sanitized thread ;;
+  --asan) run_plain && run_sanitized address ;;
+  "") run_plain ;;
+  *) echo "usage: $0 [--tsan|--asan]" >&2; exit 2 ;;
+esac
+echo "verify: OK"

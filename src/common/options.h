@@ -66,6 +66,12 @@ struct DegradationOptions {
   /// Maximum tuples moved per degradation step transaction, bounding the
   /// time any store head stays locked.
   size_t step_batch_limit = 1024;
+  /// Size of the worker pool one degradation pass fans out over: overdue
+  /// steps on distinct table partitions run concurrently, each still its
+  /// own system transaction with wait-die retry. 1 (the default) keeps the
+  /// serial engine; raising it lets degradation throughput scale with
+  /// DbOptions::partitions on a multicore box.
+  size_t worker_threads = 1;
 };
 
 struct ReadOptions {

@@ -11,6 +11,9 @@ Result<std::unique_ptr<Database>> Database::Open(const DbOptions& options) {
   if (options.path.empty()) {
     return Status::InvalidArgument("DbOptions::path must be set");
   }
+  if (options.partitions > kMaxPartitions) {
+    return Status::InvalidArgument("DbOptions::partitions exceeds limit");
+  }
   auto db = std::unique_ptr<Database>(new Database(options));
   IDB_RETURN_IF_ERROR(db->OpenImpl());
   return db;
@@ -27,6 +30,7 @@ TableRuntime Database::MakeRuntime() const {
   runtime.storage = options_.storage;
   runtime.layout = options_.layout;
   runtime.bitmap_indexes = options_.bitmap_indexes;
+  runtime.partitions = options_.partitions == 0 ? 1 : options_.partitions;
   runtime.keys = keys_.get();
   runtime.wal = wal_.get();
   runtime.clock = clock_;
@@ -204,10 +208,18 @@ Status Database::Delete(const std::string& table_name, RowId row_id,
 }
 
 Status Database::Checkpoint() {
+  // Fuzzy checkpoint: capture the replay-start LSN BEFORE flushing any
+  // table state, at a point where no commit is between its WAL append and
+  // its apply. A transaction committing mid-flush (a degradation worker, a
+  // concurrent WriteBatch) may be only partially reflected in the flushed
+  // metas; starting replay at `begin` re-applies it idempotently instead of
+  // silently excluding it — without this, a degrade step committing during
+  // the flush could resurface its accurate value after recovery.
+  const Lsn begin = tm_->CheckpointBeginLsn();
   for (auto& [id, table] : tables_) {
     IDB_RETURN_IF_ERROR(table->Checkpoint());
   }
-  return wal_->LogCheckpoint().status();
+  return wal_->LogCheckpoint(begin).status();
 }
 
 Result<size_t> Database::RunDegradationOnce() {

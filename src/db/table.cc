@@ -1,6 +1,7 @@
 #include "db/table.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -12,180 +13,99 @@ Table::Table(const TableDef* def, std::string dir, const TableRuntime& runtime)
 
 Table::~Table() = default;
 
-std::string Table::StoreDir(int column, int phase) const {
-  return dir_ + StringPrintf("/stores/c%d.p%d", column, phase);
-}
-
-const StateStore* Table::store(int column, int phase) const {
-  const int ordinal = schema().DegradableOrdinal(column);
-  if (ordinal < 0 || static_cast<size_t>(ordinal) >= stores_.size() ||
-      phase < 0 || static_cast<size_t>(phase) >= stores_[ordinal].size()) {
-    return nullptr;  // kInPlace layout has no stores
-  }
-  return stores_[ordinal][phase].get();
+std::string Table::PartitionDir(uint32_t index) const {
+  // A single partition keeps the unpartitioned on-disk layout (files
+  // directly under the table directory).
+  if (runtime_.partitions <= 1) return dir_;
+  return dir_ + StringPrintf("/p%u", index);
 }
 
 Status Table::Open() {
+  if (runtime_.partitions == 0 || runtime_.partitions > kMaxPartitions) {
+    return Status::InvalidArgument("bad partition count");
+  }
   IDB_RETURN_IF_ERROR(CreateDirs(dir_));
-  IDB_ASSIGN_OR_RETURN(heap_disk_,
-                       DiskManager::Open(HeapPath(), runtime_.storage.page_size));
-  heap_pool_ = std::make_unique<BufferPool>(
-      heap_disk_.get(), runtime_.storage.buffer_pool_pages);
-  heap_ = std::make_unique<HeapFile>(heap_pool_.get());
-  IDB_RETURN_IF_ERROR(heap_->Open());
 
-  // Rebuild the row-id map (and in-place schedules) from the heap.
-  row_map_.clear();
-  inplace_queues_.assign(schema().degradable_columns().size(), {});
-  for (size_t d = 0; d < schema().degradable_columns().size(); ++d) {
-    const ColumnDef& col = schema().column(schema().degradable_columns()[d]);
-    inplace_queues_[d].assign(col.lcp.num_phases(), {});
+  // The partition count is a physical property of the table: row-id routing
+  // must match whatever layout is on disk, so the count chosen at creation
+  // wins over a later DbOptions change.
+  if (FileExists(PartitionCountPath())) {
+    IDB_ASSIGN_OR_RETURN(std::string text,
+                         ReadFileToString(PartitionCountPath()));
+    char* end = nullptr;
+    const unsigned long persisted = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || persisted == 0 ||
+        persisted > kMaxPartitions) {
+      return Status::Corruption("bad PARTITIONS file for table " +
+                                def_->name);
+    }
+    runtime_.partitions = static_cast<uint32_t>(persisted);
+  } else {
+    // No PARTITIONS file: either a fresh table, or one from before
+    // partitioning existed. Pin a pre-existing layout rather than trusting
+    // DbOptions — re-routing would orphan every stored row.
+    if (FileExists(dir_ + "/heap.db")) {
+      runtime_.partitions = 1;  // legacy unpartitioned layout
+    } else if (FileExists(dir_ + "/p0")) {
+      // PARTITIONS file lost but partition dirs present: recover the count
+      // only if the dirs are unambiguous (contiguous p0..pN-1, N >= 2).
+      // Guessing across a gap — a partially restored table — would pin a
+      // wrong count and silently mis-route rows forever.
+      IDB_ASSIGN_OR_RETURN(auto names, ListDir(dir_));
+      uint32_t max_index = 0;
+      uint32_t count = 0;
+      for (const std::string& name : names) {
+        if (name.size() < 2 || name[0] != 'p') continue;
+        char* end = nullptr;
+        const unsigned long index = std::strtoul(name.c_str() + 1, &end, 10);
+        if (*end != '\0') continue;
+        ++count;
+        max_index = std::max(max_index, static_cast<uint32_t>(index));
+      }
+      if (count != max_index + 1 || count < 2 || count > kMaxPartitions) {
+        return Status::Corruption(
+            "PARTITIONS file missing and partition directories are "
+            "ambiguous for table " + def_->name);
+      }
+      runtime_.partitions = count;
+    }
+    IDB_RETURN_IF_ERROR(WriteStringToFile(
+        PartitionCountPath(), std::to_string(runtime_.partitions),
+        /*sync=*/true));
   }
+
+  partitions_.clear();
   RowId max_row = 0;
-  std::vector<HeapTuple> tuples;  // only for kInPlace schedule rebuild
-  Status scan_status;
-  IDB_RETURN_IF_ERROR(heap_->Scan([&](Rid rid, Slice record) {
-    HeapTuple tuple;
-    scan_status = DecodeHeapTuple(schema(), runtime_.layout, record, &tuple);
-    if (!scan_status.ok()) return false;
-    row_map_[tuple.row_id] = rid;
-    max_row = std::max(max_row, tuple.row_id);
-    if (runtime_.layout == DegradableLayout::kInPlace) {
-      tuples.push_back(std::move(tuple));
-    }
-    return true;
-  }));
-  IDB_RETURN_IF_ERROR(scan_status);
-  next_row_id_ = max_row + 1;
-
-  if (runtime_.layout == DegradableLayout::kInPlace) {
-    std::sort(tuples.begin(), tuples.end(),
-              [](const HeapTuple& a, const HeapTuple& b) {
-                return a.row_id < b.row_id;
-              });
-    for (const HeapTuple& tuple : tuples) {
-      for (size_t d = 0; d < tuple.degradable.size(); ++d) {
-        const int phases = static_cast<int>(inplace_queues_[d].size());
-        if (tuple.degradable[d].phase < phases) {
-          inplace_queues_[d][tuple.degradable[d].phase].emplace_back(
-              tuple.row_id, tuple.insert_time);
-        }
-      }
-    }
+  for (uint32_t i = 0; i < runtime_.partitions; ++i) {
+    auto partition = std::make_unique<TablePartition>(def_, PartitionDir(i),
+                                                      runtime_, i);
+    IDB_RETURN_IF_ERROR(partition->Open());
+    max_row = std::max(max_row, partition->max_row_id());
+    partitions_.push_back(std::move(partition));
   }
-
-  // State stores (kStateStores layout only).
-  stores_.clear();
-  if (runtime_.layout == DegradableLayout::kStateStores) {
-    for (int col_idx : schema().degradable_columns()) {
-      const ColumnDef& col = schema().column(col_idx);
-      std::vector<std::unique_ptr<StateStore>> per_phase;
-      for (int p = 0; p < col.lcp.num_phases(); ++p) {
-        auto store = std::make_unique<StateStore>(
-            StoreDir(col_idx, p), id(), col_idx, p, runtime_.storage,
-            runtime_.keys);
-        IDB_RETURN_IF_ERROR(store->Open());
-        per_phase.push_back(std::move(store));
-      }
-      stores_.push_back(std::move(per_phase));
-    }
-  }
+  next_row_id_.store(max_row + 1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status Table::RebuildIndexes() {
-  // Indexes are derived data: recreate the index file from scratch.
-  index_pool_.reset();
-  index_disk_.reset();
-  if (FileExists(IndexPath())) {
-    IDB_RETURN_IF_ERROR(RemoveFile(IndexPath()));
-  }
-  IDB_ASSIGN_OR_RETURN(
-      index_disk_, DiskManager::Open(IndexPath(), runtime_.storage.page_size));
-  index_pool_ = std::make_unique<BufferPool>(
-      index_disk_.get(), runtime_.storage.buffer_pool_pages);
-
-  multires_.clear();
-  bitmaps_.clear();
-  for (int col_idx : schema().degradable_columns()) {
-    const ColumnDef& col = schema().column(col_idx);
-    auto index = std::make_unique<MultiResolutionIndex>(col, index_pool_.get());
-    IDB_RETURN_IF_ERROR(index->Init());
-    multires_.push_back(std::move(index));
-    if (runtime_.bitmap_indexes) {
-      bitmaps_.push_back(std::make_unique<BitmapColumnIndex>(col));
-    }
-  }
-
-  if (runtime_.layout == DegradableLayout::kStateStores) {
-    for (size_t d = 0; d < stores_.size(); ++d) {
-      for (size_t p = 0; p < stores_[d].size(); ++p) {
-        Status status;
-        stores_[d][p]->ForEach([&](const StoreEntry& entry) {
-          status = multires_[d]->OnInsertAtPhase(entry.row_id, entry.value,
-                                                 static_cast<int>(p));
-          if (status.ok() && !bitmaps_.empty()) {
-            status = bitmaps_[d]->OnInsertAtPhase(entry.row_id, entry.value,
-                                                  static_cast<int>(p));
-          }
-          return status.ok();
-        });
-        IDB_RETURN_IF_ERROR(status);
-      }
-    }
-  } else {
-    Status status;
-    IDB_RETURN_IF_ERROR(heap_->Scan([&](Rid, Slice record) {
-      HeapTuple tuple;
-      status = DecodeHeapTuple(schema(), runtime_.layout, record, &tuple);
-      if (!status.ok()) return false;
-      for (size_t d = 0; d < tuple.degradable.size(); ++d) {
-        const InlineDegradable& inline_value = tuple.degradable[d];
-        if (inline_value.phase >=
-            static_cast<int32_t>(inplace_queues_[d].size())) {
-          continue;  // removed
-        }
-        status = multires_[d]->OnInsertAtPhase(tuple.row_id,
-                                               inline_value.value,
-                                               inline_value.phase);
-        if (status.ok() && !bitmaps_.empty()) {
-          status = bitmaps_[d]->OnInsertAtPhase(tuple.row_id,
-                                                inline_value.value,
-                                                inline_value.phase);
-        }
-        if (!status.ok()) return false;
-      }
-      return true;
-    }));
-    IDB_RETURN_IF_ERROR(status);
+  for (auto& partition : partitions_) {
+    IDB_RETURN_IF_ERROR(partition->RebuildIndexes());
   }
   return Status::OK();
 }
 
 Status Table::Checkpoint() {
-  std::shared_lock<std::shared_mutex> latch(latch_);
-  IDB_RETURN_IF_ERROR(heap_pool_->FlushAll());
-  for (auto& per_phase : stores_) {
-    for (auto& store : per_phase) {
-      IDB_RETURN_IF_ERROR(store->Checkpoint());
-    }
+  for (auto& partition : partitions_) {
+    IDB_RETURN_IF_ERROR(partition->Checkpoint());
   }
   return Status::OK();
 }
 
 Status Table::Drop() {
-  std::unique_lock<std::shared_mutex> latch(latch_);
-  for (auto& per_phase : stores_) {
-    for (auto& store : per_phase) {
-      IDB_RETURN_IF_ERROR(store->Drop());
-    }
+  for (auto& partition : partitions_) {
+    IDB_RETURN_IF_ERROR(partition->Drop());
   }
-  stores_.clear();
-  heap_.reset();
-  heap_pool_.reset();
-  heap_disk_.reset();
-  index_pool_.reset();
-  index_disk_.reset();
+  partitions_.clear();
   return RemoveDirRecursive(dir_);
 }
 
@@ -195,11 +115,7 @@ Result<RowId> Table::Insert(Transaction* txn, const std::vector<Value>& row) {
   IDB_RETURN_IF_ERROR(schema().ValidateInsertRow(row));
   const Micros now = runtime_.clock->NowMicros();
 
-  RowId row_id;
-  {
-    std::unique_lock<std::shared_mutex> latch(latch_);
-    row_id = next_row_id_++;
-  }
+  const RowId row_id = next_row_id_.fetch_add(1, std::memory_order_relaxed);
   IDB_RETURN_IF_ERROR(txn->Lock(LockKey::Row(id(), row_id), LockMode::kExclusive));
 
   WalRecord record;
@@ -224,137 +140,35 @@ Result<RowId> Table::Insert(Transaction* txn, const std::vector<Value>& row) {
   }
   const std::vector<Value> stable = record.stable;
   const std::vector<Value> degradable = record.degradable;
-  txn->AddOp(std::move(record), [this, row_id, now, stable, degradable] {
-    return ApplyInsert(row_id, now, stable, degradable,
-                       /*degradable_available=*/true);
-  });
+  TablePartition* partition = Route(row_id);
+  txn->AddOp(std::move(record),
+             [partition, row_id, now, stable, degradable] {
+               return partition->ApplyInsert(row_id, now, stable, degradable,
+                                             /*degradable_available=*/true);
+             });
   return row_id;
-}
-
-Status Table::ApplyInsert(RowId row_id, Micros insert_time,
-                          const std::vector<Value>& stable,
-                          const std::vector<Value>& degradable,
-                          bool degradable_available) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
-  if (row_map_.count(row_id) != 0) return Status::OK();  // idempotent redo
-  HeapTuple tuple;
-  tuple.row_id = row_id;
-  tuple.insert_time = insert_time;
-  tuple.stable = stable;
-  if (runtime_.layout == DegradableLayout::kInPlace) {
-    tuple.degradable.resize(schema().degradable_columns().size());
-    for (size_t d = 0; d < tuple.degradable.size(); ++d) {
-      tuple.degradable[d].phase = 0;
-      tuple.degradable[d].value =
-          degradable_available ? degradable[d] : Value::Null();
-    }
-  }
-  std::string encoded;
-  EncodeHeapTuple(schema(), runtime_.layout, tuple, &encoded);
-  IDB_ASSIGN_OR_RETURN(Rid rid, heap_->Insert(encoded));
-  row_map_[row_id] = rid;
-  if (row_id >= next_row_id_) next_row_id_ = row_id + 1;
-
-  if (degradable_available) {
-    for (size_t d = 0; d < schema().degradable_columns().size(); ++d) {
-      if (runtime_.layout == DegradableLayout::kStateStores) {
-        IDB_RETURN_IF_ERROR(
-            stores_[d][0]->Append({row_id, insert_time, degradable[d]}));
-      } else {
-        inplace_queues_[d][0].emplace_back(row_id, insert_time);
-      }
-      if (!multires_.empty()) {
-        IDB_RETURN_IF_ERROR(multires_[d]->OnInsert(row_id, degradable[d]));
-      }
-      if (!bitmaps_.empty()) {
-        IDB_RETURN_IF_ERROR(bitmaps_[d]->OnInsert(row_id, degradable[d]));
-      }
-    }
-  }
-  ++stats_.inserts;
-  return Status::OK();
 }
 
 Status Table::Delete(Transaction* txn, RowId row_id) {
   IDB_RETURN_IF_ERROR(txn->Lock(LockKey::Row(id(), row_id), LockMode::kExclusive));
-  {
-    std::shared_lock<std::shared_mutex> latch(latch_);
-    if (row_map_.count(row_id) == 0) {
-      return Status::NotFound("no such row");
-    }
-    // Serialize against degradation steps touching this row's stores.
-    if (runtime_.layout == DegradableLayout::kStateStores) {
-      for (size_t d = 0; d < stores_.size(); ++d) {
-        const int col_idx = schema().degradable_columns()[d];
-        for (size_t p = 0; p < stores_[d].size(); ++p) {
-          if (stores_[d][p]->Find(row_id) != nullptr) {
-            latch.unlock();
-            IDB_RETURN_IF_ERROR(txn->Lock(
-                LockKey::Store(id(), col_idx, static_cast<int>(p)),
-                LockMode::kExclusive));
-            latch.lock();
-            break;
-          }
-        }
-      }
-    }
+  TablePartition* partition = Route(row_id);
+  if (!partition->Contains(row_id)) {
+    return Status::NotFound("no such row");
+  }
+  // Serialize against degradation steps touching this row's stores (the
+  // store lock keys carry the partition index, so only this partition's
+  // degrader conflicts).
+  for (const auto& [col_idx, phase] : partition->StoresHolding(row_id)) {
+    IDB_RETURN_IF_ERROR(
+        txn->Lock(LockKey::Store(id(), col_idx, phase, partition->index()),
+                  LockMode::kExclusive));
   }
   WalRecord record;
   record.type = WalRecordType::kDelete;
   record.table = id();
   record.row_id = row_id;
-  txn->AddOp(std::move(record), [this, row_id] { return ApplyDelete(row_id); });
-  return Status::OK();
-}
-
-Status Table::ApplyDelete(RowId row_id) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
-  auto it = row_map_.find(row_id);
-  if (it == row_map_.end()) return Status::OK();  // idempotent redo
-
-  // Remove degradable values from stores + indexes.
-  if (runtime_.layout == DegradableLayout::kStateStores) {
-    for (size_t d = 0; d < stores_.size(); ++d) {
-      for (size_t p = 0; p < stores_[d].size(); ++p) {
-        const StoreEntry* entry = stores_[d][p]->Find(row_id);
-        if (entry == nullptr) continue;
-        const Value value = entry->value;
-        if (!multires_.empty()) {
-          IDB_RETURN_IF_ERROR(
-              multires_[d]->OnDelete(row_id, static_cast<int>(p), value));
-        }
-        if (!bitmaps_.empty()) {
-          IDB_RETURN_IF_ERROR(
-              bitmaps_[d]->OnDelete(row_id, static_cast<int>(p), value));
-        }
-        IDB_RETURN_IF_ERROR(stores_[d][p]->SecureDeleteEntry(row_id));
-        break;
-      }
-    }
-  } else {
-    IDB_ASSIGN_OR_RETURN(std::string record, heap_->Get(it->second));
-    HeapTuple tuple;
-    IDB_RETURN_IF_ERROR(
-        DecodeHeapTuple(schema(), runtime_.layout, record, &tuple));
-    for (size_t d = 0; d < tuple.degradable.size(); ++d) {
-      const InlineDegradable& inline_value = tuple.degradable[d];
-      if (inline_value.phase >=
-          static_cast<int32_t>(inplace_queues_[d].size())) {
-        continue;
-      }
-      if (!multires_.empty()) {
-        IDB_RETURN_IF_ERROR(multires_[d]->OnDelete(
-            row_id, inline_value.phase, inline_value.value));
-      }
-      if (!bitmaps_.empty()) {
-        IDB_RETURN_IF_ERROR(bitmaps_[d]->OnDelete(
-            row_id, inline_value.phase, inline_value.value));
-      }
-    }
-  }
-  IDB_RETURN_IF_ERROR(heap_->Delete(it->second));
-  row_map_.erase(it);
-  ++stats_.deletes;
+  txn->AddOp(std::move(record),
+             [partition, row_id] { return partition->ApplyDelete(row_id); });
   return Status::OK();
 }
 
@@ -370,450 +184,125 @@ Status Table::UpdateStable(Transaction* txn, RowId row_id,
     }
   }
   IDB_RETURN_IF_ERROR(txn->Lock(LockKey::Row(id(), row_id), LockMode::kExclusive));
-  {
-    std::shared_lock<std::shared_mutex> latch(latch_);
-    if (row_map_.count(row_id) == 0) return Status::NotFound("no such row");
-  }
+  TablePartition* partition = Route(row_id);
+  if (!partition->Contains(row_id)) return Status::NotFound("no such row");
   WalRecord record;
   record.type = WalRecordType::kUpdateStable;
   record.table = id();
   record.row_id = row_id;
   record.stable = stable;
-  txn->AddOp(std::move(record), [this, row_id, stable] {
-    return ApplyUpdateStable(row_id, stable);
+  txn->AddOp(std::move(record), [partition, row_id, stable] {
+    return partition->ApplyUpdateStable(row_id, stable);
   });
-  return Status::OK();
-}
-
-Status Table::ApplyUpdateStable(RowId row_id,
-                                const std::vector<Value>& stable) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
-  auto it = row_map_.find(row_id);
-  if (it == row_map_.end()) return Status::OK();  // idempotent redo
-  IDB_ASSIGN_OR_RETURN(std::string record, heap_->Get(it->second));
-  HeapTuple tuple;
-  IDB_RETURN_IF_ERROR(
-      DecodeHeapTuple(schema(), runtime_.layout, record, &tuple));
-  tuple.stable = stable;
-  std::string encoded;
-  EncodeHeapTuple(schema(), runtime_.layout, tuple, &encoded);
-  Rid new_rid;
-  IDB_RETURN_IF_ERROR(heap_->Update(it->second, encoded, &new_rid));
-  it->second = new_rid;
   return Status::OK();
 }
 
 // --- read path ---------------------------------------------------------------------
 
 Status Table::ScanRows(const std::function<bool(const RowView&)>& fn) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
-  Status decode_status;
-  IDB_RETURN_IF_ERROR(heap_->Scan([&](Rid, Slice record) {
-    HeapTuple tuple;
-    decode_status = DecodeHeapTuple(schema(), runtime_.layout, record, &tuple);
-    if (!decode_status.ok()) return false;
-    RowView view;
-    if (!AssembleRow(tuple, &view)) return true;  // skip unreadable row
-    return fn(view);
-  }));
-  return decode_status;
+  for (const auto& partition : partitions_) {
+    bool stopped = false;
+    IDB_RETURN_IF_ERROR(partition->ScanRows(fn, &stopped));
+    if (stopped) break;
+  }
+  return Status::OK();
 }
 
-Status Table::ScanBatch(Rid* pos, size_t limit, std::vector<RowView>* out,
-                        bool* done) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
+Status Table::ScanBatch(TableScanPos* pos, size_t limit,
+                        std::vector<RowView>* out, bool* done) const {
   out->clear();
+  *done = false;
+  while (pos->partition < partitions_.size()) {
+    if (out->size() >= limit) return Status::OK();  // more partitions remain
+    bool partition_done = false;
+    IDB_RETURN_IF_ERROR(partitions_[pos->partition]->ScanBatch(
+        &pos->rid, limit - out->size(), out, &partition_done));
+    if (!partition_done) return Status::OK();  // limit hit inside partition
+    ++pos->partition;
+    pos->rid = Rid{0, 0};
+  }
   *done = true;
-  Status decode_status;
-  IDB_RETURN_IF_ERROR(heap_->ScanFrom(*pos, [&](Rid rid, Slice record) {
-    if (out->size() >= limit) {
-      *pos = rid;  // resume here: this record has not been consumed
-      *done = false;
-      return false;
-    }
-    HeapTuple tuple;
-    decode_status = DecodeHeapTuple(schema(), runtime_.layout, record, &tuple);
-    if (!decode_status.ok()) return false;
-    RowView view;
-    if (AssembleRow(tuple, &view)) out->push_back(std::move(view));
-    return true;
-  }));
-  return decode_status;
-}
-
-bool Table::AssembleRow(const HeapTuple& tuple, RowView* view) const {
-  view->row_id = tuple.row_id;
-  view->insert_time = tuple.insert_time;
-  view->values.assign(schema().num_columns(), Value::Null());
-  for (size_t i = 0; i < schema().stable_columns().size(); ++i) {
-    view->values[schema().stable_columns()[i]] = tuple.stable[i];
-  }
-  const auto& degradable_cols = schema().degradable_columns();
-  view->phases.assign(degradable_cols.size(), 0);
-  for (size_t d = 0; d < degradable_cols.size(); ++d) {
-    const ColumnDef& col = schema().column(degradable_cols[d]);
-    if (runtime_.layout == DegradableLayout::kStateStores) {
-      int phase = col.lcp.num_phases();  // removed unless found
-      for (size_t p = 0; p < stores_[d].size(); ++p) {
-        const StoreEntry* entry = stores_[d][p]->Find(tuple.row_id);
-        if (entry != nullptr) {
-          phase = static_cast<int>(p);
-          view->values[degradable_cols[d]] = entry->value;
-          break;
-        }
-      }
-      view->phases[d] = phase;
-    } else {
-      const InlineDegradable& inline_value = tuple.degradable[d];
-      view->phases[d] = inline_value.phase;
-      if (inline_value.phase < col.lcp.num_phases()) {
-        view->values[degradable_cols[d]] = inline_value.value;
-      }
-    }
-  }
-  return true;
+  return Status::OK();
 }
 
 Result<std::optional<RowView>> Table::GetRow(RowId row_id) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
-  auto it = row_map_.find(row_id);
-  if (it == row_map_.end()) return std::optional<RowView>{};
-  IDB_ASSIGN_OR_RETURN(std::string record, heap_->Get(it->second));
-  HeapTuple tuple;
-  IDB_RETURN_IF_ERROR(
-      DecodeHeapTuple(schema(), runtime_.layout, record, &tuple));
-  RowView view;
-  AssembleRow(tuple, &view);
-  return std::optional<RowView>(std::move(view));
+  return Route(row_id)->GetRow(row_id);
 }
 
 uint64_t Table::live_rows() const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
-  return row_map_.size();
+  uint64_t total = 0;
+  for (const auto& partition : partitions_) total += partition->live_rows();
+  return total;
 }
 
 Status Table::IndexLookupEqual(int column, const Value& value, int level,
                                std::vector<RowId>* out) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
-  const int ordinal = schema().DegradableOrdinal(column);
-  if (ordinal < 0 || multires_.empty()) {
-    return Status::InvalidArgument("no multi-resolution index on column");
+  for (const auto& partition : partitions_) {
+    IDB_RETURN_IF_ERROR(
+        partition->IndexLookupEqual(column, value, level, out));
   }
-  return multires_[ordinal]->LookupEqual(value, level, [&](RowId rid) {
-    out->push_back(rid);
-    return true;
-  });
+  return Status::OK();
 }
 
 Status Table::IndexLookupRange(int column, const Value& lo, const Value& hi,
                                int level, std::vector<RowId>* out) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
-  const int ordinal = schema().DegradableOrdinal(column);
-  if (ordinal < 0 || multires_.empty()) {
-    return Status::InvalidArgument("no multi-resolution index on column");
+  for (const auto& partition : partitions_) {
+    IDB_RETURN_IF_ERROR(
+        partition->IndexLookupRange(column, lo, hi, level, out));
   }
-  return multires_[ordinal]->LookupRange(lo, hi, level, [&](RowId rid) {
-    out->push_back(rid);
-    return true;
-  });
+  return Status::OK();
 }
 
 Result<Bitmap> Table::BitmapLookupEqual(int column, const Value& value,
                                         int level) const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
-  const int ordinal = schema().DegradableOrdinal(column);
-  if (ordinal < 0 || bitmaps_.empty()) {
-    return Status::InvalidArgument("no bitmap index on column");
+  Bitmap merged;
+  for (const auto& partition : partitions_) {
+    IDB_ASSIGN_OR_RETURN(Bitmap bitmap,
+                         partition->BitmapLookupEqual(column, value, level));
+    merged.OrWith(bitmap);
   }
-  return bitmaps_[ordinal]->LookupEqual(value, level);
+  return merged;
 }
 
 // --- degradation ----------------------------------------------------------------------
 
-Micros Table::StoreHeadDeadline(int ordinal, int phase) const {
-  const ColumnDef& col =
-      schema().column(schema().degradable_columns()[ordinal]);
-  Micros head_insert = kForever;
-  if (runtime_.layout == DegradableLayout::kStateStores) {
-    if (stores_[ordinal][phase]->empty()) return kForever;
-    head_insert = stores_[ordinal][phase]->Head().insert_time;
-  } else {
-    if (inplace_queues_[ordinal][phase].empty()) return kForever;
-    head_insert = inplace_queues_[ordinal][phase].front().second;
-  }
-  const Micros offset = col.lcp.PhaseEndOffset(phase);
-  if (offset == kForever) return kForever;
-  return head_insert + offset;
-}
-
-Table::PendingDegrade Table::MostOverdue() const {
-  PendingDegrade best;
-  for (size_t d = 0; d < schema().degradable_columns().size(); ++d) {
-    const ColumnDef& col = schema().column(schema().degradable_columns()[d]);
-    for (int p = 0; p < col.lcp.num_phases(); ++p) {
-      const Micros deadline = StoreHeadDeadline(static_cast<int>(d), p);
-      if (deadline < best.deadline) {
-        best = {schema().degradable_columns()[d], p, deadline};
-      }
-    }
-  }
-  return best;
-}
-
 Micros Table::NextDeadline() const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
-  return MostOverdue().deadline;
+  Micros next = kForever;
+  for (const auto& partition : partitions_) {
+    next = std::min(next, partition->NextDeadline());
+  }
+  return next;
 }
 
 bool Table::HasWorkAt(Micros now) const { return NextDeadline() <= now; }
 
+bool Table::PartitionHasWorkAt(uint32_t partition, Micros now) const {
+  return partitions_[partition]->HasWorkAt(now);
+}
+
 Result<size_t> Table::RunDegradationStep(TransactionManager* tm, Micros now,
-                                         size_t batch_limit) {
-  PendingDegrade target;
-  {
-    std::shared_lock<std::shared_mutex> latch(latch_);
-    target = MostOverdue();
-  }
-  if (target.deadline > now) return size_t{0};
-
-  const int col_idx = target.column;
-  const int ordinal = schema().DegradableOrdinal(col_idx);
-  const ColumnDef& col = schema().column(col_idx);
-  const int from_phase = target.phase;
-  const int to_phase = from_phase + 1;  // == num_phases means ⊥
-  const bool removal = to_phase >= col.lcp.num_phases();
-
-  auto txn = tm->Begin();
-  Status lock_status =
-      txn->Lock(LockKey::Store(id(), col_idx, from_phase), LockMode::kExclusive);
-  if (lock_status.ok() && !removal) {
-    lock_status =
-        txn->Lock(LockKey::Store(id(), col_idx, to_phase), LockMode::kExclusive);
-  }
-  if (!lock_status.ok()) {
-    tm->Abort(txn.get());
-    return lock_status;
-  }
-
-  // Collect the overdue prefix under the shared latch.
-  std::vector<StoreEntry> moves;      // entries with generalized values
-  std::vector<Value> old_values;
-  std::vector<Micros> deadlines;
-  RowId up_to = 0;
-  {
-    std::shared_lock<std::shared_mutex> latch(latch_);
-    const Micros offset = col.lcp.PhaseEndOffset(from_phase);
-    auto consider = [&](RowId row_id, Micros insert_time,
-                        const Value& value) {
-      const Micros deadline = insert_time + offset;
-      if (deadline > now || moves.size() >= batch_limit) return false;
-      StoreEntry moved{row_id, insert_time, Value::Null()};
-      if (!removal) {
-        auto generalized = col.hierarchy->Generalize(
-            value, col.lcp.phase(from_phase).level,
-            col.lcp.phase(to_phase).level);
-        if (!generalized.ok()) return false;
-        moved.value = *generalized;
-      }
-      moves.push_back(std::move(moved));
-      old_values.push_back(value);
-      deadlines.push_back(deadline);
-      up_to = row_id;
-      return true;
-    };
-    if (runtime_.layout == DegradableLayout::kStateStores) {
-      stores_[ordinal][from_phase]->ForEach([&](const StoreEntry& entry) {
-        return consider(entry.row_id, entry.insert_time, entry.value);
-      });
-    } else {
-      for (const auto& [row_id, insert_time] :
-           inplace_queues_[ordinal][from_phase]) {
-        auto it = row_map_.find(row_id);
-        if (it == row_map_.end()) {
-          // Row deleted; schedule entry is stale. Treat as a zero-cost move
-          // so the queue drains.
-          const Micros deadline = insert_time + col.lcp.PhaseEndOffset(from_phase);
-          if (deadline > now || moves.size() >= batch_limit) break;
-          moves.push_back({row_id, insert_time, Value::Null()});
-          old_values.push_back(Value::Null());
-          deadlines.push_back(deadline);
-          up_to = row_id;
-          continue;
-        }
-        auto record = heap_->Get(it->second);
-        if (!record.ok()) break;
-        HeapTuple tuple;
-        if (!DecodeHeapTuple(schema(), runtime_.layout, *record, &tuple).ok()) {
-          break;
-        }
-        if (!consider(row_id, insert_time,
-                      tuple.degradable[ordinal].value)) {
-          break;
-        }
-      }
-    }
-  }
-  if (moves.empty()) {
-    tm->Abort(txn.get());
-    return size_t{0};
-  }
-
-  WalRecord record;
-  record.type = WalRecordType::kDegradeStep;
-  record.table = id();
-  record.column = col_idx;
-  record.from_phase = from_phase;
-  record.to_phase = to_phase;
-  record.up_to_row_id = up_to;
-  // Removal steps log Null values: redo still needs the row ids to expire
-  // tuples, and a NULL leaks nothing.
-  record.entries = moves;
-
-  const size_t moved = moves.size();
-  txn->AddOp(std::move(record),
-             [this, col_idx, from_phase, to_phase, up_to, moves, old_values] {
-               return ApplyDegrade(col_idx, from_phase, to_phase, up_to, moves,
-                                   &old_values);
-             });
-  IDB_RETURN_IF_ERROR(tm->Commit(txn.get()));
-
-  {
-    std::unique_lock<std::shared_mutex> latch(latch_);
-    for (size_t i = 0; i < deadlines.size(); ++i) {
-      lateness_.Add(static_cast<double>(now - deadlines[i]));
-    }
-    ++stats_.degrade_steps;
-    if (removal) {
-      stats_.values_removed += moved;
-    } else {
-      stats_.values_degraded += moved;
-    }
-  }
-
-  if (from_phase == 0 && runtime_.wal != nullptr) {
+                                         size_t batch_limit,
+                                         uint32_t partition) {
+  bool stepped_phase0 = false;
+  IDB_ASSIGN_OR_RETURN(const size_t moved,
+                       partitions_[partition]->RunDegradationStep(
+                           tm, now, batch_limit, &stepped_phase0));
+  if (moved > 0 && stepped_phase0 && runtime_.wal != nullptr &&
+      runtime_.wal->epoch_keys_enabled()) {
+    // Epoch keys are table-wide: a key is destroyable only once every
+    // partition's phase-0 head has moved past the epoch. SafeEpochTime
+    // walks live phase-0 state (O(1) per store, O(queue) under kInPlace),
+    // so it only runs when there are keys to destroy.
     IDB_RETURN_IF_ERROR(
         runtime_.wal->DestroyEpochKeysThrough(id(), SafeEpochTime()));
   }
   return moved;
 }
 
-Status Table::ApplyDegrade(int col_idx, int from_phase, int to_phase,
-                           RowId up_to, const std::vector<StoreEntry>& moves,
-                           const std::vector<Value>* old_values) {
-  std::unique_lock<std::shared_mutex> latch(latch_);
-  const int ordinal = schema().DegradableOrdinal(col_idx);
-  const ColumnDef& col = schema().column(col_idx);
-  const bool removal = to_phase >= col.lcp.num_phases();
-  const bool update_indexes = old_values != nullptr && !multires_.empty();
-
-  if (runtime_.layout == DegradableLayout::kStateStores) {
-    IDB_RETURN_IF_ERROR(
-        stores_[ordinal][from_phase]->PopThrough(up_to).status());
-    for (size_t i = 0; i < moves.size(); ++i) {
-      const StoreEntry& move = moves[i];
-      // A row deleted between collect and apply must not resurface.
-      const bool row_live = row_map_.count(move.row_id) != 0;
-      if (!removal && row_live) {
-        IDB_RETURN_IF_ERROR(stores_[ordinal][to_phase]->Append(move));
-      }
-      if (update_indexes && row_live) {
-        IDB_RETURN_IF_ERROR(multires_[ordinal]->OnDegrade(
-            move.row_id, from_phase, (*old_values)[i], to_phase, move.value));
-        if (!bitmaps_.empty()) {
-          IDB_RETURN_IF_ERROR(bitmaps_[ordinal]->OnDegrade(
-              move.row_id, from_phase, (*old_values)[i], to_phase,
-              move.value));
-        }
-      }
-      if (removal && row_live) {
-        IDB_RETURN_IF_ERROR(MaybeExpireTupleLocked(move.row_id));
-      }
-    }
-    return Status::OK();
-  }
-
-  // In-place layout: rewrite heap tuples and advance the schedule queues.
-  auto& queue = inplace_queues_[ordinal][from_phase];
-  while (!queue.empty() && queue.front().first <= up_to) queue.pop_front();
-  for (size_t i = 0; i < moves.size(); ++i) {
-    const StoreEntry& move = moves[i];
-    auto it = row_map_.find(move.row_id);
-    if (it == row_map_.end()) continue;  // deleted meanwhile / stale redo
-    IDB_ASSIGN_OR_RETURN(std::string record, heap_->Get(it->second));
-    HeapTuple tuple;
-    IDB_RETURN_IF_ERROR(
-        DecodeHeapTuple(schema(), runtime_.layout, record, &tuple));
-    if (tuple.degradable[ordinal].phase != from_phase) continue;  // stale redo
-    const Value old_value = tuple.degradable[ordinal].value;
-    tuple.degradable[ordinal].phase = to_phase;
-    tuple.degradable[ordinal].value = removal ? Value::Null() : move.value;
-    std::string encoded;
-    EncodeHeapTuple(schema(), runtime_.layout, tuple, &encoded);
-    Rid new_rid;
-    IDB_RETURN_IF_ERROR(heap_->Update(it->second, encoded, &new_rid));
-    it->second = new_rid;
-    if (!removal) {
-      inplace_queues_[ordinal][to_phase].emplace_back(move.row_id,
-                                                      move.insert_time);
-    }
-    if (update_indexes) {
-      IDB_RETURN_IF_ERROR(multires_[ordinal]->OnDegrade(
-          move.row_id, from_phase, old_value, to_phase, move.value));
-      if (!bitmaps_.empty()) {
-        IDB_RETURN_IF_ERROR(bitmaps_[ordinal]->OnDegrade(
-            move.row_id, from_phase, old_value, to_phase, move.value));
-      }
-    }
-    if (removal) {
-      IDB_RETURN_IF_ERROR(MaybeExpireTupleLocked(move.row_id));
-    }
-  }
-  return Status::OK();
-}
-
-Status Table::MaybeExpireTupleLocked(RowId row_id) {
-  auto it = row_map_.find(row_id);
-  if (it == row_map_.end()) return Status::OK();
-  if (runtime_.layout == DegradableLayout::kStateStores) {
-    for (const auto& per_phase : stores_) {
-      for (const auto& store : per_phase) {
-        if (store->Find(row_id) != nullptr) return Status::OK();
-      }
-    }
-  } else {
-    IDB_ASSIGN_OR_RETURN(std::string record, heap_->Get(it->second));
-    HeapTuple tuple;
-    IDB_RETURN_IF_ERROR(
-        DecodeHeapTuple(schema(), runtime_.layout, record, &tuple));
-    for (size_t d = 0; d < tuple.degradable.size(); ++d) {
-      const ColumnDef& col =
-          schema().column(schema().degradable_columns()[d]);
-      if (tuple.degradable[d].phase < col.lcp.num_phases()) {
-        return Status::OK();
-      }
-    }
-  }
-  // Every degradable attribute reached ⊥: the tuple disappears, stable part
-  // included (paper §II "up to disappearance from the database").
-  IDB_RETURN_IF_ERROR(heap_->Delete(it->second));
-  row_map_.erase(it);
-  ++stats_.tuples_expired;
-  return Status::OK();
-}
-
 Micros Table::SafeEpochTime() const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
-  Micros safe = runtime_.clock->NowMicros();
-  for (size_t d = 0; d < schema().degradable_columns().size(); ++d) {
-    Micros head = kForever;
-    if (runtime_.layout == DegradableLayout::kStateStores) {
-      if (!stores_[d][0]->empty()) head = stores_[d][0]->Head().insert_time;
-    } else {
-      if (!inplace_queues_[d][0].empty()) {
-        head = inplace_queues_[d][0].front().second;
-      }
-    }
-    safe = std::min(safe, head);
+  Micros safe = kForever;
+  for (const auto& partition : partitions_) {
+    safe = std::min(safe, partition->SafeEpochTime());
   }
   return safe;
 }
@@ -821,27 +310,50 @@ Micros Table::SafeEpochTime() const {
 // --- recovery redo -----------------------------------------------------------------
 
 Status Table::RedoInsert(const WalRecord& record) {
-  return ApplyInsert(record.row_id, record.insert_time, record.stable,
-                     record.degradable, !record.degradable_unavailable);
+  // Replayed inserts carry committed row ids: keep the allocator above the
+  // recovered id space.
+  RowId expect = next_row_id_.load(std::memory_order_relaxed);
+  while (record.row_id >= expect &&
+         !next_row_id_.compare_exchange_weak(expect, record.row_id + 1,
+                                             std::memory_order_relaxed)) {
+  }
+  return Route(record.row_id)
+      ->ApplyInsert(record.row_id, record.insert_time, record.stable,
+                    record.degradable, !record.degradable_unavailable);
 }
 
 Status Table::RedoDegrade(const WalRecord& record) {
-  return ApplyDegrade(record.column, record.from_phase, record.to_phase,
-                      record.up_to_row_id, record.entries,
-                      /*old_values=*/nullptr);
+  // A degradation step drains one partition's store: every entry hashes to
+  // the same partition, so the first row id routes the whole record.
+  if (record.entries.empty()) return Status::OK();
+  return Route(record.entries[0].row_id)
+      ->ApplyDegrade(record.column, record.from_phase, record.to_phase,
+                     record.up_to_row_id, record.entries,
+                     /*old_values=*/nullptr);
 }
 
 Status Table::RedoDelete(const WalRecord& record) {
-  return ApplyDelete(record.row_id);
+  return Route(record.row_id)->ApplyDelete(record.row_id);
 }
 
 Status Table::RedoUpdateStable(const WalRecord& record) {
-  return ApplyUpdateStable(record.row_id, record.stable);
+  return Route(record.row_id)->ApplyUpdateStable(record.row_id, record.stable);
 }
 
 Table::Stats Table::stats() const {
-  std::shared_lock<std::shared_mutex> latch(latch_);
-  return stats_;
+  Stats total;
+  for (const auto& partition : partitions_) {
+    total.MergeFrom(partition->stats());
+  }
+  return total;
+}
+
+Histogram Table::lateness_histogram() const {
+  Histogram merged;
+  for (const auto& partition : partitions_) {
+    merged.Merge(partition->lateness_histogram());
+  }
+  return merged;
 }
 
 }  // namespace instantdb

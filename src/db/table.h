@@ -1,60 +1,49 @@
 #ifndef INSTANTDB_DB_TABLE_H_
 #define INSTANTDB_DB_TABLE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
-#include "catalog/catalog.h"
-#include "common/clock.h"
-#include "common/options.h"
-#include "index/bitmap_index.h"
-#include "index/multires_index.h"
-#include "storage/heap_file.h"
-#include "storage/record.h"
-#include "storage/state_store.h"
-#include "txn/transaction.h"
-#include "util/histogram.h"
-#include "wal/wal_manager.h"
+#include "db/table_partition.h"
 
 namespace instantdb {
 
-/// Options shared by every table of a database (subset of DbOptions the
-/// table layer needs).
-struct TableRuntime {
-  StorageOptions storage;
-  DegradableLayout layout = DegradableLayout::kStateStores;
-  bool bitmap_indexes = false;
-  KeyManager* keys = nullptr;
-  WalManager* wal = nullptr;
-  Clock* clock = nullptr;
+/// Upper bound on DbOptions::partitions (sanity limit: one partition per
+/// core is the useful range; this also caps what a corrupt PARTITIONS file
+/// can make Open() attempt).
+inline constexpr uint32_t kMaxPartitions = 1024;
+
+/// Resume position of a table scan that spans partitions: the partition
+/// currently being walked plus the heap position inside it. Value-semantic
+/// so cursors can checkpoint it between batches.
+struct TableScanPos {
+  uint32_t partition = 0;
+  Rid rid{0, 0};
 };
 
-/// Fully assembled row as seen by the executor: stable values plus each
-/// degradable attribute's *stored* phase and value (the physical ST_j
-/// membership, which is what the paper's query semantics partition on).
-struct RowView {
-  RowId row_id = kInvalidRowId;
-  Micros insert_time = 0;
-  /// Aligned with schema.columns(): stable columns hold their value;
-  /// degradable columns hold the stored (possibly degraded) value, or NULL
-  /// once removed.
-  std::vector<Value> values;
-  /// Aligned with schema.degradable_columns(): current phase per attribute
-  /// (lcp.num_phases() = removed).
-  std::vector<int> phases;
-};
-
-/// \brief One table: slotted heap for the stable part, FIFO state stores
-/// per (degradable attribute, phase), multi-resolution + optional bitmap
-/// indexes, and the degradation stepping logic.
+/// \brief One table: a router over N hash-partitions of the row-id space.
 ///
-/// Thread-safety: logical conflicts go through the 2PL LockManager (row/
-/// store/table locks); physical structures are protected by a per-table
-/// reader-writer latch (scans share it, apply closures take it exclusive).
+/// Every physical structure (heap file + buffer pool, per-(attribute, phase)
+/// state stores, multi-resolution/bitmap indexes, latch, row map, in-place
+/// schedule queues) lives in a `TablePartition`; the table routes each row
+/// id to its owning partition with the deterministic hash `row_id % N`.
+/// Recovery reuses the same hash — WAL records carry row ids, so redo needs
+/// no partition-aware record types. With `TableRuntime::partitions == 1`
+/// (the default) the single partition stores its files directly under the
+/// table directory, preserving the unpartitioned on-disk layout; with N > 1
+/// partition k lives under `<table-dir>/p<k>`. The partition count is
+/// persisted in `<table-dir>/PARTITIONS` so a reopen with a different
+/// DbOptions::partitions cannot mis-route recovered rows.
+///
+/// Partitioning is what lets throughput scale with cores: scans take one
+/// partition latch at a time (writers and the degrader on other partitions
+/// proceed unimpeded), and the degradation worker pool runs overdue steps
+/// on distinct partitions concurrently — the paper's timeliness machinery
+/// scales with the data volume it polices instead of running as one global
+/// sequential sweep.
 class Table {
  public:
   Table(const TableDef* def, std::string dir, const TableRuntime& runtime);
@@ -62,9 +51,9 @@ class Table {
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
 
-  /// Opens storage, rebuilds the row-id map from the heap, opens the state
-  /// stores. Indexes are rebuilt separately (RebuildIndexes) after WAL
-  /// replay so they reflect the recovered state.
+  /// Opens every partition (creating the directory layout on first open).
+  /// Indexes are rebuilt separately (RebuildIndexes) after WAL replay so
+  /// they reflect the recovered state.
   Status Open();
   Status RebuildIndexes();
   Status Checkpoint();
@@ -74,6 +63,18 @@ class Table {
   const TableDef& def() const { return *def_; }
   const Schema& schema() const { return def_->schema; }
   TableId id() const { return def_->id; }
+
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(partitions_.size());
+  }
+  const TablePartition* partition(uint32_t i) const {
+    return partitions_[i].get();
+  }
+  /// Owning partition of a row id (deterministic; recovery routes WAL
+  /// records with the same function).
+  uint32_t PartitionOf(RowId row_id) const {
+    return static_cast<uint32_t>(row_id % partitions_.size());
+  }
 
   // --- DML (deferred-apply; effects run at txn commit) ----------------------
 
@@ -92,20 +93,24 @@ class Table {
 
   // --- read path -------------------------------------------------------------
 
-  /// Snapshot scan: assembles every live row under the shared latch. Stops
-  /// early when `fn` returns false.
+  /// Snapshot scan: assembles every live row, walking partitions in order
+  /// under each partition's shared latch. Stops early when `fn` returns
+  /// false. Consistency is snapshot-per-partition: each partition is read
+  /// atomically, but a row changed in a later partition while an earlier
+  /// one was being read may reflect the newer state (rows never span
+  /// partitions, so no row is ever torn).
   Status ScanRows(const std::function<bool(const RowView&)>& fn) const;
 
-  /// Cursor support: assembles up to `limit` live rows starting at heap
-  /// position `*pos` (`Rid{0, 0}` to start) under the shared latch,
-  /// advancing `*pos` to the resume position and setting `*done` once the
-  /// heap is exhausted. The latch is released between batches, so a slow
-  /// consumer never blocks writers or the degrader; isolation is weak
-  /// across batches: rows changed between two batches may or may not be
-  /// observed, and a row physically relocated by a concurrent update may
-  /// be missed or observed twice. Pass SIZE_MAX to scan everything under
-  /// one latch (single-snapshot semantics).
-  Status ScanBatch(Rid* pos, size_t limit, std::vector<RowView>* out,
+  /// Cursor support: assembles up to `limit` live rows starting at `*pos`
+  /// (default-constructed to start), advancing `*pos` to the resume
+  /// position — which may cross into the next partition — and setting
+  /// `*done` once every partition is exhausted. Each batch holds one
+  /// partition latch at a time, so a slow consumer never blocks writers or
+  /// the degrader; isolation is weak across batches: rows changed between
+  /// two batches may or may not be observed, and a row physically relocated
+  /// by a concurrent update may be missed or observed twice. Pass SIZE_MAX
+  /// to scan everything in one call (snapshot-per-partition semantics).
+  Status ScanBatch(TableScanPos* pos, size_t limit, std::vector<RowView>* out,
                    bool* done) const;
 
   Result<std::optional<RowView>> GetRow(RowId row_id) const;
@@ -113,39 +118,34 @@ class Table {
   uint64_t live_rows() const;
 
   /// Rows matching an equality/range predicate on a degradable column at
-  /// accuracy `level`, via the multi-resolution index.
+  /// accuracy `level`, merged across every partition's multi-resolution
+  /// index.
   Status IndexLookupEqual(int column, const Value& value, int level,
                           std::vector<RowId>* out) const;
   Status IndexLookupRange(int column, const Value& lo, const Value& hi,
                           int level, std::vector<RowId>* out) const;
-  /// Same via the bitmap index (enabled by TableRuntime::bitmap_indexes).
+  /// Same via the bitmap indexes (enabled by TableRuntime::bitmap_indexes);
+  /// partition bitmaps are disjoint by construction and OR-merged.
   Result<Bitmap> BitmapLookupEqual(int column, const Value& value,
                                    int level) const;
 
-  const MultiResolutionIndex* multires_index(int degradable_ordinal) const {
-    return multires_[degradable_ordinal].get();
-  }
-  const BitmapColumnIndex* bitmap_index(int degradable_ordinal) const {
-    return bitmaps_.empty() ? nullptr : bitmaps_[degradable_ordinal].get();
-  }
-
   // --- degradation -----------------------------------------------------------
 
-  /// Earliest pending transition deadline across all stores (kForever if
-  /// nothing is pending). Under kInPlace layout the deadline is tracked by
-  /// the in-memory schedule queues.
+  /// Earliest pending transition deadline across all partitions (kForever
+  /// if nothing is pending).
   Micros NextDeadline() const;
 
-  /// Runs ONE degradation step as a system transaction: drains every entry
-  /// whose deadline has passed (up to `batch_limit`) from the single most
-  /// overdue (column, phase) store. Returns the number of tuples moved
-  /// (0 when nothing is due). Timeliness lateness is recorded per tuple in
-  /// `lateness_histogram`.
+  /// Runs ONE degradation step on `partition` as a system transaction (see
+  /// TablePartition::RunDegradationStep). After a phase-0 step the WAL
+  /// epoch-key watermark advances using the table-wide safe time. Distinct
+  /// partitions may be stepped concurrently.
   Result<size_t> RunDegradationStep(TransactionManager* tm, Micros now,
-                                    size_t batch_limit);
+                                    size_t batch_limit, uint32_t partition);
 
-  /// True if any store head is overdue at `now`.
+  /// True if any store head of any partition is overdue at `now`.
   bool HasWorkAt(Micros now) const;
+  /// True if any store head of `partition` is overdue at `now`.
+  bool PartitionHasWorkAt(uint32_t partition, Micros now) const;
 
   // --- recovery redo ----------------------------------------------------------
 
@@ -154,85 +154,29 @@ class Table {
   Status RedoDelete(const WalRecord& record);
   Status RedoUpdateStable(const WalRecord& record);
 
-  struct Stats {
-    uint64_t inserts = 0;
-    uint64_t deletes = 0;
-    uint64_t degrade_steps = 0;
-    uint64_t values_degraded = 0;
-    uint64_t values_removed = 0;
-    uint64_t tuples_expired = 0;  // whole-tuple removals by the LCP
-  };
+  using Stats = TablePartition::Stats;
+  /// Aggregated over partitions; each partition snapshot is taken under its
+  /// shared latch.
   Stats stats() const;
-  const Histogram& lateness_histogram() const { return lateness_; }
-
-  BufferPool* heap_pool() const { return heap_pool_.get(); }
-  const StateStore* store(int column, int phase) const;
+  /// Merged copy of every partition's lateness histogram (taken under each
+  /// partition's shared latch).
+  Histogram lateness_histogram() const;
 
  private:
-  struct PendingDegrade {
-    int column = -1;  // schema column index
-    int phase = -1;
-    Micros deadline = kForever;
-  };
-
-  std::string HeapPath() const { return dir_ + "/heap.db"; }
-  std::string IndexPath() const { return dir_ + "/index.db"; }
-  std::string StoreDir(int column, int phase) const;
-
-  /// Deadline of the head entry of (column, phase), kForever if empty.
-  Micros StoreHeadDeadline(int column, int phase) const;
-  PendingDegrade MostOverdue() const;
-
-  /// Applies one insert to heap/stores/indexes (commit-time + redo path).
-  Status ApplyInsert(RowId row_id, Micros insert_time,
-                     const std::vector<Value>& stable,
-                     const std::vector<Value>& degradable,
-                     bool degradable_available);
-  Status ApplyDelete(RowId row_id);
-  /// `old_values` is non-null on the live path (index maintenance) and null
-  /// during redo (indexes are rebuilt wholesale after replay).
-  Status ApplyDegrade(int column, int from_phase, int to_phase,
-                      RowId up_to_row_id, const std::vector<StoreEntry>& moves,
-                      const std::vector<Value>* old_values);
-  Status ApplyUpdateStable(RowId row_id, const std::vector<Value>& stable);
-
-  /// After a value of `row_id` reached ⊥: if every degradable attribute of
-  /// the tuple is gone, remove the whole tuple (paper: disappearance).
-  /// Caller holds the exclusive latch.
-  Status MaybeExpireTupleLocked(RowId row_id);
-
-  /// Builds a RowView from a decoded heap tuple (caller holds the latch).
-  bool AssembleRow(const HeapTuple& tuple, RowView* view) const;
-
-  /// After a phase-0 step: allow the WAL to destroy epoch keys whose
-  /// accurate values have all left phase 0.
+  std::string PartitionDir(uint32_t index) const;
+  std::string PartitionCountPath() const { return dir_ + "/PARTITIONS"; }
+  TablePartition* Route(RowId row_id) const {
+    return partitions_[PartitionOf(row_id)].get();
+  }
+  /// min over partitions of SafeEpochTime (phase-0 head insert times).
   Micros SafeEpochTime() const;
 
   const TableDef* const def_;
   const std::string dir_;
   TableRuntime runtime_;
 
-  std::unique_ptr<DiskManager> heap_disk_;
-  std::unique_ptr<BufferPool> heap_pool_;
-  std::unique_ptr<HeapFile> heap_;
-  std::unique_ptr<DiskManager> index_disk_;
-  std::unique_ptr<BufferPool> index_pool_;
-
-  /// stores_[degradable_ordinal][phase].
-  std::vector<std::vector<std::unique_ptr<StateStore>>> stores_;
-  std::vector<std::unique_ptr<MultiResolutionIndex>> multires_;
-  std::vector<std::unique_ptr<BitmapColumnIndex>> bitmaps_;
-
-  /// In-place layout: FIFO schedule (row_id, insert_time) per (ordinal,
-  /// phase), mirroring what the state stores provide for free.
-  std::vector<std::vector<std::deque<std::pair<RowId, Micros>>>> inplace_queues_;
-
-  mutable std::shared_mutex latch_;
-  std::unordered_map<RowId, Rid> row_map_;
-  RowId next_row_id_ = 1;
-
-  Stats stats_;
-  Histogram lateness_;
+  std::vector<std::unique_ptr<TablePartition>> partitions_;
+  std::atomic<RowId> next_row_id_{1};
 };
 
 }  // namespace instantdb

@@ -1,0 +1,254 @@
+#ifndef INSTANTDB_DB_TABLE_PARTITION_H_
+#define INSTANTDB_DB_TABLE_PARTITION_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/clock.h"
+#include "common/options.h"
+#include "index/bitmap_index.h"
+#include "index/multires_index.h"
+#include "storage/heap_file.h"
+#include "storage/record.h"
+#include "storage/state_store.h"
+#include "txn/transaction.h"
+#include "util/histogram.h"
+#include "wal/wal_manager.h"
+
+namespace instantdb {
+
+/// Options shared by every table of a database (subset of DbOptions the
+/// table layer needs).
+struct TableRuntime {
+  StorageOptions storage;
+  DegradableLayout layout = DegradableLayout::kStateStores;
+  bool bitmap_indexes = false;
+  /// Number of hash-partitions of the row-id space per table. 1 keeps the
+  /// single-partition layout (and on-disk paths) of unpartitioned tables.
+  uint32_t partitions = 1;
+  KeyManager* keys = nullptr;
+  WalManager* wal = nullptr;
+  Clock* clock = nullptr;
+};
+
+/// Fully assembled row as seen by the executor: stable values plus each
+/// degradable attribute's *stored* phase and value (the physical ST_j
+/// membership, which is what the paper's query semantics partition on).
+struct RowView {
+  RowId row_id = kInvalidRowId;
+  Micros insert_time = 0;
+  /// Aligned with schema.columns(): stable columns hold their value;
+  /// degradable columns hold the stored (possibly degraded) value, or NULL
+  /// once removed.
+  std::vector<Value> values;
+  /// Aligned with schema.degradable_columns(): current phase per attribute
+  /// (lcp.num_phases() = removed).
+  std::vector<int> phases;
+};
+
+/// \brief The physical state of one hash-partition of a table: slotted heap
+/// for the stable part, FIFO state stores per (degradable attribute, phase),
+/// multi-resolution + optional bitmap indexes, the row-id map, and the
+/// degradation stepping logic.
+///
+/// `Table` (db/table.h) routes every row id to exactly one partition via a
+/// deterministic hash, so partitions never share rows: each owns its own
+/// reader-writer latch and its degradation steps lock per-partition store
+/// heads. That is what lets the degradation worker pool run steps on
+/// distinct partitions concurrently while preserving the paper's bounded
+/// reader/degrader interference (B8) per partition.
+///
+/// Thread-safety: logical conflicts go through the 2PL LockManager (row/
+/// store/table locks, store keys carry the partition index); physical
+/// structures are protected by the per-partition latch (scans share it,
+/// apply closures take it exclusive). Statistics are mutated under the
+/// exclusive latch and read under the shared latch.
+class TablePartition {
+ public:
+  TablePartition(const TableDef* def, std::string dir,
+                 const TableRuntime& runtime, uint32_t index);
+  ~TablePartition();
+  TablePartition(const TablePartition&) = delete;
+  TablePartition& operator=(const TablePartition&) = delete;
+
+  /// Opens storage, rebuilds the row-id map from the heap, opens the state
+  /// stores. Indexes are rebuilt separately (RebuildIndexes) after WAL
+  /// replay so they reflect the recovered state.
+  Status Open();
+  Status RebuildIndexes();
+  Status Checkpoint();
+  /// Securely drops all storage of this partition.
+  Status Drop();
+
+  const TableDef& def() const { return *def_; }
+  const Schema& schema() const { return def_->schema; }
+  TableId id() const { return def_->id; }
+  uint32_t index() const { return index_; }
+
+  /// Largest row id seen in this partition's heap at Open() time (0 when
+  /// empty); the router derives the table-wide row-id counter from it.
+  RowId max_row_id() const { return max_row_id_; }
+
+  // --- apply closures (commit-time + idempotent redo) ------------------------
+
+  Status ApplyInsert(RowId row_id, Micros insert_time,
+                     const std::vector<Value>& stable,
+                     const std::vector<Value>& degradable,
+                     bool degradable_available);
+  Status ApplyDelete(RowId row_id);
+  /// `old_values` is non-null on the live path (index maintenance) and null
+  /// during redo (indexes are rebuilt wholesale after replay).
+  Status ApplyDegrade(int column, int from_phase, int to_phase,
+                      RowId up_to_row_id, const std::vector<StoreEntry>& moves,
+                      const std::vector<Value>* old_values);
+  Status ApplyUpdateStable(RowId row_id, const std::vector<Value>& stable);
+
+  // --- read path -------------------------------------------------------------
+
+  /// Snapshot scan of this partition under its shared latch. Stops early
+  /// when `fn` returns false (reported via the return flag of ScanRows'
+  /// caller; see Table::ScanRows).
+  Status ScanRows(const std::function<bool(const RowView&)>& fn,
+                  bool* stopped) const;
+
+  /// Cursor support: assembles up to `limit` live rows starting at heap
+  /// position `*pos` (`Rid{0, 0}` to start) under the shared latch,
+  /// advancing `*pos` to the resume position and setting `*done` once this
+  /// partition's heap is exhausted.
+  Status ScanBatch(Rid* pos, size_t limit, std::vector<RowView>* out,
+                   bool* done) const;
+
+  Result<std::optional<RowView>> GetRow(RowId row_id) const;
+
+  /// True if the row id currently lives in this partition.
+  bool Contains(RowId row_id) const;
+
+  /// (column, phase) of the store currently holding `row_id`'s value, for
+  /// every degradable column (kStateStores layout; empty under kInPlace).
+  /// Used by Table::Delete to serialize against degradation steps.
+  std::vector<std::pair<int, int>> StoresHolding(RowId row_id) const;
+
+  uint64_t live_rows() const;
+
+  Status IndexLookupEqual(int column, const Value& value, int level,
+                          std::vector<RowId>* out) const;
+  Status IndexLookupRange(int column, const Value& lo, const Value& hi,
+                          int level, std::vector<RowId>* out) const;
+  Result<Bitmap> BitmapLookupEqual(int column, const Value& value,
+                                   int level) const;
+
+  const MultiResolutionIndex* multires_index(int degradable_ordinal) const {
+    return multires_[degradable_ordinal].get();
+  }
+  const BitmapColumnIndex* bitmap_index(int degradable_ordinal) const {
+    return bitmaps_.empty() ? nullptr : bitmaps_[degradable_ordinal].get();
+  }
+
+  // --- degradation -----------------------------------------------------------
+
+  /// Earliest pending transition deadline across this partition's stores
+  /// (kForever if nothing is pending).
+  Micros NextDeadline() const;
+
+  /// Runs ONE degradation step on this partition as a system transaction:
+  /// drains every entry whose deadline has passed (up to `batch_limit`)
+  /// from the single most overdue (column, phase) store. Returns the number
+  /// of tuples moved (0 when nothing is due). `*stepped_phase0` is set when
+  /// the step drained a phase-0 store (the router then advances the WAL
+  /// epoch-key watermark using the table-wide safe time).
+  Result<size_t> RunDegradationStep(TransactionManager* tm, Micros now,
+                                    size_t batch_limit, bool* stepped_phase0);
+
+  /// True if any store head of this partition is overdue at `now`.
+  bool HasWorkAt(Micros now) const;
+
+  /// Earliest phase-0 head insert time (or `now` when phase 0 is empty):
+  /// epoch keys up to the table-wide minimum of this are destroyable.
+  Micros SafeEpochTime() const;
+
+  struct Stats {
+    uint64_t inserts = 0;
+    uint64_t deletes = 0;
+    uint64_t degrade_steps = 0;
+    uint64_t values_degraded = 0;
+    uint64_t values_removed = 0;
+    uint64_t tuples_expired = 0;  // whole-tuple removals by the LCP
+
+    void MergeFrom(const Stats& other) {
+      inserts += other.inserts;
+      deletes += other.deletes;
+      degrade_steps += other.degrade_steps;
+      values_degraded += other.values_degraded;
+      values_removed += other.values_removed;
+      tuples_expired += other.tuples_expired;
+    }
+  };
+  /// Snapshot under the shared latch (safe against a concurrent degrader).
+  Stats stats() const;
+  /// Copy of the lateness histogram under the shared latch.
+  Histogram lateness_histogram() const;
+
+  BufferPool* heap_pool() const { return heap_pool_.get(); }
+  const StateStore* store(int column, int phase) const;
+
+ private:
+  struct PendingDegrade {
+    int column = -1;  // schema column index
+    int phase = -1;
+    Micros deadline = kForever;
+  };
+
+  std::string HeapPath() const { return dir_ + "/heap.db"; }
+  std::string IndexPath() const { return dir_ + "/index.db"; }
+  std::string StoreDir(int column, int phase) const;
+
+  /// Deadline of the head entry of (column, phase), kForever if empty.
+  Micros StoreHeadDeadline(int column, int phase) const;
+  PendingDegrade MostOverdue() const;
+
+  /// After a value of `row_id` reached ⊥: if every degradable attribute of
+  /// the tuple is gone, remove the whole tuple (paper: disappearance).
+  /// Caller holds the exclusive latch.
+  Status MaybeExpireTupleLocked(RowId row_id);
+
+  /// Builds a RowView from a decoded heap tuple (caller holds the latch).
+  bool AssembleRow(const HeapTuple& tuple, RowView* view) const;
+
+  const TableDef* const def_;
+  const std::string dir_;
+  TableRuntime runtime_;
+  const uint32_t index_;
+
+  std::unique_ptr<DiskManager> heap_disk_;
+  std::unique_ptr<BufferPool> heap_pool_;
+  std::unique_ptr<HeapFile> heap_;
+  std::unique_ptr<DiskManager> index_disk_;
+  std::unique_ptr<BufferPool> index_pool_;
+
+  /// stores_[degradable_ordinal][phase].
+  std::vector<std::vector<std::unique_ptr<StateStore>>> stores_;
+  std::vector<std::unique_ptr<MultiResolutionIndex>> multires_;
+  std::vector<std::unique_ptr<BitmapColumnIndex>> bitmaps_;
+
+  /// In-place layout: FIFO schedule (row_id, insert_time) per (ordinal,
+  /// phase), mirroring what the state stores provide for free.
+  std::vector<std::vector<std::deque<std::pair<RowId, Micros>>>> inplace_queues_;
+
+  mutable std::shared_mutex latch_;
+  std::unordered_map<RowId, Rid> row_map_;
+  RowId max_row_id_ = 0;
+
+  Stats stats_;
+  Histogram lateness_;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_DB_TABLE_PARTITION_H_

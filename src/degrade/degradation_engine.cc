@@ -1,5 +1,7 @@
 #include "degrade/degradation_engine.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace instantdb {
@@ -17,8 +19,15 @@ void DegradationEngine::RegisterTable(Table* table) {
 }
 
 void DegradationEngine::UnregisterTable(TableId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  tables_.erase(id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tables_.erase(id);
+  }
+  // Quiesce: an in-flight RunDue pass snapshotted raw Table* before the
+  // erase; wait for it to drain so the caller can safely destroy the table.
+  // (mu_ is released first — RunDue acquires mu_ while holding run_mu_
+  // shared, so holding both here would deadlock.)
+  std::unique_lock<std::shared_mutex> quiesce(run_mu_);
 }
 
 Micros DegradationEngine::NextDeadline() const {
@@ -31,44 +40,100 @@ Micros DegradationEngine::NextDeadline() const {
 }
 
 Result<size_t> DegradationEngine::RunDue(Micros now) {
-  size_t total = 0;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.passes;
-  }
-  // Keep stepping until no table has overdue work. Wait-die aborts are
-  // bounded-retried: a conflicting reader commits and releases soon.
+  // One unit of schedulable work: a table partition with an overdue store
+  // head. Units never share physical state or store locks, so the worker
+  // pool drains them concurrently.
+  struct Unit {
+    Table* table;
+    uint32_t partition;
+  };
   constexpr int kMaxAbortRetries = 64;
-  int aborts = 0;
+
+  // Tables snapshotted below stay alive for the whole pass: UnregisterTable
+  // blocks on this until we return.
+  std::shared_lock<std::shared_mutex> running(run_mu_);
+
+  size_t total = 0;
+  Stats delta;  // batched into stats_ once per RunDue, not per step
+  std::atomic<int> abort_budget{kMaxAbortRetries};
+  Status error;
+
+  // Keep collecting and draining until no partition has overdue work.
+  // Wait-die aborts are bounded-retried: a conflicting reader commits and
+  // releases soon.
   for (;;) {
-    bool progressed = false;
-    std::vector<Table*> snapshot;
+    std::vector<Unit> units;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      for (auto& [id, table] : tables_) snapshot.push_back(table);
-    }
-    for (Table* table : snapshot) {
-      while (table->HasWorkAt(now)) {
-        auto moved = table->RunDegradationStep(tm_, now,
-                                               options_.step_batch_limit);
-        if (!moved.ok()) {
-          if (moved.status().IsAborted() && ++aborts <= kMaxAbortRetries) {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++stats_.lock_aborts;
-            break;  // retry this table on the next outer pass
-          }
-          return moved.status();
+      for (auto& [id, table] : tables_) {
+        for (uint32_t p = 0; p < table->num_partitions(); ++p) {
+          if (table->PartitionHasWorkAt(p, now)) units.push_back({table, p});
         }
-        if (*moved == 0) break;
-        total += *moved;
-        progressed = true;
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.steps;
-        stats_.values_moved += *moved;
       }
     }
-    if (!progressed) break;
+    if (units.empty()) break;
+    delta.passes = 1;  // a pass only counts when some partition had due work
+
+    std::atomic<size_t> next_unit{0};
+    std::atomic<uint64_t> steps{0};
+    std::atomic<uint64_t> moved_round{0};
+    std::atomic<uint64_t> aborts_round{0};
+    std::mutex error_mu;
+
+    auto drain = [&] {
+      for (;;) {
+        const size_t i = next_unit.fetch_add(1, std::memory_order_relaxed);
+        if (i >= units.size()) return;
+        const Unit unit = units[i];
+        while (unit.table->PartitionHasWorkAt(unit.partition, now)) {
+          auto moved = unit.table->RunDegradationStep(
+              tm_, now, options_.step_batch_limit, unit.partition);
+          if (!moved.ok()) {
+            if (moved.status().IsAborted() &&
+                abort_budget.fetch_sub(1, std::memory_order_relaxed) > 0) {
+              aborts_round.fetch_add(1, std::memory_order_relaxed);
+              break;  // retry this partition on the next round
+            }
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (error.ok()) error = moved.status();
+            return;
+          }
+          if (*moved == 0) break;
+          steps.fetch_add(1, std::memory_order_relaxed);
+          moved_round.fetch_add(*moved, std::memory_order_relaxed);
+        }
+      }
+    };
+
+    const size_t workers = std::min<size_t>(
+        std::max<size_t>(options_.worker_threads, 1), units.size());
+    if (workers <= 1) {
+      drain();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (size_t i = 0; i < workers; ++i) pool.emplace_back(drain);
+      for (std::thread& worker : pool) worker.join();
+    }
+
+    delta.steps += steps.load();
+    delta.values_moved += moved_round.load();
+    delta.lock_aborts += aborts_round.load();
+    total += moved_round.load();
+    if (!error.ok()) break;
+    // No progress this round (only aborts or spurious wake-ups): leave the
+    // remainder for the next RunDue rather than spinning.
+    if (moved_round.load() == 0) break;
   }
+
+  if (delta.passes != 0 || delta.lock_aborts != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.passes += delta.passes;
+    stats_.steps += delta.steps;
+    stats_.values_moved += delta.values_moved;
+    stats_.lock_aborts += delta.lock_aborts;
+  }
+  if (!error.ok()) return error;
   return total;
 }
 

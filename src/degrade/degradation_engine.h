@@ -4,6 +4,7 @@
 #include <atomic>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 #include <thread>
 #include <vector>
 
@@ -14,19 +15,29 @@
 
 namespace instantdb {
 
-/// \brief The degrader: tracks the earliest pending transition deadline
-/// across every table and fires degradation steps as system transactions —
-/// the component that makes degradation *timely* (paper §III).
+/// \brief The sharded degrader: tracks the earliest pending transition
+/// deadline across every partition of every table and fires degradation
+/// steps as system transactions — the component that makes degradation
+/// *timely* (paper §III).
+///
+/// Scheduling is per (table, partition): one pass collects every partition
+/// with overdue work and fans the steps out over a worker pool of
+/// `DegradationOptions::worker_threads` threads. Distinct partitions never
+/// share physical state or store locks, so workers proceed without
+/// interfering; within a partition the paper's B8 bounded-interference
+/// property holds exactly as in the serial engine.
 ///
 /// Two drive modes:
 ///  - pumped: tests/benchmarks call `RunDue(now)` after advancing a
-///    VirtualClock; everything is deterministic.
-///  - background: `Start()` spawns a thread that sleeps on the Clock until
-///    the next deadline (woken early when the deadline set changes).
+///    VirtualClock; everything is deterministic (workers join before RunDue
+///    returns).
+///  - background: `Start()` spawns a coordinator thread that sleeps on the
+///    Clock until the next deadline (woken early when the deadline set
+///    changes) and runs RunDue passes.
 ///
-/// Each step locks only the head of one (attribute, phase) store, so reader
-/// interference is bounded (experiment B8); wait-die aborts are retried on
-/// the next pass and surfaced in the stats.
+/// Each step locks only the head of one partition's (attribute, phase)
+/// store; wait-die aborts are retried on the next pass and surfaced in the
+/// stats.
 class DegradationEngine {
  public:
   DegradationEngine(TransactionManager* tm, Clock* clock,
@@ -36,10 +47,13 @@ class DegradationEngine {
   DegradationEngine& operator=(const DegradationEngine&) = delete;
 
   void RegisterTable(Table* table);
+  /// Removes the table from the schedule and waits for any in-flight RunDue
+  /// pass to finish, so the caller may destroy the Table afterwards.
   void UnregisterTable(TableId id);
 
-  /// Runs every step whose deadline has passed at `now`; returns the total
-  /// number of attribute values moved/removed.
+  /// Runs every step whose deadline has passed at `now` (fanning overdue
+  /// partitions out over the worker pool); returns the total number of
+  /// attribute values moved/removed.
   Result<size_t> RunDue(Micros now);
 
   /// Earliest pending deadline over all tables (kForever when idle).
@@ -50,7 +64,7 @@ class DegradationEngine {
   void Stop();
 
   struct Stats {
-    uint64_t passes = 0;
+    uint64_t passes = 0;  // RunDue invocations that found due work
     uint64_t steps = 0;
     uint64_t values_moved = 0;
     uint64_t lock_aborts = 0;  // wait-die victims, retried next pass
@@ -67,6 +81,11 @@ class DegradationEngine {
   mutable std::mutex mu_;
   std::map<TableId, Table*> tables_;
   Stats stats_;
+
+  /// Held shared for the duration of a RunDue pass (whose workers step raw
+  /// Table* outside mu_); UnregisterTable acquires it exclusively to
+  /// quiesce before the table is destroyed.
+  mutable std::shared_mutex run_mu_;
 
   std::thread thread_;
   std::atomic<bool> running_{false};

@@ -44,10 +44,12 @@ struct CursorRow {
 /// Isolation is snapshot-per-batch: rows inserted, deleted or degraded
 /// while the cursor is open may or may not be observed (never torn), and a
 /// row physically relocated by a concurrent update can be missed or seen
-/// twice. Materialized reads through `Session::Execute` are not subject to
-/// this — they drain with a single-latch scan. Aggregate/GROUP BY
-/// statements are supported but buffer their (small) aggregated result
-/// before streaming it.
+/// twice. The scan spans the table's partitions in order — its resume
+/// position is (partition, heap position) and each batch holds only one
+/// partition's shared latch. Materialized reads through `Session::Execute`
+/// are not subject to this — they drain each partition atomically.
+/// Aggregate/GROUP BY statements are supported but buffer their (small)
+/// aggregated result before streaming it.
 class Cursor {
  public:
   ~Cursor();

@@ -265,11 +265,13 @@ bool EvalStablePredicate(const BoundPredicate& pred, const Value& value) {
   return false;
 }
 
-/// Streams the heap in batches of `kBatchRows` RowViews, re-acquiring the
-/// table's shared latch per batch so a slow consumer never blocks the
-/// degrader. Isolation is snapshot-per-batch (standard cursor semantics):
-/// rows inserted, deleted or degraded between two pulls may or may not be
-/// observed.
+/// Streams the heap in batches of `batch_rows` RowViews, fanning out across
+/// the table's partitions in order (the resume position carries the current
+/// partition plus the heap position inside it) and re-acquiring one
+/// partition's shared latch per batch so a slow consumer never blocks
+/// writers or the degrader on any partition. Isolation is
+/// snapshot-per-batch (standard cursor semantics): rows inserted, deleted
+/// or degraded between two pulls may or may not be observed.
 class HeapScanSource : public RowSource {
  public:
   HeapScanSource(Session* session, const BoundQuery& query,
@@ -297,16 +299,17 @@ class HeapScanSource : public RowSource {
   Session* const session_;
   const BoundQuery& query_;
   const size_t batch_rows_;
-  Rid pos_{0, 0};
+  TableScanPos pos_;
   bool done_ = false;
   std::vector<RowView> batch_;
   size_t next_ = 0;
 };
 
-/// Materializing-path source: one ScanRows pass under a single shared
-/// latch with σ applied inside the callback, so only qualifying rows are
-/// ever held — the pre-cursor executor's exact memory and consistency
-/// profile. Used when the caller asks for an unbounded batch.
+/// Materializing-path source: one ScanRows pass (each partition read
+/// atomically under its shared latch) with σ applied inside the callback,
+/// so only qualifying rows are ever held — the pre-cursor executor's exact
+/// memory and consistency profile. Used when the caller asks for an
+/// unbounded batch.
 class SnapshotScanSource : public RowSource {
  public:
   SnapshotScanSource(Session* session, const BoundQuery& query)

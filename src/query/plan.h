@@ -101,9 +101,10 @@ inline constexpr size_t kStreamingScanBatchRows = 256;
 /// `scan_batch_rows` sets the heap-scan batch size. The streaming default
 /// keeps memory bounded but releases the latch between batches (weak
 /// cursor isolation: a row relocated by a concurrent update may be missed
-/// or observed twice). Materializing callers (Execute, DELETE, aggregates)
-/// pass SIZE_MAX: the whole scan happens under one shared latch, the
-/// pre-cursor executor's single-snapshot semantics.
+/// or observed twice); the scan walks the table's partitions in order, one
+/// partition latch at a time. Materializing callers (Execute, DELETE,
+/// aggregates) pass SIZE_MAX: every partition is scanned atomically under
+/// its shared latch (snapshot-per-partition semantics).
 Result<std::unique_ptr<RowSource>> MakeRowSource(
     Session* session, const BoundQuery& query,
     size_t scan_batch_rows = kStreamingScanBatchRows);

@@ -1,7 +1,9 @@
 #include "storage/state_store.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "catalog/lcp.h"
 #include "common/logging.h"
 #include "common/strings.h"
 
@@ -12,6 +14,10 @@ namespace {
 /// High bit of the frame length field marks a tombstoned (securely deleted)
 /// frame whose payload bytes have been zeroed in place.
 constexpr uint32_t kTombstoneBit = 0x80000000u;
+
+/// First varint of a v2 META. v1 (legacy) metas start with a segment seqno,
+/// which is always far below this.
+constexpr uint64_t kMetaV2Tag = UINT64_MAX;
 
 void EncodeEntryPayload(const StoreEntry& entry, std::string* dst) {
   PutVarint64(dst, entry.row_id);
@@ -67,17 +73,39 @@ Status StateStore::Open() {
   segments_.clear();
   tail_writer_.reset();
   last_appended_row_id_ = kInvalidRowId;
+  pop_watermark_ = 0;
 
-  // Checkpoint meta (optional): head position + seqno allocation.
-  uint64_t meta_head_seqno = 0;
-  uint64_t meta_head_popped = 0;
+  // Checkpoint meta (optional). v2: pop watermark + survivor ids (live
+  // entries at or below the watermark — late out-of-order appends that were
+  // never popped) + seqno allocation. v1 (written before partitioning):
+  // positional head-frame count — still valid for those files, whose frames
+  // are strictly monotone.
   uint64_t meta_next_seqno = 0;
+  MetaState meta_state;
   if (FileExists(MetaPath())) {
     IDB_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath()));
     Slice in = meta;
-    if (!GetVarint64(&in, &meta_head_seqno) ||
-        !GetVarint64(&in, &meta_head_popped) ||
-        !GetVarint64(&in, &meta_next_seqno)) {
+    uint64_t first = 0;
+    bool valid = GetVarint64(&in, &first);
+    if (valid && first == kMetaV2Tag) {
+      uint64_t watermark = 0;
+      uint64_t survivor_count = 0;
+      valid = GetVarint64(&in, &watermark) &&
+              GetVarint64(&in, &meta_next_seqno) &&
+              GetVarint64(&in, &survivor_count);
+      for (uint64_t i = 0; valid && i < survivor_count; ++i) {
+        uint64_t id = 0;
+        valid = GetVarint64(&in, &id);
+        if (valid) meta_state.survivors.insert(id);
+      }
+      if (valid) pop_watermark_ = watermark;
+    } else if (valid) {
+      meta_state.legacy = true;
+      meta_state.legacy_head_seqno = first;
+      valid = GetVarint64(&in, &meta_state.legacy_head_popped) &&
+              GetVarint64(&in, &meta_next_seqno);
+    }
+    if (!valid || !in.empty()) {
       return Status::Corruption("bad state-store meta: " + MetaPath());
     }
   }
@@ -94,11 +122,7 @@ Status StateStore::Open() {
   for (uint64_t seqno : seqnos) {
     Segment segment;
     segment.seqno = seqno;
-    const uint64_t skip =
-        (seqno == meta_head_seqno) ? meta_head_popped
-        : (seqno < meta_head_seqno) ? UINT64_MAX  // fully popped pre-meta
-                                    : 0;
-    IDB_RETURN_IF_ERROR(LoadSegment(&segment, skip));
+    IDB_RETURN_IF_ERROR(LoadSegment(&segment, &meta_state));
     if (segment.popped + segment.deleted >= segment.entries) {
       // Fully drained (or unreadable) segment that survived a crash between
       // erase and unlink: finish the job.
@@ -108,13 +132,33 @@ Status StateStore::Open() {
     segment.sealed = true;  // reopened segments take no further appends
     segments_.push_back(segment);
   }
-  if (!live_.empty()) last_appended_row_id_ = live_.back().entry.row_id;
+  // Frames inside a segment follow commit order, which may deviate from
+  // row-id order when transactions committed concurrently: restore the
+  // sorted mirror invariant.
+  std::sort(live_.begin(), live_.end(),
+            [](const LiveEntry& a, const LiveEntry& b) {
+              return a.entry.row_id < b.entry.row_id;
+            });
+  live_times_.clear();
+  for (const LiveEntry& live : live_) {
+    live_times_.insert(live.entry.insert_time);
+  }
+  // Largest id ever appended: popped ids (covered by the watermark) count
+  // too. Keeping this exact prevents the table from re-allocating a row id
+  // whose value was already degraded out of this store.
+  if (!live_.empty()) {
+    last_appended_row_id_ = live_.back().entry.row_id;
+  }
+  if (pop_watermark_ > 0 && (last_appended_row_id_ == kInvalidRowId ||
+                             pop_watermark_ > last_appended_row_id_)) {
+    last_appended_row_id_ = pop_watermark_;
+  }
   next_seqno_ =
       std::max(meta_next_seqno, seqnos.empty() ? 0 : seqnos.back() + 1);
   return Status::OK();
 }
 
-Status StateStore::LoadSegment(Segment* segment, uint64_t skip) {
+Status StateStore::LoadSegment(Segment* segment, MetaState* meta) {
   const std::string path = SegmentPath(segment->seqno);
   IDB_ASSIGN_OR_RETURN(std::string raw, ReadFileToString(path));
 
@@ -156,9 +200,28 @@ Status StateStore::LoadSegment(Segment* segment, uint64_t skip) {
     StoreEntry entry;
     if (!DecodeEntryPayload(payload, &entry)) break;  // torn tail
     ++segment->entries;
-    if (skip > 0) {
-      --skip;
-      ++segment->popped;
+    bool popped_entry;
+    if (meta->legacy) {
+      // Positional skip: legacy files have monotone frames, so the head
+      // segment's first N frames are exactly the popped prefix.
+      if (segment->seqno < meta->legacy_head_seqno) {
+        popped_entry = true;
+      } else if (segment->seqno == meta->legacy_head_seqno &&
+                 meta->legacy_head_popped > 0) {
+        popped_entry = true;
+        --meta->legacy_head_popped;
+      } else {
+        popped_entry = false;
+      }
+      if (popped_entry) {
+        pop_watermark_ = std::max(pop_watermark_, entry.row_id);
+      }
+    } else {
+      popped_entry = entry.row_id <= pop_watermark_ &&
+                     meta->survivors.count(entry.row_id) == 0;
+    }
+    if (popped_entry) {
+      ++segment->popped;  // degraded out of this store before the checkpoint
     } else {
       live_.push_back(LiveEntry{std::move(entry), segment->seqno, off, len});
     }
@@ -194,11 +257,24 @@ Status StateStore::SealTail() {
   return Status::OK();
 }
 
+std::deque<StateStore::LiveEntry>::iterator StateStore::LowerBound(
+    RowId row_id) {
+  return std::lower_bound(
+      live_.begin(), live_.end(), row_id,
+      [](const LiveEntry& e, RowId id) { return e.entry.row_id < id; });
+}
+
 Status StateStore::Append(const StoreEntry& entry) {
-  if (last_appended_row_id_ != kInvalidRowId &&
-      entry.row_id <= last_appended_row_id_) {
+  auto pos = LowerBound(entry.row_id);
+  if (pos != live_.end() && pos->entry.row_id == entry.row_id) {
     return Status::OK();  // idempotent WAL redo
   }
+  // No pop-watermark gate: an absent id is always a first-time append. A
+  // replayed insert whose value was popped before the checkpoint is never
+  // seen here (its record predates the replay-start LSN, which the
+  // transaction manager's commit barrier keeps behind every applied
+  // record); a replayed insert popped *after* the checkpoint is re-appended
+  // and the degrade record that popped it replays later in log order.
   if (tail_writer_ == nullptr || segments_.empty() || segments_.back().sealed) {
     IDB_RETURN_IF_ERROR(OpenTailWriter());
   } else if (segments_.back().bytes >= options_.segment_bytes) {
@@ -219,11 +295,18 @@ Status StateStore::Append(const StoreEntry& entry) {
   PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
   frame += payload;
   IDB_RETURN_IF_ERROR(tail_writer_->Append(frame));
-  live_.push_back(LiveEntry{entry, tail.seqno, tail.bytes,
-                            static_cast<uint32_t>(payload.size())});
+  // Re-resolve the position: OpenTailWriter/SealTail do not touch live_,
+  // but keeping the lookup next to the insert guards future edits.
+  pos = LowerBound(entry.row_id);
+  live_.insert(pos, LiveEntry{entry, tail.seqno, tail.bytes,
+                              static_cast<uint32_t>(payload.size())});
+  live_times_.insert(entry.insert_time);
   tail.bytes += frame.size();
   ++tail.entries;
-  last_appended_row_id_ = entry.row_id;
+  if (last_appended_row_id_ == kInvalidRowId ||
+      entry.row_id > last_appended_row_id_) {
+    last_appended_row_id_ = entry.row_id;
+  }
   ++stats_.entries_appended;
   stats_.bytes_appended += frame.size();
   return Status::OK();
@@ -269,18 +352,25 @@ Status StateStore::PopHead(StoreEntry* out) {
   if (out != nullptr) *out = head.entry;
   Segment* segment = FindSegment(head.seqno);
   if (segment != nullptr) ++segment->popped;
+  pop_watermark_ = std::max(pop_watermark_, head.entry.row_id);
+  live_times_.erase(live_times_.find(head.entry.insert_time));
   live_.pop_front();
   ++stats_.entries_popped;
   return CleanupDrainedSegments();
 }
 
-Result<size_t> StateStore::PopThrough(RowId up_to) {
-  size_t popped = 0;
-  while (!live_.empty() && live_.front().entry.row_id <= up_to) {
-    IDB_RETURN_IF_ERROR(PopHead(nullptr));
-    ++popped;
+Status StateStore::PopById(RowId row_id) {
+  auto it = LowerBound(row_id);
+  if (it == live_.end() || it->entry.row_id != row_id) {
+    return Status::OK();  // stale redo / never appended
   }
-  return popped;
+  Segment* segment = FindSegment(it->seqno);
+  if (segment != nullptr) ++segment->popped;
+  pop_watermark_ = std::max(pop_watermark_, row_id);
+  live_times_.erase(live_times_.find(it->entry.insert_time));
+  live_.erase(it);
+  ++stats_.entries_popped;
+  return CleanupDrainedSegments();
 }
 
 Status StateStore::SecureDeleteEntry(RowId row_id) {
@@ -305,6 +395,7 @@ Status StateStore::SecureDeleteEntry(RowId row_id) {
   }
   Segment* segment = FindSegment(it->seqno);
   if (segment != nullptr) ++segment->deleted;
+  live_times_.erase(live_times_.find(it->entry.insert_time));
   live_.erase(it);
   ++stats_.entries_deleted;
   return CleanupDrainedSegments();
@@ -325,6 +416,10 @@ void StateStore::ForEach(
   }
 }
 
+Micros StateStore::MinInsertTime() const {
+  return live_times_.empty() ? kForever : *live_times_.begin();
+}
+
 Status StateStore::Checkpoint() {
   if (tail_writer_ != nullptr) {
     IDB_RETURN_IF_ERROR(tail_writer_->Flush());
@@ -335,13 +430,18 @@ Status StateStore::Checkpoint() {
 
 Status StateStore::SaveMeta() {
   std::string meta;
-  const uint64_t head_seqno =
-      segments_.empty() ? next_seqno_ : segments_.front().seqno;
-  const uint64_t head_popped =
-      segments_.empty() ? 0 : segments_.front().popped;
-  PutVarint64(&meta, head_seqno);
-  PutVarint64(&meta, head_popped);
+  PutVarint64(&meta, kMetaV2Tag);
+  PutVarint64(&meta, pop_watermark_);
   PutVarint64(&meta, next_seqno_);
+  // Survivors: live entries at or below the watermark (late out-of-order
+  // appends the prefix pops skipped). Normally none; bounded by commit skew.
+  std::vector<RowId> survivors;
+  for (const LiveEntry& live : live_) {
+    if (live.entry.row_id > pop_watermark_) break;  // sorted mirror
+    survivors.push_back(live.entry.row_id);
+  }
+  PutVarint64(&meta, survivors.size());
+  for (RowId id : survivors) PutVarint64(&meta, id);
   const std::string tmp = MetaPath() + ".tmp";
   IDB_RETURN_IF_ERROR(WriteStringToFile(tmp, meta, /*sync=*/true));
   return RenameFile(tmp, MetaPath());
@@ -355,6 +455,7 @@ Status StateStore::Drop() {
     IDB_RETURN_IF_ERROR(EraseSegment(segment));
   }
   live_.clear();
+  live_times_.clear();
   return RemoveDirRecursive(dir_);
 }
 

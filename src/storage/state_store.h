@@ -4,7 +4,9 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
+#include <unordered_set>
 
 #include "catalog/value.h"
 #include "common/clock.h"
@@ -43,10 +45,11 @@ struct StoreEntry {
 /// or its per-segment key destroyed (EraseMode::kCryptoErase), then
 /// unlinked. User deletes in the middle of a store are handled by
 /// `SecureDeleteEntry`, which tombstones the frame and zeroes its payload
-/// bytes in place. The live contents are mirrored in memory (the working
-/// set of a phase is bounded by arrival-rate × phase duration); crash
-/// recovery rebuilds the mirror from the segments plus WAL replay, which is
-/// idempotent because row ids are monotone within a store.
+/// bytes in place. The live contents are mirrored in memory, sorted by row
+/// id (the working set of a phase is bounded by arrival-rate × phase
+/// duration); crash recovery rebuilds the mirror from the segments plus WAL
+/// replay, which is idempotent because appends of a present row id are
+/// ignored and pops of an absent one are no-ops.
 class StateStore {
  public:
   StateStore(std::string dir, TableId table, int column, int phase,
@@ -62,21 +65,28 @@ class StateStore {
   bool empty() const { return live_.empty(); }
   size_t size() const { return live_.size(); }
 
-  /// Earliest (head) entry; store must be non-empty.
+  /// Entry with the smallest row id; store must be non-empty.
   const StoreEntry& Head() const { return live_.front().entry; }
-  /// Last appended row id, kInvalidRowId when nothing was ever appended.
+  /// Largest row id ever appended, kInvalidRowId when nothing was.
   RowId LastAppendedRowId() const { return last_appended_row_id_; }
 
-  /// Appends to the tail. Row ids must be strictly increasing; an append
-  /// with row_id <= LastAppendedRowId() is ignored (idempotent WAL replay).
+  /// Appends an entry. Row ids are normally increasing (FIFO), but
+  /// transactions committing concurrently may apply slightly out of order:
+  /// the live mirror is kept sorted by row id, so a late append lands in
+  /// its FIFO position. An append whose row id is already present is
+  /// ignored — this is what makes WAL replay idempotent (re-pops are
+  /// handled by the degrade records that follow in log order).
   Status Append(const StoreEntry& entry);
 
   /// Removes the head entry; erases segments as they drain.
   Status PopHead(StoreEntry* out);
 
-  /// Pops every entry with row_id <= `up_to` (idempotent redo form).
-  /// Returns the number popped.
-  Result<size_t> PopThrough(RowId up_to);
+  /// Pops exactly one entry by row id; a no-op when absent (stale redo, or
+  /// an entry that was never appended). Degradation steps pop precisely the
+  /// entries they collected — a prefix pop "through row id X" would also
+  /// destroy an out-of-order append that landed below X between a step's
+  /// collect and apply phases.
+  Status PopById(RowId row_id);
 
   /// Physically removes one entry anywhere in the store (user DELETE):
   /// tombstones the frame and zeroes its payload bytes on disk, so the
@@ -89,6 +99,12 @@ class StateStore {
 
   /// In-order iteration; stops early when `fn` returns false.
   void ForEach(const std::function<bool(const StoreEntry&)>& fn) const;
+
+  /// Earliest insert_time over the live entries (kForever when empty). The
+  /// mirror is sorted by row id, and out-of-order commits mean the head's
+  /// insert_time is not necessarily the minimum — WAL epoch-key destruction
+  /// must use this exact bound.
+  Micros MinInsertTime() const;
 
   /// fsync the tail segment + persist checkpoint meta (head position).
   Status Checkpoint();
@@ -130,6 +146,19 @@ class StateStore {
   std::string KeyId(uint64_t seqno) const;
   std::string MetaPath() const { return dir_ + "/META"; }
 
+  /// Checkpoint-meta state driving which loaded frames count as popped.
+  /// v2 metas carry the pop watermark + survivor ids; v1 (legacy,
+  /// pre-partitioning) metas carry a positional frame count, valid because
+  /// legacy files have strictly monotone row ids.
+  struct MetaState {
+    bool legacy = false;
+    uint64_t legacy_head_seqno = 0;
+    uint64_t legacy_head_popped = 0;  // frames left to skip in the head seg
+    std::unordered_set<RowId> survivors;
+  };
+
+  /// Sorted insert position of `row_id` in the live mirror.
+  std::deque<LiveEntry>::iterator LowerBound(RowId row_id);
   Status OpenTailWriter();
   Status SealTail();
   /// Secure erase + unlink of a fully-dead segment.
@@ -137,7 +166,7 @@ class StateStore {
   /// Erases leading segments with no live frames left.
   Status CleanupDrainedSegments();
   Segment* FindSegment(uint64_t seqno);
-  Status LoadSegment(Segment* segment, uint64_t skip);
+  Status LoadSegment(Segment* segment, MetaState* meta);
   Status SaveMeta();
 
   const std::string dir_;
@@ -147,11 +176,21 @@ class StateStore {
   const StorageOptions options_;
   KeyManager* const keys_;
 
-  std::deque<LiveEntry> live_;
+  std::deque<LiveEntry> live_;    // sorted by row id
+  /// Multiset of live insert times: O(log n) maintenance, O(1) exact
+  /// minimum for MinInsertTime on the degradation hot path.
+  std::multiset<Micros> live_times_;
   std::deque<Segment> segments_;  // front = head (oldest)
   std::unique_ptr<WritableFile> tail_writer_;
   uint64_t next_seqno_ = 0;
   RowId last_appended_row_id_ = kInvalidRowId;
+  /// Largest row id ever popped (0 = none). Persisted by Checkpoint along
+  /// with the ids of live "survivors" at or below it (late out-of-order
+  /// appends that were never popped), which together describe the popped
+  /// set exactly; this replaces positional frame counts (frames inside a
+  /// segment need not be in row-id order when transactions committed out
+  /// of order).
+  RowId pop_watermark_ = 0;
   Stats stats_;
 };
 

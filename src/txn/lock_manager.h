@@ -26,15 +26,20 @@ struct LockKey {
 
   TableId table = 0;
   Kind kind = Kind::kTable;
-  uint64_t id = 0;  // row id, or (column << 16) | phase for stores
+  uint64_t id = 0;  // row id, or (partition << 32)|(column << 16)|phase
 
   static LockKey Table(TableId table) { return {table, Kind::kTable, 0}; }
   static LockKey Row(TableId table, RowId row) {
     return {table, Kind::kRow, row};
   }
-  static LockKey Store(TableId table, int column, int phase) {
+  /// Store keys carry the table partition so degradation steps on distinct
+  /// partitions of the same (column, phase) never conflict — that is what
+  /// lets the degradation worker pool run them concurrently.
+  static LockKey Store(TableId table, int column, int phase,
+                       uint32_t partition = 0) {
     return {table, Kind::kStore,
-            (static_cast<uint64_t>(column) << 16) |
+            (static_cast<uint64_t>(partition) << 32) |
+                (static_cast<uint64_t>(column) << 16) |
                 static_cast<uint64_t>(phase)};
   }
 

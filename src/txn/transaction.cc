@@ -16,6 +16,10 @@ std::unique_ptr<Transaction> TransactionManager::Begin() {
 Status TransactionManager::Commit(Transaction* txn, bool sync) {
   assert(txn->state_ == TxnState::kActive);
   if (!txn->ops_.empty()) {
+    // The append+apply window must look atomic to CheckpointBeginLsn: a
+    // checkpoint begin LSN captured between the two would exclude this
+    // durably logged transaction from both the flush and the replay range.
+    std::shared_lock<std::shared_mutex> commit_window(commit_mu_);
     // Group commit: every queued record plus the COMMIT marker goes to the
     // log as one buffered write and at most one sync, so batch size N costs
     // the same durability overhead as a single-row transaction.
@@ -51,6 +55,14 @@ Status TransactionManager::Commit(Transaction* txn, bool sync) {
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.committed;
   return Status::OK();
+}
+
+Lsn TransactionManager::CheckpointBeginLsn() {
+  // Exclusive acquisition drains every in-flight commit's append+apply
+  // window; while held no new commit can log, so everything below the LSN
+  // read here is fully applied.
+  std::unique_lock<std::shared_mutex> barrier(commit_mu_);
+  return wal_->next_lsn();
 }
 
 void TransactionManager::Abort(Transaction* txn) {

@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -87,6 +88,15 @@ class TransactionManager {
   /// Drops queued work and releases locks. Always succeeds.
   void Abort(Transaction* txn);
 
+  /// Fuzzy-checkpoint begin LSN: waits for every in-flight commit to finish
+  /// its apply phase, then reads the end of the log. Guarantees that every
+  /// record below the returned LSN has been applied (so a subsequent
+  /// storage flush covers it) and every record at or above it will be
+  /// replayed on recovery — Commit appends to the WAL before applying, and
+  /// without this barrier a checkpoint could slip between the two and lose
+  /// a durably committed transaction.
+  Lsn CheckpointBeginLsn();
+
   struct Stats {
     uint64_t started = 0;
     uint64_t committed = 0;
@@ -99,6 +109,10 @@ class TransactionManager {
   WalManager* const wal_;
   std::atomic<uint64_t> next_txn_id_{1};
   mutable std::mutex mu_;
+  /// Held shared across a commit's append+apply window; CheckpointBeginLsn
+  /// takes it exclusively so "logged but not yet applied" is impossible at
+  /// the instant the begin LSN is read.
+  mutable std::shared_mutex commit_mu_;
   Stats stats_;
 };
 

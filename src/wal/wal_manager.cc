@@ -12,6 +12,9 @@ namespace {
 
 constexpr char kCheckpointFile[] = "CHECKPOINT";
 
+/// Sentinel for LogCheckpointLocked: "use the post-record end of log".
+constexpr Lsn kInvalidLsn = UINT64_MAX;
+
 }  // namespace
 
 WalManager::WalManager(std::string dir, const WalOptions& options,
@@ -117,6 +120,11 @@ WalBlobCipher WalManager::MakeDecryptor(Lsn lsn) const {
 }
 
 Result<Lsn> WalManager::Append(const WalRecord& record, bool sync) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(record, sync);
+}
+
+Result<Lsn> WalManager::AppendLocked(const WalRecord& record, bool sync) {
   if (writer_ == nullptr ||
       (next_lsn_ - segments_.back().start) >= options_.segment_bytes) {
     IDB_RETURN_IF_ERROR(OpenNewSegment());
@@ -142,6 +150,7 @@ Result<Lsn> WalManager::Append(const WalRecord& record, bool sync) {
 
 Result<Lsn> WalManager::AppendBatch(
     const std::vector<const WalRecord*>& records, bool sync) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (records.empty()) return next_lsn_;
   Lsn first_lsn = 0;
   // Frames accumulate against a provisional LSN; shared state (next_lsn_,
@@ -188,18 +197,35 @@ Result<Lsn> WalManager::AppendBatch(
 }
 
 Status WalManager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (writer_ == nullptr) return Status::OK();
   ++stats_.syncs;
   return writer_->Sync();
 }
 
 Result<Lsn> WalManager::LogCheckpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Quiescent form: everything logged so far (and the checkpoint record
+  // itself) is covered; replay resumes after it.
+  return LogCheckpointLocked(kInvalidLsn);
+}
+
+Result<Lsn> WalManager::LogCheckpoint(Lsn replay_from) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return LogCheckpointLocked(std::min(replay_from, next_lsn_));
+}
+
+Result<Lsn> WalManager::LogCheckpointLocked(Lsn replay_from) {
   WalRecord record;
   record.type = WalRecordType::kCheckpoint;
-  record.checkpoint_lsn = next_lsn_;
-  IDB_RETURN_IF_ERROR(Append(record, /*sync=*/true).status());
-  // Replay resumes after everything logged so far.
-  const Lsn lsn = next_lsn_;
+  record.checkpoint_lsn = replay_from == kInvalidLsn ? next_lsn_ : replay_from;
+  IDB_RETURN_IF_ERROR(AppendLocked(record, /*sync=*/true).status());
+  // Fuzzy form: replay resumes at the begin LSN, so records committed while
+  // storage was being flushed (between the caller capturing replay_from and
+  // now) are replayed again, idempotently — including the kCheckpoint
+  // record itself, which redo ignores. Quiescent form: resume after
+  // everything logged so far.
+  const Lsn lsn = replay_from == kInvalidLsn ? next_lsn_ : replay_from;
   // Rotate so the segment holding pre-checkpoint records (including the
   // accurate values of insert records) becomes retirable — without this,
   // kScrub could never clean the active segment and accurate values would
@@ -266,6 +292,7 @@ Status WalManager::RetireSegmentsThrough(Lsn lsn) {
 
 Status WalManager::Replay(
     Lsn from, const std::function<Status(const WalRecord&, Lsn)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const SegmentInfo& segment : segments_) {
     if (segment.end <= from) continue;
     IDB_ASSIGN_OR_RETURN(std::string raw,
@@ -297,6 +324,7 @@ Status WalManager::DestroyEpochKeysThrough(TableId table, Micros safe_time) {
     return Status::OK();
   }
   if (safe_time <= 0) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
   // Epoch e covers [e*epoch, (e+1)*epoch); destroy every epoch that ends at
   // or before safe_time.
   const uint64_t end_epoch = EpochOf(safe_time - 1) + 1;

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/options.h"
@@ -37,6 +38,11 @@ namespace instantdb {
 /// Framing: [u32 masked CRC32C(body)] [u32 len] [body]. LSNs are logical
 /// byte offsets; a segment file `wal_<start-lsn>.log` holds the frames
 /// starting at that offset. Recovery tolerates a torn tail frame.
+///
+/// Thread-safety: all public methods are serialized on an internal mutex,
+/// so commits issued by concurrent degradation workers and user
+/// transactions interleave at whole-append granularity (an append is never
+/// torn between two transactions' frames).
 class WalManager {
  public:
   WalManager(std::string dir, const WalOptions& options, KeyManager* keys);
@@ -61,12 +67,23 @@ class WalManager {
 
   Status Sync();
 
-  Lsn next_lsn() const { return next_lsn_; }
+  Lsn next_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_lsn_;
+  }
 
-  /// Durably marks everything before `next_lsn()` as checkpointed: appends
+  /// Durably marks everything before `replay_from` as checkpointed: appends
   /// a kCheckpoint record, writes the CHECKPOINT pointer file, and retires
   /// fully-covered segments per the privacy mode. Returns the LSN replay
   /// must start from after a crash.
+  ///
+  /// `replay_from` must be captured BEFORE flushing the storage state the
+  /// checkpoint covers (fuzzy-checkpoint begin LSN): a transaction — e.g. a
+  /// degradation step from the worker pool — that commits while storage is
+  /// being flushed lands at an LSN at or after it and is replayed
+  /// idempotently on recovery. The zero-argument form uses the current end
+  /// of the log (callers that know no writes are in flight).
+  Result<Lsn> LogCheckpoint(Lsn replay_from);
   Result<Lsn> LogCheckpoint();
 
   /// LSN recorded by the last completed checkpoint; 0 if none.
@@ -85,6 +102,13 @@ class WalManager {
     return static_cast<uint64_t>(t) / static_cast<uint64_t>(options_.epoch_micros);
   }
 
+  /// True when epoch keys exist to destroy (kEncryptedEpoch). Lets callers
+  /// skip computing the safe-time bound — which walks live phase-0 state —
+  /// in the other privacy modes.
+  bool epoch_keys_enabled() const {
+    return options_.privacy_mode == WalPrivacyMode::kEncryptedEpoch;
+  }
+
   struct Stats {
     uint64_t records_appended = 0;
     uint64_t bytes_appended = 0;
@@ -94,13 +118,18 @@ class WalManager {
     uint64_t epoch_keys_destroyed = 0;
     uint64_t syncs = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
   const std::string& dir() const { return dir_; }
 
  private:
   std::string SegmentPath(Lsn start) const;
   std::string EpochKeyId(TableId table, uint64_t epoch) const;
+  Result<Lsn> AppendLocked(const WalRecord& record, bool sync);
+  Result<Lsn> LogCheckpointLocked(Lsn replay_from);
   Status OpenNewSegment();
   Status RetireSegmentsThrough(Lsn lsn);
   WalBlobCipher MakeEncryptor(Lsn lsn);
@@ -109,6 +138,9 @@ class WalManager {
   const std::string dir_;
   const WalOptions options_;
   KeyManager* const keys_;
+
+  /// Guards writer state, segment list, epoch watermarks and stats.
+  mutable std::mutex mu_;
 
   struct SegmentInfo {
     Lsn start = 0;

@@ -385,6 +385,14 @@ class StateStoreTest : public StorageTest,
                       Value::String(value)};
   }
 
+  /// What a degradation step's redo does: pop each collected id (here, the
+  /// FIFO prefix 1..up_to); ids not in the store are no-ops.
+  void PopIdsThrough(StateStore* store, RowId up_to) {
+    for (RowId id = 1; id <= up_to; ++id) {
+      ASSERT_TRUE(store->PopById(id).ok());
+    }
+  }
+
   std::unique_ptr<KeyManager> keys_;
 };
 
@@ -431,25 +439,110 @@ TEST_P(StateStoreTest, AppendIsIdempotentOnRowId) {
   auto store = MakeStore();
   ASSERT_TRUE(store->Open().ok());
   ASSERT_TRUE(store->Append(Entry(5, "a")).ok());
-  ASSERT_TRUE(store->Append(Entry(5, "a-again")).ok());  // ignored
-  ASSERT_TRUE(store->Append(Entry(3, "late")).ok());     // ignored
+  ASSERT_TRUE(store->Append(Entry(5, "a-again")).ok());  // duplicate: ignored
   EXPECT_EQ(store->size(), 1u);
-  EXPECT_EQ(store->Head().value, Value::String("a"));
+  // A transaction committing slightly out of row-id order still lands in
+  // its FIFO position (concurrent WriteBatch ingest commits out of order).
+  ASSERT_TRUE(store->Append(Entry(3, "late")).ok());
+  EXPECT_EQ(store->size(), 2u);
+  EXPECT_EQ(store->Head().value, Value::String("late"));
+  EXPECT_EQ(store->Head().row_id, 3u);
 }
 
-TEST_P(StateStoreTest, PopThroughIsIdempotent) {
+TEST_P(StateStoreTest, PopByIdPopsExactlyThatEntry) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  for (RowId id : {1u, 2u, 3u}) {
+    ASSERT_TRUE(store->Append(Entry(id, "v")).ok());
+  }
+  ASSERT_TRUE(store->PopById(2).ok());
+  EXPECT_EQ(store->size(), 2u);
+  EXPECT_EQ(store->Find(2), nullptr);
+  EXPECT_NE(store->Find(1), nullptr);
+  EXPECT_NE(store->Find(3), nullptr);
+  ASSERT_TRUE(store->PopById(2).ok());   // idempotent
+  ASSERT_TRUE(store->PopById(99).ok());  // never appended: no-op
+  EXPECT_EQ(store->size(), 2u);
+}
+
+TEST_P(StateStoreTest, ReplayGuardAndSurvivorsAcrossReopen) {
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  for (RowId id : {4u, 5u, 6u}) {
+    ASSERT_TRUE(store->Append(Entry(id, "v" + std::to_string(id))).ok());
+  }
+  ASSERT_TRUE(store->PopById(4).ok());
+  ASSERT_TRUE(store->PopById(5).ok());  // watermark now 5
+  // Late out-of-order commit below the live watermark: accepted (it was
+  // never popped) — this is a first-time append, not redo.
+  ASSERT_TRUE(store->Append(Entry(2, "late")).ok());
+  EXPECT_EQ(store->size(), 2u);
+  ASSERT_TRUE(store->Checkpoint().ok());
+
+  // Crash + reopen: the survivor (2) below the watermark stays live and
+  // the popped ids (4, 5) stay popped.
+  store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  EXPECT_EQ(store->size(), 2u);
+  ASSERT_NE(store->Find(2), nullptr);
+  EXPECT_EQ(store->Find(2)->value, Value::String("late"));
+  EXPECT_NE(store->Find(6), nullptr);
+  EXPECT_EQ(store->Find(4), nullptr);
+  // A replayed append of a live id dedupes; a replayed append of an id
+  // whose pop is also in the replayable suffix comes back and is re-popped
+  // by the degrade record that follows in log order.
+  ASSERT_TRUE(store->Append(Entry(2, "redo")).ok());
+  EXPECT_EQ(store->size(), 2u);
+  ASSERT_TRUE(store->Append(Entry(4, "redo")).ok());
+  ASSERT_TRUE(store->PopById(4).ok());
+  EXPECT_EQ(store->size(), 2u);
+  EXPECT_EQ(store->Find(4), nullptr);
+  // The popped ids were appended once: id allocation must stay above them.
+  EXPECT_GE(store->LastAppendedRowId(), 5u);
+}
+
+TEST_P(StateStoreTest, PrefixPopRedoIsIdempotent) {
   auto store = MakeStore();
   ASSERT_TRUE(store->Open().ok());
   for (RowId id = 1; id <= 10; ++id) {
     ASSERT_TRUE(store->Append(Entry(id, "v")).ok());
   }
-  auto popped = store->PopThrough(4);
-  ASSERT_TRUE(popped.ok());
-  EXPECT_EQ(*popped, 4u);
-  popped = store->PopThrough(4);
-  ASSERT_TRUE(popped.ok());
-  EXPECT_EQ(*popped, 0u);
+  PopIdsThrough(store.get(), 4);
+  EXPECT_EQ(store->size(), 6u);
+  PopIdsThrough(store.get(), 4);  // redo: all no-ops
+  EXPECT_EQ(store->size(), 6u);
   EXPECT_EQ(store->Head().row_id, 5u);
+}
+
+TEST_P(StateStoreTest, LegacyPositionalMetaStillOpens) {
+  // Databases checkpointed before the watermark format wrote META as
+  // [head_seqno, head_popped, next_seqno]; their frames are strictly
+  // monotone, so the positional skip remains exact.
+  auto store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  for (RowId id = 1; id <= 10; ++id) {
+    ASSERT_TRUE(store->Append(Entry(id, "v")).ok());
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store->PopHead(nullptr).ok());
+  }
+  ASSERT_TRUE(store->Checkpoint().ok());
+  store.reset();
+
+  std::string legacy;
+  PutVarint64(&legacy, 0);  // head seqno
+  PutVarint64(&legacy, 3);  // head frames popped
+  PutVarint64(&legacy, 1);  // next seqno
+  ASSERT_TRUE(
+      WriteStringToFile(dir_ + "/store/META", legacy, /*sync=*/true).ok());
+
+  store = MakeStore();
+  ASSERT_TRUE(store->Open().ok());
+  EXPECT_EQ(store->size(), 7u);
+  EXPECT_EQ(store->Head().row_id, 4u);
+  // The watermark reconstructed from the skipped frames keeps id
+  // allocation above every id ever appended.
+  EXPECT_GE(store->LastAppendedRowId(), 10u);
 }
 
 TEST_P(StateStoreTest, ReopenRecoversLiveEntries) {
@@ -461,7 +554,7 @@ TEST_P(StateStoreTest, ReopenRecoversLiveEntries) {
                                        static_cast<unsigned long long>(id))))
                       .ok());
     }
-    ASSERT_TRUE(store->PopThrough(15).ok());
+    PopIdsThrough(store.get(), 15);
     ASSERT_TRUE(store->Checkpoint().ok());
   }
   auto store = MakeStore();
@@ -476,7 +569,7 @@ TEST_P(StateStoreTest, ReopenRecoversLiveEntries) {
 
 TEST_P(StateStoreTest, ReopenWithoutCheckpointReplaysViaPops) {
   // Without a checkpoint meta, pops since the last checkpoint come back as
-  // live entries; the WAL redo (PopThrough) must drain them again.
+  // live entries; the WAL redo (pop by collected id) must drain them again.
   {
     auto store = MakeStore();
     ASSERT_TRUE(store->Open().ok());
@@ -484,7 +577,7 @@ TEST_P(StateStoreTest, ReopenWithoutCheckpointReplaysViaPops) {
       ASSERT_TRUE(store->Append(Entry(id, "v")).ok());
     }
     ASSERT_TRUE(store->Checkpoint().ok());
-    ASSERT_TRUE(store->PopThrough(8).ok());
+    PopIdsThrough(store.get(), 8);
     // Crash here: no second checkpoint.
   }
   auto store = MakeStore();
@@ -492,7 +585,7 @@ TEST_P(StateStoreTest, ReopenWithoutCheckpointReplaysViaPops) {
   // Entries in segments that were fully drained+erased stay gone; the
   // partially drained head segment resurfaces its entries.
   ASSERT_FALSE(store->empty());
-  ASSERT_TRUE(store->PopThrough(8).ok());  // idempotent redo
+  PopIdsThrough(store.get(), 8);  // idempotent redo
   EXPECT_EQ(store->Head().row_id, 9u);
   EXPECT_EQ(store->size(), 12u);
 }
@@ -505,7 +598,7 @@ TEST_P(StateStoreTest, ErasedSegmentsLeaveNoPlaintext) {
     ASSERT_TRUE(store->Append(Entry(id, secret)).ok());
   }
   ASSERT_TRUE(store->Checkpoint().ok());
-  ASSERT_TRUE(store->PopThrough(30).ok());
+  PopIdsThrough(store.get(), 30);
   // Every byte under the store directory must be free of the secret.
   auto names = ListDir(dir_ + "/store");
   ASSERT_TRUE(names.ok());
@@ -589,7 +682,7 @@ TEST_P(StateStoreTest, SecureDeleteEntryScrubsAndSkips) {
   EXPECT_EQ(reopened->size(), 8u);
   EXPECT_EQ(reopened->Find(5), nullptr);
   // FIFO popping skips the deleted entry.
-  ASSERT_TRUE(reopened->PopThrough(6).ok());
+  PopIdsThrough(reopened.get(), 6);
   EXPECT_EQ(reopened->Head().row_id, 7u);
 }
 
