@@ -58,7 +58,15 @@ Status Database::OpenImpl() {
     catalog_ = std::make_unique<Catalog>();
   }
 
-  wal_ = std::make_unique<WalManager>(options_.path + "/wal", options_.wal,
+  // WAL sharding defaults to one stream per table partition, so a
+  // partition's redo lives in exactly one stream and commits on distinct
+  // partitions never share a log mutex or an fsync queue. The WalManager
+  // pins whatever count is already on disk.
+  WalOptions wal_options = options_.wal;
+  if (wal_options.wal_streams == 0) {
+    wal_options.wal_streams = options_.partitions == 0 ? 1 : options_.partitions;
+  }
+  wal_ = std::make_unique<WalManager>(options_.path + "/wal", wal_options,
                                       keys_.get());
   IDB_RETURN_IF_ERROR(wal_->Open());
 
@@ -76,8 +84,11 @@ Status Database::OpenImpl() {
 
   IDB_RETURN_IF_ERROR(Recover());
 
+  // Partitions rebuild their indexes on the worker pool — partition-
+  // parallel recovery, like the degradation passes the pool was sized for.
   for (auto& [id, table] : tables_) {
-    IDB_RETURN_IF_ERROR(table->RebuildIndexes());
+    IDB_RETURN_IF_ERROR(
+        table->RebuildIndexes(options_.degradation.worker_threads));
   }
 
   if (options_.degradation.background_thread) {
@@ -87,35 +98,50 @@ Status Database::OpenImpl() {
 }
 
 Status Database::Recover() {
-  IDB_ASSIGN_OR_RETURN(Lsn checkpoint, wal_->ReadCheckpointLsn());
+  IDB_ASSIGN_OR_RETURN(std::vector<Lsn> checkpoint,
+                       wal_->ReadCheckpointPositions());
 
-  // Pass 1: committed transaction set.
-  std::set<uint64_t> committed;
-  IDB_RETURN_IF_ERROR(wal_->Replay(checkpoint, [&](const WalRecord& record,
-                                                   Lsn) {
-    if (record.type == WalRecordType::kCommit) committed.insert(record.txn_id);
-    return Status::OK();
-  }));
-
-  // Pass 2: idempotent redo of committed work, in log order.
-  IDB_RETURN_IF_ERROR(wal_->Replay(checkpoint, [&](const WalRecord& record,
-                                                   Lsn) {
-    if (committed.count(record.txn_id) == 0) return Status::OK();
-    auto it = tables_.find(record.table);
-    if (it == tables_.end()) return Status::OK();  // dropped table
-    switch (record.type) {
-      case WalRecordType::kInsert:
-        return it->second->RedoInsert(record);
-      case WalRecordType::kDegradeStep:
-        return it->second->RedoDegrade(record);
-      case WalRecordType::kDelete:
-        return it->second->RedoDelete(record);
-      case WalRecordType::kUpdateStable:
-        return it->second->RedoUpdateStable(record);
-      default:
-        return Status::OK();
+  // Streams may replay in parallel only when every table partition maps
+  // wholly into one stream (stream count divides the partition count):
+  // then any two conflicting records share a stream, and per-stream order
+  // is commit order where it matters. Otherwise the WalManager merges
+  // records globally in commit-sequence order.
+  bool stream_local = true;
+  for (const auto& [id, table] : tables_) {
+    if (table->num_partitions() % wal_->num_streams() != 0) {
+      stream_local = false;
+      break;
     }
-  }));
+  }
+
+  // Two passes inside RecoverCommitted: committed transaction set (commit
+  // frames + per-stream record counts, so a torn tail in one stream voids a
+  // cross-stream commit atomically), then idempotent redo of committed
+  // work. The redo callback runs concurrently across streams when
+  // stream_local; the per-partition apply paths are the same ones
+  // concurrent live commits exercise.
+  uint64_t max_txn_id = 0;
+  IDB_RETURN_IF_ERROR(wal_->RecoverCommitted(
+      checkpoint, stream_local, [&](const WalRecord& record) {
+        auto it = tables_.find(record.table);
+        if (it == tables_.end()) return Status::OK();  // dropped table
+        switch (record.type) {
+          case WalRecordType::kInsert:
+            return it->second->RedoInsert(record);
+          case WalRecordType::kDegradeStep:
+            return it->second->RedoDegrade(record);
+          case WalRecordType::kDelete:
+            return it->second->RedoDelete(record);
+          case WalRecordType::kUpdateStable:
+            return it->second->RedoUpdateStable(record);
+          default:
+            return Status::OK();
+        }
+      },
+      &max_txn_id));
+  // Resume transaction ids above everything in the replay range: a reused
+  // id would alias this generation's records on the next recovery.
+  tm_->EnsureTxnIdsAbove(max_txn_id);
   return Status::OK();
 }
 
@@ -161,8 +187,15 @@ Status Database::Write(WriteBatch* batch, const WriteOptions& options) {
   if (batch->ops_.empty()) return Status::OK();
   batch->row_ids_.reserve(batch->ops_.size());
   auto txn = Begin();
+  // Batches are overwhelmingly single-table: resolve the name once per run
+  // of identical names instead of one catalog lookup per row.
+  Table* table = nullptr;
+  const std::string* resolved_name = nullptr;
   for (const WriteBatch::Op& op : batch->ops_) {
-    Table* table = GetTable(op.table);
+    if (resolved_name == nullptr || op.table != *resolved_name) {
+      table = GetTable(op.table);
+      resolved_name = &op.table;
+    }
     if (table == nullptr) {
       Abort(txn.get());
       batch->row_ids_.clear();
@@ -215,11 +248,11 @@ Status Database::Checkpoint() {
   // metas; starting replay at `begin` re-applies it idempotently instead of
   // silently excluding it — without this, a degrade step committing during
   // the flush could resurface its accurate value after recovery.
-  const Lsn begin = tm_->CheckpointBeginLsn();
+  const std::vector<Lsn> begin = tm_->CheckpointBeginPositions();
   for (auto& [id, table] : tables_) {
     IDB_RETURN_IF_ERROR(table->Checkpoint());
   }
-  return wal_->LogCheckpoint(begin).status();
+  return wal_->LogCheckpointAll(begin).status();
 }
 
 Result<size_t> Database::RunDegradationOnce() {

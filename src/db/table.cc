@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "util/parallel.h"
 
 namespace instantdb {
 
@@ -75,23 +76,21 @@ Status Table::Open() {
   }
 
   partitions_.clear();
-  RowId max_row = 0;
   for (uint32_t i = 0; i < runtime_.partitions; ++i) {
     auto partition = std::make_unique<TablePartition>(def_, PartitionDir(i),
                                                       runtime_, i);
     IDB_RETURN_IF_ERROR(partition->Open());
-    max_row = std::max(max_row, partition->max_row_id());
     partitions_.push_back(std::move(partition));
   }
-  next_row_id_.store(max_row + 1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Status Table::RebuildIndexes() {
-  for (auto& partition : partitions_) {
-    IDB_RETURN_IF_ERROR(partition->RebuildIndexes());
-  }
-  return Status::OK();
+Status Table::RebuildIndexes(size_t worker_threads) {
+  // Partitions own disjoint physical state, so their rebuilds are
+  // embarrassingly parallel; the pool mirrors the degradation worker pool
+  // (the database passes the same size).
+  return ParallelFor(worker_threads, partitions_.size(),
+                     [this](size_t i) { return partitions_[i]->RebuildIndexes(); });
 }
 
 Status Table::Checkpoint() {
@@ -115,7 +114,15 @@ Result<RowId> Table::Insert(Transaction* txn, const std::vector<Value>& row) {
   IDB_RETURN_IF_ERROR(schema().ValidateInsertRow(row));
   const Micros now = runtime_.clock->NowMicros();
 
-  const RowId row_id = next_row_id_.fetch_add(1, std::memory_order_relaxed);
+  // Batch-affine allocation: every insert of this transaction draws from
+  // one partition's allocator (rotating across transactions), so the whole
+  // batch commits through one partition latch and one WAL stream.
+  const uint32_t affine = txn->InsertPartition(id(), [this] {
+    return next_affine_.fetch_add(1, std::memory_order_relaxed) %
+           static_cast<uint32_t>(partitions_.size());
+  });
+  TablePartition* partition = partitions_[affine].get();
+  const RowId row_id = partition->AllocateRowId();
   IDB_RETURN_IF_ERROR(txn->Lock(LockKey::Row(id(), row_id), LockMode::kExclusive));
 
   WalRecord record;
@@ -138,11 +145,11 @@ Result<RowId> Table::Insert(Transaction* txn, const std::vector<Value>& row) {
       record.degradable.push_back(row[idx]);
     }
   }
-  const std::vector<Value> stable = record.stable;
-  const std::vector<Value> degradable = record.degradable;
-  TablePartition* partition = Route(row_id);
+  std::vector<Value> stable = record.stable;
+  std::vector<Value> degradable = record.degradable;
   txn->AddOp(std::move(record),
-             [partition, row_id, now, stable, degradable] {
+             [partition, row_id, now, stable = std::move(stable),
+              degradable = std::move(degradable)] {
                return partition->ApplyInsert(row_id, now, stable, degradable,
                                              /*degradable_available=*/true);
              });
@@ -310,16 +317,13 @@ Micros Table::SafeEpochTime() const {
 // --- recovery redo -----------------------------------------------------------------
 
 Status Table::RedoInsert(const WalRecord& record) {
-  // Replayed inserts carry committed row ids: keep the allocator above the
-  // recovered id space.
-  RowId expect = next_row_id_.load(std::memory_order_relaxed);
-  while (record.row_id >= expect &&
-         !next_row_id_.compare_exchange_weak(expect, record.row_id + 1,
-                                             std::memory_order_relaxed)) {
-  }
-  return Route(record.row_id)
-      ->ApplyInsert(record.row_id, record.insert_time, record.stable,
-                    record.degradable, !record.degradable_unavailable);
+  // Replayed inserts carry committed row ids: keep the owning partition's
+  // allocator above the recovered id space.
+  TablePartition* partition = Route(record.row_id);
+  partition->EnsureRowAllocatorAbove(record.row_id);
+  return partition->ApplyInsert(record.row_id, record.insert_time,
+                                record.stable, record.degradable,
+                                !record.degradable_unavailable);
 }
 
 Status Table::RedoDegrade(const WalRecord& record) {

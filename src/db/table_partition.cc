@@ -98,7 +98,30 @@ Status TablePartition::Open() {
       stores_.push_back(std::move(per_phase));
     }
   }
+
+  // Row-id allocator: this partition mints ids congruent to its index
+  // (id = m * partitions + index), resuming above everything recovered.
+  const RowId stride = runtime_.partitions == 0 ? 1 : runtime_.partitions;
+  next_multiplier_.store(
+      max_row_id_ == 0 ? (index_ == 0 ? 1 : 0) : max_row_id_ / stride + 1,
+      std::memory_order_relaxed);
   return Status::OK();
+}
+
+RowId TablePartition::AllocateRowId() {
+  const RowId stride = runtime_.partitions == 0 ? 1 : runtime_.partitions;
+  const RowId m = next_multiplier_.fetch_add(1, std::memory_order_relaxed);
+  return m * stride + index_;
+}
+
+void TablePartition::EnsureRowAllocatorAbove(RowId row_id) {
+  const RowId stride = runtime_.partitions == 0 ? 1 : runtime_.partitions;
+  const RowId next = row_id / stride + 1;
+  RowId expect = next_multiplier_.load(std::memory_order_relaxed);
+  while (next > expect &&
+         !next_multiplier_.compare_exchange_weak(expect, next,
+                                                 std::memory_order_relaxed)) {
+  }
 }
 
 Status TablePartition::RebuildIndexes() {

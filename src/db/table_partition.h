@@ -1,6 +1,7 @@
 #ifndef INSTANTDB_DB_TABLE_PARTITION_H_
 #define INSTANTDB_DB_TABLE_PARTITION_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -95,6 +96,14 @@ class TablePartition {
   /// Largest row id seen in this partition's heap at Open() time (0 when
   /// empty); the router derives the table-wide row-id counter from it.
   RowId max_row_id() const { return max_row_id_; }
+
+  /// Mints the next row id owned by this partition (id ≡ index mod
+  /// partitions, so PartitionOf routes it straight back here). Partition-
+  /// affine allocation is what lets a batch's inserts — and their WAL redo
+  /// — land in a single partition and a single log stream.
+  RowId AllocateRowId();
+  /// Raises the allocator above a replayed row id (recovery redo).
+  void EnsureRowAllocatorAbove(RowId row_id);
 
   // --- apply closures (commit-time + idempotent redo) ------------------------
 
@@ -244,6 +253,9 @@ class TablePartition {
   mutable std::shared_mutex latch_;
   std::unordered_map<RowId, Rid> row_map_;
   RowId max_row_id_ = 0;
+  /// Row-id allocator multiplier: the next id minted is
+  /// `next_multiplier_ * partitions + index`.
+  std::atomic<RowId> next_multiplier_{0};
 
   Stats stats_;
   Histogram lateness_;

@@ -15,6 +15,43 @@ constexpr uint8_t kInternalNode = 1;
 constexpr uint8_t kLeafNode = 2;
 constexpr size_t kNodeHeaderBytes = 8;
 
+uint16_t NodeCount(const char* page) {
+  return static_cast<uint16_t>(static_cast<uint8_t>(page[1]) |
+                               (static_cast<uint8_t>(page[2]) << 8));
+}
+
+void SetNodeCount(char* page, uint16_t count) {
+  page[1] = static_cast<char>(count & 0xFF);
+  page[2] = static_cast<char>((count >> 8) & 0xFF);
+}
+
+uint16_t EntryKeyLen(const char* p) {
+  return static_cast<uint16_t>(static_cast<uint8_t>(p[0]) |
+                               (static_cast<uint8_t>(p[1]) << 8));
+}
+
+/// Child to descend into for `key`, reading the internal node in place
+/// (the hot paths never materialize per-entry strings). When `child_pos`
+/// is non-null it receives the insertion position for a split separator.
+PageId DescendInPage(const char* page, Slice key, size_t* child_pos) {
+  const uint16_t count = NodeCount(page);
+  PageId child = DecodeFixed32(page + 4);  // leftmost
+  size_t pos = 0;
+  const char* p = page + kNodeHeaderBytes;
+  for (uint16_t i = 0; i < count; ++i) {
+    const uint16_t klen = EntryKeyLen(p);
+    if (Slice(p + 2, klen) <= key) {
+      child = DecodeFixed32(p + 2 + klen);
+      pos = i + 1;
+    } else {
+      break;
+    }
+    p += 2 + klen + 4;
+  }
+  if (child_pos != nullptr) *child_pos = pos;
+  return child;
+}
+
 }  // namespace
 
 // --- key helpers ---------------------------------------------------------------
@@ -206,6 +243,7 @@ Status BPlusTree::Insert(Slice key, RowId rid) {
     return Status::InvalidArgument("index key too large");
   }
   IDB_ASSIGN_OR_RETURN(SplitResult split, InsertRec(root_, key, rid));
+  ++num_entries_;
   if (split.split) {
     // Grow a new root above the old one.
     IDB_ASSIGN_OR_RETURN(PageGuard new_root, pool_->NewPage());
@@ -215,18 +253,61 @@ Status BPlusTree::Insert(Slice key, RowId rid) {
     IDB_RETURN_IF_ERROR(WriteInternal(new_root_id, entries, root_));
     root_ = new_root_id;
     ++height_;
+    // Meta is only re-persisted when the root moves: indexes are derived
+    // data rebuilt from scratch at open, so per-operation meta writes buy
+    // nothing and cost a page fetch on the ingest hot path.
+    return StoreMeta();
   }
-  ++num_entries_;
-  return StoreMeta();
+  return Status::OK();
 }
 
 Result<BPlusTree::SplitResult> BPlusTree::InsertRec(PageId page_id, Slice key,
                                                     RowId rid) {
-  IDB_ASSIGN_OR_RETURN(PageGuard probe, pool_->FetchPage(page_id));
-  const bool leaf = IsLeaf(probe.data());
-  probe.Release();
+  PageId child = kInvalidPageId;
+  size_t child_pos = 0;  // insertion position for a split separator
+  {
+    IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page_id));
+    char* page = guard.data();
+    if (IsLeaf(page)) {
+      // Fast path: splice the entry into the page bytes in place. One walk
+      // finds the insertion offset and the used size — no per-entry string
+      // materialization, no full-page rewrite. This is what keeps index
+      // maintenance off the ingest critical path's allocator.
+      const uint16_t count = NodeCount(page);
+      const size_t need = 2 + key.size() + 8;
+      const char* p = page + kNodeHeaderBytes;
+      size_t insert_off = 0;
+      bool found = false;
+      for (uint16_t i = 0; i < count; ++i) {
+        const uint16_t klen = EntryKeyLen(p);
+        if (!found && !(Slice(p + 2, klen) < key)) {
+          insert_off = static_cast<size_t>(p - page);
+          found = true;
+        }
+        p += 2 + klen + 8;
+      }
+      const size_t used = static_cast<size_t>(p - page);
+      if (!found) insert_off = used;
+      if (used + need <= page_size_) {
+        std::memmove(page + insert_off + need, page + insert_off,
+                     used - insert_off);
+        char* dst = page + insert_off;
+        dst[0] = static_cast<char>(key.size() & 0xFF);
+        dst[1] = static_cast<char>((key.size() >> 8) & 0xFF);
+        std::memcpy(dst + 2, key.data(), key.size());
+        EncodeFixed64(dst + 2 + key.size(), rid);
+        SetNodeCount(page, static_cast<uint16_t>(count + 1));
+        guard.MarkDirty();
+        return SplitResult{};
+      }
+      // Page full: fall through to the materializing split path below.
+    } else {
+      child = DescendInPage(page, key, &child_pos);
+    }
+  }
 
-  if (leaf) {
+  if (child == kInvalidPageId) {
+    // Leaf split (cold path): materialize, divide, rewrite both halves.
     std::vector<LeafEntry> entries;
     PageId right;
     IDB_RETURN_IF_ERROR(ReadLeaf(page_id, &entries, &right));
@@ -234,11 +315,6 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRec(PageId page_id, Slice key,
         entries.begin(), entries.end(), key,
         [](const LeafEntry& e, Slice k) { return Slice(e.key) < k; });
     entries.insert(pos, LeafEntry{std::string(key), rid});
-    if (LeafBytes(entries) <= page_size_) {
-      IDB_RETURN_IF_ERROR(WriteLeaf(page_id, entries, right));
-      return SplitResult{};
-    }
-    // Split: right half moves to a fresh page chained after this one.
     const size_t mid = entries.size() / 2;
     std::vector<LeafEntry> right_half(entries.begin() + mid, entries.end());
     entries.resize(mid);
@@ -254,22 +330,12 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRec(PageId page_id, Slice key,
     return result;
   }
 
+  IDB_ASSIGN_OR_RETURN(SplitResult child_split, InsertRec(child, key, rid));
+  if (!child_split.split) return SplitResult{};
+
   std::vector<InternalEntry> entries;
   PageId leftmost;
   IDB_RETURN_IF_ERROR(ReadInternal(page_id, &entries, &leftmost));
-  // Child to descend into: last entry with key <= target, else leftmost.
-  PageId child = leftmost;
-  size_t child_pos = 0;  // insertion position for a split separator
-  for (size_t i = 0; i < entries.size(); ++i) {
-    if (Slice(entries[i].key) <= key) {
-      child = entries[i].child;
-      child_pos = i + 1;
-    } else {
-      break;
-    }
-  }
-  IDB_ASSIGN_OR_RETURN(SplitResult child_split, InsertRec(child, key, rid));
-  if (!child_split.split) return SplitResult{};
 
   entries.insert(entries.begin() + child_pos,
                  InternalEntry{child_split.separator, child_split.new_page});
@@ -300,51 +366,52 @@ Result<BPlusTree::SplitResult> BPlusTree::InsertRec(PageId page_id, Slice key,
 Result<PageId> BPlusTree::FindLeaf(Slice key) const {
   PageId page_id = root_;
   for (;;) {
-    IDB_ASSIGN_OR_RETURN(PageGuard probe, pool_->FetchPage(page_id));
-    const bool leaf = IsLeaf(probe.data());
-    probe.Release();
-    if (leaf) return page_id;
-    std::vector<InternalEntry> entries;
-    PageId leftmost;
-    IDB_RETURN_IF_ERROR(ReadInternal(page_id, &entries, &leftmost));
-    PageId child = leftmost;
-    for (const InternalEntry& entry : entries) {
-      if (Slice(entry.key) <= key) {
-        child = entry.child;
-      } else {
-        break;
-      }
-    }
-    page_id = child;
+    IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(page_id));
+    if (IsLeaf(guard.data())) return page_id;
+    page_id = DescendInPage(guard.data(), key, nullptr);
   }
 }
 
 Status BPlusTree::Delete(Slice key) {
   IDB_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key));
-  std::vector<LeafEntry> entries;
-  PageId right;
-  IDB_RETURN_IF_ERROR(ReadLeaf(leaf_id, &entries, &right));
-  auto pos = std::lower_bound(
-      entries.begin(), entries.end(), key,
-      [](const LeafEntry& e, Slice k) { return Slice(e.key) < k; });
-  if (pos == entries.end() || Slice(pos->key) != key) {
-    return Status::NotFound("key not in index");
+  // In-page removal: find the exact entry, slide the tail down. (Leaf
+  // underflow is tolerated, as in the rewrite-based path before it.)
+  IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(leaf_id));
+  char* page = guard.data();
+  const uint16_t count = NodeCount(page);
+  const char* p = page + kNodeHeaderBytes;
+  size_t entry_off = 0;
+  size_t entry_bytes = 0;
+  for (uint16_t i = 0; i < count; ++i) {
+    const uint16_t klen = EntryKeyLen(p);
+    if (Slice(p + 2, klen) == key) {
+      entry_off = static_cast<size_t>(p - page);
+      entry_bytes = 2 + static_cast<size_t>(klen) + 8;
+    }
+    p += 2 + klen + 8;
   }
-  entries.erase(pos);
-  IDB_RETURN_IF_ERROR(WriteLeaf(leaf_id, entries, right));
+  if (entry_bytes == 0) return Status::NotFound("key not in index");
+  const size_t used = static_cast<size_t>(p - page);
+  std::memmove(page + entry_off, page + entry_off + entry_bytes,
+               used - entry_off - entry_bytes);
+  SetNodeCount(page, static_cast<uint16_t>(count - 1));
+  guard.MarkDirty();
   --num_entries_;
-  return StoreMeta();
+  return Status::OK();
 }
 
 Result<bool> BPlusTree::Contains(Slice key) const {
   IDB_ASSIGN_OR_RETURN(PageId leaf_id, FindLeaf(key));
-  std::vector<LeafEntry> entries;
-  PageId right;
-  IDB_RETURN_IF_ERROR(ReadLeaf(leaf_id, &entries, &right));
-  auto pos = std::lower_bound(
-      entries.begin(), entries.end(), key,
-      [](const LeafEntry& e, Slice k) { return Slice(e.key) < k; });
-  return pos != entries.end() && Slice(pos->key) == key;
+  IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(leaf_id));
+  const char* page = guard.data();
+  const uint16_t count = NodeCount(page);
+  const char* p = page + kNodeHeaderBytes;
+  for (uint16_t i = 0; i < count; ++i) {
+    const uint16_t klen = EntryKeyLen(p);
+    if (Slice(p + 2, klen) == key) return true;
+    p += 2 + klen + 8;
+  }
+  return false;
 }
 
 Status BPlusTree::Scan(

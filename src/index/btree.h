@@ -49,6 +49,13 @@ class BPlusTree {
   uint64_t num_entries() const { return num_entries_; }
   int height() const { return height_; }
 
+  /// Persists the meta page (root, height, entry count). Inserts and
+  /// deletes keep the meta in memory only — indexes are derived data
+  /// rebuilt from scratch at database open, so per-operation meta writes
+  /// would buy nothing on the ingest hot path. Call before reattaching to
+  /// the tree with Open().
+  Status Flush() { return StoreMeta(); }
+
   /// Composite key helpers.
   static void EncodeKey(const Value& value, RowId rid, std::string* dst);
   /// Lower bound of the key range of `value` (any rid).

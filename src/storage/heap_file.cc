@@ -59,13 +59,18 @@ size_t HeapFile::max_record_size() const {
 Status HeapFile::Open() {
   const PageId n = pool_->disk()->num_pages();
   free_space_.assign(n, 0);
+  freed_slots_.assign(n, 0);
   live_records_ = 0;
   for (PageId p = 0; p < n; ++p) {
     IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(p));
     free_space_[p] = static_cast<uint16_t>(FreeSpace(guard.data()));
     const PageHeader header = ReadHeader(guard.data());
     for (uint16_t s = 0; s < header.num_slots; ++s) {
-      if (SlotOffset(guard.data(), s) != 0) ++live_records_;
+      if (SlotOffset(guard.data(), s) != 0) {
+        ++live_records_;
+      } else {
+        ++freed_slots_[p];
+      }
     }
   }
   return Status::OK();
@@ -103,12 +108,16 @@ Result<Rid> HeapFile::InsertIntoPage(PageGuard& guard, Slice record) {
   PageHeader header = ReadHeader(page);
   size_t data_start = header.data_start == 0 ? page_size_ : header.data_start;
 
-  // Reuse an empty slot if any, else extend the slot array.
+  // Reuse an empty slot if any, else extend the slot array. The in-memory
+  // freed-slot count makes the append-only common case O(1) instead of a
+  // full slot scan per insert.
   uint16_t slot = header.num_slots;
-  for (uint16_t s = 0; s < header.num_slots; ++s) {
-    if (SlotOffset(page, s) == 0) {
-      slot = s;
-      break;
+  if (guard.id() < freed_slots_.size() && freed_slots_[guard.id()] > 0) {
+    for (uint16_t s = 0; s < header.num_slots; ++s) {
+      if (SlotOffset(page, s) == 0) {
+        slot = s;
+        break;
+      }
     }
   }
   const bool new_slot = slot == header.num_slots;
@@ -119,7 +128,11 @@ Result<Rid> HeapFile::InsertIntoPage(PageGuard& guard, Slice record) {
   }
   data_start -= record.size();
   std::memcpy(page + data_start, record.data(), record.size());
-  if (new_slot) ++header.num_slots;
+  if (new_slot) {
+    ++header.num_slots;
+  } else if (guard.id() < freed_slots_.size() && freed_slots_[guard.id()] > 0) {
+    --freed_slots_[guard.id()];
+  }
   header.data_start = static_cast<uint16_t>(data_start);
   WriteHeader(page, header);
   SetSlot(page, slot, static_cast<uint16_t>(data_start),
@@ -154,6 +167,7 @@ Result<Rid> HeapFile::Insert(Slice record) {
   PageHeader header{0, static_cast<uint16_t>(page_size_)};
   WriteHeader(guard.data(), header);
   free_space_.push_back(static_cast<uint16_t>(FreeSpace(guard.data())));
+  freed_slots_.push_back(0);
   return InsertIntoPage(guard, record);
 }
 
@@ -180,6 +194,7 @@ Status HeapFile::Delete(Rid rid) {
   SetSlot(page, rid.slot, 0, 0);
   guard.MarkDirty();
   free_space_[rid.page] = static_cast<uint16_t>(FreeSpace(page));
+  if (rid.page < freed_slots_.size()) ++freed_slots_[rid.page];
   --live_records_;
   return Status::OK();
 }
@@ -209,6 +224,7 @@ Status HeapFile::Update(Rid rid, Slice record, Rid* out) {
   CompactPage(page);
   guard.MarkDirty();
   free_space_[rid.page] = static_cast<uint16_t>(FreeSpace(page));
+  if (rid.page < freed_slots_.size()) ++freed_slots_[rid.page];
   --live_records_;
   guard.Release();
   IDB_ASSIGN_OR_RETURN(Rid new_rid, Insert(record));

@@ -68,6 +68,9 @@ class HeapFile {
   BufferPool* const pool_;
   const size_t page_size_;
   std::vector<uint16_t> free_space_;  // per page, approximate
+  /// Reusable (freed) slots per page: 0 means InsertIntoPage can append a
+  /// fresh slot without scanning the slot array (the append-only hot path).
+  std::vector<uint16_t> freed_slots_;
   uint64_t live_records_ = 0;
 };
 

@@ -248,8 +248,16 @@ Status StateStore::OpenTailWriter() {
   return Status::OK();
 }
 
+Status StateStore::FlushTail() {
+  if (tail_writer_ == nullptr || tail_pending_.empty()) return Status::OK();
+  IDB_RETURN_IF_ERROR(tail_writer_->Append(tail_pending_));
+  tail_pending_.clear();
+  return Status::OK();
+}
+
 Status StateStore::SealTail() {
   if (tail_writer_ != nullptr) {
+    IDB_RETURN_IF_ERROR(FlushTail());
     IDB_RETURN_IF_ERROR(tail_writer_->Close());
     tail_writer_.reset();
   }
@@ -294,7 +302,13 @@ Status StateStore::Append(const StoreEntry& entry) {
   std::string frame;
   PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
   frame += payload;
-  IDB_RETURN_IF_ERROR(tail_writer_->Append(frame));
+  // Buffered append: one write() per ~8KB of frames instead of one per
+  // entry keeps the syscall off the ingest hot path. The WAL carries
+  // durability until Checkpoint writes the buffer through.
+  tail_pending_ += frame;
+  if (tail_pending_.size() >= 8192) {
+    IDB_RETURN_IF_ERROR(FlushTail());
+  }
   // Re-resolve the position: OpenTailWriter/SealTail do not touch live_,
   // but keeping the lookup next to the insert guards future edits.
   pos = LowerBound(entry.row_id);
@@ -382,7 +396,9 @@ Status StateStore::SecureDeleteEntry(RowId row_id) {
   }
   // Tombstone the frame on disk: set the tombstone bit in the length field
   // and zero the payload bytes so the (plain or cipher) value is physically
-  // cleaned right now.
+  // cleaned right now. The buffered tail must be on disk first, or the
+  // flush would resurrect the payload after this pass zeroed its range.
+  IDB_RETURN_IF_ERROR(FlushTail());
   const std::string path = SegmentPath(it->seqno);
   if (FileExists(path)) {
     IDB_ASSIGN_OR_RETURN(auto file, NewRandomRWFile(path));
@@ -422,6 +438,7 @@ Micros StateStore::MinInsertTime() const {
 
 Status StateStore::Checkpoint() {
   if (tail_writer_ != nullptr) {
+    IDB_RETURN_IF_ERROR(FlushTail());
     IDB_RETURN_IF_ERROR(tail_writer_->Flush());
     IDB_RETURN_IF_ERROR(tail_writer_->Sync());
   }

@@ -161,6 +161,11 @@ class StateStore {
   std::deque<LiveEntry>::iterator LowerBound(RowId row_id);
   Status OpenTailWriter();
   Status SealTail();
+  /// Writes the buffered tail frames through to the segment file. Appends
+  /// buffer in user space (durability comes from the WAL until Checkpoint);
+  /// every operation that reads or mutates segment bytes on disk — sealing,
+  /// checkpoint, tombstoning — flushes first.
+  Status FlushTail();
   /// Secure erase + unlink of a fully-dead segment.
   Status EraseSegment(const Segment& segment);
   /// Erases leading segments with no live frames left.
@@ -182,6 +187,8 @@ class StateStore {
   std::multiset<Micros> live_times_;
   std::deque<Segment> segments_;  // front = head (oldest)
   std::unique_ptr<WritableFile> tail_writer_;
+  /// Frames appended but not yet written through (see FlushTail).
+  std::string tail_pending_;
   uint64_t next_seqno_ = 0;
   RowId last_appended_row_id_ = kInvalidRowId;
   /// Largest row id ever popped (0 = none). Persisted by Checkpoint along

@@ -21,19 +21,21 @@ Status TransactionManager::Commit(Transaction* txn, bool sync) {
     // durably logged transaction from both the flush and the replay range.
     std::shared_lock<std::shared_mutex> commit_window(commit_mu_);
     // Group commit: every queued record plus the COMMIT marker goes to the
-    // log as one buffered write and at most one sync, so batch size N costs
-    // the same durability overhead as a single-row transaction.
+    // log as one buffered write per touched stream and at most one sync
+    // each, so batch size N costs the same durability overhead as a
+    // single-row transaction. AppendCommit stamps the commit frame with the
+    // global commit sequence number and per-stream record counts that let
+    // sharded recovery order and atomicity-check it.
     WalRecord commit;
     commit.type = WalRecordType::kCommit;
     commit.txn_id = txn->id_;
     std::vector<const WalRecord*> records;
-    records.reserve(txn->ops_.size() + 1);
+    records.reserve(txn->ops_.size());
     for (Transaction::PendingOp& op : txn->ops_) {
       op.record.txn_id = txn->id_;
       records.push_back(&op.record);
     }
-    records.push_back(&commit);
-    const Status logged = wal_->AppendBatch(records, sync).status();
+    const Status logged = wal_->AppendCommit(records, &commit, sync);
     if (!logged.ok()) {
       // The commit never became durable and nothing was applied: treat it
       // as an abort so a WAL failure cannot leak 2PL locks for the rest of
@@ -57,12 +59,12 @@ Status TransactionManager::Commit(Transaction* txn, bool sync) {
   return Status::OK();
 }
 
-Lsn TransactionManager::CheckpointBeginLsn() {
+std::vector<Lsn> TransactionManager::CheckpointBeginPositions() {
   // Exclusive acquisition drains every in-flight commit's append+apply
-  // window; while held no new commit can log, so everything below the LSN
-  // read here is fully applied.
+  // window; while held no new commit can log, so everything below the
+  // positions read here is fully applied and no transaction straddles them.
   std::unique_lock<std::shared_mutex> barrier(commit_mu_);
-  return wal_->next_lsn();
+  return wal_->StreamEnds();
 }
 
 void TransactionManager::Abort(Transaction* txn) {

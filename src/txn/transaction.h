@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -60,6 +61,22 @@ class Transaction {
     ops_.push_back({std::move(record), std::move(apply)});
   }
 
+  /// Partition this transaction's inserts into `table` route to, chosen
+  /// once per (transaction, table) by `pick` on first use. Batch-affine
+  /// allocation: every row a WriteBatch inserts into one table lands in one
+  /// partition — and therefore one WAL stream — so the commit touches one
+  /// partition latch and costs one log write + one sync instead of
+  /// spraying every stream. Tables rotate the pick across transactions to
+  /// keep partitions balanced.
+  uint32_t InsertPartition(TableId table,
+                           const std::function<uint32_t()>& pick) {
+    auto it = insert_partition_.find(table);
+    if (it == insert_partition_.end()) {
+      it = insert_partition_.emplace(table, pick()).first;
+    }
+    return it->second;
+  }
+
   const std::vector<PendingOp>& ops() const { return ops_; }
   bool read_only() const { return ops_.empty(); }
 
@@ -70,6 +87,7 @@ class Transaction {
   LockManager* const locks_;
   TxnState state_ = TxnState::kActive;
   std::vector<PendingOp> ops_;
+  std::map<TableId, uint32_t> insert_partition_;  // batch-affine inserts
 };
 
 /// \brief Allocates transaction ids, drives commit (log → sync → apply →
@@ -81,6 +99,17 @@ class TransactionManager {
 
   std::unique_ptr<Transaction> Begin();
 
+  /// Raises the id allocator above `txn_id` (crash recovery: a reused id
+  /// could alias a prior generation's logged records, letting a torn
+  /// transaction pass the per-stream record-count check).
+  void EnsureTxnIdsAbove(uint64_t txn_id) {
+    uint64_t expect = next_txn_id_.load(std::memory_order_relaxed);
+    while (txn_id + 1 > expect &&
+           !next_txn_id_.compare_exchange_weak(expect, txn_id + 1,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+
   /// Logs the queued records + COMMIT, optionally syncs, applies the
   /// closures in order, and releases all locks.
   Status Commit(Transaction* txn, bool sync = false);
@@ -88,14 +117,18 @@ class TransactionManager {
   /// Drops queued work and releases locks. Always succeeds.
   void Abort(Transaction* txn);
 
-  /// Fuzzy-checkpoint begin LSN: waits for every in-flight commit to finish
-  /// its apply phase, then reads the end of the log. Guarantees that every
-  /// record below the returned LSN has been applied (so a subsequent
-  /// storage flush covers it) and every record at or above it will be
-  /// replayed on recovery — Commit appends to the WAL before applying, and
-  /// without this barrier a checkpoint could slip between the two and lose
-  /// a durably committed transaction.
-  Lsn CheckpointBeginLsn();
+  /// Fuzzy-checkpoint begin positions: waits for every in-flight commit to
+  /// finish its apply phase, then reads the end of every WAL stream.
+  /// Guarantees that every record below the returned per-stream LSNs has
+  /// been applied (so a subsequent storage flush covers it) and every
+  /// record at or above them will be replayed on recovery — Commit appends
+  /// to the WAL before applying, and without this barrier a checkpoint
+  /// could slip between the two and lose a durably committed transaction.
+  /// Because commits happen entirely inside the shared window, no
+  /// transaction straddles the returned vector: its records sit wholly
+  /// below or wholly at-or-above it in every stream, which is what lets
+  /// recovery verify cross-stream commit atomicity with record counts.
+  std::vector<Lsn> CheckpointBeginPositions();
 
   struct Stats {
     uint64_t started = 0;

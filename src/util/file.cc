@@ -51,6 +51,26 @@ class PosixWritableFile final : public WritableFile {
     return Status::OK();
   }
 
+  Status Preallocate(uint64_t bytes) override {
+#if defined(__linux__)
+    const int err = ::posix_fallocate(fd_, 0, static_cast<off_t>(bytes));
+    if (err != 0) return PosixError("fallocate " + path_, err);
+    return Status::OK();
+#else
+    (void)bytes;
+    return Status::NotSupported("preallocation not supported");
+#endif
+  }
+
+  Status SyncData() override {
+#if defined(__linux__)
+    if (::fdatasync(fd_) != 0) return PosixError("fdatasync " + path_, errno);
+    return Status::OK();
+#else
+    return Sync();
+#endif
+  }
+
   Status Close() override {
     if (fd_ >= 0 && ::close(fd_) != 0) {
       fd_ = -1;

@@ -20,6 +20,20 @@ class WritableFile {
   virtual Status Flush() = 0;
   /// Durably persists all appended data (fsync).
   virtual Status Sync() = 0;
+  /// Reserves `bytes` of backing store up front (posix_fallocate). Appends
+  /// within the reservation then change no file metadata, which lets
+  /// SyncData skip the filesystem journal. Callers must Sync once after
+  /// reserving to make the size durable, and truncate to the logical end
+  /// when done. Best-effort: NotSupported on filesystems without it.
+  virtual Status Preallocate(uint64_t bytes) {
+    (void)bytes;
+    return Status::NotSupported("preallocation not supported");
+  }
+  /// Durably persists appended data without forcing a metadata commit
+  /// (fdatasync). Only equivalent to Sync for data durability when the
+  /// bytes lie inside a preallocated, size-durable region; defaults to
+  /// Sync() otherwise.
+  virtual Status SyncData() { return Sync(); }
   virtual Status Close() = 0;
   virtual uint64_t size() const = 0;
 };

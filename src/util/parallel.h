@@ -1,0 +1,52 @@
+#ifndef INSTANTDB_UTIL_PARALLEL_H_
+#define INSTANTDB_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace instantdb {
+
+/// Runs `fn(0) .. fn(count - 1)` on up to `workers` threads pulling tasks
+/// from an atomic cursor, and returns the first non-OK status (the failing
+/// worker stops claiming tasks; its siblings drain what they already
+/// started). With one worker (or one task) everything runs inline on the
+/// caller's thread, stopping at the first error — the shape shared by the
+/// partition index rebuild and the per-stream WAL recovery passes.
+inline Status ParallelFor(size_t workers, size_t count,
+                          const std::function<Status(size_t)>& fn) {
+  workers = std::min(std::max<size_t>(workers, 1), count);
+  if (workers <= 1) {
+    for (size_t i = 0; i < count; ++i) IDB_RETURN_IF_ERROR(fn(i));
+    return Status::OK();
+  }
+  std::atomic<size_t> next{0};
+  std::mutex error_mu;
+  Status error;
+  auto drain = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      const Status status = fn(i);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (error.ok()) error = status;
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) pool.emplace_back(drain);
+  for (std::thread& worker : pool) worker.join();
+  return error;
+}
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_UTIL_PARALLEL_H_

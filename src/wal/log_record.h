@@ -67,6 +67,17 @@ struct WalRecord {
 
   // kCheckpoint
   Lsn checkpoint_lsn = 0;
+
+  // kCommit, sharded WAL only (WalOptions::wal_streams > 1). The global
+  // commit sequence number orders commits across streams, and `stream_counts`
+  // lists, per stream the transaction touched, how many records it appended
+  // there — recovery honors the commit only when every counted record
+  // survived its stream's torn-tail truncation, which keeps cross-stream
+  // commits atomic. Single-stream commit frames leave both empty (encoded as
+  // zero extra bytes), so old logs decode unchanged and wal_streams=1 logs
+  // stay byte-identical to pre-sharding ones.
+  uint64_t commit_seq = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> stream_counts;
 };
 
 /// Encrypts/decrypts the degradable blob of an insert record. Input is the

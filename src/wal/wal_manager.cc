@@ -1,10 +1,12 @@
 #include "wal/wal_manager.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/strings.h"
 #include "util/crc32c.h"
+#include "util/parallel.h"
 
 namespace instantdb {
 
@@ -12,8 +14,14 @@ namespace {
 
 constexpr char kCheckpointFile[] = "CHECKPOINT";
 
-/// Sentinel for LogCheckpointLocked: "use the post-record end of log".
-constexpr Lsn kInvalidLsn = UINT64_MAX;
+/// Sanity cap on WalOptions::wal_streams (mirrors kMaxPartitions: one
+/// stream per core is the useful range, and this bounds what a corrupt
+/// STREAMS file can make Open() attempt).
+constexpr uint32_t kMaxWalStreams = 1024;
+
+bool IsDataRecord(WalRecordType type) {
+  return type != WalRecordType::kCommit && type != WalRecordType::kCheckpoint;
+}
 
 }  // namespace
 
@@ -21,232 +29,283 @@ WalManager::WalManager(std::string dir, const WalOptions& options,
                        KeyManager* keys)
     : dir_(std::move(dir)), options_(options), keys_(keys) {}
 
-WalManager::~WalManager() {
-  if (writer_ != nullptr) writer_->Close().ok();
+WalManager::~WalManager() = default;
+
+std::string WalManager::StreamDir(uint32_t stream) const {
+  // A single stream keeps the unsharded on-disk layout (segments directly
+  // under the log directory).
+  if (streams_.size() <= 1) return dir_;
+  return dir_ + StringPrintf("/s%u", stream);
 }
 
-std::string WalManager::SegmentPath(Lsn start) const {
-  return dir_ + StringPrintf("/wal_%016llx.log",
-                             static_cast<unsigned long long>(start));
-}
-
-std::string WalManager::EpochKeyId(TableId table, uint64_t epoch) const {
-  return StringPrintf("wal.t%u.e%llu", table,
-                      static_cast<unsigned long long>(epoch));
+Result<uint32_t> WalManager::ResolveStreamCount() const {
+  if (FileExists(StreamCountPath())) {
+    IDB_ASSIGN_OR_RETURN(std::string text, ReadFileToString(StreamCountPath()));
+    char* end = nullptr;
+    const unsigned long persisted = std::strtoul(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || persisted == 0 ||
+        persisted > kMaxWalStreams) {
+      return Status::Corruption("bad STREAMS file in " + dir_);
+    }
+    return static_cast<uint32_t>(persisted);
+  }
+  IDB_ASSIGN_OR_RETURN(auto names, ListDir(dir_));
+  bool has_legacy = false;
+  uint32_t stream_dirs = 0;
+  uint32_t max_index = 0;
+  for (const std::string& name : names) {
+    if (StartsWith(name, "wal_") || name == kCheckpointFile) {
+      has_legacy = true;
+      continue;
+    }
+    if (name.size() >= 2 && name[0] == 's') {
+      char* end = nullptr;
+      const unsigned long index = std::strtoul(name.c_str() + 1, &end, 10);
+      if (*end != '\0') continue;
+      ++stream_dirs;
+      max_index = std::max(max_index, static_cast<uint32_t>(index));
+    }
+  }
+  if (stream_dirs > 0) {
+    // STREAMS file lost but stream directories present: recover the count
+    // only if the dirs are unambiguous (contiguous s0..sN-1, N >= 2).
+    // Guessing across a gap would mis-route every record forever. This
+    // check runs BEFORE the legacy one — sharded logs also keep their
+    // CHECKPOINT manifest at the top level, so a top-level file must not
+    // demote a sharded log to one stream.
+    if (stream_dirs != max_index + 1 || stream_dirs < 2 ||
+        stream_dirs > kMaxWalStreams) {
+      return Status::Corruption(
+          "STREAMS file missing and stream directories are ambiguous in " +
+          dir_);
+    }
+    return stream_dirs;
+  }
+  if (has_legacy) {
+    // Segments (or a checkpoint) at the top level and no stream dirs: a log
+    // written before sharding existed, or by wal_streams = 1. Pin the
+    // single-stream layout — re-routing would strand every record on disk.
+    return 1u;
+  }
+  // Fresh log: adopt the configured count (0 = "decided by the caller",
+  // treated as 1 here for standalone use).
+  const size_t configured = options_.wal_streams == 0 ? 1 : options_.wal_streams;
+  if (configured > kMaxWalStreams) {
+    return Status::InvalidArgument("WalOptions::wal_streams exceeds limit");
+  }
+  return static_cast<uint32_t>(configured);
 }
 
 Status WalManager::Open() {
   IDB_RETURN_IF_ERROR(CreateDirs(dir_));
-  segments_.clear();
-  writer_.reset();
-  next_lsn_ = 0;
-
-  IDB_ASSIGN_OR_RETURN(auto names, ListDir(dir_));
-  std::vector<Lsn> starts;
-  for (const std::string& name : names) {
-    if (StartsWith(name, "wal_") && EndsWith(name, ".log")) {
-      starts.push_back(std::strtoull(name.c_str() + 4, nullptr, 16));
-    }
+  IDB_ASSIGN_OR_RETURN(const uint32_t count, ResolveStreamCount());
+  if (count > 1 && !FileExists(StreamCountPath())) {
+    IDB_RETURN_IF_ERROR(WriteStringToFile(
+        StreamCountPath(), std::to_string(count), /*sync=*/true));
   }
-  std::sort(starts.begin(), starts.end());
-  for (Lsn start : starts) {
-    IDB_ASSIGN_OR_RETURN(uint64_t size, GetFileSize(SegmentPath(start)));
-    segments_.push_back({start, start + size});
+  streams_.clear();
+  streams_.reserve(count);
+  // StreamDir consults streams_.size() to pick the layout, so size the
+  // vector before computing directories.
+  for (uint32_t s = 0; s < count; ++s) streams_.push_back(nullptr);
+  for (uint32_t s = 0; s < count; ++s) {
+    streams_[s] =
+        std::make_unique<WalStream>(StreamDir(s), s, options_, keys_);
+    IDB_RETURN_IF_ERROR(streams_[s]->Open());
   }
+  return Status::OK();
+}
 
-  if (!segments_.empty()) {
-    // Validate the tail segment frame-by-frame; drop a torn suffix.
-    SegmentInfo& last = segments_.back();
-    IDB_ASSIGN_OR_RETURN(std::string raw, ReadFileToString(SegmentPath(last.start)));
-    uint64_t off = 0;
-    while (off + 8 <= raw.size()) {
-      const uint32_t masked = DecodeFixed32(raw.data() + off);
-      const uint32_t len = DecodeFixed32(raw.data() + off + 4);
-      if (off + 8 + len > raw.size()) break;
-      if (crc32c::Unmask(masked) !=
-          crc32c::Value(raw.data() + off + 8, len)) {
-        break;
+uint32_t WalManager::StreamOf(const WalRecord& record) const {
+  const auto n = static_cast<uint64_t>(streams_.size());
+  if (n == 1) return 0;
+  switch (record.type) {
+    case WalRecordType::kInsert:
+    case WalRecordType::kDelete:
+    case WalRecordType::kUpdateStable:
+      return static_cast<uint32_t>(record.row_id % n);
+    case WalRecordType::kDegradeStep:
+      // A step drains one partition's store; every entry's row id hashes to
+      // the same partition, so the first entry routes the whole record.
+      if (!record.entries.empty()) {
+        return static_cast<uint32_t>(record.entries[0].row_id % n);
       }
-      off += 8 + len;
-    }
-    if (off < raw.size()) {
-      IDB_RETURN_IF_ERROR(TruncateFile(SegmentPath(last.start), off));
-      last.end = last.start + off;
-    }
-    next_lsn_ = last.end;
-    IDB_ASSIGN_OR_RETURN(writer_, NewAppendableFile(SegmentPath(last.start)));
+      [[fallthrough]];
+    default:
+      return static_cast<uint32_t>(record.txn_id % n);
   }
-  return Status::OK();
-}
-
-Status WalManager::OpenNewSegment() {
-  if (writer_ != nullptr) {
-    IDB_RETURN_IF_ERROR(writer_->Sync());
-    IDB_RETURN_IF_ERROR(writer_->Close());
-  }
-  IDB_ASSIGN_OR_RETURN(writer_, NewWritableFile(SegmentPath(next_lsn_)));
-  segments_.push_back({next_lsn_, next_lsn_});
-  ++stats_.segments_created;
-  return Status::OK();
-}
-
-WalBlobCipher WalManager::MakeEncryptor(Lsn lsn) {
-  if (options_.privacy_mode != WalPrivacyMode::kEncryptedEpoch) {
-    return nullptr;
-  }
-  return [this, lsn](const WalRecord& record, const std::string& in,
-                     std::string* out) {
-    auto key = keys_->GetOrCreate(
-        EpochKeyId(record.table, EpochOf(record.insert_time)));
-    if (!key.ok()) return false;
-    *out = in;
-    ChaCha20::XorStreamAt(*key, NonceForSequence(lsn), 0, out->data(),
-                          out->size());
-    return true;
-  };
-}
-
-WalBlobCipher WalManager::MakeDecryptor(Lsn lsn) const {
-  return [this, lsn](const WalRecord& record, const std::string& in,
-                     std::string* out) {
-    auto key =
-        keys_->Get(EpochKeyId(record.table, EpochOf(record.insert_time)));
-    if (!key.ok()) return false;  // destroyed epoch: values are gone
-    *out = in;
-    ChaCha20::XorStreamAt(*key, NonceForSequence(lsn), 0, out->data(),
-                          out->size());
-    return true;
-  };
 }
 
 Result<Lsn> WalManager::Append(const WalRecord& record, bool sync) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return AppendLocked(record, sync);
-}
-
-Result<Lsn> WalManager::AppendLocked(const WalRecord& record, bool sync) {
-  if (writer_ == nullptr ||
-      (next_lsn_ - segments_.back().start) >= options_.segment_bytes) {
-    IDB_RETURN_IF_ERROR(OpenNewSegment());
-  }
-  const Lsn lsn = next_lsn_;
-  std::string body;
-  EncodeWalRecord(record, MakeEncryptor(lsn), &body);
-  std::string frame;
-  PutFixed32(&frame, crc32c::Mask(crc32c::Value(body.data(), body.size())));
-  PutFixed32(&frame, static_cast<uint32_t>(body.size()));
-  frame += body;
-  IDB_RETURN_IF_ERROR(writer_->Append(frame));
-  next_lsn_ += frame.size();
-  segments_.back().end = next_lsn_;
-  ++stats_.records_appended;
-  stats_.bytes_appended += frame.size();
-  if (sync || options_.sync_on_commit) {
-    IDB_RETURN_IF_ERROR(writer_->Sync());
-    ++stats_.syncs;
-  }
-  return lsn;
+  return streams_[StreamOf(record)]->Append(record, sync);
 }
 
 Result<Lsn> WalManager::AppendBatch(
     const std::vector<const WalRecord*>& records, bool sync) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (records.empty()) return next_lsn_;
-  Lsn first_lsn = 0;
-  // Frames accumulate against a provisional LSN; shared state (next_lsn_,
-  // segment end, stats) only advances once the buffered bytes are actually
-  // on the file, so a failed write cannot desync LSNs from the physical
-  // log (the per-LSN encryption nonces depend on this).
-  Lsn lsn = next_lsn_;
-  std::string buffer;
-  uint64_t buffered_records = 0;
-  auto flush = [&]() -> Status {
-    if (buffer.empty()) return Status::OK();
-    IDB_RETURN_IF_ERROR(writer_->Append(buffer));
-    next_lsn_ = lsn;
-    segments_.back().end = next_lsn_;
-    stats_.records_appended += buffered_records;
-    stats_.bytes_appended += buffer.size();
-    buffer.clear();
-    buffered_records = 0;
-    return Status::OK();
-  };
-  for (size_t i = 0; i < records.size(); ++i) {
-    if (writer_ == nullptr ||
-        (lsn - segments_.back().start) >= options_.segment_bytes) {
-      // The buffered frames belong to the segment being closed: flush them
-      // before rotating.
-      IDB_RETURN_IF_ERROR(flush());
-      IDB_RETURN_IF_ERROR(OpenNewSegment());
-    }
-    if (i == 0) first_lsn = lsn;
-    std::string body;
-    EncodeWalRecord(*records[i], MakeEncryptor(lsn), &body);
-    PutFixed32(&buffer, crc32c::Mask(crc32c::Value(body.data(), body.size())));
-    PutFixed32(&buffer, static_cast<uint32_t>(body.size()));
-    buffer += body;
-    lsn += 8 + body.size();
-    ++buffered_records;
+  if (streams_.size() == 1) return streams_[0]->AppendBatch(records, sync);
+  if (records.empty()) return Lsn{0};
+  std::vector<std::vector<const WalRecord*>> buckets(streams_.size());
+  for (const WalRecord* record : records) {
+    buckets[StreamOf(*record)].push_back(record);
   }
-  IDB_RETURN_IF_ERROR(flush());
-  if (sync || options_.sync_on_commit) {
-    IDB_RETURN_IF_ERROR(writer_->Sync());
-    ++stats_.syncs;
+  const uint32_t first_stream = StreamOf(*records[0]);
+  Lsn first_lsn = 0;
+  for (uint32_t s = 0; s < streams_.size(); ++s) {
+    if (buckets[s].empty()) continue;
+    IDB_ASSIGN_OR_RETURN(const Lsn lsn,
+                         streams_[s]->AppendBatch(buckets[s], sync));
+    if (s == first_stream) first_lsn = lsn;
   }
   return first_lsn;
 }
 
+Status WalManager::AppendCommit(const std::vector<const WalRecord*>& ops,
+                                WalRecord* commit, bool sync) {
+  const uint32_t n = num_streams();
+  if (n == 1) {
+    // Unsharded group commit, byte-identical to the pre-sharding log: the
+    // commit frame stays unstamped (no CSN, no counts) and everything goes
+    // as one buffered write + at most one sync.
+    std::vector<const WalRecord*> records(ops);
+    records.push_back(commit);
+    return streams_[0]->AppendBatch(records, sync).status();
+  }
+  commit->commit_seq = next_commit_seq_.fetch_add(1, std::memory_order_relaxed);
+  commit->stream_counts.clear();
+  // Fast path: batch-affine row allocation makes most transactions stream-
+  // local, so detect "every op routes to one stream" without building
+  // per-stream buckets.
+  bool local = true;
+  const uint32_t first = ops.empty() ? 0 : StreamOf(*ops[0]);
+  for (const WalRecord* op : ops) {
+    if (StreamOf(*op) != first) {
+      local = false;
+      break;
+    }
+  }
+  if (local) {
+    if (!ops.empty()) {
+      commit->stream_counts.emplace_back(first,
+                                         static_cast<uint32_t>(ops.size()));
+    }
+    const uint32_t commit_stream =
+        ops.empty() ? static_cast<uint32_t>(commit->txn_id % n) : first;
+    std::vector<const WalRecord*> tail(ops);
+    tail.push_back(commit);
+    return streams_[commit_stream]->AppendBatch(tail, sync).status();
+  }
+  std::vector<std::vector<const WalRecord*>> buckets(n);
+  for (const WalRecord* op : ops) buckets[StreamOf(*op)].push_back(op);
+  for (uint32_t s = 0; s < n; ++s) {
+    if (!buckets[s].empty()) {
+      commit->stream_counts.emplace_back(
+          s, static_cast<uint32_t>(buckets[s].size()));
+    }
+  }
+  const uint32_t commit_stream =
+      commit->stream_counts.empty()
+          ? static_cast<uint32_t>(commit->txn_id % n)
+          : commit->stream_counts.front().first;
+  for (uint32_t s = 0; s < n; ++s) {
+    if (s == commit_stream || buckets[s].empty()) continue;
+    IDB_RETURN_IF_ERROR(streams_[s]->AppendBatch(buckets[s], false).status());
+  }
+  // The commit stream's ops and the commit frame go as one buffered write,
+  // so a stream-local transaction (the common case: partition-affine row
+  // allocation puts a batch's inserts in one partition) costs one write and
+  // — when durable — one sync on one stream.
+  std::vector<const WalRecord*> tail = std::move(buckets[commit_stream]);
+  tail.push_back(commit);
+  IDB_RETURN_IF_ERROR(
+      streams_[commit_stream]->AppendBatch(tail, sync).status());
+  if (sync && !options_.sync_on_commit) {
+    // Ack only once every stream holding this transaction's records is
+    // durable. A crash part-way leaves the commit frame on disk with a torn
+    // sibling stream; recovery's per-stream record counts void the commit
+    // atomically, so durability is still all-or-nothing. (Under
+    // sync_on_commit the sibling AppendBatch calls above already synced —
+    // skipping this loop avoids a second fsync per sibling stream.)
+    for (const auto& [s, count] : commit->stream_counts) {
+      (void)count;
+      if (s == commit_stream) continue;
+      IDB_RETURN_IF_ERROR(streams_[s]->Sync());
+    }
+  }
+  return Status::OK();
+}
+
 Status WalManager::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (writer_ == nullptr) return Status::OK();
-  ++stats_.syncs;
-  return writer_->Sync();
+  for (auto& stream : streams_) IDB_RETURN_IF_ERROR(stream->Sync());
+  return Status::OK();
 }
 
-Result<Lsn> WalManager::LogCheckpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Quiescent form: everything logged so far (and the checkpoint record
-  // itself) is covered; replay resumes after it.
-  return LogCheckpointLocked(kInvalidLsn);
+std::vector<Lsn> WalManager::StreamEnds() const {
+  std::vector<Lsn> ends(streams_.size());
+  for (size_t s = 0; s < streams_.size(); ++s) ends[s] = streams_[s]->next_lsn();
+  return ends;
 }
 
-Result<Lsn> WalManager::LogCheckpoint(Lsn replay_from) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return LogCheckpointLocked(std::min(replay_from, next_lsn_));
-}
-
-Result<Lsn> WalManager::LogCheckpointLocked(Lsn replay_from) {
-  WalRecord record;
-  record.type = WalRecordType::kCheckpoint;
-  record.checkpoint_lsn = replay_from == kInvalidLsn ? next_lsn_ : replay_from;
-  IDB_RETURN_IF_ERROR(AppendLocked(record, /*sync=*/true).status());
-  // Fuzzy form: replay resumes at the begin LSN, so records committed while
-  // storage was being flushed (between the caller capturing replay_from and
-  // now) are replayed again, idempotently — including the kCheckpoint
-  // record itself, which redo ignores. Quiescent form: resume after
-  // everything logged so far.
-  const Lsn lsn = replay_from == kInvalidLsn ? next_lsn_ : replay_from;
-  // Rotate so the segment holding pre-checkpoint records (including the
-  // accurate values of insert records) becomes retirable — without this,
-  // kScrub could never clean the active segment and accurate values would
-  // outlive their degradation deadline in the log.
-  IDB_RETURN_IF_ERROR(OpenNewSegment());
-
+Status WalManager::WriteManifest(const std::vector<Lsn>& lsns) {
   std::string body;
-  PutVarint64(&body, lsn);
+  if (lsns.size() == 1) {
+    // Legacy single-stream format, readable by (and identical to) the
+    // pre-sharding CHECKPOINT file.
+    PutVarint64(&body, lsns[0]);
+  } else {
+    PutVarint32(&body, static_cast<uint32_t>(lsns.size()));
+    for (Lsn lsn : lsns) PutVarint64(&body, lsn);
+  }
   std::string file;
   PutFixed32(&file, crc32c::Mask(crc32c::Value(body.data(), body.size())));
   file += body;
   const std::string tmp = dir_ + "/" + kCheckpointFile + ".tmp";
   IDB_RETURN_IF_ERROR(WriteStringToFile(tmp, file, /*sync=*/true));
-  IDB_RETURN_IF_ERROR(RenameFile(tmp, dir_ + "/" + kCheckpointFile));
-  IDB_RETURN_IF_ERROR(RetireSegmentsThrough(lsn));
-  return lsn;
+  return RenameFile(tmp, dir_ + "/" + kCheckpointFile);
 }
 
-Result<Lsn> WalManager::ReadCheckpointLsn() const {
+Result<std::vector<Lsn>> WalManager::LogCheckpointAll(
+    const std::vector<Lsn>& replay_from) {
+  if (!replay_from.empty() && replay_from.size() != streams_.size()) {
+    return Status::InvalidArgument("replay_from size != stream count");
+  }
+  std::vector<Lsn> lsns(streams_.size(), 0);
+  for (size_t s = 0; s < streams_.size(); ++s) {
+    IDB_ASSIGN_OR_RETURN(
+        lsns[s], streams_[s]->BeginCheckpoint(
+                     replay_from.empty() ? WalStream::kLogEnd : replay_from[s]));
+  }
+  // Retirement only after the manifest durably records the new replay
+  // positions: segments must never disappear ahead of the pointer that
+  // says they are no longer needed.
+  IDB_RETURN_IF_ERROR(WriteManifest(lsns));
+  for (size_t s = 0; s < streams_.size(); ++s) {
+    IDB_RETURN_IF_ERROR(streams_[s]->RetireThrough(lsns[s]));
+  }
+  return lsns;
+}
+
+Result<Lsn> WalManager::LogCheckpoint(Lsn replay_from) {
+  if (streams_.size() != 1) {
+    return Status::InvalidArgument(
+        "single-LSN checkpoint on a sharded log; use LogCheckpointAll");
+  }
+  IDB_ASSIGN_OR_RETURN(auto lsns, LogCheckpointAll({replay_from}));
+  return lsns[0];
+}
+
+Result<Lsn> WalManager::LogCheckpoint() {
+  if (streams_.size() != 1) {
+    return Status::InvalidArgument(
+        "single-LSN checkpoint on a sharded log; use LogCheckpointAll");
+  }
+  IDB_ASSIGN_OR_RETURN(auto lsns, LogCheckpointAll({}));
+  return lsns[0];
+}
+
+Result<std::vector<Lsn>> WalManager::ReadCheckpointPositions() const {
+  std::vector<Lsn> lsns(streams_.size(), 0);
   const std::string path = dir_ + "/" + kCheckpointFile;
-  if (!FileExists(path)) return Lsn{0};
+  if (!FileExists(path)) return lsns;
   IDB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
   Slice input = contents;
   uint32_t masked;
@@ -254,68 +313,167 @@ Result<Lsn> WalManager::ReadCheckpointLsn() const {
       crc32c::Unmask(masked) != crc32c::Value(input.data(), input.size())) {
     return Status::Corruption("bad CHECKPOINT file");
   }
-  uint64_t lsn;
-  if (!GetVarint64(&input, &lsn)) {
-    return Status::Corruption("bad CHECKPOINT payload");
+  if (streams_.size() == 1) {
+    uint64_t lsn;
+    if (!GetVarint64(&input, &lsn)) {
+      return Status::Corruption("bad CHECKPOINT payload");
+    }
+    lsns[0] = lsn;
+    return lsns;
   }
-  return lsn;
+  uint32_t count;
+  if (!GetVarint32(&input, &count) || count != streams_.size()) {
+    return Status::Corruption("CHECKPOINT stream count mismatch");
+  }
+  for (uint32_t s = 0; s < count; ++s) {
+    uint64_t lsn;
+    if (!GetVarint64(&input, &lsn)) {
+      return Status::Corruption("bad CHECKPOINT payload");
+    }
+    lsns[s] = lsn;
+  }
+  return lsns;
 }
 
-Status WalManager::RetireSegmentsThrough(Lsn lsn) {
-  while (segments_.size() > 1 && segments_.front().end <= lsn) {
-    const SegmentInfo segment = segments_.front();
-    const std::string path = SegmentPath(segment.start);
-    switch (options_.privacy_mode) {
-      case WalPrivacyMode::kPlain: {
-        // Model real-world unintended retention: the bytes stay on disk.
-        IDB_RETURN_IF_ERROR(RenameFile(path, path + ".recycled"));
-        break;
-      }
-      case WalPrivacyMode::kScrub: {
-        const uint64_t size = segment.end - segment.start;
-        IDB_RETURN_IF_ERROR(OverwriteRange(path, 0, size));
-        stats_.scrub_bytes += size;
-        IDB_RETURN_IF_ERROR(RemoveFile(path));
-        break;
-      }
-      case WalPrivacyMode::kEncryptedEpoch: {
-        // Ciphertext is unreadable once its epoch key dies; plain unlink.
-        IDB_RETURN_IF_ERROR(RemoveFile(path));
-        break;
-      }
-    }
-    segments_.erase(segments_.begin());
-    ++stats_.segments_retired;
+Result<Lsn> WalManager::ReadCheckpointLsn() const {
+  if (streams_.size() != 1) {
+    return Status::InvalidArgument(
+        "single-LSN checkpoint on a sharded log; use ReadCheckpointPositions");
   }
-  return Status::OK();
+  IDB_ASSIGN_OR_RETURN(auto lsns, ReadCheckpointPositions());
+  return lsns[0];
 }
 
 Status WalManager::Replay(
     Lsn from, const std::function<Status(const WalRecord&, Lsn)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const SegmentInfo& segment : segments_) {
-    if (segment.end <= from) continue;
-    IDB_ASSIGN_OR_RETURN(std::string raw,
-                         ReadFileToString(SegmentPath(segment.start)));
-    uint64_t off = 0;
-    while (off + 8 <= raw.size()) {
-      const uint32_t masked = DecodeFixed32(raw.data() + off);
-      const uint32_t len = DecodeFixed32(raw.data() + off + 4);
-      if (off + 8 + len > raw.size()) break;  // torn tail
-      if (crc32c::Unmask(masked) !=
-          crc32c::Value(raw.data() + off + 8, len)) {
-        break;
+  return streams_[0]->Replay(from, fn);
+}
+
+Status WalManager::ReplayStream(
+    uint32_t stream, Lsn from,
+    const std::function<Status(const WalRecord&, Lsn)>& fn) const {
+  return streams_[stream]->Replay(from, fn);
+}
+
+Status WalManager::RecoverCommitted(
+    const std::vector<Lsn>& from, bool stream_local_apply,
+    const std::function<Status(const WalRecord&)>& redo,
+    uint64_t* max_txn_id) {
+  const size_t n = streams_.size();
+  if (from.size() != n) {
+    return Status::InvalidArgument("recovery position size != stream count");
+  }
+
+  // Pass 1 (parallel): per stream, how many data records each transaction
+  // left behind, plus every commit frame's CSN and expected counts, plus
+  // the id/sequence high-water marks the reopened log must resume above.
+  struct CommitMeta {
+    uint64_t seq = 0;
+    std::vector<std::pair<uint32_t, uint32_t>> counts;
+  };
+  std::vector<std::map<uint64_t, uint64_t>> observed(n);  // txn -> records
+  std::vector<std::map<uint64_t, CommitMeta>> commits(n);
+  std::vector<uint64_t> max_txn(n, 0);
+  std::vector<uint64_t> max_seq(n, 0);
+  IDB_RETURN_IF_ERROR(ParallelFor(n, n, [&](size_t s) {
+    return streams_[s]->Replay(from[s], [&](const WalRecord& record, Lsn) {
+      // Track ids of torn transactions too: reusing one would let a new
+      // generation's torn commit pass the record-count check with this
+      // generation's records.
+      max_txn[s] = std::max(max_txn[s], record.txn_id);
+      if (record.type == WalRecordType::kCommit) {
+        max_seq[s] = std::max(max_seq[s], record.commit_seq);
+        commits[s].emplace(record.txn_id,
+                           CommitMeta{record.commit_seq, record.stream_counts});
+      } else if (IsDataRecord(record.type)) {
+        ++observed[s][record.txn_id];
       }
-      const Lsn lsn = segment.start + off;
-      if (lsn >= from) {
-        auto record = DecodeWalRecord(Slice(raw.data() + off + 8, len),
-                                      MakeDecryptor(lsn));
-        if (!record.ok()) return record.status();
-        IDB_RETURN_IF_ERROR(fn(*record, lsn));
+      return Status::OK();
+    });
+  }));
+
+  // New commits must sequence strictly after every surviving frame; a CSN
+  // collision across crash generations would break the merge order (and
+  // the atomicity check) on the next recovery.
+  uint64_t high_txn = 0;
+  uint64_t high_seq = 0;
+  for (uint32_t s = 0; s < n; ++s) {
+    high_txn = std::max(high_txn, max_txn[s]);
+    high_seq = std::max(high_seq, max_seq[s]);
+  }
+  uint64_t expect = next_commit_seq_.load(std::memory_order_relaxed);
+  while (high_seq + 1 > expect &&
+         !next_commit_seq_.compare_exchange_weak(expect, high_seq + 1,
+                                                 std::memory_order_relaxed)) {
+  }
+  if (max_txn_id != nullptr) *max_txn_id = high_txn;
+
+  // Committed = commit frame present AND every per-stream record count
+  // intact. A commit without counts is a legacy/single-stream frame whose
+  // own stream ordering vouches for it (records precede the commit in the
+  // same buffered write, so a torn tail that ate them ate the commit too).
+  std::map<uint64_t, uint64_t> committed;  // txn -> commit seq
+  for (uint32_t s = 0; s < n; ++s) {
+    for (const auto& [txn_id, meta] : commits[s]) {
+      bool intact = true;
+      for (const auto& [stream, count] : meta.counts) {
+        if (stream >= n) {
+          intact = false;
+          break;
+        }
+        const auto it = observed[stream].find(txn_id);
+        if (it == observed[stream].end() || it->second < count) {
+          intact = false;
+          break;
+        }
       }
-      off += 8 + len;
+      if (intact) committed.emplace(txn_id, meta.seq);
     }
   }
+
+  // Pass 2: redo data records of committed transactions.
+  if (stream_local_apply) {
+    // Every table partition maps wholly into one stream, so any two
+    // conflicting records share a stream and stream order already equals
+    // commit order where it matters: streams replay concurrently.
+    return ParallelFor(n, n, [&](size_t s) {
+      return streams_[s]->Replay(from[s], [&](const WalRecord& record, Lsn) {
+        if (!IsDataRecord(record.type)) return Status::OK();
+        if (committed.count(record.txn_id) == 0) return Status::OK();
+        return redo(record);
+      });
+    });
+  }
+
+  // Cross-stream ordering required (stream count does not divide the
+  // partition count): gather the committed records and apply them globally
+  // in commit-sequence order, records of one transaction in (stream,
+  // stream-order) order.
+  struct Pending {
+    uint64_t seq;
+    uint32_t stream;
+    uint64_t index;
+    WalRecord record;
+  };
+  std::vector<Pending> pending;
+  for (uint32_t s = 0; s < n; ++s) {
+    uint64_t index = 0;
+    IDB_RETURN_IF_ERROR(streams_[s]->Replay(
+        from[s], [&](const WalRecord& record, Lsn) {
+          if (!IsDataRecord(record.type)) return Status::OK();
+          const auto it = committed.find(record.txn_id);
+          if (it == committed.end()) return Status::OK();
+          pending.push_back({it->second, s, index++, record});
+          return Status::OK();
+        }));
+  }
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const Pending& a, const Pending& b) {
+                     if (a.seq != b.seq) return a.seq < b.seq;
+                     if (a.stream != b.stream) return a.stream < b.stream;
+                     return a.index < b.index;
+                   });
+  for (const Pending& p : pending) IDB_RETURN_IF_ERROR(redo(p.record));
   return Status::OK();
 }
 
@@ -324,20 +482,36 @@ Status WalManager::DestroyEpochKeysThrough(TableId table, Micros safe_time) {
     return Status::OK();
   }
   if (safe_time <= 0) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(epoch_mu_);
   // Epoch e covers [e*epoch, (e+1)*epoch); destroy every epoch that ends at
   // or before safe_time.
   const uint64_t end_epoch = EpochOf(safe_time - 1) + 1;
   uint64_t& watermark = epoch_watermark_[table];
   while (watermark < end_epoch) {
-    const std::string id = EpochKeyId(table, watermark);
+    const std::string id = WalEpochKeyId(table, watermark);
     if (!keys_->IsDestroyed(id)) {
       IDB_RETURN_IF_ERROR(keys_->Destroy(id));
-      ++stats_.epoch_keys_destroyed;
+      epoch_keys_destroyed_.fetch_add(1, std::memory_order_relaxed);
     }
     ++watermark;
   }
   return Status::OK();
+}
+
+WalManager::Stats WalManager::stats() const {
+  Stats total;
+  for (const auto& stream : streams_) {
+    const WalStream::Stats s = stream->stats();
+    total.records_appended += s.records_appended;
+    total.bytes_appended += s.bytes_appended;
+    total.segments_created += s.segments_created;
+    total.segments_retired += s.segments_retired;
+    total.scrub_bytes += s.scrub_bytes;
+    total.syncs += s.syncs;
+  }
+  total.epoch_keys_destroyed =
+      epoch_keys_destroyed_.load(std::memory_order_relaxed);
+  return total;
 }
 
 }  // namespace instantdb

@@ -1,20 +1,24 @@
 #ifndef INSTANTDB_WAL_WAL_MANAGER_H_
 #define INSTANTDB_WAL_WAL_MANAGER_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/options.h"
 #include "storage/key_manager.h"
 #include "util/file.h"
 #include "wal/log_record.h"
+#include "wal/wal_stream.h"
 
 namespace instantdb {
 
-/// \brief Segmented redo log with degradation-aware retirement.
+/// \brief Sharded redo log: a router over N independent WalStreams with
+/// global commit ordering and degradation-aware retirement.
 ///
 /// The paper (§III, citing Stahlberg et al.) observes that traditional WALs
 /// keep every inserted value recoverable long after deletion. Accurate
@@ -25,24 +29,34 @@ namespace instantdb {
 ///    This models the unintended retention of real systems (log archives,
 ///    recycled-but-unscrubbed segments) and is the unsafe baseline the
 ///    forensic experiments scan.
-///  - kScrub: retired segments are zero-overwritten, synced, and unlinked.
-///    Timeliness is inherited from the checkpoint cadence: a forced
-///    checkpoint before the earliest phase-0 deadline guarantees no
-///    accurate value outlives its LCP in the log.
+///  - kScrub: retired segments are zero-overwritten, synced, and unlinked —
+///    per stream, so retirement proceeds stream-by-stream.
 ///  - kEncryptedEpoch: each insert's degradable payload is encrypted under
-///    a per-(table, epoch) key, epoch = insert_time / epoch_micros.
-///    Destroying the key (when every tuple of the epoch has left phase 0)
-///    makes all log copies — including archived ones — unreadable at once,
-///    with no rewrite I/O.
+///    a per-(table, epoch) key shared by every stream. Destroying the key
+///    makes all log copies in all streams unreadable at once.
 ///
-/// Framing: [u32 masked CRC32C(body)] [u32 len] [body]. LSNs are logical
-/// byte offsets; a segment file `wal_<start-lsn>.log` holds the frames
-/// starting at that offset. Recovery tolerates a torn tail frame.
+/// Sharding: records route to stream `row_id % N` — the same hash the
+/// tables use for partitioning — so a partition's redo lives in exactly one
+/// stream whenever the stream count divides the partition count. Commits
+/// serialize only on the streams they touch; their syncs overlap in the
+/// I/O layer instead of queueing behind one file. `WalOptions::wal_streams`
+/// picks N at creation; the count is persisted in `<dir>/STREAMS` and a
+/// reopen keeps the on-disk count (re-routing would strand old records).
+/// N = 1 stores segments directly under the log directory — byte-for-byte
+/// the pre-sharding layout — while N > 1 gives stream k the subdirectory
+/// `s<k>`.
 ///
-/// Thread-safety: all public methods are serialized on an internal mutex,
-/// so commits issued by concurrent degradation workers and user
-/// transactions interleave at whole-append granularity (an append is never
-/// torn between two transactions' frames).
+/// Commit ordering: AppendCommit stamps every commit frame with a global
+/// commit sequence number (CSN) plus the number of records the transaction
+/// appended to each stream. Recovery scans streams in parallel, accepts a
+/// transaction only when its commit frame AND all its per-stream records
+/// survived (a torn tail in one stream atomically voids a cross-stream
+/// commit that was never acknowledged), and replays either stream-parallel
+/// (when partitions map wholly into streams) or merged in CSN order.
+///
+/// Checkpoints: one CHECKPOINT manifest records the per-stream vector of
+/// replay-start LSNs; fuzzy checkpoints and segment retirement proceed
+/// stream-by-stream against it.
 class WalManager {
  public:
   WalManager(std::string dir, const WalOptions& options, KeyManager* keys);
@@ -50,52 +64,106 @@ class WalManager {
   WalManager(const WalManager&) = delete;
   WalManager& operator=(const WalManager&) = delete;
 
-  /// Scans existing segments, truncating a torn tail, and positions the
-  /// writer at the end of the log.
+  /// Resolves the stream count (persisted STREAMS file wins; a legacy
+  /// single-stream layout pins 1) and opens every stream, truncating torn
+  /// tails.
   Status Open();
 
-  /// Appends one record; returns its LSN. Syncs when `sync` (commit with
-  /// WriteOptions::sync or WalOptions::sync_on_commit).
+  uint32_t num_streams() const {
+    return static_cast<uint32_t>(streams_.size());
+  }
+
+  /// Stream a record routes to: row records by `row_id % N`, degradation
+  /// steps by their first entry's row id (all entries of one step share a
+  /// partition), everything else by transaction id.
+  uint32_t StreamOf(const WalRecord& record) const;
+
+  /// Appends one record to its stream; returns its stream-local LSN.
   Result<Lsn> Append(const WalRecord& record, bool sync);
 
-  /// Group commit: appends all records as ONE buffered file write followed
-  /// by at most one sync, instead of a write (and possible sync) per
-  /// record. This is what makes a WriteBatch of N inserts cost one WAL sync
-  /// rather than N. Returns the LSN of the first record.
+  /// Group append: routes each record to its stream and appends each
+  /// stream's run as one buffered write + at most one sync. Returns the
+  /// stream-local LSN of the first record. (Transactions commit through
+  /// AppendCommit instead, which adds the cross-stream atomicity metadata.)
   Result<Lsn> AppendBatch(const std::vector<const WalRecord*>& records,
                           bool sync);
 
+  /// Transaction commit: routes `ops` to their streams, stamps `commit`
+  /// with the next global commit sequence number and the per-stream record
+  /// counts, appends it to the stream of the first op (so a stream-local
+  /// transaction costs one write + one sync on one stream), and syncs every
+  /// touched stream when `sync` (or WalOptions::sync_on_commit). With one
+  /// stream this degenerates to exactly the unsharded group commit: ops and
+  /// the unstamped commit marker in one buffered write, byte-identical to
+  /// the pre-sharding log.
+  Status AppendCommit(const std::vector<const WalRecord*>& ops,
+                      WalRecord* commit, bool sync);
+
+  /// Syncs every stream.
   Status Sync();
 
-  Lsn next_lsn() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return next_lsn_;
-  }
+  /// End of stream 0 (the whole log when unsharded; tests and single-stream
+  /// tools).
+  Lsn next_lsn() const { return streams_[0]->next_lsn(); }
 
-  /// Durably marks everything before `replay_from` as checkpointed: appends
-  /// a kCheckpoint record, writes the CHECKPOINT pointer file, and retires
-  /// fully-covered segments per the privacy mode. Returns the LSN replay
-  /// must start from after a crash.
-  ///
-  /// `replay_from` must be captured BEFORE flushing the storage state the
-  /// checkpoint covers (fuzzy-checkpoint begin LSN): a transaction — e.g. a
-  /// degradation step from the worker pool — that commits while storage is
-  /// being flushed lands at an LSN at or after it and is replayed
-  /// idempotently on recovery. The zero-argument form uses the current end
-  /// of the log (callers that know no writes are in flight).
+  /// Per-stream end-of-log vector, indexed by stream id. The commit barrier
+  /// (TransactionManager::CheckpointBeginPositions) snapshots this with no
+  /// commit in flight, so no transaction straddles the returned positions.
+  std::vector<Lsn> StreamEnds() const;
+
+  /// Durably checkpoints every stream: appends a kCheckpoint record and
+  /// rotates per stream, writes the CHECKPOINT manifest carrying the whole
+  /// replay-start vector, then retires fully-covered segments per the
+  /// privacy mode, stream by stream. `replay_from` must be captured BEFORE
+  /// flushing the storage state the checkpoint covers (fuzzy-checkpoint
+  /// begin positions); pass an empty vector when no writes are in flight
+  /// (quiescent form: each stream covers everything logged so far). Returns
+  /// the vector replay must start from after a crash.
+  Result<std::vector<Lsn>> LogCheckpointAll(const std::vector<Lsn>& replay_from);
+
+  /// Single-stream conveniences (Status::InvalidArgument when sharded).
   Result<Lsn> LogCheckpoint(Lsn replay_from);
   Result<Lsn> LogCheckpoint();
-
-  /// LSN recorded by the last completed checkpoint; 0 if none.
   Result<Lsn> ReadCheckpointLsn() const;
 
-  /// Replays records with LSN >= `from` in order. `fn` returning non-OK
-  /// aborts the replay with that status.
+  /// Replay-start vector recorded by the last completed checkpoint; zeros
+  /// if none.
+  Result<std::vector<Lsn>> ReadCheckpointPositions() const;
+
+  /// Replays stream 0 (the whole log when unsharded) in stream order.
   Status Replay(Lsn from,
                 const std::function<Status(const WalRecord&, Lsn)>& fn) const;
 
+  /// Replays one stream in stream order from `from`.
+  Status ReplayStream(uint32_t stream, Lsn from,
+                      const std::function<Status(const WalRecord&, Lsn)>& fn) const;
+
+  /// Two-pass sharded recovery. Pass 1 scans every stream from its
+  /// checkpoint position (one thread per stream) and derives the committed
+  /// transaction set: a commit frame must be present and, when it carries
+  /// per-stream record counts, every counted record must have survived its
+  /// stream's torn-tail truncation — so a cross-stream commit that lost
+  /// records in one stream is voided atomically. Pass 2 redoes the data
+  /// records of committed transactions: when `stream_local_apply` (every
+  /// table partition maps wholly into one stream, so all conflicting
+  /// records share a stream) streams replay in parallel, one thread each;
+  /// otherwise records are merged and applied globally in commit-sequence
+  /// order. `redo` must be thread-safe in the parallel case.
+  ///
+  /// Recovery also advances the global commit sequence past everything
+  /// scanned (a reopened log must never mint CSNs that collide with live
+  /// pre-crash frames, or a second crash would mis-order the merge), and
+  /// reports the largest transaction id seen via `max_txn_id` (when
+  /// non-null) so the transaction manager can resume above it — a reused
+  /// txn id could satisfy a torn transaction's record counts with a prior
+  /// generation's records.
+  Status RecoverCommitted(const std::vector<Lsn>& from, bool stream_local_apply,
+                          const std::function<Status(const WalRecord&)>& redo,
+                          uint64_t* max_txn_id = nullptr);
+
   /// kEncryptedEpoch: destroys the keys of every epoch of `table` that ends
-  /// at or before `safe_time` (all its tuples have left phase 0).
+  /// at or before `safe_time` (all its tuples have left phase 0). Keys are
+  /// shared across streams, so this kills every stream's copies at once.
   Status DestroyEpochKeysThrough(TableId table, Micros safe_time);
 
   uint64_t EpochOf(Micros t) const {
@@ -118,39 +186,35 @@ class WalManager {
     uint64_t epoch_keys_destroyed = 0;
     uint64_t syncs = 0;
   };
-  Stats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+  /// Aggregated over streams.
+  Stats stats() const;
+  WalStream::Stats stream_stats(uint32_t stream) const {
+    return streams_[stream]->stats();
   }
 
   const std::string& dir() const { return dir_; }
 
  private:
-  std::string SegmentPath(Lsn start) const;
-  std::string EpochKeyId(TableId table, uint64_t epoch) const;
-  Result<Lsn> AppendLocked(const WalRecord& record, bool sync);
-  Result<Lsn> LogCheckpointLocked(Lsn replay_from);
-  Status OpenNewSegment();
-  Status RetireSegmentsThrough(Lsn lsn);
-  WalBlobCipher MakeEncryptor(Lsn lsn);
-  WalBlobCipher MakeDecryptor(Lsn lsn) const;
+  std::string StreamDir(uint32_t stream) const;
+  std::string StreamCountPath() const { return dir_ + "/STREAMS"; }
+  Result<uint32_t> ResolveStreamCount() const;
+  Status WriteManifest(const std::vector<Lsn>& lsns);
 
   const std::string dir_;
   const WalOptions options_;
   KeyManager* const keys_;
 
-  /// Guards writer state, segment list, epoch watermarks and stats.
-  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<WalStream>> streams_;
 
-  struct SegmentInfo {
-    Lsn start = 0;
-    Lsn end = 0;  // exclusive
-  };
-  std::vector<SegmentInfo> segments_;  // sorted by start
-  std::unique_ptr<WritableFile> writer_;
-  Lsn next_lsn_ = 0;
-  std::map<TableId, uint64_t> epoch_watermark_;  // first not-yet-destroyed epoch
-  Stats stats_;
+  /// Global commit sequence: stamped into commit frames when sharded so
+  /// recovery can order commits across streams. 0 marks "unstamped"
+  /// (single-stream and legacy logs, ordered by the log itself).
+  std::atomic<uint64_t> next_commit_seq_{1};
+
+  /// Guards the epoch watermark map (keys are shared across streams).
+  mutable std::mutex epoch_mu_;
+  std::map<TableId, uint64_t> epoch_watermark_;  // first not-yet-destroyed
+  std::atomic<uint64_t> epoch_keys_destroyed_{0};
 };
 
 }  // namespace instantdb

@@ -1,0 +1,322 @@
+#include "wal/wal_stream.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "util/crc32c.h"
+
+namespace instantdb {
+
+std::string WalEpochKeyId(TableId table, uint64_t epoch) {
+  return StringPrintf("wal.t%u.e%llu", table,
+                      static_cast<unsigned long long>(epoch));
+}
+
+WalStream::WalStream(std::string dir, uint32_t stream_id,
+                     const WalOptions& options, KeyManager* keys)
+    : dir_(std::move(dir)), id_(stream_id), options_(options), keys_(keys) {}
+
+WalStream::~WalStream() {
+  if (writer_ != nullptr) writer_->Close().ok();
+}
+
+std::string WalStream::SegmentPath(Lsn start) const {
+  return dir_ + StringPrintf("/wal_%016llx.log",
+                             static_cast<unsigned long long>(start));
+}
+
+Status WalStream::Open() {
+  IDB_RETURN_IF_ERROR(CreateDirs(dir_));
+  segments_.clear();
+  writer_.reset();
+  next_lsn_ = 0;
+
+  IDB_ASSIGN_OR_RETURN(auto names, ListDir(dir_));
+  std::vector<Lsn> starts;
+  for (const std::string& name : names) {
+    if (StartsWith(name, "wal_") && EndsWith(name, ".log")) {
+      starts.push_back(std::strtoull(name.c_str() + 4, nullptr, 16));
+    }
+  }
+  std::sort(starts.begin(), starts.end());
+  for (Lsn start : starts) {
+    IDB_ASSIGN_OR_RETURN(uint64_t size, GetFileSize(SegmentPath(start)));
+    segments_.push_back({start, start + size});
+  }
+  // Segments are contiguous in LSN space, so a sealed segment's logical end
+  // is the next segment's start — a crash between preallocating a fresh
+  // segment and trimming the old one leaves physical sizes that overstate
+  // the tail; the successor's name is authoritative.
+  for (size_t i = 0; i + 1 < segments_.size(); ++i) {
+    segments_[i].end = segments_[i + 1].start;
+  }
+
+  if (!segments_.empty()) {
+    // Validate the tail segment frame-by-frame; drop a torn suffix.
+    SegmentInfo& last = segments_.back();
+    IDB_ASSIGN_OR_RETURN(std::string raw,
+                         ReadFileToString(SegmentPath(last.start)));
+    uint64_t off = 0;
+    while (off + 8 <= raw.size()) {
+      const uint32_t masked = DecodeFixed32(raw.data() + off);
+      const uint32_t len = DecodeFixed32(raw.data() + off + 4);
+      if (off + 8 + len > raw.size()) break;
+      if (crc32c::Unmask(masked) !=
+          crc32c::Value(raw.data() + off + 8, len)) {
+        break;
+      }
+      off += 8 + len;
+    }
+    if (off < raw.size()) {
+      // Torn suffix, or the zeroed remainder of a preallocated segment.
+      IDB_RETURN_IF_ERROR(TruncateFile(SegmentPath(last.start), off));
+      last.end = last.start + off;
+    }
+    next_lsn_ = last.end;
+    // Positional writer, not O_APPEND: preallocation extends the physical
+    // file past the logical end, and appends must land at the logical end.
+    IDB_ASSIGN_OR_RETURN(
+        writer_, NewWritableFile(SegmentPath(last.start), /*truncate=*/false));
+    IDB_RETURN_IF_ERROR(PreallocateActiveLocked());
+  }
+  return Status::OK();
+}
+
+Status WalStream::PreallocateActiveLocked() {
+  // Reserve the segment's full extent and make the size durable once, so
+  // every commit sync inside it can be a journal-free fdatasync. Best-
+  // effort: filesystems without fallocate keep the plain fsync path.
+  preallocated_ = false;
+  const Lsn start = segments_.back().start;
+  if (next_lsn_ - start >= options_.segment_bytes) return Status::OK();
+  if (!writer_->Preallocate(options_.segment_bytes).ok()) return Status::OK();
+  IDB_RETURN_IF_ERROR(writer_->Sync());
+  preallocated_ = true;
+  prealloc_end_ = start + options_.segment_bytes;
+  return Status::OK();
+}
+
+Status WalStream::SyncWriterLocked() {
+  if (preallocated_ && next_lsn_ <= prealloc_end_) return writer_->SyncData();
+  return writer_->Sync();
+}
+
+Status WalStream::OpenNewSegment() {
+  if (writer_ != nullptr) {
+    IDB_RETURN_IF_ERROR(writer_->Sync());
+    IDB_RETURN_IF_ERROR(writer_->Close());
+    // Trim the sealed segment's preallocated remainder so retired and
+    // replayed segments are exactly their logical size.
+    const SegmentInfo& sealed = segments_.back();
+    if (preallocated_ && sealed.end - sealed.start < options_.segment_bytes) {
+      IDB_RETURN_IF_ERROR(
+          TruncateFile(SegmentPath(sealed.start), sealed.end - sealed.start));
+    }
+  }
+  IDB_ASSIGN_OR_RETURN(writer_, NewWritableFile(SegmentPath(next_lsn_)));
+  segments_.push_back({next_lsn_, next_lsn_});
+  ++stats_.segments_created;
+  IDB_RETURN_IF_ERROR(PreallocateActiveLocked());
+  return Status::OK();
+}
+
+WalBlobCipher WalStream::MakeEncryptor(Lsn lsn) {
+  if (options_.privacy_mode != WalPrivacyMode::kEncryptedEpoch) {
+    return nullptr;
+  }
+  return [this, lsn](const WalRecord& record, const std::string& in,
+                     std::string* out) {
+    auto key = keys_->GetOrCreate(WalEpochKeyId(
+        record.table,
+        static_cast<uint64_t>(record.insert_time) /
+            static_cast<uint64_t>(options_.epoch_micros)));
+    if (!key.ok()) return false;
+    *out = in;
+    ChaCha20::XorStreamAt(*key, NonceForStreamOffset(id_, lsn), 0, out->data(),
+                          out->size());
+    return true;
+  };
+}
+
+WalBlobCipher WalStream::MakeDecryptor(Lsn lsn) const {
+  return [this, lsn](const WalRecord& record, const std::string& in,
+                     std::string* out) {
+    auto key = keys_->Get(WalEpochKeyId(
+        record.table,
+        static_cast<uint64_t>(record.insert_time) /
+            static_cast<uint64_t>(options_.epoch_micros)));
+    if (!key.ok()) return false;  // destroyed epoch: values are gone
+    *out = in;
+    ChaCha20::XorStreamAt(*key, NonceForStreamOffset(id_, lsn), 0, out->data(),
+                          out->size());
+    return true;
+  };
+}
+
+Result<Lsn> WalStream::Append(const WalRecord& record, bool sync) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(record, sync);
+}
+
+Result<Lsn> WalStream::AppendLocked(const WalRecord& record, bool sync) {
+  if (writer_ == nullptr ||
+      (next_lsn_ - segments_.back().start) >= options_.segment_bytes) {
+    IDB_RETURN_IF_ERROR(OpenNewSegment());
+  }
+  const Lsn lsn = next_lsn_;
+  std::string body;
+  EncodeWalRecord(record, MakeEncryptor(lsn), &body);
+  std::string frame;
+  PutFixed32(&frame, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+  PutFixed32(&frame, static_cast<uint32_t>(body.size()));
+  frame += body;
+  IDB_RETURN_IF_ERROR(writer_->Append(frame));
+  next_lsn_ += frame.size();
+  segments_.back().end = next_lsn_;
+  ++stats_.records_appended;
+  stats_.bytes_appended += frame.size();
+  if (sync || options_.sync_on_commit) {
+    IDB_RETURN_IF_ERROR(SyncWriterLocked());
+    ++stats_.syncs;
+  }
+  return lsn;
+}
+
+Result<Lsn> WalStream::AppendBatch(
+    const std::vector<const WalRecord*>& records, bool sync) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records.empty()) return next_lsn_;
+  Lsn first_lsn = 0;
+  // Frames accumulate against a provisional LSN; shared state (next_lsn_,
+  // segment end, stats) only advances once the buffered bytes are actually
+  // on the file, so a failed write cannot desync LSNs from the physical
+  // log (the per-LSN encryption nonces depend on this).
+  Lsn lsn = next_lsn_;
+  std::string buffer;
+  uint64_t buffered_records = 0;
+  auto flush = [&]() -> Status {
+    if (buffer.empty()) return Status::OK();
+    IDB_RETURN_IF_ERROR(writer_->Append(buffer));
+    next_lsn_ = lsn;
+    segments_.back().end = next_lsn_;
+    stats_.records_appended += buffered_records;
+    stats_.bytes_appended += buffer.size();
+    buffer.clear();
+    buffered_records = 0;
+    return Status::OK();
+  };
+  std::string body;  // reused across records: one allocation per batch
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (writer_ == nullptr ||
+        (lsn - segments_.back().start) >= options_.segment_bytes) {
+      // The buffered frames belong to the segment being closed: flush them
+      // before rotating.
+      IDB_RETURN_IF_ERROR(flush());
+      IDB_RETURN_IF_ERROR(OpenNewSegment());
+    }
+    if (i == 0) first_lsn = lsn;
+    body.clear();
+    EncodeWalRecord(*records[i], MakeEncryptor(lsn), &body);
+    PutFixed32(&buffer, crc32c::Mask(crc32c::Value(body.data(), body.size())));
+    PutFixed32(&buffer, static_cast<uint32_t>(body.size()));
+    buffer += body;
+    lsn += 8 + body.size();
+    ++buffered_records;
+  }
+  IDB_RETURN_IF_ERROR(flush());
+  if (sync || options_.sync_on_commit) {
+    IDB_RETURN_IF_ERROR(SyncWriterLocked());
+    ++stats_.syncs;
+  }
+  return first_lsn;
+}
+
+Status WalStream::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_ == nullptr) return Status::OK();
+  ++stats_.syncs;
+  return SyncWriterLocked();
+}
+
+Result<Lsn> WalStream::BeginCheckpoint(Lsn replay_from) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (replay_from != kLogEnd) replay_from = std::min(replay_from, next_lsn_);
+  WalRecord record;
+  record.type = WalRecordType::kCheckpoint;
+  record.checkpoint_lsn = replay_from == kLogEnd ? next_lsn_ : replay_from;
+  IDB_RETURN_IF_ERROR(AppendLocked(record, /*sync=*/true).status());
+  // Fuzzy form: replay resumes at the begin LSN, so records committed while
+  // storage was being flushed (between the caller capturing replay_from and
+  // now) are replayed again, idempotently — including the kCheckpoint
+  // record itself, which redo ignores. Quiescent form: resume after
+  // everything logged so far.
+  const Lsn lsn = replay_from == kLogEnd ? next_lsn_ : replay_from;
+  // Rotate so the segment holding pre-checkpoint records (including the
+  // accurate values of insert records) becomes retirable — without this,
+  // kScrub could never clean the active segment and accurate values would
+  // outlive their degradation deadline in the log.
+  IDB_RETURN_IF_ERROR(OpenNewSegment());
+  return lsn;
+}
+
+Status WalStream::RetireThrough(Lsn lsn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (segments_.size() > 1 && segments_.front().end <= lsn) {
+    const SegmentInfo segment = segments_.front();
+    const std::string path = SegmentPath(segment.start);
+    switch (options_.privacy_mode) {
+      case WalPrivacyMode::kPlain: {
+        // Model real-world unintended retention: the bytes stay on disk.
+        IDB_RETURN_IF_ERROR(RenameFile(path, path + ".recycled"));
+        break;
+      }
+      case WalPrivacyMode::kScrub: {
+        const uint64_t size = segment.end - segment.start;
+        IDB_RETURN_IF_ERROR(OverwriteRange(path, 0, size));
+        stats_.scrub_bytes += size;
+        IDB_RETURN_IF_ERROR(RemoveFile(path));
+        break;
+      }
+      case WalPrivacyMode::kEncryptedEpoch: {
+        // Ciphertext is unreadable once its epoch key dies; plain unlink.
+        IDB_RETURN_IF_ERROR(RemoveFile(path));
+        break;
+      }
+    }
+    segments_.erase(segments_.begin());
+    ++stats_.segments_retired;
+  }
+  return Status::OK();
+}
+
+Status WalStream::Replay(
+    Lsn from, const std::function<Status(const WalRecord&, Lsn)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const SegmentInfo& segment : segments_) {
+    if (segment.end <= from) continue;
+    IDB_ASSIGN_OR_RETURN(std::string raw,
+                         ReadFileToString(SegmentPath(segment.start)));
+    uint64_t off = 0;
+    while (off + 8 <= raw.size()) {
+      const uint32_t masked = DecodeFixed32(raw.data() + off);
+      const uint32_t len = DecodeFixed32(raw.data() + off + 4);
+      if (off + 8 + len > raw.size()) break;  // torn tail
+      if (crc32c::Unmask(masked) !=
+          crc32c::Value(raw.data() + off + 8, len)) {
+        break;
+      }
+      const Lsn lsn = segment.start + off;
+      if (lsn >= from) {
+        auto record = DecodeWalRecord(Slice(raw.data() + off + 8, len),
+                                      MakeDecryptor(lsn));
+        if (!record.ok()) return record.status();
+        IDB_RETURN_IF_ERROR(fn(*record, lsn));
+      }
+      off += 8 + len;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace instantdb

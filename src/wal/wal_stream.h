@@ -1,0 +1,145 @@
+#ifndef INSTANTDB_WAL_WAL_STREAM_H_
+#define INSTANTDB_WAL_WAL_STREAM_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/options.h"
+#include "storage/key_manager.h"
+#include "util/file.h"
+#include "wal/log_record.h"
+
+namespace instantdb {
+
+/// Id of the shared per-(table, epoch) key in the KeyManager
+/// (WalPrivacyMode::kEncryptedEpoch). Epoch keys are shared across every
+/// stream of a sharded log, so destroying one makes the epoch's inserts
+/// unreadable in all streams at once.
+std::string WalEpochKeyId(TableId table, uint64_t epoch);
+
+/// \brief One independent redo-log stream: segment files, writer, mutex and
+/// group-commit buffer.
+///
+/// The WalManager shards the log over N of these (records route by
+/// `row_id % N`, the same hash the tables use for partitioning), so commits
+/// touching distinct streams serialize only on their own stream's mutex and
+/// their syncs overlap in the I/O layer instead of queueing behind one
+/// file. A stream knows nothing about its siblings: LSNs are stream-local
+/// byte offsets, segments are named `wal_<start-lsn>.log` inside the
+/// stream's directory, and the three privacy modes (WalPrivacyMode) retire
+/// segments per stream exactly as the unsharded log did. Epoch keys are the
+/// one shared resource — per (table, epoch) keys live in the KeyManager and
+/// are shared across streams, so the stream id enters the encryption nonce
+/// (NonceForStreamOffset) to keep (key, nonce) pairs unique.
+///
+/// Framing: [u32 masked CRC32C(body)] [u32 len] [body]. Recovery tolerates
+/// a torn tail frame. With a single stream the directory layout, frame
+/// bytes and nonces are identical to the pre-sharding WalManager, which is
+/// what keeps old databases readable.
+///
+/// Thread-safety: all public methods serialize on the stream's mutex; the
+/// WalManager adds no locking above it except for the shared epoch-key
+/// watermark.
+class WalStream {
+ public:
+  /// Sentinel for BeginCheckpoint: "cover everything logged so far".
+  static constexpr Lsn kLogEnd = UINT64_MAX;
+
+  struct Stats {
+    uint64_t records_appended = 0;
+    uint64_t bytes_appended = 0;
+    uint64_t segments_created = 0;
+    uint64_t segments_retired = 0;
+    uint64_t scrub_bytes = 0;
+    uint64_t syncs = 0;
+  };
+
+  WalStream(std::string dir, uint32_t stream_id, const WalOptions& options,
+            KeyManager* keys);
+  ~WalStream();
+  WalStream(const WalStream&) = delete;
+  WalStream& operator=(const WalStream&) = delete;
+
+  /// Scans existing segments, truncating a torn tail, and positions the
+  /// writer at the end of the stream.
+  Status Open();
+
+  /// Appends one record; returns its stream-local LSN.
+  Result<Lsn> Append(const WalRecord& record, bool sync);
+
+  /// Group commit: appends all records as ONE buffered file write followed
+  /// by at most one sync. Returns the LSN of the first record.
+  Result<Lsn> AppendBatch(const std::vector<const WalRecord*>& records,
+                          bool sync);
+
+  Status Sync();
+
+  Lsn next_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_lsn_;
+  }
+
+  /// First half of a checkpoint: appends a kCheckpoint record carrying
+  /// `replay_from` (kLogEnd = the post-record end of the stream, for
+  /// callers that know no writes are in flight) and rotates to a fresh
+  /// segment so the pre-checkpoint segments become retirable. Returns the
+  /// LSN replay must start from. The caller persists the manifest and then
+  /// calls RetireThrough — retirement must not outrun the durable record of
+  /// the new replay position.
+  Result<Lsn> BeginCheckpoint(Lsn replay_from);
+
+  /// Retires every segment fully below `lsn` per the privacy mode.
+  Status RetireThrough(Lsn lsn);
+
+  /// Replays records with LSN >= `from` in stream order. `fn` returning
+  /// non-OK aborts the replay with that status.
+  Status Replay(Lsn from,
+                const std::function<Status(const WalRecord&, Lsn)>& fn) const;
+
+  uint32_t id() const { return id_; }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  std::string SegmentPath(Lsn start) const;
+  Result<Lsn> AppendLocked(const WalRecord& record, bool sync);
+  Status OpenNewSegment();
+  /// Commit-path sync: fdatasync while inside the preallocated, size-
+  /// durable region (no journal commit, so concurrent streams' syncs
+  /// overlap in the I/O layer), full fsync otherwise.
+  Status SyncWriterLocked();
+  Status PreallocateActiveLocked();
+  WalBlobCipher MakeEncryptor(Lsn lsn);
+  WalBlobCipher MakeDecryptor(Lsn lsn) const;
+
+  const std::string dir_;
+  const uint32_t id_;
+  const WalOptions options_;
+  KeyManager* const keys_;
+
+  /// Guards writer state, the segment list and stats.
+  mutable std::mutex mu_;
+
+  struct SegmentInfo {
+    Lsn start = 0;
+    Lsn end = 0;  // exclusive
+  };
+  std::vector<SegmentInfo> segments_;  // sorted by start
+  std::unique_ptr<WritableFile> writer_;
+  Lsn next_lsn_ = 0;
+  /// Active segment preallocation state: when `preallocated_`, the file's
+  /// size is durable through `prealloc_end_`, so commit syncs may use
+  /// fdatasync for appends below it.
+  bool preallocated_ = false;
+  Lsn prealloc_end_ = 0;
+  Stats stats_;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_WAL_WAL_STREAM_H_

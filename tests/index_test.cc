@@ -176,7 +176,9 @@ TEST_F(BTreeTest, MultipleTreesShareOnePool) {
   }
   EXPECT_EQ((*t1)->num_entries(), 100u);
   EXPECT_EQ((*t2)->num_entries(), 100u);
-  // Re-open t1 by meta page and verify contents survive.
+  // Re-open t1 by meta page and verify contents survive. Meta is kept in
+  // memory on the operation hot path, so reattaching requires a Flush.
+  ASSERT_TRUE((*t1)->Flush().ok());
   auto reopened = BPlusTree::Open(pool_.get(), (*t1)->meta_page());
   ASSERT_TRUE(reopened.ok());
   EXPECT_EQ((*reopened)->num_entries(), 100u);

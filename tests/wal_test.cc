@@ -1,3 +1,5 @@
+#include <algorithm>
+#include <cstdlib>
 #include <vector>
 
 #include "common/strings.h"
@@ -288,14 +290,17 @@ TEST_P(WalTest, EpochKeyDestructionMakesInsertsUnreadable) {
 }
 
 TEST_P(WalTest, CorruptFrameStopsReplayCleanly) {
+  Lsn logical_end = 0;
   auto wal = MakeWal();
   ASSERT_TRUE(wal->Open().ok());
   for (RowId r = 1; r <= 3; ++r) {
     ASSERT_TRUE(wal->Append(MakeInsert(1, r, 0, "v"), false).ok());
   }
   ASSERT_TRUE(wal->Sync().ok());
-  // Flip a byte inside the last record's body: CRC rejects it and replay
-  // treats it as the end of the log.
+  logical_end = wal->next_lsn();
+  // Flip a byte inside the last record's body (segments are preallocated,
+  // so the physical tail is zeros — corrupt at the *logical* end): CRC
+  // rejects it and replay treats it as the end of the log.
   auto names = ListDir(dir_ + "/wal");
   ASSERT_TRUE(names.ok());
   for (const auto& name : *names) {
@@ -305,7 +310,14 @@ TEST_P(WalTest, CorruptFrameStopsReplayCleanly) {
     ASSERT_TRUE(contents.ok());
     if (contents->size() < 20) continue;
     std::string mutated = *contents;
-    mutated[mutated.size() - 3] ^= 0x5A;
+    const size_t start =
+        std::strtoull(name.c_str() + 4, nullptr, 16);  // wal_<start-lsn>.log
+    const size_t tail =
+        logical_end > start ? std::min<size_t>(logical_end - start,
+                                               mutated.size())
+                            : mutated.size();
+    if (tail < 20) continue;
+    mutated[tail - 3] ^= 0x5A;
     ASSERT_TRUE(WriteStringToFile(path, mutated, false).ok());
   }
   auto reopened = MakeWal();
