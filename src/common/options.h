@@ -62,6 +62,11 @@ struct WalOptions {
   /// with a different value keeps the on-disk count.
   size_t wal_streams = 0;
   /// Sync on every commit. Benchmarks disable this to isolate CPU costs.
+  /// Durability is watermark-based either way: a committer blocks until the
+  /// stream's synced LSN covers its bytes, and one leader's fdatasync
+  /// absorbs every committer parked on the same stream (leader-based group
+  /// commit) — so under concurrency this costs far less than one sync per
+  /// commit.
   bool sync_on_commit = false;
   /// kEncryptedEpoch: width of one key epoch. Choosing it at or below the
   /// shortest phase-0 duration lets every epoch be destroyed as soon as its
@@ -80,7 +85,9 @@ struct DegradationOptions {
   /// steps on distinct table partitions run concurrently, each still its
   /// own system transaction with wait-die retry. 1 (the default) keeps the
   /// serial engine; raising it lets degradation throughput scale with
-  /// DbOptions::partitions on a multicore box.
+  /// DbOptions::partitions on a multicore box. Database::Checkpoint fans
+  /// its dirty-partition flushes out over the same pool size — partitions
+  /// are the shared unit of maintenance scheduling.
   size_t worker_threads = 1;
 };
 

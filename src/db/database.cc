@@ -1,9 +1,11 @@
 #include "db/database.h"
 
+#include <algorithm>
 #include <set>
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "util/parallel.h"
 
 namespace instantdb {
 
@@ -241,18 +243,75 @@ Status Database::Delete(const std::string& table_name, RowId row_id,
 }
 
 Status Database::Checkpoint() {
-  // Fuzzy checkpoint: capture the replay-start LSN BEFORE flushing any
-  // table state, at a point where no commit is between its WAL append and
-  // its apply. A transaction committing mid-flush (a degradation worker, a
-  // concurrent WriteBatch) may be only partially reflected in the flushed
-  // metas; starting replay at `begin` re-applies it idempotently instead of
-  // silently excluding it — without this, a degrade step committing during
-  // the flush could resurface its accurate value after recovery.
+  // Fuzzy checkpoint: capture the replay-start LSN vector BEFORE flushing
+  // any table state, at a point where no commit is between its WAL append
+  // and its apply. A transaction committing mid-flush (a degradation
+  // worker, a concurrent WriteBatch) may be only partially reflected in the
+  // flushed metas; starting replay at `begin` re-applies it idempotently
+  // instead of silently excluding it — without this, a degrade step
+  // committing during the flush could resurface its accurate value after
+  // recovery.
   const std::vector<Lsn> begin = tm_->CheckpointBeginPositions();
+
+  // Incremental flush: only partitions mutated since their last flush do
+  // I/O, fanned out over the degradation pool size — so one large cold
+  // table no longer stalls the retirement cadence scrubbing depends on.
+  std::vector<TablePartition*> units;
   for (auto& [id, table] : tables_) {
-    IDB_RETURN_IF_ERROR(table->Checkpoint());
+    for (uint32_t p = 0; p < table->num_partitions(); ++p) {
+      units.push_back(table->partition(p));
+    }
   }
-  return wal_->LogCheckpointAll(begin).status();
+  std::atomic<uint64_t> flushed{0};
+  std::atomic<uint64_t> clean{0};
+  IDB_RETURN_IF_ERROR(ParallelFor(
+      std::max<size_t>(options_.degradation.worker_threads, 1), units.size(),
+      [&](size_t i) {
+        IDB_ASSIGN_OR_RETURN(const bool ran,
+                             units[i]->CheckpointIfDirty(begin));
+        (ran ? flushed : clean).fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      }));
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  checkpoint_partitions_flushed_.fetch_add(flushed.load(),
+                                           std::memory_order_relaxed);
+  checkpoint_partitions_clean_.fetch_add(clean.load(),
+                                         std::memory_order_relaxed);
+
+  // Stamp the manifest from the per-partition low-water marks: retirement
+  // must never outrun the weakest partition's durable coverage. Today every
+  // partition just advanced to `begin`, so the minimum equals `begin` — but
+  // deriving it from the partitions keeps the safety argument local if a
+  // future path checkpoints partitions at different cadences.
+  std::vector<Lsn> low_water = begin;
+  for (TablePartition* unit : units) {
+    const std::vector<Lsn> mark = unit->clean_through();
+    if (mark.size() != low_water.size()) {
+      // Empty (or stream-count-mismatched) mark = "nothing covered": pin
+      // the manifest to zero rather than silently treating the partition
+      // as covered. Unreachable while every partition advances above, but
+      // a future partial-checkpoint cadence must fail safe.
+      std::fill(low_water.begin(), low_water.end(), Lsn{0});
+      break;
+    }
+    for (size_t s = 0; s < low_water.size(); ++s) {
+      low_water[s] = std::min(low_water[s], mark[s]);
+    }
+  }
+  return wal_->LogCheckpointAll(low_water).status();
+}
+
+Database::Stats Database::stats() const {
+  Stats stats;
+  stats.wal = wal_->stats();
+  stats.txn = tm_->stats();
+  stats.degradation = degrader_->stats();
+  stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  stats.checkpoint_partitions_flushed =
+      checkpoint_partitions_flushed_.load(std::memory_order_relaxed);
+  stats.checkpoint_partitions_clean =
+      checkpoint_partitions_clean_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 Result<size_t> Database::RunDegradationOnce() {

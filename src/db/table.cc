@@ -93,13 +93,6 @@ Status Table::RebuildIndexes(size_t worker_threads) {
                      [this](size_t i) { return partitions_[i]->RebuildIndexes(); });
 }
 
-Status Table::Checkpoint() {
-  for (auto& partition : partitions_) {
-    IDB_RETURN_IF_ERROR(partition->Checkpoint());
-  }
-  return Status::OK();
-}
-
 Status Table::Drop() {
   for (auto& partition : partitions_) {
     IDB_RETURN_IF_ERROR(partition->Drop());

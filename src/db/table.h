@@ -60,7 +60,6 @@ class Table {
   /// passes the degradation pool size) — this is what cuts recovery time on
   /// multi-partition tables.
   Status RebuildIndexes(size_t worker_threads = 1);
-  Status Checkpoint();
   /// Securely drops all storage (DROP TABLE).
   Status Drop();
 
@@ -74,6 +73,10 @@ class Table {
   const TablePartition* partition(uint32_t i) const {
     return partitions_[i].get();
   }
+  /// Mutable access for the database's incremental checkpoint fan-out
+  /// (TablePartition::CheckpointIfDirty): partitions are the unit of
+  /// checkpoint scheduling, exactly as they are for degradation steps.
+  TablePartition* partition(uint32_t i) { return partitions_[i].get(); }
   /// Owning partition of a row id (deterministic; recovery routes WAL
   /// records with the same function).
   uint32_t PartitionOf(RowId row_id) const {

@@ -204,6 +204,32 @@ Status TablePartition::Checkpoint() {
   return Status::OK();
 }
 
+Result<bool> TablePartition::CheckpointIfDirty(
+    const std::vector<Lsn>& positions) {
+  std::lock_guard<std::mutex> ckpt(ckpt_mu_);
+  const uint64_t seq = mutation_seq_.load(std::memory_order_acquire);
+  bool flushed = false;
+  if (seq != flushed_seq_) {
+    IDB_RETURN_IF_ERROR(Checkpoint());
+    // Mutations cannot land mid-flush (they need the exclusive latch), so
+    // the flush covered everything through `seq`. A mutation applying
+    // between the load above and the flush's latch acquisition is also on
+    // disk now but stays conservatively unaccounted — the partition reads
+    // as dirty again next time and re-flushes.
+    flushed_seq_ = seq;
+    flushed = true;
+  }
+  // Flushed or clean, the durable state now covers every record below the
+  // begin positions (see the header's correctness argument).
+  clean_through_ = positions;
+  return flushed;
+}
+
+std::vector<Lsn> TablePartition::clean_through() const {
+  std::lock_guard<std::mutex> ckpt(ckpt_mu_);
+  return clean_through_;
+}
+
 Status TablePartition::Drop() {
   std::unique_lock<std::shared_mutex> latch(latch_);
   for (auto& per_phase : stores_) {
@@ -263,6 +289,7 @@ Status TablePartition::ApplyInsert(RowId row_id, Micros insert_time,
     }
   }
   ++stats_.inserts;
+  mutation_seq_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -314,6 +341,7 @@ Status TablePartition::ApplyDelete(RowId row_id) {
   IDB_RETURN_IF_ERROR(heap_->Delete(it->second));
   row_map_.erase(it);
   ++stats_.deletes;
+  mutation_seq_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -332,6 +360,7 @@ Status TablePartition::ApplyUpdateStable(RowId row_id,
   Rid new_rid;
   IDB_RETURN_IF_ERROR(heap_->Update(it->second, encoded, &new_rid));
   it->second = new_rid;
+  mutation_seq_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 
@@ -701,6 +730,7 @@ Status TablePartition::ApplyDegrade(int col_idx, int from_phase, int to_phase,
         IDB_RETURN_IF_ERROR(MaybeExpireTupleLocked(move.row_id));
       }
     }
+    mutation_seq_.fetch_add(1, std::memory_order_release);
     return Status::OK();
   }
 
@@ -753,6 +783,7 @@ Status TablePartition::ApplyDegrade(int col_idx, int from_phase, int to_phase,
       IDB_RETURN_IF_ERROR(MaybeExpireTupleLocked(move.row_id));
     }
   }
+  mutation_seq_.fetch_add(1, std::memory_order_release);
   return Status::OK();
 }
 

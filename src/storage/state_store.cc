@@ -323,6 +323,7 @@ Status StateStore::Append(const StoreEntry& entry) {
   }
   ++stats_.entries_appended;
   stats_.bytes_appended += frame.size();
+  dirty_ = true;
   return Status::OK();
 }
 
@@ -370,6 +371,7 @@ Status StateStore::PopHead(StoreEntry* out) {
   live_times_.erase(live_times_.find(head.entry.insert_time));
   live_.pop_front();
   ++stats_.entries_popped;
+  dirty_ = true;
   return CleanupDrainedSegments();
 }
 
@@ -384,6 +386,7 @@ Status StateStore::PopById(RowId row_id) {
   live_times_.erase(live_times_.find(it->entry.insert_time));
   live_.erase(it);
   ++stats_.entries_popped;
+  dirty_ = true;
   return CleanupDrainedSegments();
 }
 
@@ -414,6 +417,7 @@ Status StateStore::SecureDeleteEntry(RowId row_id) {
   live_times_.erase(live_times_.find(it->entry.insert_time));
   live_.erase(it);
   ++stats_.entries_deleted;
+  dirty_ = true;
   return CleanupDrainedSegments();
 }
 
@@ -437,12 +441,15 @@ Micros StateStore::MinInsertTime() const {
 }
 
 Status StateStore::Checkpoint() {
+  if (!dirty_) return Status::OK();  // on-disk meta already matches memory
   if (tail_writer_ != nullptr) {
     IDB_RETURN_IF_ERROR(FlushTail());
     IDB_RETURN_IF_ERROR(tail_writer_->Flush());
     IDB_RETURN_IF_ERROR(tail_writer_->Sync());
   }
-  return SaveMeta();
+  IDB_RETURN_IF_ERROR(SaveMeta());
+  dirty_ = false;
+  return Status::OK();
 }
 
 Status StateStore::SaveMeta() {

@@ -107,6 +107,9 @@ class StateStore {
   Micros MinInsertTime() const;
 
   /// fsync the tail segment + persist checkpoint meta (head position).
+  /// No-op when nothing changed since the last checkpoint — the incremental
+  /// checkpoint path calls this for every store of a dirty partition, and a
+  /// clean store must not pay the two fsyncs (tail + META rename).
   Status Checkpoint();
 
   /// Securely erases every segment and removes the directory (table drop /
@@ -191,6 +194,10 @@ class StateStore {
   std::string tail_pending_;
   uint64_t next_seqno_ = 0;
   RowId last_appended_row_id_ = kInvalidRowId;
+  /// Set by every mutation Checkpoint would have to persist (appends, pops,
+  /// tombstones); cleared once a checkpoint lands. Open() leaves it clear —
+  /// the loaded state IS the on-disk state.
+  bool dirty_ = false;
   /// Largest row id ever popped (0 = none). Persisted by Checkpoint along
   /// with the ids of live "survivors" at or below it (late out-of-order
   /// appends that were never popped), which together describe the popped

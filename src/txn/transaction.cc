@@ -21,11 +21,14 @@ Status TransactionManager::Commit(Transaction* txn, bool sync) {
     // durably logged transaction from both the flush and the replay range.
     std::shared_lock<std::shared_mutex> commit_window(commit_mu_);
     // Group commit: every queued record plus the COMMIT marker goes to the
-    // log as one buffered write per touched stream and at most one sync
-    // each, so batch size N costs the same durability overhead as a
-    // single-row transaction. AppendCommit stamps the commit frame with the
-    // global commit sequence number and per-stream record counts that let
-    // sharded recovery order and atomicity-check it.
+    // log as one buffered write per touched stream (frames encoded before
+    // the stream mutex is taken), and durability is a wait on each touched
+    // stream's synced-LSN watermark — at most one sync per stream, and
+    // under concurrency usually somebody else's: the stream's sync leader
+    // absorbs every committer parked on the watermark. AppendCommit stamps
+    // the commit frame with the global commit sequence number and
+    // per-stream record counts that let sharded recovery order and
+    // atomicity-check it.
     WalRecord commit;
     commit.type = WalRecordType::kCommit;
     commit.txn_id = txn->id_;

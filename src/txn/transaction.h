@@ -142,9 +142,13 @@ class TransactionManager {
   WalManager* const wal_;
   std::atomic<uint64_t> next_txn_id_{1};
   mutable std::mutex mu_;
-  /// Held shared across a commit's append+apply window; CheckpointBeginLsn
-  /// takes it exclusively so "logged but not yet applied" is impossible at
-  /// the instant the begin LSN is read.
+  /// Held shared across a commit's append+apply window — including the
+  /// group-commit durability wait, when the committer parks on its streams'
+  /// synced-LSN watermarks; CheckpointBeginPositions takes it exclusively
+  /// so "logged but not yet applied" is impossible at the instant the begin
+  /// vector is read. The park never holds a stream mutex (the leader's
+  /// fdatasync runs with it released), so commits draining under the
+  /// barrier cannot deadlock against concurrent appenders.
   mutable std::shared_mutex commit_mu_;
   Stats stats_;
 };

@@ -108,6 +108,29 @@ void EncodeWalRecord(const WalRecord& record, const WalBlobCipher& encrypt,
   }
 }
 
+void EncodeWalRecordDeferBlob(const WalRecord& record, std::string* dst,
+                              WalBlobRange* range) {
+  *range = {};
+  if (record.type != WalRecordType::kInsert) {
+    // Only inserts carry an encryptable blob; everything else is final.
+    EncodeWalRecord(record, nullptr, dst);
+    return;
+  }
+  dst->push_back(static_cast<char>(record.type));
+  PutVarint64(dst, record.txn_id);
+  PutVarint32(dst, record.table);
+  PutVarint64(dst, record.row_id);
+  PutVarint64(dst, static_cast<uint64_t>(record.insert_time));
+  EncodeValues(record.stable, dst);
+  dst->push_back(1);  // encrypted flag: the caller seals the blob in place
+  std::string plain;
+  EncodeValues(record.degradable, &plain);
+  PutVarint32(dst, static_cast<uint32_t>(plain.size()));
+  range->offset = dst->size();
+  range->length = plain.size();
+  dst->append(plain);
+}
+
 Result<WalRecord> DecodeWalRecord(Slice input, const WalBlobCipher& decrypt) {
   WalRecord record;
   if (input.empty()) return Status::Corruption("empty WAL record");

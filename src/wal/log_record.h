@@ -92,6 +92,27 @@ using WalBlobCipher =
 void EncodeWalRecord(const WalRecord& record, const WalBlobCipher& encrypt,
                      std::string* dst);
 
+/// Byte range of the degradable blob inside a record body produced by
+/// EncodeWalRecordDeferBlob. `length == 0` means the record carries no
+/// encryptable blob (every type but kInsert) and the body is final.
+struct WalBlobRange {
+  size_t offset = 0;
+  size_t length = 0;
+};
+
+/// LSN-reservation encode path: serializes the record body with the
+/// degradable blob written in *plaintext* but already framed as encrypted
+/// (flag + length prefix), reporting the blob's byte range via `*range`.
+/// The stream cipher preserves length, so the caller can serialize — the
+/// expensive part — outside the stream mutex, reserve the record's LSN
+/// under it, and then XOR the blob in place with the LSN-derived nonce.
+/// The resulting bytes are identical to EncodeWalRecord with the same key
+/// and nonce. Must only be used when the encryption key is known to exist
+/// (the caller fetched it); records without a blob come out exactly as
+/// EncodeWalRecord(record, nullptr, dst) would.
+void EncodeWalRecordDeferBlob(const WalRecord& record, std::string* dst,
+                              WalBlobRange* range);
+
 /// Decodes a record body; `decrypt` may be null (encrypted payloads are then
 /// reported unavailable).
 Result<WalRecord> DecodeWalRecord(Slice input, const WalBlobCipher& decrypt);

@@ -206,29 +206,34 @@ Status WalManager::AppendCommit(const std::vector<const WalRecord*>& ops,
       commit->stream_counts.empty()
           ? static_cast<uint32_t>(commit->txn_id % n)
           : commit->stream_counts.front().first;
+  std::vector<Lsn> sibling_end(n, 0);
   for (uint32_t s = 0; s < n; ++s) {
     if (s == commit_stream || buckets[s].empty()) continue;
-    IDB_RETURN_IF_ERROR(streams_[s]->AppendBatch(buckets[s], false).status());
+    IDB_RETURN_IF_ERROR(
+        streams_[s]->AppendBatch(buckets[s], false, &sibling_end[s]).status());
   }
   // The commit stream's ops and the commit frame go as one buffered write,
   // so a stream-local transaction (the common case: partition-affine row
   // allocation puts a batch's inserts in one partition) costs one write and
-  // — when durable — one sync on one stream.
+  // — when durable — at most one sync on one stream.
   std::vector<const WalRecord*> tail = std::move(buckets[commit_stream]);
   tail.push_back(commit);
   IDB_RETURN_IF_ERROR(
       streams_[commit_stream]->AppendBatch(tail, sync).status());
   if (sync && !options_.sync_on_commit) {
     // Ack only once every stream holding this transaction's records is
-    // durable. A crash part-way leaves the commit frame on disk with a torn
-    // sibling stream; recovery's per-stream record counts void the commit
+    // durable — SyncThrough the exact end of each sibling's run, so a
+    // leader sync already past it (another commit's, or this loop's own
+    // earlier iteration racing new traffic) satisfies the ack for free.
+    // A crash part-way leaves the commit frame on disk with a torn sibling
+    // stream; recovery's per-stream record counts void the commit
     // atomically, so durability is still all-or-nothing. (Under
     // sync_on_commit the sibling AppendBatch calls above already synced —
     // skipping this loop avoids a second fsync per sibling stream.)
     for (const auto& [s, count] : commit->stream_counts) {
       (void)count;
       if (s == commit_stream) continue;
-      IDB_RETURN_IF_ERROR(streams_[s]->Sync());
+      IDB_RETURN_IF_ERROR(streams_[s]->SyncThrough(sibling_end[s]));
     }
   }
   return Status::OK();
@@ -284,24 +289,6 @@ Result<std::vector<Lsn>> WalManager::LogCheckpointAll(
   return lsns;
 }
 
-Result<Lsn> WalManager::LogCheckpoint(Lsn replay_from) {
-  if (streams_.size() != 1) {
-    return Status::InvalidArgument(
-        "single-LSN checkpoint on a sharded log; use LogCheckpointAll");
-  }
-  IDB_ASSIGN_OR_RETURN(auto lsns, LogCheckpointAll({replay_from}));
-  return lsns[0];
-}
-
-Result<Lsn> WalManager::LogCheckpoint() {
-  if (streams_.size() != 1) {
-    return Status::InvalidArgument(
-        "single-LSN checkpoint on a sharded log; use LogCheckpointAll");
-  }
-  IDB_ASSIGN_OR_RETURN(auto lsns, LogCheckpointAll({}));
-  return lsns[0];
-}
-
 Result<std::vector<Lsn>> WalManager::ReadCheckpointPositions() const {
   std::vector<Lsn> lsns(streams_.size(), 0);
   const std::string path = dir_ + "/" + kCheckpointFile;
@@ -333,15 +320,6 @@ Result<std::vector<Lsn>> WalManager::ReadCheckpointPositions() const {
     lsns[s] = lsn;
   }
   return lsns;
-}
-
-Result<Lsn> WalManager::ReadCheckpointLsn() const {
-  if (streams_.size() != 1) {
-    return Status::InvalidArgument(
-        "single-LSN checkpoint on a sharded log; use ReadCheckpointPositions");
-  }
-  IDB_ASSIGN_OR_RETURN(auto lsns, ReadCheckpointPositions());
-  return lsns[0];
 }
 
 Status WalManager::Replay(
@@ -508,6 +486,8 @@ WalManager::Stats WalManager::stats() const {
     total.segments_retired += s.segments_retired;
     total.scrub_bytes += s.scrub_bytes;
     total.syncs += s.syncs;
+    total.sync_requests += s.sync_requests;
+    total.commits_absorbed += s.commits_absorbed;
   }
   total.epoch_keys_destroyed =
       epoch_keys_destroyed_.load(std::memory_order_relaxed);

@@ -91,11 +91,14 @@ class WalManager {
   /// Transaction commit: routes `ops` to their streams, stamps `commit`
   /// with the next global commit sequence number and the per-stream record
   /// counts, appends it to the stream of the first op (so a stream-local
-  /// transaction costs one write + one sync on one stream), and syncs every
-  /// touched stream when `sync` (or WalOptions::sync_on_commit). With one
-  /// stream this degenerates to exactly the unsharded group commit: ops and
-  /// the unstamped commit marker in one buffered write, byte-identical to
-  /// the pre-sharding log.
+  /// transaction costs one write on one stream), and when `sync` (or
+  /// WalOptions::sync_on_commit) blocks until every touched stream's synced
+  /// watermark covers this transaction's bytes — at most one sync per
+  /// stream, and under concurrency usually a *shared* one: the stream's
+  /// group-commit leader absorbs every committer parked on the watermark.
+  /// With one stream this degenerates to exactly the unsharded group
+  /// commit: ops and the unstamped commit marker in one buffered write,
+  /// byte-identical to the pre-sharding log.
   Status AppendCommit(const std::vector<const WalRecord*>& ops,
                       WalRecord* commit, bool sync);
 
@@ -116,15 +119,13 @@ class WalManager {
   /// replay-start vector, then retires fully-covered segments per the
   /// privacy mode, stream by stream. `replay_from` must be captured BEFORE
   /// flushing the storage state the checkpoint covers (fuzzy-checkpoint
-  /// begin positions); pass an empty vector when no writes are in flight
-  /// (quiescent form: each stream covers everything logged so far). Returns
-  /// the vector replay must start from after a crash.
+  /// begin positions — with incremental checkpointing, the element-wise
+  /// minimum of the per-partition low-water marks); pass an empty vector
+  /// when no writes are in flight (quiescent form: each stream covers
+  /// everything logged so far). Returns the vector replay must start from
+  /// after a crash. The on-disk CHECKPOINT format is unchanged: one-stream
+  /// manifests keep the legacy single-LSN layout.
   Result<std::vector<Lsn>> LogCheckpointAll(const std::vector<Lsn>& replay_from);
-
-  /// Single-stream conveniences (Status::InvalidArgument when sharded).
-  Result<Lsn> LogCheckpoint(Lsn replay_from);
-  Result<Lsn> LogCheckpoint();
-  Result<Lsn> ReadCheckpointLsn() const;
 
   /// Replay-start vector recorded by the last completed checkpoint; zeros
   /// if none.
@@ -184,7 +185,11 @@ class WalManager {
     uint64_t segments_retired = 0;
     uint64_t scrub_bytes = 0;
     uint64_t epoch_keys_destroyed = 0;
+    /// Commit pipeline (see WalStream::Stats): fdatasyncs actually issued,
+    /// durability demands, and demands absorbed by another leader's sync.
     uint64_t syncs = 0;
+    uint64_t sync_requests = 0;
+    uint64_t commits_absorbed = 0;
   };
   /// Aggregated over streams.
   Stats stats() const;

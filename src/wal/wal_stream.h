@@ -1,6 +1,7 @@
 #ifndef INSTANTDB_WAL_WAL_STREAM_H_
 #define INSTANTDB_WAL_WAL_STREAM_H_
 
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -21,7 +22,7 @@ namespace instantdb {
 std::string WalEpochKeyId(TableId table, uint64_t epoch);
 
 /// \brief One independent redo-log stream: segment files, writer, mutex and
-/// group-commit buffer.
+/// a leader-based group-commit sync watermark.
 ///
 /// The WalManager shards the log over N of these (records route by
 /// `row_id % N`, the same hash the tables use for partitioning), so commits
@@ -35,14 +36,29 @@ std::string WalEpochKeyId(TableId table, uint64_t epoch);
 /// are shared across streams, so the stream id enters the encryption nonce
 /// (NonceForStreamOffset) to keep (key, nonce) pairs unique.
 ///
+/// Commit pipeline: append and sync are split around two watermarks.
+/// Appends advance the stream-local *appended* LSN (`next_lsn_`) under the
+/// mutex, but frames are encoded and checksummed BEFORE the mutex is taken
+/// (for kEncryptedEpoch inserts, serialization happens outside and only the
+/// LSN-derived blob seal + CRC run under it — the LSN-reservation path).
+/// Durability runs OUTSIDE the mutex behind the *synced* LSN watermark
+/// (`synced_lsn_`): a committer wanting durability parks until the
+/// watermark covers its bytes; the first one through becomes the leader,
+/// issues one fdatasync for everything appended so far with the mutex
+/// released, and its sync absorbs every parked committer at once. The
+/// `sync_requests`/`syncs`/`commits_absorbed` counters expose how well the
+/// absorption works.
+///
 /// Framing: [u32 masked CRC32C(body)] [u32 len] [body]. Recovery tolerates
 /// a torn tail frame. With a single stream the directory layout, frame
 /// bytes and nonces are identical to the pre-sharding WalManager, which is
 /// what keeps old databases readable.
 ///
-/// Thread-safety: all public methods serialize on the stream's mutex; the
-/// WalManager adds no locking above it except for the shared epoch-key
-/// watermark.
+/// Thread-safety: all public methods are safe to call concurrently; shared
+/// state is guarded by the stream mutex, and the only code that runs
+/// outside it while logically in progress is the leader's fdatasync
+/// (segment rotation waits for an in-flight sync before closing the
+/// writer).
 class WalStream {
  public:
   /// Sentinel for BeginCheckpoint: "cover everything logged so far".
@@ -54,7 +70,15 @@ class WalStream {
     uint64_t segments_created = 0;
     uint64_t segments_retired = 0;
     uint64_t scrub_bytes = 0;
+    /// fdatasync/fsync calls actually issued on the commit path.
     uint64_t syncs = 0;
+    /// Durability demands (SyncThrough calls): every durable commit makes
+    /// one per stream it touched.
+    uint64_t sync_requests = 0;
+    /// Requests satisfied without issuing their own sync — parked behind a
+    /// leader whose fdatasync covered them, or already below the watermark
+    /// on arrival. syncs + commits_absorbed ≈ sync_requests.
+    uint64_t commits_absorbed = 0;
   };
 
   WalStream(std::string dir, uint32_t stream_id, const WalOptions& options,
@@ -70,25 +94,45 @@ class WalStream {
   /// Appends one record; returns its stream-local LSN.
   Result<Lsn> Append(const WalRecord& record, bool sync);
 
-  /// Group commit: appends all records as ONE buffered file write followed
-  /// by at most one sync. Returns the LSN of the first record.
+  /// Group commit: appends all records as ONE buffered file write. Frames
+  /// are encoded outside the stream mutex. Returns the LSN of the first
+  /// record; `*end_lsn` (when non-null) receives the post-batch appended
+  /// LSN — the watermark a caller passes to SyncThrough to make exactly
+  /// this batch durable. With `sync` the call blocks on the watermark
+  /// before returning (at most one sync, possibly another leader's).
   Result<Lsn> AppendBatch(const std::vector<const WalRecord*>& records,
-                          bool sync);
+                          bool sync, Lsn* end_lsn = nullptr);
 
+  /// Durably persists every record appended at or below `lsn`: returns
+  /// immediately when the synced watermark already covers it, parks behind
+  /// an in-flight leader sync when one is running, and otherwise leads one
+  /// sync (issued with the mutex released) whose watermark advance wakes
+  /// every parked committer it absorbed.
+  Status SyncThrough(Lsn lsn);
+
+  /// Syncs everything appended so far (SyncThrough the appended end).
   Status Sync();
 
+  /// Appended watermark: the stream-local LSN the next record will get.
   Lsn next_lsn() const {
     std::lock_guard<std::mutex> lock(mu_);
     return next_lsn_;
   }
 
+  /// Synced watermark: everything below it is durable.
+  Lsn synced_lsn() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return synced_lsn_;
+  }
+
   /// First half of a checkpoint: appends a kCheckpoint record carrying
   /// `replay_from` (kLogEnd = the post-record end of the stream, for
   /// callers that know no writes are in flight) and rotates to a fresh
-  /// segment so the pre-checkpoint segments become retirable. Returns the
-  /// LSN replay must start from. The caller persists the manifest and then
-  /// calls RetireThrough — retirement must not outrun the durable record of
-  /// the new replay position.
+  /// segment so the pre-checkpoint segments become retirable (the rotation
+  /// fsync makes the record durable). Returns the LSN replay must start
+  /// from. The caller persists the manifest and then calls RetireThrough —
+  /// retirement must not outrun the durable record of the new replay
+  /// position.
   Result<Lsn> BeginCheckpoint(Lsn replay_from);
 
   /// Retires every segment fully below `lsn` per the privacy mode.
@@ -106,15 +150,35 @@ class WalStream {
   }
 
  private:
+  /// One frame prepared outside the stream mutex: header + body bytes,
+  /// plus the blob seal left for the LSN-reservation step (kEncryptedEpoch
+  /// inserts: the nonce derives from the record's LSN, which only exists
+  /// once the mutex assigns it).
+  struct PendingFrame {
+    std::string bytes;       // [u32 crc (0 until sealed)][u32 len][body]
+    size_t blob_offset = 0;  // into `bytes`; meaningful when blob_length > 0
+    size_t blob_length = 0;  // 0 = frame final (CRC already computed)
+    ChaCha20::Key key{};     // epoch key for the deferred seal
+  };
+
   std::string SegmentPath(Lsn start) const;
-  Result<Lsn> AppendLocked(const WalRecord& record, bool sync);
-  Status OpenNewSegment();
-  /// Commit-path sync: fdatasync while inside the preallocated, size-
-  /// durable region (no journal commit, so concurrent streams' syncs
-  /// overlap in the I/O layer), full fsync otherwise.
-  Status SyncWriterLocked();
+  /// Encodes + checksums `record` into a frame. Plaintext frames come out
+  /// final; kEncryptedEpoch inserts carry their blob in plaintext with the
+  /// seal deferred to AppendFramesLocked. Called outside the mutex.
+  PendingFrame PrepareFrame(const WalRecord& record) const;
+  /// Assigns LSNs, seals deferred blobs, and appends every frame as
+  /// buffered writes (one per segment touched), rotating segments at
+  /// frame boundaries. Shared state (next_lsn_, segment end, stats) only
+  /// advances once bytes are on the file, so a failed write cannot desync
+  /// LSNs from the physical log (the LSN-derived nonces depend on this).
+  /// Returns the first frame's LSN. Caller holds `lock`.
+  Result<Lsn> AppendFramesLocked(std::unique_lock<std::mutex>& lock,
+                                 std::vector<PendingFrame>& frames);
+  /// Seals + closes the active segment and opens a fresh one. Waits out an
+  /// in-flight leader sync first (it holds the writer's fd), and advances
+  /// the synced watermark to the sealed end. Caller holds `lock`.
+  Status OpenNewSegmentLocked(std::unique_lock<std::mutex>& lock);
   Status PreallocateActiveLocked();
-  WalBlobCipher MakeEncryptor(Lsn lsn);
   WalBlobCipher MakeDecryptor(Lsn lsn) const;
 
   const std::string dir_;
@@ -122,8 +186,19 @@ class WalStream {
   const WalOptions options_;
   KeyManager* const keys_;
 
-  /// Guards writer state, the segment list and stats.
+  /// Serializes appenders for the WHOLE append — including the rotation
+  /// wait inside OpenNewSegmentLocked, which releases `mu_` while an
+  /// in-flight leader sync drains. Without this outer lock a second
+  /// appender could slip in through that window and interleave with a
+  /// half-done rotation (stale local LSNs, double-sealed segments). Lock
+  /// order: append_mu_ before mu_; SyncThrough takes only mu_, so the
+  /// sync leader never needs append_mu_ to finish.
+  std::mutex append_mu_;
+  /// Guards writer state, the segment list, both watermarks and stats.
   mutable std::mutex mu_;
+  /// Waits: committers parked on the synced watermark; rotation parked on
+  /// an in-flight sync. Notified when either condition can have changed.
+  std::condition_variable sync_cv_;
 
   struct SegmentInfo {
     Lsn start = 0;
@@ -131,7 +206,15 @@ class WalStream {
   };
   std::vector<SegmentInfo> segments_;  // sorted by start
   std::unique_ptr<WritableFile> writer_;
+  /// Appended watermark: everything below is written (buffered) to the
+  /// active segment.
   Lsn next_lsn_ = 0;
+  /// Synced watermark: everything below is durable. Advanced by the sync
+  /// leader and by segment rotation (which fsyncs the sealed segment).
+  Lsn synced_lsn_ = 0;
+  /// True while a leader's fdatasync runs with the mutex released. At most
+  /// one sync is ever in flight per stream; rotation waits on it.
+  bool sync_in_flight_ = false;
   /// Active segment preallocation state: when `preallocated_`, the file's
   /// size is durable through `prealloc_end_`, so commit syncs may use
   /// fdatasync for appends below it.

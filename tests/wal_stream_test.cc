@@ -12,7 +12,9 @@
 // leaking the live Database.
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -529,6 +531,95 @@ TEST_P(WalTornTailTest, CommitSequenceResumesAfterRecovery) {
   }
   EXPECT_EQ(above, 1u);
   EXPECT_GT(newest, 2u);  // strictly after both first-generation CSNs
+}
+
+// --- group-commit watermark, at the WalStream level -------------------------
+
+class GroupCommitWatermarkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/idb_group_commit_test";
+    ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
+    ASSERT_TRUE(CreateDirs(dir_).ok());
+    keys_ = std::make_unique<KeyManager>(dir_ + "/keystore");
+    ASSERT_TRUE(keys_->Open().ok());
+  }
+  void TearDown() override { RemoveDirRecursive(dir_).ok(); }
+
+  WalRecord MakeInsert(uint64_t txn, RowId row) {
+    WalRecord record;
+    record.type = WalRecordType::kInsert;
+    record.txn_id = txn;
+    record.table = 1;
+    record.row_id = row;
+    record.insert_time = 0;
+    record.stable = {Value::String("u")};
+    record.degradable = {Value::String("11 Rue Lepic")};
+    return record;
+  }
+
+  std::string dir_;
+  std::unique_ptr<KeyManager> keys_;
+};
+
+TEST_F(GroupCommitWatermarkTest, CoveredRequestIsAbsorbedWithoutASync) {
+  WalStream stream(dir_ + "/wal", 0, WalOptions{}, keys_.get());
+  ASSERT_TRUE(stream.Open().ok());
+  ASSERT_TRUE(stream.Append(MakeInsert(1, 1), /*sync=*/true).ok());
+  WalStream::Stats stats = stream.stats();
+  EXPECT_EQ(stats.syncs, 1u);
+  EXPECT_EQ(stats.sync_requests, 1u);
+  EXPECT_EQ(stats.commits_absorbed, 0u);
+  EXPECT_EQ(stream.synced_lsn(), stream.next_lsn());
+
+  // A second durability demand for already-covered bytes is satisfied by
+  // the watermark alone: no new fdatasync.
+  ASSERT_TRUE(stream.SyncThrough(stream.next_lsn()).ok());
+  stats = stream.stats();
+  EXPECT_EQ(stats.syncs, 1u);
+  EXPECT_EQ(stats.sync_requests, 2u);
+  EXPECT_EQ(stats.commits_absorbed, 1u);
+}
+
+TEST_F(GroupCommitWatermarkTest, ConcurrentDurableAppendsKeepInvariants) {
+  constexpr int kThreads = 8;
+  constexpr int kAppendsPerThread = 50;
+  WalStream stream(dir_ + "/wal", 0, WalOptions{}, keys_.get());
+  ASSERT_TRUE(stream.Open().ok());
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAppendsPerThread; ++i) {
+        const RowId row = static_cast<RowId>(t * kAppendsPerThread + i + 1);
+        if (!stream.Append(MakeInsert(row, row), /*sync=*/true).ok()) {
+          ++errors;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_EQ(errors.load(), 0);
+
+  const WalStream::Stats stats = stream.stats();
+  EXPECT_EQ(stats.records_appended,
+            static_cast<uint64_t>(kThreads) * kAppendsPerThread);
+  // Every durability demand either led a sync or was absorbed, the synced
+  // watermark caught up with the appended one, and nothing was lost.
+  EXPECT_EQ(stats.sync_requests, stats.syncs + stats.commits_absorbed);
+  EXPECT_EQ(stats.sync_requests,
+            static_cast<uint64_t>(kThreads) * kAppendsPerThread);
+  EXPECT_EQ(stream.synced_lsn(), stream.next_lsn());
+  size_t replayed = 0;
+  ASSERT_TRUE(stream
+                  .Replay(0,
+                          [&](const WalRecord&, Lsn) {
+                            ++replayed;
+                            return Status::OK();
+                          })
+                  .ok());
+  EXPECT_EQ(replayed, static_cast<size_t>(kThreads) * kAppendsPerThread);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllPrivacyModes, WalTornTailTest,

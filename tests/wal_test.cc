@@ -167,21 +167,26 @@ TEST_P(WalTest, CheckpointRetiresSegments) {
     ASSERT_TRUE(wal->Append(MakeInsert(1, r, 0, "payload-payload"), false).ok());
   }
   ASSERT_GT(wal->stats().segments_created, 2u);
-  auto ckpt = wal->LogCheckpoint();
-  ASSERT_TRUE(ckpt.ok());
+  // Quiescent vector checkpoint; a one-stream log has a one-entry vector.
+  auto ckpt_vec = wal->LogCheckpointAll({});
+  ASSERT_TRUE(ckpt_vec.ok());
+  ASSERT_EQ(ckpt_vec->size(), 1u);
+  const Lsn ckpt = (*ckpt_vec)[0];
   EXPECT_GT(wal->stats().segments_retired, 0u);
-  EXPECT_EQ(*wal->ReadCheckpointLsn(), *ckpt);
+  auto read_back = wal->ReadCheckpointPositions();
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_EQ(*read_back, *ckpt_vec);
   // Replay from the checkpoint sees nothing: everything before it (incl.
   // the checkpoint record) is covered, and its segment was rotated out.
   size_t count = 0;
-  ASSERT_TRUE(wal->Replay(*ckpt, [&](const WalRecord&, Lsn) {
+  ASSERT_TRUE(wal->Replay(ckpt, [&](const WalRecord&, Lsn) {
                    ++count;
                    return Status::OK();
                  }).ok());
   EXPECT_EQ(count, 0u);
   // New appends after the checkpoint do replay.
   ASSERT_TRUE(wal->Append(MakeInsert(1, 99, 0, "post-ckpt"), true).ok());
-  ASSERT_TRUE(wal->Replay(*ckpt, [&](const WalRecord& record, Lsn) {
+  ASSERT_TRUE(wal->Replay(ckpt, [&](const WalRecord& record, Lsn) {
                    ++count;
                    EXPECT_EQ(record.row_id, 99u);
                    return Status::OK();
@@ -241,7 +246,7 @@ TEST_P(WalTest, AccurateResidueMatchesPrivacyMode) {
     EXPECT_NE(AllWalBytes().find(secret), std::string::npos);
   }
 
-  ASSERT_TRUE(wal->LogCheckpoint().ok());
+  ASSERT_TRUE(wal->LogCheckpointAll({}).ok());
   const std::string bytes = AllWalBytes();
   switch (GetParam()) {
     case WalPrivacyMode::kPlain:
