@@ -75,7 +75,8 @@ int main() {
   };
 
   // 3. Immediately after insertion: full accuracy available. Large results
-  //    stream row-at-a-time through a cursor instead of materializing.
+  //    stream batch-at-a-time through a cursor instead of materializing;
+  //    display strings render lazily, only because we print them here.
   {
     auto cursor = session.ExecuteCursor("SELECT user, location FROM pings");
     if (cursor.ok()) {
@@ -84,8 +85,8 @@ int main() {
       while (true) {
         auto more = (*cursor)->Next(&row);
         if (!more.ok() || !*more) break;
-        std::printf("   %s @ %s\n", row.display[0].c_str(),
-                    row.display[1].c_str());
+        std::printf("   %s @ %s\n", row.display()[0].c_str(),
+                    row.display()[1].c_str());
       }
       std::printf("   (%llu rows)\n\n",
                   static_cast<unsigned long long>((*cursor)->rows_returned()));

@@ -99,6 +99,33 @@ struct ReadOptions {
   bool include_coarser = false;
 };
 
+/// How a SELECT's heap scan fans out over a table's partitions
+/// (Session::scan_options). Partitions are the unit of read parallelism
+/// exactly as they are for ingest and degradation: each scan worker walks
+/// whole partitions, so per-batch snapshot semantics (one partition latch
+/// per batch) are unchanged at any parallelism.
+struct ScanOptions {
+  /// Number of scan workers a streaming cursor fans out over, and the pool
+  /// size a materialized (Session::Execute) scan drains partitions with.
+  /// 0 (the default) means min(table partitions,
+  /// DegradationOptions::worker_threads) — a database configured with a
+  /// worker pool reads with it too — EXCEPT on tables a few scan batches
+  /// long (under ~2k live rows), which stay sequential: spawning workers
+  /// costs more than such a scan. Set an explicit value to force fan-out
+  /// regardless of table size. 1 scans partitions sequentially inline on
+  /// the consumer's thread (no extra threads, rows in (partition, heap)
+  /// order); higher values run that many prefetch workers pulling batches
+  /// from distinct partitions, which interleaves rows across partitions in
+  /// arrival order.
+  size_t parallelism = 0;
+  /// Capacity of the streaming cursor's prefetch queue, in batches. The
+  /// queue is what lets scan I/O on one partition overlap σ/π evaluation of
+  /// another partition's batch; it is bounded so a slow consumer
+  /// backpressures the workers instead of buffering the table. 0 means
+  /// 2 × parallelism.
+  size_t prefetch_batches = 0;
+};
+
 struct WriteOptions {
   bool sync = false;
 };

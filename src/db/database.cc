@@ -306,6 +306,10 @@ Database::Stats Database::stats() const {
   stats.wal = wal_->stats();
   stats.txn = tm_->stats();
   stats.degradation = degrader_->stats();
+  stats.scan.batches = scan_counters_.batches.load(std::memory_order_relaxed);
+  stats.scan.rows = scan_counters_.rows.load(std::memory_order_relaxed);
+  stats.scan.prefetch_stalls =
+      scan_counters_.prefetch_stalls.load(std::memory_order_relaxed);
   stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   stats.checkpoint_partitions_flushed =
       checkpoint_partitions_flushed_.load(std::memory_order_relaxed);

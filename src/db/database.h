@@ -119,9 +119,26 @@ class Database {
 
   // --- statistics ----------------------------------------------------------------
 
-  /// One-stop engine counters, so benches and tests read the commit
-  /// pipeline's behavior (sync absorption, checkpoint dirty-skipping)
-  /// instead of inferring it from file I/O.
+  /// Read-path counters (snapshot in Stats::scan). Benches read parallel
+  /// scan efficiency from these instead of timing guesses: `rows` / elapsed
+  /// is assembly throughput, and `prefetch_stalls` counts how often a
+  /// cursor's consumer outran its scan workers (waited on an empty prefetch
+  /// queue) — zero stalls means the scan was consumer-bound, many means it
+  /// was producer (I/O or partition) bound.
+  struct ScanStats {
+    /// Scan batches served to the operator pipeline (heap batches plus
+    /// index-probe batches).
+    uint64_t batches = 0;
+    /// Rows pulled out of partition heaps / index probes before σ.
+    uint64_t rows = 0;
+    /// Times a streaming cursor's consumer waited on an empty prefetch
+    /// queue while its scan workers were still producing.
+    uint64_t prefetch_stalls = 0;
+  };
+
+  /// One-stop engine counters, so benches and tests read the engine's
+  /// behavior (sync absorption, scan fan-out efficiency, checkpoint
+  /// dirty-skipping) instead of inferring it from file I/O or timing.
   struct Stats {
     /// Aggregated WAL stream counters. The commit pipeline trio:
     /// `wal.syncs` (fdatasyncs issued), `wal.sync_requests` (durability
@@ -131,6 +148,8 @@ class Database {
     WalManager::Stats wal;
     TransactionManager::Stats txn;
     DegradationEngine::Stats degradation;
+    /// Read path: batches served, rows scanned, prefetch-queue stalls.
+    ScanStats scan;
     /// Checkpoint pipeline: invocations, partitions flushed because they
     /// were dirty, and partitions skipped as clean.
     uint64_t checkpoints = 0;
@@ -138,6 +157,15 @@ class Database {
     uint64_t checkpoint_partitions_clean = 0;
   };
   Stats stats() const;
+
+  /// Live scan counters the read path increments (internal plumbing for
+  /// query/plan.cc and query/cursor.cc; read the snapshot via stats()).
+  struct ScanCounters {
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> rows{0};
+    std::atomic<uint64_t> prefetch_stalls{0};
+  };
+  ScanCounters* scan_counters() const { return &scan_counters_; }
 
   Clock* clock() const { return clock_; }
   WalManager* wal() const { return wal_.get(); }
@@ -166,6 +194,9 @@ class Database {
   std::unique_ptr<TransactionManager> tm_;
   std::unique_ptr<DegradationEngine> degrader_;
   std::map<TableId, std::unique_ptr<Table>> tables_;
+  /// Read-path counters (exposed via Stats::scan); atomics because scan
+  /// workers and concurrent sessions bump them in parallel.
+  mutable ScanCounters scan_counters_;
   /// Checkpoint counters (exposed via Stats); atomics because the worker
   /// pool bumps flushed/clean concurrently.
   std::atomic<uint64_t> checkpoints_{0};

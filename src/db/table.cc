@@ -225,6 +225,17 @@ Status Table::ScanBatch(TableScanPos* pos, size_t limit,
   return Status::OK();
 }
 
+Status PartitionCursor::NextBatch(size_t limit, std::vector<RowView>* out,
+                                  bool* done) {
+  if (done_ || partition_ == nullptr) {
+    *done = true;
+    return Status::OK();
+  }
+  IDB_RETURN_IF_ERROR(partition_->ScanBatch(&pos_, limit, out, &done_));
+  *done = done_;
+  return Status::OK();
+}
+
 Result<std::optional<RowView>> Table::GetRow(RowId row_id) const {
   return Route(row_id)->GetRow(row_id);
 }

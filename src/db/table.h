@@ -24,6 +24,39 @@ struct TableScanPos {
   Rid rid{0, 0};
 };
 
+/// \brief Cursor over ONE partition's heap, from Table::OpenPartitionCursor.
+///
+/// This is the unit the parallel read path shards on: a consumer that wants
+/// to fan a table scan out itself (the query layer's prefetch workers, the
+/// exposure/attack-window audit benches) opens one cursor per partition and
+/// drains them on distinct threads — partitions own disjoint rows and
+/// latches, so the cursors never contend. Each NextBatch holds the
+/// partition's shared latch only while assembling that batch
+/// (snapshot-per-batch semantics, exactly like Table::ScanBatch).
+/// Value-semantic and independent of sibling cursors; the Table must
+/// outlive it.
+class PartitionCursor {
+ public:
+  PartitionCursor() = default;
+
+  /// Assembles up to `limit` live rows into `*out` (appended), advancing
+  /// the cursor. `*done` is set once the partition is exhausted; subsequent
+  /// calls return no rows with `*done` true.
+  Status NextBatch(size_t limit, std::vector<RowView>* out, bool* done);
+
+  uint32_t partition_index() const { return index_; }
+
+ private:
+  friend class Table;
+  PartitionCursor(const TablePartition* partition, uint32_t index)
+      : partition_(partition), index_(index) {}
+
+  const TablePartition* partition_ = nullptr;
+  uint32_t index_ = 0;
+  Rid pos_{0, 0};
+  bool done_ = false;
+};
+
 /// \brief One table: a router over N hash-partitions of the row-id space.
 ///
 /// Every physical structure (heap file + buffer pool, per-(attribute, phase)
@@ -122,6 +155,17 @@ class Table {
   /// to scan everything in one call (snapshot-per-partition semantics).
   Status ScanBatch(TableScanPos* pos, size_t limit, std::vector<RowView>* out,
                    bool* done) const;
+
+  /// Opens a cursor over partition `i` only, so parallel consumers can
+  /// shard a table scan themselves (one cursor per partition, one thread
+  /// per cursor). The streaming read path's fan-out workers are built on
+  /// this; it is also the API the degradation-audit benches use to sweep a
+  /// table at device speed. An out-of-range index yields an empty cursor
+  /// (NextBatch reports done immediately) rather than undefined behavior.
+  PartitionCursor OpenPartitionCursor(uint32_t i) const {
+    if (i >= partitions_.size()) return PartitionCursor();
+    return PartitionCursor(partitions_[i].get(), i);
+  }
 
   Result<std::optional<RowView>> GetRow(RowId row_id) const;
 

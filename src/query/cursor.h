@@ -2,6 +2,7 @@
 #define INSTANTDB_QUERY_CURSOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,26 +10,101 @@
 #include "catalog/value.h"
 #include "common/result.h"
 #include "query/ast.h"
+#include "query/levels.h"
 #include "storage/page.h"
 
 namespace instantdb {
 
 class Session;
+namespace plan {
+struct SelectPlan;
+}  // namespace plan
 
-/// One streamed output row: projected values at purpose accuracy plus their
-/// display rendering (bucket values render as "[lo..hi]").
-struct CursorRow {
-  RowId row_id = kInvalidRowId;
-  std::vector<Value> values;
-  std::vector<std::string> display;
+/// \brief One batch of projected output rows, owned by the Cursor and
+/// served by `Cursor::NextBatch`. Valid until the next
+/// NextBatch/Next/Close call; storage is reused across batches.
+///
+/// Values are materialized per batch (π over the scan → σ output); display
+/// strings are NOT — `display(i)` renders row i's strings on first access
+/// and caches them, so a consumer that only reads `values` never pays for
+/// string formatting (the dominant per-row cost of the old row-at-a-time
+/// pipeline).
+class CursorBatch {
+ public:
+  size_t size() const { return size_; }
+  RowId row_id(size_t i) const { return row_ids_[i]; }
+  /// Projected values of row i, in SELECT-item order.
+  const std::vector<Value>& values(size_t i) const { return values_[i]; }
+  /// Display renderings of row i (bucket values render as "[lo..hi]"),
+  /// produced lazily on first access.
+  const std::vector<std::string>& display(size_t i) const;
+
+  /// Moves row i's projected values out, leaving the slot empty. For
+  /// single-pass materializing drains (each row taken once); streaming
+  /// consumers should read `values(i)` instead — a taken slot costs a
+  /// reallocation when the batch is recycled. If row i's display is also
+  /// wanted, take (or read) it BEFORE the values: rendering reads them.
+  std::vector<Value> TakeValues(size_t i) { return std::move(values_[i]); }
+  /// Moves row i's display strings out, rendering them first if needed.
+  std::vector<std::string> TakeDisplay(size_t i) {
+    display(i);
+    display_valid_[i] = 0;
+    return std::move(display_[i]);
+  }
+
+ private:
+  friend class Cursor;
+
+  /// Clears rows, keeping per-row storage for reuse. `plan` provides the
+  /// schema/items for lazy rendering (null for pre-rendered buffered
+  /// results).
+  void Reset(const plan::SelectPlan* plan);
+  /// Appends one row slot and returns its index (storage recycled).
+  size_t Append(RowId row_id);
+  /// Adopts an eagerly-materialized result (aggregates, DML) as one
+  /// pre-rendered batch: values and display strings move over verbatim,
+  /// every display slot is marked rendered (no plan needed). The single
+  /// place the parallel per-row vectors are assembled outside
+  /// Reset/Append.
+  void AdoptBuffered(std::vector<std::vector<Value>>&& rows,
+                     std::vector<std::vector<std::string>>&& display);
+
+  const plan::SelectPlan* plan_ = nullptr;
+  std::vector<RowId> row_ids_;
+  std::vector<std::vector<Value>> values_;
+  std::vector<DegradableLevels> levels_;
+  mutable std::vector<std::vector<std::string>> display_;
+  mutable std::vector<uint8_t> display_valid_;
+  size_t size_ = 0;
+};
+
+/// \brief One streamed output row: a view into the cursor's current batch,
+/// filled by `Cursor::Next`. Valid until the next Next/NextBatch/Close call
+/// on the cursor; copy out anything that must outlive the pull. Display
+/// strings are rendered lazily on first `display()` access.
+class CursorRow {
+ public:
+  RowId row_id() const { return batch_->row_id(index_); }
+  /// Projected values in SELECT-item order.
+  const std::vector<Value>& values() const { return batch_->values(index_); }
+  /// Display renderings (rendered on first access, then cached in the
+  /// batch).
+  const std::vector<std::string>& display() const {
+    return batch_->display(index_);
+  }
+
+ private:
+  friend class Cursor;
+  const CursorBatch* batch_ = nullptr;
+  size_t index_ = 0;
 };
 
 /// \brief Pull-based result iterator: the scalable read path.
 ///
-/// A cursor executes a SELECT as an operator pipeline (scan → σ at the
-/// purpose's accuracy level → π) and hands rows out one at a time, so a
-/// SELECT over millions of rows never materializes more than one scan batch
-/// (a few hundred rows) at once. Obtained from `Session::ExecuteCursor` or
+/// A cursor executes a SELECT as a batch-at-a-time operator pipeline
+/// (scan → σ at the purpose's accuracy level → π), so a SELECT over
+/// millions of rows never materializes more than a bounded window of scan
+/// batches. Obtained from `Session::ExecuteCursor` or
 /// `PreparedStatement::ExecuteCursor`:
 ///
 /// \code
@@ -37,19 +113,30 @@ struct CursorRow {
 ///   while (true) {
 ///     auto more = (*cursor)->Next(&row);
 ///     if (!more.ok() || !*more) break;
-///     Consume(row);
+///     Consume(row.values());           // row.display() renders on demand
 ///   }
 /// \endcode
 ///
-/// Isolation is snapshot-per-batch: rows inserted, deleted or degraded
-/// while the cursor is open may or may not be observed (never torn), and a
-/// row physically relocated by a concurrent update can be missed or seen
-/// twice. The scan spans the table's partitions in order — its resume
-/// position is (partition, heap position) and each batch holds only one
-/// partition's shared latch. Materialized reads through `Session::Execute`
-/// are not subject to this — they drain each partition atomically.
-/// Aggregate/GROUP BY statements are supported but buffer their (small)
-/// aggregated result before streaming it.
+/// **Parallel fan-out.** The scan side runs at the session's
+/// `ScanOptions::parallelism` (0 = match the database's worker pool,
+/// clamped to the table's partition count). At parallelism 1 the consumer's
+/// thread walks partitions in order — rows come out in (partition, heap)
+/// order, no extra threads. At parallelism N ≥ 2, N prefetch workers drain
+/// distinct partitions into a bounded batch queue while the consumer pulls:
+/// scan I/O on one partition overlaps σ/π of another's batch, and rows
+/// interleave across partitions in arrival order (no global order). Either
+/// way `Next` is a view into the current batch and `NextBatch` exposes the
+/// batches themselves — the bulk API the benches drain.
+///
+/// Isolation is snapshot-per-batch at every parallelism: each scan batch is
+/// assembled under one partition's shared latch, rows inserted, deleted or
+/// degraded while the cursor is open may or may not be observed (never
+/// torn), and a row physically relocated by a concurrent update can be
+/// missed or seen twice. Materialized reads through `Session::Execute` are
+/// not subject to this — they drain each partition atomically (on the
+/// worker pool, merged in partition order). Aggregate/GROUP BY statements
+/// are supported but buffer their (small) aggregated result before
+/// streaming it.
 class Cursor {
  public:
   ~Cursor();
@@ -59,16 +146,26 @@ class Cursor {
   /// Output column names, available immediately after open.
   const std::vector<std::string>& columns() const;
 
-  /// Pulls the next row into `*out`. Returns true when a row was produced,
-  /// false at end of stream. Calling Next after the end (or after Close)
-  /// keeps returning false.
+  /// Pulls the next row into `*out` as a view into the current batch
+  /// (valid until the next Next/NextBatch/Close). Returns true when a row
+  /// was produced, false at end of stream. Calling Next after the end (or
+  /// after Close) keeps returning false. Do not interleave with NextBatch.
   Result<bool> Next(CursorRow* out);
 
-  /// Releases pipeline resources early; Next returns false afterwards.
-  /// Also run by the destructor.
+  /// Advances to the next batch of rows and points `*out` at it (valid
+  /// until the next NextBatch/Next/Close). Returns false at end of stream.
+  /// Batches are non-empty while the stream lasts.
+  Result<bool> NextBatch(const CursorBatch** out);
+  /// Mutable variant for consumers that move rows out of the batch
+  /// (CursorBatch::TakeValues/TakeDisplay) — the materializing executor's
+  /// drain, which would otherwise deep-copy the whole result.
+  Result<bool> NextBatch(CursorBatch** out);
+
+  /// Releases pipeline resources early (stopping any prefetch workers);
+  /// Next/NextBatch return false afterwards. Also run by the destructor.
   void Close();
 
-  /// Rows handed out so far.
+  /// Rows handed out so far (per row via Next, per batch via NextBatch).
   uint64_t rows_returned() const;
 
   /// Opens the pipeline for one parsed statement (SELECT streams; other
@@ -76,10 +173,10 @@ class Cursor {
   /// use `Session::ExecuteCursor(sql)` instead.
   ///
   /// `scan_batch_rows` bounds how many rows one heap-scan batch assembles
-  /// under the table's shared latch. The streaming default (0) keeps memory
-  /// bounded; `Session::Execute` drains with SIZE_MAX, which runs the whole
-  /// scan under one latch and keeps the pre-cursor executor's
-  /// single-snapshot read consistency.
+  /// under a partition's shared latch. The streaming default (0) keeps
+  /// memory bounded; `Session::Execute` drains with SIZE_MAX, which scans
+  /// every partition atomically under its latch and keeps the pre-cursor
+  /// executor's read consistency.
   static Result<std::unique_ptr<Cursor>> Open(Session* session,
                                               const StatementAst& statement,
                                               size_t scan_batch_rows = 0);
@@ -87,6 +184,10 @@ class Cursor {
  private:
   struct Impl;
   explicit Cursor(std::unique_ptr<Impl> impl);
+
+  /// Fetches the next non-empty batch into the impl's CursorBatch without
+  /// touching rows_returned. Returns false at end of stream.
+  Result<bool> FetchBatch();
 
   std::unique_ptr<Impl> impl_;
 };

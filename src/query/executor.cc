@@ -17,18 +17,26 @@ namespace {
 /// just "drain into a QueryResult".
 Result<QueryResult> DrainSelectCursor(Session* session,
                                       const StatementAst& statement) {
-  // SIZE_MAX batch: the whole heap scan runs under one shared latch, so a
-  // materialized Execute keeps the pre-cursor single-snapshot semantics.
+  // SIZE_MAX batch: every partition is scanned atomically under its shared
+  // latch (fanned out over the worker pool, merged in partition order), so
+  // a materialized Execute keeps the pre-cursor snapshot semantics.
   IDB_ASSIGN_OR_RETURN(std::unique_ptr<Cursor> cursor,
                        Cursor::Open(session, statement, SIZE_MAX));
   QueryResult result;
   result.columns = cursor->columns();
-  CursorRow row;
+  CursorBatch* batch = nullptr;
   while (true) {
-    IDB_ASSIGN_OR_RETURN(const bool more, cursor->Next(&row));
+    IDB_ASSIGN_OR_RETURN(const bool more, cursor->NextBatch(&batch));
     if (!more) break;
-    result.rows.push_back(std::move(row.values));
-    result.display.push_back(std::move(row.display));
+    result.rows.reserve(result.rows.size() + batch->size());
+    result.display.reserve(result.display.size() + batch->size());
+    for (size_t i = 0; i < batch->size(); ++i) {
+      // Single-pass drain: move rows out of the batch instead of deep-
+      // copying the (possibly whole-table) result a second time. Display
+      // first — rendering reads the values the second Take empties.
+      result.display.push_back(batch->TakeDisplay(i));
+      result.rows.push_back(batch->TakeValues(i));
+    }
   }
   result.affected_rows = result.rows.size();
   return result;
@@ -46,7 +54,7 @@ Result<QueryResult> ExecuteAggregate(Session* session,
 
   struct AggState {
     Value group_value;
-    std::map<int, int> group_levels;
+    DegradableLevels group_levels;
     uint64_t count = 0;
     std::vector<double> sums;
     std::vector<Value> mins, maxs;

@@ -1,0 +1,42 @@
+#ifndef INSTANTDB_QUERY_LEVELS_H_
+#define INSTANTDB_QUERY_LEVELS_H_
+
+#include <utility>
+#include <vector>
+
+namespace instantdb {
+
+/// Per-row effective accuracy levels of the referenced degradable columns
+/// (column index -> level), carried from σ evaluation to display rendering.
+/// A row references at most a handful of degradable columns, so this is a
+/// flat (column, level) vector with linear lookup — unlike a map it holds
+/// its capacity across clear(), which is what lets batch operators reuse one
+/// allocation for every row of a scan.
+class DegradableLevels {
+ public:
+  void clear() { levels_.clear(); }
+  void Set(int column, int level) {
+    for (auto& entry : levels_) {
+      if (entry.first == column) {
+        entry.second = level;
+        return;
+      }
+    }
+    levels_.emplace_back(column, level);
+  }
+  /// Level recorded for `column`, or `fallback` when absent.
+  int Get(int column, int fallback = 0) const {
+    for (const auto& entry : levels_) {
+      if (entry.first == column) return entry.second;
+    }
+    return fallback;
+  }
+  bool empty() const { return levels_.empty(); }
+
+ private:
+  std::vector<std::pair<int, int>> levels_;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_QUERY_LEVELS_H_

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <deque>
+#include <mutex>
 
 #include "common/strings.h"
+#include "util/parallel.h"
 
 namespace instantdb {
 namespace plan {
@@ -265,108 +269,326 @@ bool EvalStablePredicate(const BoundPredicate& pred, const Value& value) {
   return false;
 }
 
-/// Streams the heap in batches of `batch_rows` RowViews, fanning out across
-/// the table's partitions in order (the resume position carries the current
-/// partition plus the heap position inside it) and re-acquiring one
+/// Streams the heap sequentially in batches of `batch_rows` RowViews,
+/// walking the table's partitions in order (the resume position carries the
+/// current partition plus the heap position inside it) and re-acquiring one
 /// partition's shared latch per batch so a slow consumer never blocks
 /// writers or the degrader on any partition. Isolation is
 /// snapshot-per-batch (standard cursor semantics): rows inserted, deleted
-/// or degraded between two pulls may or may not be observed.
+/// or degraded between two pulls may or may not be observed. This is the
+/// resolved-parallelism-1 path: no threads, rows in (partition, heap)
+/// order.
 class HeapScanSource : public RowSource {
  public:
-  HeapScanSource(Session* session, const BoundQuery& query,
-                 size_t batch_rows)
-      : session_(session), query_(query), batch_rows_(batch_rows) {}
+  HeapScanSource(Session* session, const BoundQuery& query, size_t batch_rows)
+      : read_options_(session->read_options()),
+        counters_(session->db()->scan_counters()),
+        query_(query),
+        batch_rows_(batch_rows) {}
 
-  Result<bool> Next(EvaluatedRow* out) override {
-    while (true) {
-      while (next_ < batch_.size()) {
-        const RowView& view = batch_[next_++];
-        if (EvaluateRow(query_, session_->read_options(), view, out)) {
-          return true;
-        }
-      }
+  Result<bool> NextBatch(EvaluatedBatch* out) override {
+    out->Clear();
+    // Keep pulling heap batches until one yields a qualifying row (a batch
+    // may be fully filtered by σ) or the scan ends.
+    while (out->size == 0) {
       if (done_) return false;
-      batch_.clear();
-      next_ = 0;
+      views_.clear();
       IDB_RETURN_IF_ERROR(
-          query_.table->ScanBatch(&pos_, batch_rows_, &batch_, &done_));
-      if (batch_.empty() && done_) return false;
+          query_.table->ScanBatch(&pos_, batch_rows_, &views_, &done_));
+      if (views_.empty()) continue;  // exhausted partitions; done_ decides
+      EvaluateViews(query_, read_options_, views_, out);
+      counters_->batches.fetch_add(1, std::memory_order_relaxed);
+      counters_->rows.fetch_add(views_.size(), std::memory_order_relaxed);
     }
-  }
-
- private:
-  Session* const session_;
-  const BoundQuery& query_;
-  const size_t batch_rows_;
-  TableScanPos pos_;
-  bool done_ = false;
-  std::vector<RowView> batch_;
-  size_t next_ = 0;
-};
-
-/// Materializing-path source: one ScanRows pass (each partition read
-/// atomically under its shared latch) with σ applied inside the callback,
-/// so only qualifying rows are ever held — the pre-cursor executor's exact
-/// memory and consistency profile. Used when the caller asks for an
-/// unbounded batch.
-class SnapshotScanSource : public RowSource {
- public:
-  SnapshotScanSource(Session* session, const BoundQuery& query)
-      : session_(session), query_(query) {}
-
-  Result<bool> Next(EvaluatedRow* out) override {
-    if (!scanned_) {
-      scanned_ = true;
-      const ReadOptions& read_options = session_->read_options();
-      IDB_RETURN_IF_ERROR(query_.table->ScanRows([&](const RowView& view) {
-        EvaluatedRow row;
-        if (EvaluateRow(query_, read_options, view, &row)) {
-          rows_.push_back(std::move(row));
-        }
-        return true;
-      }));
-    }
-    if (next_ >= rows_.size()) return false;
-    *out = std::move(rows_[next_++]);
     return true;
   }
 
  private:
-  Session* const session_;
+  const ReadOptions read_options_;
+  Database::ScanCounters* const counters_;
   const BoundQuery& query_;
-  bool scanned_ = false;
-  std::vector<EvaluatedRow> rows_;
-  size_t next_ = 0;
+  const size_t batch_rows_;
+  TableScanPos pos_;
+  bool done_ = false;
+  std::vector<RowView> views_;
 };
 
-/// Probes the multi-resolution index once (row ids only — cheap), then
-/// fetches and evaluates one row per pull.
-class IndexScanSource : public RowSource {
+/// Partition fan-out source: `workers` prefetch threads claim whole
+/// partitions from a shared counter, pull ScanBatch batches under that
+/// partition's shared latch, run whole-batch σ, and push the qualifying
+/// batches into a bounded queue the consumer drains. Per-batch snapshot
+/// semantics are exactly the sequential source's — parallelism changes only
+/// which partitions' batches interleave, never what one batch may contain.
+/// Batch storage circulates: drained batches return to a spare pool the
+/// workers refill, so a steady-state scan stops allocating. The queue bound
+/// backpressures workers when the consumer is slow; the consumer counts a
+/// prefetch stall each time it finds the queue empty while workers are
+/// still producing.
+class ParallelScanSource : public RowSource {
  public:
-  IndexScanSource(Session* session, const BoundQuery& query,
-                  std::vector<RowId> rids)
-      : session_(session), query_(query), rids_(std::move(rids)) {}
+  ParallelScanSource(Session* session, const BoundQuery& query,
+                     size_t batch_rows, size_t workers, size_t queue_batches)
+      : read_options_(session->read_options()),
+        counters_(session->db()->scan_counters()),
+        query_(query),
+        batch_rows_(batch_rows),
+        queue_capacity_(std::max<size_t>(queue_batches, 1)) {
+    producers_live_ = std::min<size_t>(
+        std::max<size_t>(workers, 1), query.table->num_partitions());
+    runner_.Start(producers_live_, [this](size_t) { ProduceLoop(); });
+  }
 
-  Result<bool> Next(EvaluatedRow* out) override {
-    while (next_ < rids_.size()) {
-      IDB_ASSIGN_OR_RETURN(auto view, query_.table->GetRow(rids_[next_++]));
-      if (!view.has_value()) continue;
-      if (EvaluateRow(query_, session_->read_options(), *view, out)) {
+  ~ParallelScanSource() override {
+    {
+      // The lock orders the store against a producer's wait predicate so
+      // the notify cannot fall between its check and its sleep.
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_.store(true, std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+    runner_.Join();
+  }
+
+  Result<bool> NextBatch(EvaluatedBatch* out) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    bool stalled = false;
+    while (true) {
+      if (!error_.ok()) return error_;
+      if (!queue_.empty()) {
+        out->Clear();
+        out->Swap(&queue_.front());
+        // The swapped-out storage (the consumer's previous batch) goes back
+        // to the spare pool for a worker to refill.
+        spares_.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        cv_.notify_all();
         return true;
       }
+      if (producers_live_ == 0) return false;
+      // One stall per pull that found the queue empty — not one per wakeup,
+      // or producer-exit notifications would inflate the producer-bound
+      // signal the benches read.
+      if (!stalled) {
+        stalled = true;
+        counters_->prefetch_stalls.fetch_add(1, std::memory_order_relaxed);
+      }
+      cv_.wait(lock);
     }
-    return false;
   }
 
  private:
+  void ProduceLoop() {
+    const uint32_t partitions = query_.table->num_partitions();
+    std::vector<RowView> views;
+    EvaluatedBatch batch;
+    Status status;
+    for (;;) {
+      const uint32_t p =
+          next_partition_.fetch_add(1, std::memory_order_relaxed);
+      if (p >= partitions) break;
+      PartitionCursor cursor = query_.table->OpenPartitionCursor(p);
+      bool done = false;
+      while (!done) {
+        // An early Close (cursor dropped mid-stream) must not keep workers
+        // scanning the rest of the table before the destructor can join.
+        if (closed_.load(std::memory_order_relaxed)) return;
+        views.clear();
+        status = cursor.NextBatch(batch_rows_, &views, &done);
+        if (!status.ok()) break;
+        if (views.empty()) continue;
+        batch.Clear();
+        EvaluateViews(query_, read_options_, views, &batch);
+        counters_->batches.fetch_add(1, std::memory_order_relaxed);
+        counters_->rows.fetch_add(views.size(), std::memory_order_relaxed);
+        if (batch.size == 0) continue;  // fully filtered: recycle in place,
+                                        // no reason to touch the queue lock
+        std::unique_lock<std::mutex> lock(mu_);
+        while (queue_.size() >= queue_capacity_ &&
+               !closed_.load(std::memory_order_relaxed)) {
+          cv_.wait(lock);
+        }
+        if (closed_.load(std::memory_order_relaxed)) return;
+        queue_.emplace_back();
+        queue_.back().Swap(&batch);
+        if (!spares_.empty()) {
+          // Refill our working storage from the spare pool so the batch we
+          // just published keeps its buffers.
+          batch.Swap(&spares_.back());
+          spares_.pop_back();
+        }
+        cv_.notify_all();
+      }
+      if (!status.ok()) break;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!status.ok() && error_.ok()) error_ = status;
+    --producers_live_;
+    cv_.notify_all();
+  }
+
+  const ReadOptions read_options_;
+  Database::ScanCounters* const counters_;
+  const BoundQuery& query_;
+  const size_t batch_rows_;
+  const size_t queue_capacity_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<EvaluatedBatch> queue_;
+  std::vector<EvaluatedBatch> spares_;
+  Status error_;
+  size_t producers_live_ = 0;
+  /// Atomic so producers can poll it between batches without the mutex.
+  std::atomic<bool> closed_{false};
+  std::atomic<uint32_t> next_partition_{0};
+  ParallelRunner runner_;
+};
+
+/// Materializing-path source: every partition is read atomically under its
+/// shared latch with σ applied inside the scan callback, so only qualifying
+/// rows are ever held — the pre-cursor executor's exact memory and
+/// consistency profile. With resolved parallelism > 1, partitions drain on
+/// ParallelFor threads (spawned per scan, sized like the degradation
+/// pool; small tables resolve to 1 and stay inline), and the per-partition
+/// results merge in partition order, so the output order matches the
+/// sequential scan's regardless of parallelism. Used when the caller asks
+/// for an unbounded batch (Session::Execute, DELETE, aggregates).
+class SnapshotScanSource : public RowSource {
+ public:
+  SnapshotScanSource(Session* session, const BoundQuery& query,
+                     size_t workers)
+      : session_(session), query_(query), workers_(workers) {}
+
+  Result<bool> NextBatch(EvaluatedBatch* out) override {
+    if (!scanned_) {
+      scanned_ = true;
+      IDB_RETURN_IF_ERROR(ScanAll());
+    }
+    if (served_ || result_.size == 0) return false;
+    served_ = true;
+    out->Clear();
+    out->Swap(&result_);
+    return true;
+  }
+
+ private:
+  Status ScanAll() {
+    const Table* table = query_.table;
+    const uint32_t partitions = table->num_partitions();
+    const ReadOptions read_options = session_->read_options();
+    auto* counters = session_->db()->scan_counters();
+    std::vector<std::vector<EvaluatedRow>> per_partition(partitions);
+    IDB_RETURN_IF_ERROR(ParallelFor(workers_, partitions, [&](size_t p) {
+      bool stopped = false;
+      uint64_t scanned = 0;
+      EvaluatedRow row;
+      IDB_RETURN_IF_ERROR(table->partition(static_cast<uint32_t>(p))
+                              ->ScanRows(
+                                  [&](const RowView& view) {
+                                    ++scanned;
+                                    if (EvaluateRow(query_, read_options, view,
+                                                    &row)) {
+                                      per_partition[p].push_back(
+                                          std::move(row));
+                                    }
+                                    return true;
+                                  },
+                                  &stopped));
+      counters->batches.fetch_add(1, std::memory_order_relaxed);
+      counters->rows.fetch_add(scanned, std::memory_order_relaxed);
+      return Status::OK();
+    }));
+    for (auto& rows : per_partition) {
+      for (EvaluatedRow& row : rows) *result_.Add() = std::move(row);
+    }
+    return Status::OK();
+  }
+
   Session* const session_;
   const BoundQuery& query_;
+  const size_t workers_;
+  bool scanned_ = false;
+  bool served_ = false;
+  EvaluatedBatch result_;
+};
+
+/// Probes the multi-resolution index once (row ids only — cheap), then
+/// fetches and evaluates rows batch-at-a-time.
+class IndexScanSource : public RowSource {
+ public:
+  IndexScanSource(Session* session, const BoundQuery& query,
+                  std::vector<RowId> rids, size_t batch_rows)
+      : read_options_(session->read_options()),
+        counters_(session->db()->scan_counters()),
+        query_(query),
+        rids_(std::move(rids)),
+        batch_rows_(std::max<size_t>(batch_rows, 1)) {}
+
+  Result<bool> NextBatch(EvaluatedBatch* out) override {
+    out->Clear();
+    while (out->size == 0 && next_ < rids_.size()) {
+      uint64_t fetched = 0;
+      while (next_ < rids_.size() && out->size < batch_rows_) {
+        IDB_ASSIGN_OR_RETURN(auto view, query_.table->GetRow(rids_[next_++]));
+        if (!view.has_value()) continue;
+        ++fetched;
+        EvaluatedRow* slot = out->Add();
+        if (!EvaluateRow(query_, read_options_, *view, slot)) out->DropLast();
+      }
+      counters_->batches.fetch_add(1, std::memory_order_relaxed);
+      counters_->rows.fetch_add(fetched, std::memory_order_relaxed);
+    }
+    return out->size > 0;
+  }
+
+ private:
+  const ReadOptions read_options_;
+  Database::ScanCounters* const counters_;
+  const BoundQuery& query_;
   std::vector<RowId> rids_;
+  const size_t batch_rows_;
   size_t next_ = 0;
 };
 
 }  // namespace
+
+Result<bool> RowSource::Next(EvaluatedRow* out) {
+  while (adapter_next_ >= adapter_batch_.size) {
+    if (adapter_done_) return false;
+    adapter_next_ = 0;
+    IDB_ASSIGN_OR_RETURN(const bool more, NextBatch(&adapter_batch_));
+    if (!more) {
+      adapter_done_ = true;
+      return false;
+    }
+  }
+  *out = std::move(adapter_batch_.rows[adapter_next_++]);
+  return true;
+}
+
+void EvaluateViews(const BoundQuery& query, const ReadOptions& read_options,
+                   const std::vector<RowView>& views, EvaluatedBatch* out) {
+  for (const RowView& view : views) {
+    EvaluatedRow* slot = out->Add();
+    if (!EvaluateRow(query, read_options, view, slot)) out->DropLast();
+  }
+}
+
+size_t ResolveScanParallelism(Session* session, const Table& table) {
+  const size_t partitions = table.num_partitions();
+  size_t parallelism = session->scan_options().parallelism;
+  if (parallelism == 0) {
+    // Auto mode stays inline on small tables: thread create/join costs tens
+    // of microseconds per worker, which dwarfs the whole scan of a table a
+    // few batches long (point SELECTs, small aggregates, DELETEs). An
+    // explicit parallelism setting is always honored.
+    if (table.live_rows() < kParallelScanMinRows) return 1;
+    const size_t pool = std::max<size_t>(
+        session->db()->options().degradation.worker_threads, 1);
+    parallelism = std::min(partitions, pool);
+  }
+  return std::max<size_t>(std::min(parallelism, partitions), 1);
+}
 
 Result<BoundQuery> BindQuery(Session* session, const std::string& table_name,
                              const std::vector<PredicateAst>& where,
@@ -427,14 +649,14 @@ bool EvaluateRow(const BoundQuery& query, const ReadOptions& read_options,
       vk = *generalized;
     }
     out->values[col] = vk;
-    out->degradable_level[col] = target_level;
+    out->degradable_level.Set(col, target_level);
   }
 
   // σ_P over the generalized image.
   for (const BoundPredicate& pred : query.predicates) {
     const ColumnDef& column = schema.column(pred.column);
     if (pred.degradable) {
-      const int level = out->degradable_level.at(pred.column);
+      const int level = out->degradable_level.Get(pred.column);
       if (!EvalDegradablePredicate(*column.hierarchy, pred,
                                    out->values[pred.column], level)) {
         return false;
@@ -447,13 +669,11 @@ bool EvaluateRow(const BoundQuery& query, const ReadOptions& read_options,
 }
 
 std::string RenderValue(const Schema& schema, int col, const Value& value,
-                        const std::map<int, int>& levels) {
+                        const DegradableLevels& levels) {
   const ColumnDef& column = schema.column(col);
   if (value.is_null()) return "NULL";
   if (column.kind == ColumnKind::kDegradable) {
-    auto it = levels.find(col);
-    const int level = it == levels.end() ? 0 : it->second;
-    return column.hierarchy->DisplayValue(value, level);
+    return column.hierarchy->DisplayValue(value, levels.Get(col, 0));
   }
   return value.ToString();
 }
@@ -485,14 +705,24 @@ Result<std::unique_ptr<RowSource>> MakeRowSource(Session* session,
           std::max(index_pred->literal_level, index_pred->level), &rids));
     }
     std::sort(rids.begin(), rids.end());
-    return std::unique_ptr<RowSource>(
-        new IndexScanSource(session, query, std::move(rids)));
+    return std::unique_ptr<RowSource>(new IndexScanSource(
+        session, query, std::move(rids),
+        scan_batch_rows == SIZE_MAX ? kStreamingScanBatchRows
+                                    : scan_batch_rows));
   }
+  const size_t parallelism = ResolveScanParallelism(session, *query.table);
   if (scan_batch_rows == SIZE_MAX) {
-    return std::unique_ptr<RowSource>(new SnapshotScanSource(session, query));
+    return std::unique_ptr<RowSource>(
+        new SnapshotScanSource(session, query, parallelism));
   }
-  return std::unique_ptr<RowSource>(
-      new HeapScanSource(session, query, scan_batch_rows));
+  if (parallelism <= 1) {
+    return std::unique_ptr<RowSource>(
+        new HeapScanSource(session, query, scan_batch_rows));
+  }
+  size_t queue_batches = session->scan_options().prefetch_batches;
+  if (queue_batches == 0) queue_batches = 2 * parallelism;
+  return std::unique_ptr<RowSource>(new ParallelScanSource(
+      session, query, scan_batch_rows, parallelism, queue_batches));
 }
 
 Result<SelectPlan> BindSelect(Session* session, const SelectAst& ast) {

@@ -9,12 +9,15 @@
 
 #include "db/table.h"
 #include "query/ast.h"
+#include "query/levels.h"
 #include "query/session.h"
 
 /// \file
 /// \brief Internal query-plan layer shared by the streaming Cursor and the
 /// materializing executor: predicate binding, accuracy resolution, and the
-/// pull-based row source (scan → σ at accuracy level) that both build on.
+/// batch-at-a-time row source (scan → σ at accuracy level) that both build
+/// on — sequential or fanned out over the table's partitions per the
+/// session's ScanOptions.
 ///
 /// Nothing here is part of the stable public API; embedders should use
 /// `Session` / `Cursor` (query/session.h, query/cursor.h).
@@ -58,10 +61,34 @@ struct BoundQuery {
 
 /// One evaluated row: schema-ordered values at purpose accuracy, plus the
 /// effective level of each degradable column (for display rendering).
+/// Assignment reuses the vectors' capacity, which is what EvaluatedBatch's
+/// slot recycling relies on.
 struct EvaluatedRow {
   RowId row_id = kInvalidRowId;
   std::vector<Value> values;
-  std::map<int, int> degradable_level;  // column -> rendered level
+  DegradableLevels degradable_level;  // column -> rendered level
+};
+
+/// One batch of qualifying rows, with slot storage reused across batches:
+/// Clear() keeps every row's vectors allocated, so a steady-state scan
+/// stops allocating after its first few batches (the read path's arena).
+struct EvaluatedBatch {
+  /// Valid rows are rows[0 .. size); entries beyond hold recycled storage.
+  std::vector<EvaluatedRow> rows;
+  size_t size = 0;
+
+  void Clear() { size = 0; }
+  /// Next writable slot (recycled or grown).
+  EvaluatedRow* Add() {
+    if (size == rows.size()) rows.emplace_back();
+    return &rows[size++];
+  }
+  /// Drops the most recently added slot (row did not qualify).
+  void DropLast() { --size; }
+  void Swap(EvaluatedBatch* other) {
+    rows.swap(other->rows);
+    std::swap(size, other->size);
+  }
 };
 
 /// Binds table + WHERE conjuncts + projected columns against the catalog and
@@ -75,36 +102,70 @@ Result<BoundQuery> BindQuery(Session* session, const std::string& table_name,
 bool EvaluateRow(const BoundQuery& query, const ReadOptions& read_options,
                  const RowView& view, EvaluatedRow* out);
 
+/// Whole-batch σ: evaluates every view, appending the qualifying rows to
+/// `out` (recycled slots, see EvaluatedBatch). This is the operators' inner
+/// loop — one virtual call per batch instead of per row.
+void EvaluateViews(const BoundQuery& query, const ReadOptions& read_options,
+                   const std::vector<RowView>& views, EvaluatedBatch* out);
+
 /// Renders one output value (buckets as "[lo..hi]", levels applied).
 std::string RenderValue(const Schema& schema, int col, const Value& value,
-                        const std::map<int, int>& levels);
+                        const DegradableLevels& levels);
 
 /// \brief Pull-based source of qualifying rows: the scan → σ stage of the
-/// operator pipeline. Implementations stream either from the heap (batched
-/// snapshots under the shared latch, bounded memory) or from a
-/// multi-resolution index probe.
+/// operator pipeline, pulled a batch at a time. Implementations stream from
+/// the heap — sequentially or fanned out over the table's partitions by a
+/// prefetch worker pool — or from a multi-resolution index probe.
 class RowSource {
  public:
   virtual ~RowSource() = default;
-  /// Pulls the next qualifying row. Returns false at end of stream.
-  virtual Result<bool> Next(EvaluatedRow* out) = 0;
+  /// Pulls the next batch of qualifying rows into `*out` (storage reused or
+  /// swapped). Returns false at end of stream. A returned batch may be
+  /// empty only at end of stream.
+  virtual Result<bool> NextBatch(EvaluatedBatch* out) = 0;
+  /// Row-at-a-time adapter over NextBatch for consumers that fold rows into
+  /// running state (aggregates, DELETE). Moves each row out of an internal
+  /// batch; do not interleave with NextBatch on the same source.
+  Result<bool> Next(EvaluatedRow* out);
+
+ private:
+  EvaluatedBatch adapter_batch_;
+  size_t adapter_next_ = 0;
+  bool adapter_done_ = false;
 };
 
 /// Default heap-scan batch for streaming cursors: bounds both peak memory
 /// and how long one batch holds the table's shared latch.
 inline constexpr size_t kStreamingScanBatchRows = 256;
 
+/// Below this many live rows, auto-resolved parallelism (ScanOptions 0)
+/// stays at 1: spawning scan workers costs more than scanning a
+/// few-batches table inline.
+inline constexpr uint64_t kParallelScanMinRows = 8 * kStreamingScanBatchRows;
+
+/// Resolved scan fan-out: how many workers MakeRowSource would use for
+/// `table` under the session's ScanOptions. 0 resolves to
+/// min(partitions, DegradationOptions::worker_threads) — but stays 1 on
+/// tables below kParallelScanMinRows, where worker spawn would dominate.
+/// Explicit values are honored, clamped to the partition count.
+size_t ResolveScanParallelism(Session* session, const Table& table);
+
 /// Chooses the access path (index probe when a usable degradable predicate
 /// exists and the session allows indexes, heap scan otherwise) and returns
-/// the corresponding source. `query` must outlive the source.
+/// the corresponding source. `query` must outlive the source. ReadOptions
+/// and ScanOptions are captured from the session at this point.
 ///
 /// `scan_batch_rows` sets the heap-scan batch size. The streaming default
 /// keeps memory bounded but releases the latch between batches (weak
 /// cursor isolation: a row relocated by a concurrent update may be missed
-/// or observed twice); the scan walks the table's partitions in order, one
-/// partition latch at a time. Materializing callers (Execute, DELETE,
-/// aggregates) pass SIZE_MAX: every partition is scanned atomically under
-/// its shared latch (snapshot-per-partition semantics).
+/// or observed twice). With resolved parallelism 1 the scan walks the
+/// table's partitions in order, one partition latch at a time; with more,
+/// that many prefetch workers drain distinct partitions into a bounded
+/// batch queue (rows interleave across partitions in arrival order, still
+/// snapshot-per-batch). Materializing callers (Execute, DELETE, aggregates)
+/// pass SIZE_MAX: every partition is scanned atomically under its shared
+/// latch (snapshot-per-partition semantics) — on the worker pool when the
+/// resolved parallelism allows — and rows come out in partition order.
 Result<std::unique_ptr<RowSource>> MakeRowSource(
     Session* session, const BoundQuery& query,
     size_t scan_batch_rows = kStreamingScanBatchRows);

@@ -90,6 +90,11 @@ class Session {
   bool use_indexes() const { return use_indexes_; }
   void set_use_indexes(bool v) { use_indexes_ = v; }
 
+  /// Scan fan-out configuration for this session's SELECTs (parallelism 0 =
+  /// match the database's worker pool). Options are captured when a cursor
+  /// opens; changing them mid-cursor affects only later statements.
+  ScanOptions& scan_options() { return scan_options_; }
+
   Database* db() const { return db_; }
 
  private:
@@ -98,6 +103,7 @@ class Session {
   std::map<std::string, std::map<std::pair<TableId, int>, int>> purposes_;
   std::string active_;
   ReadOptions read_options_;
+  ScanOptions scan_options_;
   bool use_indexes_ = true;
 };
 

@@ -336,6 +336,36 @@ Status TruncateFile(const std::string& path, uint64_t size) {
   return Status::OK();
 }
 
+Status EvictFromOsCache(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return PosixError("open " + path, errno);
+  // Dirty pages would survive the advice: flush first so the whole file is
+  // clean and evictable.
+  Status status;
+  if (::fdatasync(fd) != 0) {
+    status = PosixError("fdatasync " + path, errno);
+  } else if (::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED) != 0) {
+    status = PosixError("posix_fadvise " + path, errno);
+  }
+  ::close(fd);
+  return status;
+}
+
+Status EvictDirFromOsCache(const std::string& path) {
+  IDB_ASSIGN_OR_RETURN(auto names, ListDir(path));
+  for (const std::string& name : names) {
+    const std::string child = path + "/" + name;
+    struct ::stat st;
+    if (::stat(child.c_str(), &st) != 0) continue;
+    if (S_ISDIR(st.st_mode)) {
+      IDB_RETURN_IF_ERROR(EvictDirFromOsCache(child));
+    } else if (S_ISREG(st.st_mode)) {
+      IDB_RETURN_IF_ERROR(EvictFromOsCache(child));
+    }
+  }
+  return Status::OK();
+}
+
 Status OverwriteRange(const std::string& path, uint64_t offset, uint64_t len) {
   IDB_ASSIGN_OR_RETURN(auto file, NewRandomRWFile(path));
   const std::string zeros(4096, '\0');

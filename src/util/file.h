@@ -90,6 +90,12 @@ Status TruncateFile(const std::string& path, uint64_t size);
 /// hardware, overwrite semantics depend on the FTL; DESIGN.md documents the
 /// simulation assumption.)
 Status OverwriteRange(const std::string& path, uint64_t offset, uint64_t len);
+/// Drops the file's clean pages from the OS page cache (posix_fadvise
+/// DONTNEED after an fdatasync). Cold-read benchmarks use this to measure
+/// scans that actually hit the device instead of the page cache.
+Status EvictFromOsCache(const std::string& path);
+/// Recursively evicts every regular file under `path`.
+Status EvictDirFromOsCache(const std::string& path);
 
 }  // namespace instantdb
 

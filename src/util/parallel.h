@@ -47,6 +47,44 @@ inline Status ParallelFor(size_t workers, size_t count,
   return error;
 }
 
+/// Detached counterpart of ParallelFor for producer/consumer pipelines (the
+/// parallel scan fan-out): starts `workers` threads running `fn(worker)` and
+/// joins them on destruction or an explicit Join(). The function owns no
+/// queueing or error plumbing — callers coordinate through their own shared
+/// state, which is what lets a cursor's prefetch workers outlive the call
+/// that started them while the consumer drains.
+class ParallelRunner {
+ public:
+  ParallelRunner() = default;
+  ~ParallelRunner() { Join(); }
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  /// Launches `workers` threads. `fn` must remain callable until Join.
+  /// Restarting a runner joins any previous workers first (an old worker
+  /// reading `fn` while Start reassigned it would be a data race).
+  void Start(size_t workers, std::function<void(size_t)> fn) {
+    Join();
+    fn_ = std::move(fn);
+    threads_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this, i] { fn_(i); });
+    }
+  }
+
+  /// Blocks until every worker returned. Idempotent.
+  void Join() {
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+ private:
+  std::function<void(size_t)> fn_;
+  std::vector<std::thread> threads_;
+};
+
 }  // namespace instantdb
 
 #endif  // INSTANTDB_UTIL_PARALLEL_H_

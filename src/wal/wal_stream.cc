@@ -264,32 +264,70 @@ Status WalStream::SyncThrough(Lsn lsn) {
   ++stats_.sync_requests;
   lsn = std::min(lsn, next_lsn_);
   bool led = false;
-  while (synced_lsn_ < lsn) {
-    if (sync_in_flight_) {
-      // Park on the watermark: the in-flight leader's sync covers every
-      // byte appended before it started, very likely including ours.
-      sync_cv_.wait(lock);
-      continue;
+  if (synced_lsn_ < lsn) {
+    // Commit-latency-aware leadership: register our demand so the waiter
+    // with the LARGEST covered LSN — the newest arrival, since appends
+    // serialize — is the one that leads the next sync. Smaller demands
+    // park; the leader's fdatasync covers them anyway. Registrations are
+    // generation-tagged: only the holders of the CURRENT largest demand
+    // may clear it on exit, so a stale waiter (one whose registration was
+    // superseded by a larger arrival, or who never registered) can never
+    // clobber a later generation that happens to reuse its LSN.
+    bool registered = false;
+    uint64_t my_generation = 0;
+    if (lsn > pending_target_) {
+      pending_target_ = lsn;
+      pending_target_holders_ = 1;
+      my_generation = ++pending_generation_;
+      registered = true;
+    } else if (lsn == pending_target_) {
+      ++pending_target_holders_;
+      my_generation = pending_generation_;
+      registered = true;
     }
-    // Become the leader: one fdatasync for everything appended so far
-    // absorbs every committer parked above.
-    sync_in_flight_ = true;
-    led = true;
-    const Lsn durable_to = next_lsn_;
-    WritableFile* writer = writer_.get();
-    const bool data_only = preallocated_ && durable_to <= prealloc_end_;
-    ++stats_.syncs;
-    lock.unlock();
-    // Commit-path sync: fdatasync while inside the preallocated, size-
-    // durable region (no journal commit, so concurrent streams' syncs
-    // overlap in the I/O layer), full fsync otherwise. Rotation cannot
-    // close this writer meanwhile — it waits on sync_in_flight_.
-    const Status synced = data_only ? writer->SyncData() : writer->Sync();
-    lock.lock();
-    sync_in_flight_ = false;
-    sync_cv_.notify_all();
-    IDB_RETURN_IF_ERROR(synced);
-    synced_lsn_ = std::max(synced_lsn_, durable_to);
+    auto deregister = [&] {
+      if (registered && my_generation == pending_generation_ &&
+          --pending_target_holders_ == 0) {
+        // Last holder of the largest demand leaves (normally satisfied;
+        // after a sync error, unsatisfied): let smaller demands lead.
+        pending_target_ = 0;
+        ++pending_generation_;
+        sync_cv_.notify_all();
+      }
+    };
+    while (synced_lsn_ < lsn) {
+      if (sync_in_flight_ || lsn < pending_target_) {
+        // Park on the watermark: either a leader's sync is in flight (it
+        // covers every byte appended before it started, very likely
+        // including ours), or a newer arrival with a larger demand is
+        // about to lead one that will.
+        sync_cv_.wait(lock);
+        continue;
+      }
+      // Largest demand present: lead. One fdatasync for everything
+      // appended so far absorbs every committer parked above.
+      sync_in_flight_ = true;
+      led = true;
+      const Lsn durable_to = next_lsn_;
+      WritableFile* writer = writer_.get();
+      const bool data_only = preallocated_ && durable_to <= prealloc_end_;
+      ++stats_.syncs;
+      lock.unlock();
+      // Commit-path sync: fdatasync while inside the preallocated, size-
+      // durable region (no journal commit, so concurrent streams' syncs
+      // overlap in the I/O layer), full fsync otherwise. Rotation cannot
+      // close this writer meanwhile — it waits on sync_in_flight_.
+      const Status synced = data_only ? writer->SyncData() : writer->Sync();
+      lock.lock();
+      sync_in_flight_ = false;
+      sync_cv_.notify_all();
+      if (!synced.ok()) {
+        deregister();
+        return synced;
+      }
+      synced_lsn_ = std::max(synced_lsn_, durable_to);
+    }
+    deregister();
   }
   if (!led) ++stats_.commits_absorbed;
   return Status::OK();

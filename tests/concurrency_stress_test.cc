@@ -30,10 +30,27 @@ class ConcurrencyStressTest : public ::testing::Test {
   }
   void TearDown() override { RemoveDirRecursive(dir_).ok(); }
 
+  /// The full stress body; `scan_parallelism` configures the readers'
+  /// cursors (1 = sequential streaming scans, >1 = partition fan-out with
+  /// prefetch workers racing the ingest threads and the degrader pool).
+  void RunStress(size_t scan_parallelism);
+
   std::string dir_;
 };
 
 TEST_F(ConcurrencyStressTest, CursorsIngestAndDegraderInterleaveSafely) {
+  RunStress(/*scan_parallelism=*/1);
+}
+
+// The parallel read path under fire: every reader fans its scan out over 4
+// prefetch workers while 4 ingest threads commit and the 4-worker degrader
+// drains deadlines — the TSan configuration that drives the bounded queue,
+// batch recycling and worker shutdown across real interleavings.
+TEST_F(ConcurrencyStressTest, ParallelCursorsIngestAndDegraderInterleaveSafely) {
+  RunStress(/*scan_parallelism=*/4);
+}
+
+void ConcurrencyStressTest::RunStress(size_t scan_parallelism) {
   constexpr int kIngestThreads = 4;
   constexpr int kBatchesPerThread = 10;
   constexpr int kRowsPerBatch = 25;
@@ -101,6 +118,7 @@ TEST_F(ConcurrencyStressTest, CursorsIngestAndDegraderInterleaveSafely) {
   for (int t = 0; t < kReaderThreads; ++t) {
     readers.emplace_back([&] {
       Session session(db.get());
+      session.scan_options().parallelism = scan_parallelism;
       while (!stop_readers.load(std::memory_order_acquire)) {
         auto cursor = session.ExecuteCursor("SELECT user FROM stress");
         if (!cursor.ok()) {

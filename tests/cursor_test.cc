@@ -66,8 +66,8 @@ class CursorTest : public ::testing::Test {
       ASSERT_TRUE(more.ok()) << sql << " -> " << more.status().ToString();
       if (!*more) break;
       ASSERT_LT(i, materialized->rows.size()) << sql;
-      EXPECT_EQ(row.values, materialized->rows[i]) << sql << " row " << i;
-      EXPECT_EQ(row.display, materialized->display[i]) << sql << " row " << i;
+      EXPECT_EQ(row.values(), materialized->rows[i]) << sql << " row " << i;
+      EXPECT_EQ(row.display(), materialized->display[i]) << sql << " row " << i;
       ++i;
     }
     EXPECT_EQ(i, materialized->rows.size()) << sql;

@@ -622,6 +622,82 @@ TEST_F(GroupCommitWatermarkTest, ConcurrentDurableAppendsKeepInvariants) {
   EXPECT_EQ(replayed, static_cast<size_t>(kThreads) * kAppendsPerThread);
 }
 
+// Leadership covers the whole appended tail, whatever the leader's own
+// demand: after three unsynced appends, a demand for the FIRST record's end
+// leads one fdatasync through the appended end, so later demands for the
+// larger LSNs are already below the watermark and absorb without syncing.
+// This is the property the commit-latency-aware handoff rests on (the
+// largest demand leading cannot strand smaller ones).
+TEST_F(GroupCommitWatermarkTest, OneLeaderCoversEveryLargerDemand) {
+  WalStream stream(dir_ + "/wal", 0, WalOptions{}, keys_.get());
+  ASSERT_TRUE(stream.Open().ok());
+  Lsn end_first = 0;
+  const WalRecord first = MakeInsert(1, 1);
+  ASSERT_TRUE(stream.AppendBatch({&first}, false, &end_first).ok());
+  ASSERT_TRUE(stream.Append(MakeInsert(2, 2), /*sync=*/false).ok());
+  ASSERT_TRUE(stream.Append(MakeInsert(3, 3), /*sync=*/false).ok());
+  const Lsn end_all = stream.next_lsn();
+  ASSERT_GT(end_all, end_first);
+
+  ASSERT_TRUE(stream.SyncThrough(end_first).ok());  // leads; covers end_all
+  WalStream::Stats stats = stream.stats();
+  EXPECT_EQ(stats.syncs, 1u);
+  EXPECT_EQ(stream.synced_lsn(), end_all);
+
+  ASSERT_TRUE(stream.SyncThrough(end_all).ok());  // absorbed, no new sync
+  stats = stream.stats();
+  EXPECT_EQ(stats.syncs, 1u);
+  EXPECT_EQ(stats.sync_requests, 2u);
+  EXPECT_EQ(stats.commits_absorbed, 1u);
+  EXPECT_EQ(stats.sync_requests, stats.syncs + stats.commits_absorbed);
+}
+
+// Handoff under contention: threads append WITHOUT sync and then demand
+// durability for exactly their own end LSN, so demands of every size race
+// through the registration/handoff path (larger arrivals overtaking smaller
+// parked ones). The ledger must stay exact — every demand leads or is
+// absorbed, sync_requests == syncs + commits_absorbed — and the watermark
+// must cover the appended end with nothing lost.
+TEST_F(GroupCommitWatermarkTest, StaggeredDemandsKeepTheSyncLedgerExact) {
+  constexpr int kThreads = 8;
+  constexpr int kAppendsPerThread = 40;
+  WalStream stream(dir_ + "/wal", 0, WalOptions{}, keys_.get());
+  ASSERT_TRUE(stream.Open().ok());
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAppendsPerThread; ++i) {
+        const RowId row = static_cast<RowId>(t * kAppendsPerThread + i + 1);
+        const WalRecord record = MakeInsert(row, row);
+        Lsn end = 0;
+        if (!stream.AppendBatch({&record}, /*sync=*/false, &end).ok() ||
+            !stream.SyncThrough(end).ok()) {
+          ++errors;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_EQ(errors.load(), 0);
+
+  const WalStream::Stats stats = stream.stats();
+  EXPECT_EQ(stats.sync_requests,
+            static_cast<uint64_t>(kThreads) * kAppendsPerThread);
+  EXPECT_EQ(stats.sync_requests, stats.syncs + stats.commits_absorbed);
+  EXPECT_EQ(stream.synced_lsn(), stream.next_lsn());
+  size_t replayed = 0;
+  ASSERT_TRUE(stream
+                  .Replay(0,
+                          [&](const WalRecord&, Lsn) {
+                            ++replayed;
+                            return Status::OK();
+                          })
+                  .ok());
+  EXPECT_EQ(replayed, static_cast<size_t>(kThreads) * kAppendsPerThread);
+}
+
 INSTANTIATE_TEST_SUITE_P(AllPrivacyModes, WalTornTailTest,
                          ::testing::Values(WalPrivacyMode::kPlain,
                                            WalPrivacyMode::kScrub,
