@@ -19,31 +19,43 @@ SystemClock::SystemClock() : epoch_(SteadyNow()) {}
 
 Micros SystemClock::NowMicros() const { return SteadyNow() - epoch_; }
 
-Micros SystemClock::WaitUntil(Micros deadline) {
+uint64_t SystemClock::WakeToken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wake_gen_;
+}
+
+Micros SystemClock::WaitUntil(Micros deadline, uint64_t token) {
   std::unique_lock<std::mutex> lock(mu_);
   const Micros now = NowMicros();
-  if (now >= deadline) return now;
-  cv_.wait_for(lock, std::chrono::microseconds(deadline - now));
+  if (now >= deadline || wake_gen_ != token) return now;
+  cv_.wait_for(lock, std::chrono::microseconds(deadline - now),
+               [&] { return wake_gen_ != token; });
   return NowMicros();
 }
 
 void SystemClock::WakeAll() {
   std::lock_guard<std::mutex> lock(mu_);
+  ++wake_gen_;
   cv_.notify_all();
 }
 
-Micros VirtualClock::WaitUntil(Micros deadline) {
+uint64_t VirtualClock::WakeToken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wake_gen_;
+}
+
+Micros VirtualClock::WaitUntil(Micros deadline, uint64_t token) {
   std::unique_lock<std::mutex> lock(mu_);
   // Virtual time only moves when Advance* is called, so wait for either the
-  // deadline to be reached or an explicit wake.
-  cv_.wait(lock, [&] { return NowMicros() >= deadline || woken_; });
-  woken_ = false;
+  // deadline to be reached or a wake issued after `token` was captured.
+  cv_.wait(lock,
+           [&] { return NowMicros() >= deadline || wake_gen_ != token; });
   return NowMicros();
 }
 
 void VirtualClock::WakeAll() {
   std::lock_guard<std::mutex> lock(mu_);
-  woken_ = true;
+  ++wake_gen_;
   cv_.notify_all();
 }
 

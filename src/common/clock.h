@@ -35,12 +35,24 @@ class Clock {
   /// Current time in microseconds since the clock's epoch.
   virtual Micros NowMicros() const = 0;
 
-  /// Blocks until `NowMicros() >= deadline` or `WakeAll()` is called.
-  /// Returns the time observed on wake-up.
-  virtual Micros WaitUntil(Micros deadline) = 0;
+  /// Snapshot of the wake generation. Background loops capture a token
+  /// BEFORE re-checking the condition they sleep on (running flags, next
+  /// deadline) and pass it to WaitUntil: a WakeAll landing in the gap
+  /// between the check and the park then returns the wait immediately
+  /// instead of being lost — the classic missed-wakeup on shutdown.
+  virtual uint64_t WakeToken() const = 0;
+
+  /// Blocks until `NowMicros() >= deadline` or `WakeAll()` is called after
+  /// `token` was captured. Returns the time observed on wake-up.
+  virtual Micros WaitUntil(Micros deadline, uint64_t token) = 0;
+
+  /// Convenience form with the token captured at call time — only safe for
+  /// callers that re-poll their sleep condition on a bounded cadence.
+  Micros WaitUntil(Micros deadline) { return WaitUntil(deadline, WakeToken()); }
 
   /// Wakes all `WaitUntil` sleepers (used on shutdown and when new, earlier
-  /// deadlines are scheduled).
+  /// deadlines are scheduled). A broadcast: every thread parked at the bump
+  /// wakes, and every token captured before it is expired.
   virtual void WakeAll() = 0;
 };
 
@@ -50,13 +62,16 @@ class SystemClock final : public Clock {
   SystemClock();
 
   Micros NowMicros() const override;
-  Micros WaitUntil(Micros deadline) override;
+  uint64_t WakeToken() const override;
+  using Clock::WaitUntil;
+  Micros WaitUntil(Micros deadline, uint64_t token) override;
   void WakeAll() override;
 
  private:
   Micros epoch_;  // steady_clock offset so times start near zero
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
+  uint64_t wake_gen_ = 0;  // guarded by mu_; see Clock::WakeToken
 };
 
 /// \brief Manually-advanced clock for deterministic tests and benchmarks.
@@ -69,7 +84,9 @@ class VirtualClock final : public Clock {
 
   Micros NowMicros() const override { return now_.load(std::memory_order_acquire); }
 
-  Micros WaitUntil(Micros deadline) override;
+  uint64_t WakeToken() const override;
+  using Clock::WaitUntil;
+  Micros WaitUntil(Micros deadline, uint64_t token) override;
   void WakeAll() override;
 
   /// Moves time forward by `delta` microseconds (must be >= 0).
@@ -79,9 +96,15 @@ class VirtualClock final : public Clock {
 
  private:
   std::atomic<Micros> now_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  bool woken_ = false;  // guarded by mu_; set by WakeAll
+  /// Guarded by mu_; bumped by WakeAll. A generation counter, not a flag:
+  /// every waiter present at the bump wakes (each compares against the
+  /// generation it captured), so one waiter cannot swallow a broadcast
+  /// meant for several — the degrader and the maintenance daemon both park
+  /// on the same clock — and a token captured before the bump expires even
+  /// if its thread had not parked yet.
+  uint64_t wake_gen_ = 0;
 };
 
 }  // namespace instantdb

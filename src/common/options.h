@@ -130,6 +130,42 @@ struct WriteOptions {
   bool sync = false;
 };
 
+/// Configuration of the self-driving maintenance daemon (maintain/
+/// maintenance_daemon.h): background checkpoint cadence plus continuous
+/// deletion-assurance audits. The daemon is what makes the durability/
+/// privacy loop autonomous — without it checkpoints (and therefore WAL
+/// segment retirement, the scrub cadence) only happen when a caller asks.
+struct MaintenanceOptions {
+  /// Start the daemon at Database::Open. Off by default: tests and tools
+  /// that assert exact checkpoint counts drive maintenance explicitly
+  /// (MaintenanceDaemon::RunOnce) or not at all.
+  bool enabled = false;
+  /// Background checkpoint cadence. Each cadence point checkpoints only
+  /// when at least `checkpoint_dirty_threshold` partitions are dirty OR a
+  /// live WAL segment holds a degradable payload past its phase-0 deadline
+  /// (retirement must not wait for new writes). The interval bounds how
+  /// long a retired-able WAL segment can linger, so it should sit at or
+  /// below the shortest phase-0 duration of any table.
+  Micros checkpoint_interval = kMicrosPerSecond;
+  /// Minimum number of dirty partitions before a cadence checkpoint fires;
+  /// below it the cadence point is recorded as skipped-clean. 0 makes every
+  /// cadence point checkpoint unconditionally.
+  uint64_t checkpoint_dirty_threshold = 1;
+  /// Cadence of deletion-assurance audit sweeps (0 disables continuous
+  /// audits; explicit MaintenanceDaemon::RunAuditNow always works).
+  Micros audit_interval = 0;
+  /// Slack an audit grants the degrader/daemon before a value past its
+  /// deadline counts as exposed. 0 (exact) is right on a VirtualClock where
+  /// degradation is pumped; real deployments set it to roughly one
+  /// degradation-pass latency plus one checkpoint interval.
+  Micros audit_grace = 0;
+  /// Bound on how long Database::Close waits for an in-flight caller-driven
+  /// degradation pass to drain before proceeding with the final checkpoint
+  /// (the close is safe either way — checkpoints are fuzzy — but an orderly
+  /// shutdown prefers quiescence).
+  Micros close_quiesce_timeout = 5 * kMicrosPerSecond;
+};
+
 }  // namespace instantdb
 
 #endif  // INSTANTDB_COMMON_OPTIONS_H_

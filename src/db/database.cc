@@ -1,7 +1,9 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <cassert>
 #include <set>
+#include <shared_mutex>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -96,6 +98,13 @@ Status Database::OpenImpl() {
   if (options_.degradation.background_thread) {
     IDB_RETURN_IF_ERROR(degrader_->Start());
   }
+
+  // The daemon object always exists — pumped tests drive RunOnce and
+  // Audit() without a thread; only `enabled` spawns the scheduler.
+  maintenance_ = std::make_unique<MaintenanceDaemon>(this, options_.maintenance);
+  if (options_.maintenance.enabled) {
+    IDB_RETURN_IF_ERROR(maintenance_->Start());
+  }
   return Status::OK();
 }
 
@@ -149,6 +158,9 @@ Status Database::Recover() {
 
 Result<const TableDef*> Database::CreateTable(const std::string& name,
                                               Schema schema) {
+  // Exclusive against the daemon's background readers of tables_ (cadence
+  // checkpoints, dirty polls, audit sweeps).
+  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
   IDB_ASSIGN_OR_RETURN(const TableDef* def,
                        catalog_->CreateTable(name, std::move(schema)));
   IDB_RETURN_IF_ERROR(catalog_->SaveTo(options_.path + "/CATALOG"));
@@ -161,6 +173,9 @@ Result<const TableDef*> Database::CreateTable(const std::string& name,
 }
 
 Status Database::DropTable(const std::string& name) {
+  // Exclusive DDL lock: an in-progress audit sweep or cadence checkpoint
+  // holds it shared, so the table cannot be destroyed under either.
+  std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
   const TableDef* def = catalog_->GetTable(name);
   if (def == nullptr) return Status::NotFound("no such table: " + name);
   const TableId id = def->id;
@@ -256,6 +271,10 @@ Status Database::Checkpoint() {
   // Incremental flush: only partitions mutated since their last flush do
   // I/O, fanned out over the degradation pool size — so one large cold
   // table no longer stalls the retirement cadence scrubbing depends on.
+  // The shared DDL lock pins the table set for the whole flush: the daemon
+  // checkpoints from its scheduler thread, and a concurrent DropTable must
+  // not destroy a partition mid-flush.
+  std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
   std::vector<TablePartition*> units;
   for (auto& [id, table] : tables_) {
     for (uint32_t p = 0; p < table->num_partitions(); ++p) {
@@ -301,6 +320,26 @@ Status Database::Checkpoint() {
   return wal_->LogCheckpointAll(low_water).status();
 }
 
+uint64_t Database::DirtyPartitions() const {
+  std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+  uint64_t dirty = 0;
+  for (const auto& [id, table] : tables_) {
+    for (uint32_t p = 0; p < table->num_partitions(); ++p) {
+      if (table->partition(p)->dirty()) ++dirty;
+    }
+  }
+  return dirty;
+}
+
+AuditReport Database::RunAuditSweep(const DeletionAuditor& auditor, Micros now,
+                                    Micros grace) const {
+  std::shared_lock<std::shared_mutex> ddl(ddl_mu_);
+  std::vector<Table*> tables;
+  tables.reserve(tables_.size());
+  for (const auto& [id, table] : tables_) tables.push_back(table.get());
+  return auditor.Run(tables, now, grace);
+}
+
 Database::Stats Database::stats() const {
   Stats stats;
   stats.wal = wal_->stats();
@@ -315,6 +354,7 @@ Database::Stats Database::stats() const {
       checkpoint_partitions_flushed_.load(std::memory_order_relaxed);
   stats.checkpoint_partitions_clean =
       checkpoint_partitions_clean_.load(std::memory_order_relaxed);
+  if (maintenance_ != nullptr) stats.maintenance = maintenance_->stats();
   return stats;
 }
 
@@ -325,7 +365,20 @@ Result<size_t> Database::RunDegradationOnce() {
 Status Database::Close() {
   if (closed_) return Status::OK();
   closed_ = true;
+  // Shutdown order contract (see the header): the maintenance daemon stops
+  // FIRST so no new background checkpoint or audit can start while the
+  // engine drains; then the degrader's thread; then a bounded quiesce for
+  // any still-in-flight caller-pumped pass; only then the final checkpoint.
+  if (maintenance_ != nullptr) maintenance_->Stop();
   degrader_->Stop();
+  if (!degrader_->Quiesce(options_.maintenance.close_quiesce_timeout)) {
+    // Not fatal: checkpoints are fuzzy, so the final checkpoint is correct
+    // against in-flight work — an orderly close just prefers quiescence.
+    IDB_WARN("Close: degrader did not quiesce within %lld us",
+             static_cast<long long>(options_.maintenance.close_quiesce_timeout));
+  }
+  assert(maintenance_ == nullptr || !maintenance_->running());
+  assert(!degrader_->running());
   return Checkpoint();
 }
 

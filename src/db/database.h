@@ -4,13 +4,16 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "catalog/catalog.h"
 #include "common/options.h"
 #include "db/table.h"
 #include "db/write_batch.h"
 #include "degrade/degradation_engine.h"
+#include "maintain/maintenance_daemon.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
 #include "wal/wal_manager.h"
@@ -23,6 +26,11 @@ struct DbOptions {
   StorageOptions storage;
   WalOptions wal;
   DegradationOptions degradation;
+  /// Self-driving maintenance: background checkpoint cadence + continuous
+  /// deletion-assurance audits (maintain/maintenance_daemon.h). The daemon
+  /// object always exists (pumped tests drive it via RunOnce); the
+  /// scheduler thread starts only when `maintenance.enabled`.
+  MaintenanceOptions maintenance;
   DegradableLayout layout = DegradableLayout::kStateStores;
   /// Hash-partitions of the row-id space per table. 1 (the default) keeps
   /// the unpartitioned on-disk layout; higher values let scans, batched
@@ -63,7 +71,16 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Flushes, checkpoints and stops the degrader. Called by the destructor.
+  /// Orderly shutdown, called by the destructor and safe to call twice.
+  /// The shutdown order is a contract (asserted in the implementation):
+  ///   1. maintenance daemon stops — no new background checkpoint or audit
+  ///      can start;
+  ///   2. the degrader's background thread stops;
+  ///   3. bounded quiesce (MaintenanceOptions::close_quiesce_timeout) drains
+  ///      any still-in-flight caller-pumped degradation pass;
+  ///   4. a final checkpoint runs against the settled state.
+  /// A quiesce timeout is logged, not fatal — checkpoints are fuzzy, so the
+  /// final checkpoint is correct against in-flight work too.
   Status Close();
 
   // --- DDL -------------------------------------------------------------------
@@ -117,6 +134,23 @@ class Database {
   /// Pumped degradation: run everything due at the clock's current time.
   Result<size_t> RunDegradationOnce();
 
+  /// Partitions with mutations applied since their last checkpoint flush
+  /// (latch-free poll; the daemon's cadence test). Taken under the shared
+  /// DDL lock so a concurrent CreateTable/DropTable can't invalidate the
+  /// table map mid-count.
+  uint64_t DirtyPartitions() const;
+
+  /// Runs `auditor` over every live table while holding the DDL lock
+  /// shared, so a concurrent DropTable cannot destroy a table mid-sweep
+  /// (the daemon's audit entry point; tests go through Audit()).
+  AuditReport RunAuditSweep(const DeletionAuditor& auditor, Micros now,
+                            Micros grace) const;
+
+  /// On-demand deletion-assurance sweep at the clock's current time
+  /// (cadence-independent; MaintenanceDaemon::RunAuditNow). The report's
+  /// Verify() is the hard-fail form.
+  AuditReport Audit() { return maintenance_->RunAuditNow(); }
+
   // --- statistics ----------------------------------------------------------------
 
   /// Read-path counters (snapshot in Stats::scan). Benches read parallel
@@ -155,6 +189,9 @@ class Database {
     uint64_t checkpoints = 0;
     uint64_t checkpoint_partitions_flushed = 0;
     uint64_t checkpoint_partitions_clean = 0;
+    /// Maintenance daemon: cadence checkpoints run/skipped/forced, audits
+    /// run/failed, rows swept, worst attack window seen.
+    MaintenanceDaemon::Stats maintenance;
   };
   Stats stats() const;
 
@@ -173,6 +210,7 @@ class Database {
   LockManager* lock_manager() const { return locks_.get(); }
   TransactionManager* txn_manager() const { return tm_.get(); }
   DegradationEngine* degradation() const { return degrader_.get(); }
+  MaintenanceDaemon* maintenance() const { return maintenance_.get(); }
   const DbOptions& options() const { return options_; }
 
  private:
@@ -193,6 +231,12 @@ class Database {
   std::unique_ptr<LockManager> locks_;
   std::unique_ptr<TransactionManager> tm_;
   std::unique_ptr<DegradationEngine> degrader_;
+  std::unique_ptr<MaintenanceDaemon> maintenance_;
+  /// Guards the table map against the maintenance daemon: DDL takes it
+  /// exclusive, the daemon-driven paths (Checkpoint's unit collection,
+  /// DirtyPartitions, SnapshotTables-based audits) take it shared — the
+  /// first background readers of `tables_` this engine has had.
+  mutable std::shared_mutex ddl_mu_;
   std::map<TableId, std::unique_ptr<Table>> tables_;
   /// Read-path counters (exposed via Stats::scan); atomics because scan
   /// workers and concurrent sessions bump them in parallel.

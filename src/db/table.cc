@@ -137,6 +137,14 @@ Result<RowId> Table::Insert(Transaction* txn, const std::vector<Value>& row) {
     } else {
       record.degradable.push_back(row[idx]);
     }
+    // Earliest phase-0 deadline this record's payload carries: the WAL
+    // streams fold it into a per-segment minimum for the deletion-assurance
+    // audit ("does any live segment hold an accurate value past its
+    // deadline?").
+    const Micros phase0 = col.lcp.PhaseEndOffset(0);
+    if (phase0 != kForever) {
+      record.payload_deadline = std::min(record.payload_deadline, now + phase0);
+    }
   }
   std::vector<Value> stable = record.stable;
   std::vector<Value> degradable = record.degradable;

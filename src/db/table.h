@@ -208,6 +208,12 @@ class Table {
   Status RedoDelete(const WalRecord& record);
   Status RedoUpdateStable(const WalRecord& record);
 
+  /// min over partitions of the phase-0 head insert times: every insert at
+  /// or before this instant has left the accurate state in all partitions.
+  /// Drives both epoch-key destruction (RunDegradationStep) and the
+  /// deletion-assurance audit's lingering-key probe.
+  Micros SafeEpochTime() const;
+
   using Stats = TablePartition::Stats;
   /// Aggregated over partitions; each partition snapshot is taken under its
   /// shared latch.
@@ -222,8 +228,6 @@ class Table {
   TablePartition* Route(RowId row_id) const {
     return partitions_[PartitionOf(row_id)].get();
   }
-  /// min over partitions of SafeEpochTime (phase-0 head insert times).
-  Micros SafeEpochTime() const;
 
   const TableDef* const def_;
   const std::string dir_;

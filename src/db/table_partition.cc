@@ -209,14 +209,14 @@ Result<bool> TablePartition::CheckpointIfDirty(
   std::lock_guard<std::mutex> ckpt(ckpt_mu_);
   const uint64_t seq = mutation_seq_.load(std::memory_order_acquire);
   bool flushed = false;
-  if (seq != flushed_seq_) {
+  if (seq != flushed_seq_.load(std::memory_order_relaxed)) {
     IDB_RETURN_IF_ERROR(Checkpoint());
     // Mutations cannot land mid-flush (they need the exclusive latch), so
     // the flush covered everything through `seq`. A mutation applying
     // between the load above and the flush's latch acquisition is also on
     // disk now but stays conservatively unaccounted — the partition reads
     // as dirty again next time and re-flushes.
-    flushed_seq_ = seq;
+    flushed_seq_.store(seq, std::memory_order_release);
     flushed = true;
   }
   // Flushed or clean, the durable state now covers every record below the
@@ -836,6 +836,53 @@ Micros TablePartition::SafeEpochTime() const {
     safe = std::min(safe, head);
   }
   return safe;
+}
+
+TablePartition::IndexAuditCounts TablePartition::AuditIndexes() const {
+  IndexAuditCounts counts;
+  if (multires_.empty()) return counts;
+  // ONE shared-latch acquisition for the whole reconciliation: degrade
+  // steps move store entries and index postings together under the
+  // exclusive latch, so any two-acquisition scheme would race a live
+  // degrader into false positives.
+  std::shared_lock<std::shared_mutex> latch(latch_);
+  const auto& degradable = schema().degradable_columns();
+  std::vector<std::vector<uint64_t>> actual(degradable.size());
+  for (size_t d = 0; d < degradable.size(); ++d) {
+    const int num_phases = schema().column(degradable[d]).lcp.num_phases();
+    actual[d].assign(num_phases, 0);
+    if (runtime_.layout == DegradableLayout::kStateStores) {
+      for (int p = 0; p < num_phases; ++p) actual[d][p] = stores_[d][p]->size();
+    }
+  }
+  if (runtime_.layout == DegradableLayout::kInPlace) {
+    // The schedule queues are lazy (deleted rows linger until their phase
+    // mismatch is seen), so the heap is the authority on phase membership.
+    for (const auto& [row_id, rid] : row_map_) {
+      auto record = heap_->Get(rid);
+      if (!record.ok()) continue;
+      HeapTuple tuple;
+      if (!DecodeHeapTuple(schema(), runtime_.layout, *record, &tuple).ok()) {
+        continue;
+      }
+      for (size_t d = 0; d < tuple.degradable.size(); ++d) {
+        const int phase = tuple.degradable[d].phase;
+        if (phase < static_cast<int>(actual[d].size())) ++actual[d][phase];
+      }
+    }
+  }
+  for (size_t d = 0; d < degradable.size(); ++d) {
+    for (size_t p = 0; p < actual[d].size(); ++p) {
+      const uint64_t indexed = multires_[d]->EntriesInPhase(static_cast<int>(p));
+      if (indexed > actual[d][p]) {
+        // Postings claiming accuracy the data has lost: the privacy breach.
+        counts.stale += indexed - actual[d][p];
+      } else {
+        counts.missing += actual[d][p] - indexed;
+      }
+    }
+  }
+  return counts;
 }
 
 TablePartition::Stats TablePartition::stats() const {

@@ -217,6 +217,29 @@ class TablePartition {
       tuples_expired += other.tuples_expired;
     }
   };
+  /// True when a mutation applied since the last CheckpointIfDirty flush.
+  /// Latch-free (two relaxed atomic loads): the maintenance daemon polls
+  /// every partition each cadence point. May transiently read dirty for a
+  /// partition a concurrent checkpoint is flushing right now — the daemon's
+  /// extra checkpoint then finds it clean, which is benign.
+  bool dirty() const {
+    return mutation_seq_.load(std::memory_order_acquire) !=
+           flushed_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Deletion-assurance probe (maintain/audit.h): per-phase index-vs-storage
+  /// reconciliation under ONE shared-latch acquisition, so a concurrent
+  /// degrade step (which moves store entries and index postings together
+  /// under the exclusive latch) can never be observed halfway. For every
+  /// (degradable column, phase): `stale` counts index entries above what the
+  /// phase's store (or in-place schedule queue) actually holds — postings
+  /// still claiming accuracy the data has lost — and `missing` the opposite.
+  struct IndexAuditCounts {
+    uint64_t stale = 0;
+    uint64_t missing = 0;
+  };
+  IndexAuditCounts AuditIndexes() const;
+
   /// Snapshot under the shared latch (safe against a concurrent degrader).
   Stats stats() const;
   /// Copy of the lateness histogram under the shared latch.
@@ -276,7 +299,9 @@ class TablePartition {
   /// stable updates), bumped under the exclusive latch. The dirty test is
   /// `mutation_seq_ != flushed_seq_`.
   std::atomic<uint64_t> mutation_seq_{0};
-  uint64_t flushed_seq_ = 0;         // under ckpt_mu_
+  /// Written under ckpt_mu_; atomic so dirty() can poll it latch-free (the
+  /// maintenance daemon's cadence test must not contend with checkpoints).
+  std::atomic<uint64_t> flushed_seq_{0};
   std::vector<Lsn> clean_through_;   // under ckpt_mu_
   std::unordered_map<RowId, Rid> row_map_;
   RowId max_row_id_ = 0;

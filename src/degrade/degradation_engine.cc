@@ -1,6 +1,7 @@
 #include "degrade/degradation_engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 
@@ -27,7 +28,23 @@ void DegradationEngine::UnregisterTable(TableId id) {
   // erase; wait for it to drain so the caller can safely destroy the table.
   // (mu_ is released first — RunDue acquires mu_ while holding run_mu_
   // shared, so holding both here would deadlock.)
-  std::unique_lock<std::shared_mutex> quiesce(run_mu_);
+  std::unique_lock<std::shared_timed_mutex> quiesce(run_mu_);
+}
+
+bool DegradationEngine::Quiesce(Micros max_wait) {
+  std::unique_lock<std::shared_timed_mutex> quiesce(run_mu_, std::defer_lock);
+  if (!quiesce.try_lock_for(std::chrono::microseconds(max_wait))) return false;
+  return true;
+}
+
+void DegradationEngine::TEST_FaultSkipPartition(TableId table,
+                                                uint32_t partition, bool skip) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (skip) {
+    fault_skip_.emplace(table, partition);
+  } else {
+    fault_skip_.erase({table, partition});
+  }
 }
 
 Micros DegradationEngine::NextDeadline() const {
@@ -51,7 +68,7 @@ Result<size_t> DegradationEngine::RunDue(Micros now) {
 
   // Tables snapshotted below stay alive for the whole pass: UnregisterTable
   // blocks on this until we return.
-  std::shared_lock<std::shared_mutex> running(run_mu_);
+  std::shared_lock<std::shared_timed_mutex> running(run_mu_);
 
   size_t total = 0;
   Stats delta;  // batched into stats_ once per RunDue, not per step
@@ -67,6 +84,9 @@ Result<size_t> DegradationEngine::RunDue(Micros now) {
       std::lock_guard<std::mutex> lock(mu_);
       for (auto& [id, table] : tables_) {
         for (uint32_t p = 0; p < table->num_partitions(); ++p) {
+          if (!fault_skip_.empty() && fault_skip_.count({id, p}) != 0) {
+            continue;  // injected fault: leave this unit's work stale
+          }
           if (table->PartitionHasWorkAt(p, now)) units.push_back({table, p});
         }
       }
@@ -150,7 +170,14 @@ void DegradationEngine::Stop() {
 }
 
 void DegradationEngine::BackgroundLoop() {
-  while (running_.load(std::memory_order_acquire)) {
+  for (;;) {
+    // Token before the running_ check and the deadline computation: a
+    // Stop() or a RegisterTable()'s earlier-deadline WakeAll landing after
+    // this line expires the token, so WaitUntil returns immediately instead
+    // of sleeping through the wake (the missed-wakeup window between
+    // deciding to sleep and parking).
+    const uint64_t token = clock_->WakeToken();
+    if (!running_.load(std::memory_order_acquire)) break;
     const Micros now = clock_->NowMicros();
     const Micros deadline = NextDeadline();
     if (deadline <= now) {
@@ -160,7 +187,8 @@ void DegradationEngine::BackgroundLoop() {
       }
       continue;
     }
-    clock_->WaitUntil(deadline == kForever ? now + kMicrosPerHour : deadline);
+    clock_->WaitUntil(deadline == kForever ? now + kMicrosPerHour : deadline,
+                      token);
   }
 }
 

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <map>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -62,6 +64,21 @@ class DegradationEngine {
   /// Background-thread mode.
   Status Start();
   void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Bounded quiesce: waits up to `max_wait` for an in-flight RunDue pass
+  /// (caller-pumped or background) to drain, returning true when the engine
+  /// is quiescent and false on timeout. Database::Close uses it after
+  /// stopping the background thread so the final checkpoint runs against a
+  /// settled state; the close is safe either way (checkpoints are fuzzy).
+  bool Quiesce(Micros max_wait);
+
+  /// Fault injection (tests only): while set, RunDue never schedules the
+  /// (table, partition) unit, so its overdue values stay stale — the planted
+  /// exposure a deletion-assurance audit must catch. Use with the pumped
+  /// drive mode: a background coordinator would busy-spin on the skipped
+  /// partition's permanently-overdue deadline.
+  void TEST_FaultSkipPartition(TableId table, uint32_t partition, bool skip);
 
   struct Stats {
     uint64_t passes = 0;  // RunDue invocations that found due work
@@ -81,11 +98,14 @@ class DegradationEngine {
   mutable std::mutex mu_;
   std::map<TableId, Table*> tables_;
   Stats stats_;
+  /// (table, partition) units RunDue must skip (TEST_FaultSkipPartition).
+  std::set<std::pair<TableId, uint32_t>> fault_skip_;
 
   /// Held shared for the duration of a RunDue pass (whose workers step raw
   /// Table* outside mu_); UnregisterTable acquires it exclusively to
-  /// quiesce before the table is destroyed.
-  mutable std::shared_mutex run_mu_;
+  /// quiesce before the table is destroyed (Quiesce does the same with a
+  /// deadline, hence the _timed variant).
+  mutable std::shared_timed_mutex run_mu_;
 
   std::thread thread_;
   std::atomic<bool> running_{false};

@@ -13,6 +13,10 @@
 ///  - Database — engine facade (storage, WAL, transactions, degrader).
 ///  - Session — SQL with DECLARE PURPOSE accuracy binding.
 ///  - Mondrian — k-anonymity comparison baseline.
+///  - MaintenanceDaemon / AuditReport — self-driving checkpoint cadence and
+///    deletion-assurance audits that *prove* data past its deadline is gone
+///    (enable with DbOptions::maintenance.enabled; verify with
+///    Database::Audit().Verify()).
 ///
 /// Scalable read/write surfaces (designed for high-rate append streams and
 /// bounded-memory consumers):
@@ -42,6 +46,8 @@
 #include "db/table.h"
 #include "db/write_batch.h"
 #include "degrade/degradation_engine.h"
+#include "maintain/audit.h"
+#include "maintain/maintenance_daemon.h"
 #include "query/cursor.h"
 #include "query/prepared_statement.h"
 #include "query/session.h"

@@ -1,0 +1,140 @@
+#include "maintain/maintenance_daemon.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "db/database.h"
+
+namespace instantdb {
+
+MaintenanceDaemon::MaintenanceDaemon(Database* db,
+                                     const MaintenanceOptions& options)
+    : db_(db),
+      options_(options),
+      auditor_(db->wal(), db->options().degradation.worker_threads) {}
+
+MaintenanceDaemon::~MaintenanceDaemon() { Stop(); }
+
+Status MaintenanceDaemon::Start() {
+  if (running_.exchange(true)) return Status::OK();
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void MaintenanceDaemon::Stop() {
+  if (!running_.exchange(false)) return;
+  db_->clock()->WakeAll();
+  if (thread_.joinable()) thread_.join();
+}
+
+void MaintenanceDaemon::Pause() {
+  paused_.store(true, std::memory_order_release);
+}
+
+void MaintenanceDaemon::Resume() {
+  paused_.store(false, std::memory_order_release);
+  db_->clock()->WakeAll();
+}
+
+Status MaintenanceDaemon::RunOnce(Micros now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (paused_.load(std::memory_order_acquire)) {
+    // Deadlines advance with no work: Resume picks up the NEXT cadence
+    // point instead of replaying a backlog of missed ones.
+    if (now >= next_checkpoint_due_) {
+      next_checkpoint_due_ = now + options_.checkpoint_interval;
+    }
+    if (now >= next_audit_due_) next_audit_due_ = now + options_.audit_interval;
+    return Status::OK();
+  }
+  Status status;
+  if (options_.checkpoint_interval > 0 && now >= next_checkpoint_due_) {
+    next_checkpoint_due_ = now + options_.checkpoint_interval;
+    status = CheckpointIfWorthwhile(now);
+  }
+  if (options_.audit_interval > 0 && now >= next_audit_due_) {
+    next_audit_due_ = now + options_.audit_interval;
+    const AuditReport report = RunAuditLocked(now);
+    if (!report.clean()) {
+      IDB_ERROR("maintenance audit found exposure: %s",
+                report.ToString().c_str());
+    }
+  }
+  return status;
+}
+
+Status MaintenanceDaemon::CheckpointIfWorthwhile(Micros now) {
+  const uint64_t dirty = db_->DirtyPartitions();
+  // WAL payload-deadline pressure: a live segment still holds an accurate
+  // insert payload past its phase-0 deadline. Checkpointing rotates and
+  // retires it (scrub/unlink per the privacy mode) — this is what keeps
+  // log hygiene tracking the degradation deadlines when no new writes
+  // arrive to dirty a partition.
+  const bool wal_pressure =
+      db_->wal()->AuditExposure(now).exposed_segments > 0;
+  if (dirty < options_.checkpoint_dirty_threshold && !wal_pressure) {
+    ++stats_.checkpoints_skipped_clean;
+    return Status::OK();
+  }
+  IDB_RETURN_IF_ERROR(db_->Checkpoint());
+  ++stats_.checkpoints;
+  if (wal_pressure && dirty < options_.checkpoint_dirty_threshold) {
+    ++stats_.forced_checkpoints;
+  }
+  return Status::OK();
+}
+
+AuditReport MaintenanceDaemon::RunAuditLocked(Micros now) {
+  const AuditReport report =
+      db_->RunAuditSweep(auditor_, now, options_.audit_grace);
+  ++stats_.audits;
+  if (!report.clean()) ++stats_.audits_failed;
+  stats_.audit_rows_scanned += report.rows_scanned;
+  stats_.max_exposure_seen =
+      std::max(stats_.max_exposure_seen, report.max_exposure);
+  stats_.last_audit = now;
+  last_report_ = report;
+  return report;
+}
+
+AuditReport MaintenanceDaemon::RunAuditNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RunAuditLocked(db_->clock()->NowMicros());
+}
+
+void MaintenanceDaemon::Loop() {
+  for (;;) {
+    // Token before the running_ check: a Stop() (or Resume()) landing
+    // anywhere after this line expires the token, so the WaitUntil below
+    // returns immediately instead of sleeping through the shutdown wake.
+    const uint64_t token = db_->clock()->WakeToken();
+    if (!running_.load(std::memory_order_acquire)) break;
+    const Micros now = db_->clock()->NowMicros();
+    const Status status = RunOnce(now);
+    if (!status.ok()) {
+      IDB_ERROR("maintenance step failed: %s", status.ToString().c_str());
+    }
+    Micros wake = kForever;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (options_.checkpoint_interval > 0) {
+        wake = std::min(wake, next_checkpoint_due_);
+      }
+      if (options_.audit_interval > 0) wake = std::min(wake, next_audit_due_);
+    }
+    db_->clock()->WaitUntil(wake == kForever ? now + kMicrosPerHour : wake,
+                            token);
+  }
+}
+
+MaintenanceDaemon::Stats MaintenanceDaemon::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+AuditReport MaintenanceDaemon::last_report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_report_;
+}
+
+}  // namespace instantdb

@@ -1,0 +1,129 @@
+#ifndef INSTANTDB_MAINTAIN_MAINTENANCE_DAEMON_H_
+#define INSTANTDB_MAINTAIN_MAINTENANCE_DAEMON_H_
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/options.h"
+#include "common/status.h"
+#include "maintain/audit.h"
+
+namespace instantdb {
+
+class Database;
+
+/// \brief The self-driving maintenance daemon: one scheduler thread that
+/// makes the durability/privacy loop autonomous — and auditable — instead
+/// of caller-driven (ROADMAP item 5).
+///
+/// Three cooperating services under one MaintenanceOptions-configured
+/// cadence:
+///
+///  1. *Background checkpoint cadence.* Every `checkpoint_interval` the
+///     daemon polls the per-partition dirty bits (TablePartition::dirty —
+///     two atomic loads per partition, no latches) and runs the existing
+///     incremental Database::Checkpoint when at least
+///     `checkpoint_dirty_threshold` partitions are dirty. A cadence point is
+///     also FORCED — dirty or not — when a live WAL segment still holds an
+///     accurate insert payload past its phase-0 deadline
+///     (WalManager::AuditExposure): segment retirement, and with it the
+///     kScrub/kEncryptedEpoch privacy cadence, must track degradation
+///     deadlines even when no new writes arrive to dirty a partition.
+///  2. *Continuous deletion-assurance audits.* Every `audit_interval` (0 =
+///     on demand only) a DeletionAuditor sweep proves every value past its
+///     deadline is degraded or destroyed across stores, indexes, WAL
+///     segments and epoch keys. Findings land in stats() /
+///     Database::stats().maintenance; a failed audit is counted and logged,
+///     and the full hard-fail report is available via RunAuditNow().
+///  3. *Policy hooks.* Pause()/Resume() gate both services (cadence points
+///     pass with no work while paused); RunOnce(now) drives the whole
+///     scheduler deterministically on a VirtualClock — it is the exact
+///     function the background thread loops on, so tests exercise the real
+///     cadence logic, not a test-only twin.
+///
+/// Lifecycle: the Database constructs one unconditionally (so pumped tests
+/// can RunOnce without a thread) and Start()s it only when
+/// MaintenanceOptions::enabled. Database::Close stops the daemon FIRST —
+/// before the degrader — so no new checkpoint or audit can start while the
+/// engine drains (the shutdown-order contract asserted in Close).
+class MaintenanceDaemon {
+ public:
+  struct Stats {
+    /// Cadence checkpoints that ran (dirty threshold met or forced).
+    uint64_t checkpoints = 0;
+    /// Cadence points skipped because too few partitions were dirty.
+    uint64_t checkpoints_skipped_clean = 0;
+    /// Checkpoints forced below the dirty threshold by WAL payload-deadline
+    /// pressure (a live segment held an overdue accurate value).
+    uint64_t forced_checkpoints = 0;
+    uint64_t audits = 0;
+    uint64_t audits_failed = 0;
+    uint64_t audit_rows_scanned = 0;
+    /// Worst attack window any audit has seen (monotone high-water mark).
+    Micros max_exposure_seen = 0;
+    /// Clock instant of the most recent completed audit (0 = none yet).
+    Micros last_audit = 0;
+  };
+
+  MaintenanceDaemon(Database* db, const MaintenanceOptions& options);
+  ~MaintenanceDaemon();
+  MaintenanceDaemon(const MaintenanceDaemon&) = delete;
+  MaintenanceDaemon& operator=(const MaintenanceDaemon&) = delete;
+
+  /// Spawns the scheduler thread (idempotent).
+  Status Start();
+  /// Stops and joins the scheduler thread; RunOnce keeps working after.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Policy hooks: while paused, cadence points pass without checkpointing
+  /// or auditing (deadlines still advance, so Resume doesn't replay a
+  /// backlog of missed cadence points).
+  void Pause();
+  void Resume();
+  bool paused() const { return paused_.load(std::memory_order_acquire); }
+
+  /// One deterministic scheduler step at clock time `now`: runs whichever
+  /// services' cadence deadlines have passed and advances them. This is
+  /// the body of the background loop; tests on a VirtualClock call it
+  /// directly after Advance().
+  Status RunOnce(Micros now);
+
+  /// Unconditional deletion-assurance sweep at the clock's current time,
+  /// cadence-independent. The returned report's Verify() is the hard-fail
+  /// API the acceptance tests assert on.
+  AuditReport RunAuditNow();
+
+  Stats stats() const;
+  /// Most recent completed audit report (default-constructed before any).
+  AuditReport last_report() const;
+
+ private:
+  void Loop();
+  /// Cadence checkpoint decision + execution (see class comment, service 1).
+  Status CheckpointIfWorthwhile(Micros now);
+  AuditReport RunAuditLocked(Micros now);
+
+  Database* const db_;
+  const MaintenanceOptions options_;
+  DeletionAuditor auditor_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> paused_{false};
+  std::thread thread_;
+
+  /// Guards the cadence deadlines, stats and last report. RunOnce holds it
+  /// across a whole step, which also serializes a pumped RunOnce against
+  /// the background thread if both are (mis)used at once.
+  mutable std::mutex mu_;
+  Micros next_checkpoint_due_ = 0;
+  Micros next_audit_due_ = 0;
+  Stats stats_;
+  AuditReport last_report_;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_MAINTAIN_MAINTENANCE_DAEMON_H_

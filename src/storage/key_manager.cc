@@ -143,6 +143,17 @@ bool KeyManager::IsDestroyed(const std::string& key_id) const {
   return destroyed_.count(key_id) != 0;
 }
 
+void KeyManager::ForEachLiveKeyId(
+    const std::string& prefix,
+    const std::function<void(const std::string&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = keys_.lower_bound(prefix);
+       it != keys_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    fn(it->first);
+  }
+}
+
 size_t KeyManager::live_keys() const {
   std::lock_guard<std::mutex> lock(mu_);
   return keys_.size();

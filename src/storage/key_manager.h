@@ -1,6 +1,7 @@
 #ifndef INSTANTDB_STORAGE_KEY_MANAGER_H_
 #define INSTANTDB_STORAGE_KEY_MANAGER_H_
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -46,6 +47,13 @@ class KeyManager {
   Status Destroy(const std::string& key_id);
 
   bool IsDestroyed(const std::string& key_id) const;
+
+  /// Calls `fn` with every live (present, not destroyed) key id starting
+  /// with `prefix`, in id order. The deletion-assurance audit uses this to
+  /// count epoch keys that outlived their destruction deadline — bounded by
+  /// the live key count, not by elapsed epochs.
+  void ForEachLiveKeyId(const std::string& prefix,
+                        const std::function<void(const std::string&)>& fn) const;
 
   size_t live_keys() const;
   uint64_t keys_destroyed() const;

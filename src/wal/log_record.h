@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/lcp.h"
 #include "catalog/value.h"
 #include "common/clock.h"
 #include "common/result.h"
@@ -67,6 +68,15 @@ struct WalRecord {
 
   // kCheckpoint
   Lsn checkpoint_lsn = 0;
+
+  /// In-memory only (never serialized): earliest phase-0 deadline of the
+  /// accurate degradable values this kInsert record carries — insert_time
+  /// plus the shortest first-phase duration over the row's degradable
+  /// columns, kForever when nothing in the record ever degrades. The WAL
+  /// streams fold it into a per-segment minimum so the deletion-assurance
+  /// audit can ask "does any live segment still hold an accurate value past
+  /// its deadline?" without re-reading the log.
+  Micros payload_deadline = kForever;
 
   // kCommit, sharded WAL only (WalOptions::wal_streams > 1). The global
   // commit sequence number orders commits across streams, and `stream_counts`

@@ -273,6 +273,9 @@ Result<std::vector<Lsn>> WalManager::LogCheckpointAll(
   if (!replay_from.empty() && replay_from.size() != streams_.size()) {
     return Status::InvalidArgument("replay_from size != stream count");
   }
+  // One checkpoint at a time (see checkpoint_mu_): the daemon's cadence and
+  // caller-driven checkpoints would otherwise race the manifest rename.
+  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
   std::vector<Lsn> lsns(streams_.size(), 0);
   for (size_t s = 0; s < streams_.size(); ++s) {
     IDB_ASSIGN_OR_RETURN(
@@ -474,6 +477,38 @@ Status WalManager::DestroyEpochKeysThrough(TableId table, Micros safe_time) {
     ++watermark;
   }
   return Status::OK();
+}
+
+WalManager::ExposureAudit WalManager::AuditExposure(Micros horizon) const {
+  ExposureAudit audit;
+  if (options_.privacy_mode != WalPrivacyMode::kEncryptedEpoch) {
+    for (const auto& stream : streams_) {
+      audit.exposed_segments += stream->ExposedPayloadSegments(horizon);
+    }
+  }
+  if (options_.privacy_mode == WalPrivacyMode::kPlain) {
+    // Every retirement under kPlain renamed the segment and left the bytes
+    // on disk; none has ever been scrubbed.
+    for (const auto& stream : streams_) {
+      audit.unscrubbed_recycled += stream->stats().segments_retired;
+    }
+  }
+  return audit;
+}
+
+uint64_t WalManager::LingeringEpochKeys(TableId table, Micros safe_time) const {
+  if (options_.privacy_mode != WalPrivacyMode::kEncryptedEpoch) return 0;
+  if (safe_time <= 0) return 0;
+  // Epoch e covers [e*epoch, (e+1)*epoch): every epoch ending at or before
+  // safe_time must be dead. Count survivors among the table's live keys.
+  const uint64_t end_epoch = EpochOf(safe_time - 1) + 1;
+  const std::string prefix = StringPrintf("wal.t%u.e", table);
+  uint64_t lingering = 0;
+  keys_->ForEachLiveKeyId(prefix, [&](const std::string& id) {
+    const uint64_t epoch = std::strtoull(id.c_str() + prefix.size(), nullptr, 10);
+    if (epoch < end_epoch) ++lingering;
+  });
+  return lingering;
 }
 
 WalManager::Stats WalManager::stats() const {

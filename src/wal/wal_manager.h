@@ -171,6 +171,31 @@ class WalManager {
     return static_cast<uint64_t>(t) / static_cast<uint64_t>(options_.epoch_micros);
   }
 
+  /// Deletion-assurance probes (maintain/audit.h). `ExposureAudit` covers
+  /// what plaintext-readable log bytes may still hold an accurate value past
+  /// its phase-0 deadline:
+  ///  - `exposed_segments`: live segments whose per-segment payload-deadline
+  ///    minimum is at or before `horizon` (kPlain, kScrub — under
+  ///    kEncryptedEpoch live payloads are ciphertext and exposure is the
+  ///    epoch keys' problem, so the count is 0 by construction).
+  ///  - `unscrubbed_recycled`: segments retired by renaming to `*.recycled`
+  ///    and left on disk (kPlain only). These were never scanned again, so
+  ///    every one is assumed to hold formerly-accurate bytes — the unsafe
+  ///    baseline the audit exists to flag.
+  struct ExposureAudit {
+    uint64_t exposed_segments = 0;
+    uint64_t unscrubbed_recycled = 0;
+  };
+  ExposureAudit AuditExposure(Micros horizon) const;
+
+  /// kEncryptedEpoch: number of live (undestroyed) epoch keys of `table`
+  /// whose epoch ends at or before `safe_time` — keys DestroyEpochKeysThrough
+  /// should already have destroyed. Non-zero means accurate log payloads are
+  /// still decryptable past their deadline. 0 in the other privacy modes.
+  /// Bounded by the keystore's live key count (it enumerates live keys with
+  /// the table's prefix rather than walking all elapsed epochs).
+  uint64_t LingeringEpochKeys(TableId table, Micros safe_time) const;
+
   /// True when epoch keys exist to destroy (kEncryptedEpoch). Lets callers
   /// skip computing the safe-time bound — which walks live phase-0 state —
   /// in the other privacy modes.
@@ -215,6 +240,14 @@ class WalManager {
   /// recovery can order commits across streams. 0 marks "unstamped"
   /// (single-stream and legacy logs, ordered by the log itself).
   std::atomic<uint64_t> next_commit_seq_{1};
+
+  /// Serializes whole checkpoints (rotate → manifest → retire). Multiple
+  /// drivers checkpoint concurrently (the maintenance daemon's cadence vs.
+  /// caller-driven Database::Checkpoint): unserialized, both would write
+  /// CHECKPOINT.tmp and race the rename — and an interleaving could stamp
+  /// an older LSN vector over a newer manifest, regressing the durable
+  /// replay pointer. Appends/syncs never take this.
+  std::mutex checkpoint_mu_;
 
   /// Guards the epoch watermark map (keys are shared across streams).
   mutable std::mutex epoch_mu_;

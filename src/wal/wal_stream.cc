@@ -42,7 +42,9 @@ Status WalStream::Open() {
   std::sort(starts.begin(), starts.end());
   for (Lsn start : starts) {
     IDB_ASSIGN_OR_RETURN(uint64_t size, GetFileSize(SegmentPath(start)));
-    segments_.push_back({start, start + size});
+    // Deadline unknown for bytes recovered from disk: 0 = assume exposed
+    // (empty segments carry nothing and stay kForever via the fixup below).
+    segments_.push_back({start, start + size, /*min_payload_deadline=*/0});
   }
   // Segments are contiguous in LSN space, so a sealed segment's logical end
   // is the next segment's start — a crash between preallocating a fresh
@@ -50,6 +52,9 @@ Status WalStream::Open() {
   // the tail; the successor's name is authoritative.
   for (size_t i = 0; i + 1 < segments_.size(); ++i) {
     segments_[i].end = segments_[i + 1].start;
+  }
+  for (SegmentInfo& segment : segments_) {
+    if (segment.end == segment.start) segment.min_payload_deadline = kForever;
   }
 
   if (!segments_.empty()) {
@@ -142,6 +147,7 @@ WalBlobCipher WalStream::MakeDecryptor(Lsn lsn) const {
 
 WalStream::PendingFrame WalStream::PrepareFrame(const WalRecord& record) const {
   PendingFrame frame;
+  frame.payload_deadline = record.payload_deadline;
   std::string body;
   WalBlobRange range;
   if (options_.privacy_mode == WalPrivacyMode::kEncryptedEpoch &&
@@ -223,6 +229,11 @@ Result<Lsn> WalStream::AppendFramesLocked(std::unique_lock<std::mutex>& lock,
     buffer += frame.bytes;
     lsn += frame.bytes.size();
     ++buffered_records;
+    // Fold the payload deadline into the segment the frame lands in, before
+    // the flush: if the write then fails the commit fails too, but partial
+    // bytes may be on disk — over-reporting exposure is the safe direction.
+    segments_.back().min_payload_deadline =
+        std::min(segments_.back().min_payload_deadline, frame.payload_deadline);
   }
   IDB_RETURN_IF_ERROR(flush());
   return first_lsn;
@@ -347,6 +358,7 @@ Result<Lsn> WalStream::BeginCheckpoint(Lsn replay_from) {
   std::lock_guard<std::mutex> append(append_mu_);
   std::unique_lock<std::mutex> lock(mu_);
   if (replay_from != kLogEnd) replay_from = std::min(replay_from, next_lsn_);
+  const Lsn record_start = next_lsn_;
   WalRecord record;
   record.type = WalRecordType::kCheckpoint;
   record.checkpoint_lsn = replay_from == kLogEnd ? next_lsn_ : replay_from;
@@ -358,7 +370,15 @@ Result<Lsn> WalStream::BeginCheckpoint(Lsn replay_from) {
   // now) are replayed again, idempotently — including the kCheckpoint
   // record itself, which redo ignores. Quiescent form: resume after
   // everything logged so far.
-  const Lsn lsn = replay_from == kLogEnd ? next_lsn_ : replay_from;
+  Lsn lsn = replay_from == kLogEnd ? next_lsn_ : replay_from;
+  // A fuzzy checkpoint with NO records interleaved between the captured
+  // begin position and this kCheckpoint record needs nothing below the
+  // record's end either — replay from there would only re-read the record
+  // redo ignores. Advancing over it lets the rotated-out segment retire on
+  // THIS checkpoint instead of one checkpoint later, which is what keeps
+  // the scrub/unlink cadence inside one checkpoint interval of a payload's
+  // degradation deadline.
+  if (lsn == record_start) lsn = next_lsn_;
   // Rotate so the segment holding pre-checkpoint records (including the
   // accurate values of insert records) becomes retirable — without this,
   // kScrub could never clean the active segment and accurate values would
@@ -396,6 +416,15 @@ Status WalStream::RetireThrough(Lsn lsn) {
     ++stats_.segments_retired;
   }
   return Status::OK();
+}
+
+uint64_t WalStream::ExposedPayloadSegments(Micros horizon) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t exposed = 0;
+  for (const SegmentInfo& segment : segments_) {
+    if (segment.min_payload_deadline <= horizon) ++exposed;
+  }
+  return exposed;
 }
 
 Status WalStream::Replay(

@@ -143,6 +143,16 @@ class WalStream {
   /// Retires every segment fully below `lsn` per the privacy mode.
   Status RetireThrough(Lsn lsn);
 
+  /// Deletion-assurance probe: how many live segments (including the active
+  /// one) may still hold an accurate degradable payload whose phase-0
+  /// deadline is at or before `horizon`. Per-segment minima are folded in at
+  /// append time from WalRecord::payload_deadline; segments already on disk
+  /// at Open are counted conservatively (their contents were never scanned,
+  /// so they are assumed exposed until retirement proves otherwise). A
+  /// checkpoint rotates + retires, so a non-zero count is the audit signal
+  /// that WAL retirement is lagging the degradation deadlines.
+  uint64_t ExposedPayloadSegments(Micros horizon) const;
+
   /// Replays records with LSN >= `from` in stream order. `fn` returning
   /// non-OK aborts the replay with that status.
   Status Replay(Lsn from,
@@ -164,6 +174,9 @@ class WalStream {
     size_t blob_offset = 0;  // into `bytes`; meaningful when blob_length > 0
     size_t blob_length = 0;  // 0 = frame final (CRC already computed)
     ChaCha20::Key key{};     // epoch key for the deferred seal
+    /// Earliest phase-0 deadline of the payload (WalRecord carry-through);
+    /// min-merged into the segment the frame lands in.
+    Micros payload_deadline = kForever;
   };
 
   std::string SegmentPath(Lsn start) const;
@@ -208,6 +221,11 @@ class WalStream {
   struct SegmentInfo {
     Lsn start = 0;
     Lsn end = 0;  // exclusive
+    /// Earliest phase-0 deadline over the accurate degradable payloads
+    /// appended into this segment; kForever when it holds none. Segments
+    /// found on disk at Open get 0 ("unknown — assume exposed"): the audit
+    /// must not vouch for bytes it never saw appended.
+    Micros min_payload_deadline = kForever;
   };
   std::vector<SegmentInfo> segments_;  // sorted by start
   std::unique_ptr<WritableFile> writer_;

@@ -104,6 +104,11 @@ TEST_P(CheckpointFuzzyTest, ConcurrentCheckpointsLoseAndResurrectNothing) {
   VirtualClock clock(0);
   DbOptions options = Options(dir_, &clock);
   options.degradation.background_thread = true;
+  // Third checkpoint driver: the maintenance daemon's cadence fires on
+  // every 10-minute Advance below, so its checkpoints race the manual ones
+  // AND the ingest/degrader threads.
+  options.maintenance.enabled = true;
+  options.maintenance.checkpoint_interval = kMicrosPerMinute;
   auto opened = Database::Open(options);
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   std::unique_ptr<Database> db = std::move(*opened);
@@ -119,6 +124,15 @@ TEST_P(CheckpointFuzzyTest, ConcurrentCheckpointsLoseAndResurrectNothing) {
   ASSERT_TRUE(db->CreateTable("pings", *schema).ok());
 
   std::atomic<int> errors{0};
+  std::mutex error_mu;
+  std::string first_error;  // first failing status, for the assert below
+  auto record_error = [&](const Status& status, const char* who) {
+    ++errors;
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.empty()) {
+      first_error = std::string(who) + ": " + status.ToString();
+    }
+  };
   std::vector<std::thread> writers;
   for (int t = 0; t < kWriters; ++t) {
     writers.emplace_back([&, t] {
@@ -137,7 +151,7 @@ TEST_P(CheckpointFuzzyTest, ConcurrentCheckpointsLoseAndResurrectNothing) {
           status = db->Write(&batch, durable);
         }
         if (!status.ok()) {
-          ++errors;
+          record_error(status, "writer");
           return;
         }
       }
@@ -148,7 +162,8 @@ TEST_P(CheckpointFuzzyTest, ConcurrentCheckpointsLoseAndResurrectNothing) {
   // positions + dirty-partition skipping race live appends and applies.
   for (int i = 0; i < 12; ++i) {
     clock.Advance(10 * kMicrosPerMinute);  // spreads phase-0 deadlines out
-    if (!db->Checkpoint().ok()) ++errors;
+    Status ckpt = db->Checkpoint();
+    if (!ckpt.ok()) record_error(ckpt, "checkpoint");
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   for (std::thread& t : writers) t.join();
@@ -162,7 +177,7 @@ TEST_P(CheckpointFuzzyTest, ConcurrentCheckpointsLoseAndResurrectNothing) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }
   db->degradation()->Stop();
-  ASSERT_EQ(errors.load(), 0);
+  ASSERT_EQ(errors.load(), 0) << first_error;
 
   const Database::Stats stats = db->stats();
   EXPECT_GE(stats.checkpoints, 12u);
@@ -175,7 +190,11 @@ TEST_P(CheckpointFuzzyTest, ConcurrentCheckpointsLoseAndResurrectNothing) {
   ASSERT_EQ(before.size(), kTotalRows);
 
   // Crash image: sync the WAL and snapshot the directory while the source
-  // stays open — nothing below relies on a clean shutdown checkpoint.
+  // stays open — nothing below relies on a clean shutdown checkpoint. The
+  // daemon must stop first (Stop joins, so any in-flight cadence checkpoint
+  // drains): a checkpoint scrubbing segments mid-copy would hand CopyTree a
+  // vanishing file list.
+  db->maintenance()->Stop();
   ASSERT_TRUE(db->wal()->Sync().ok());
   CopyTree(dir_, clone_);
 

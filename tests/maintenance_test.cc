@@ -1,0 +1,356 @@
+// Maintenance daemon + verified-deletion audits (ISSUE 6): the cadence
+// scheduler checkpoints only when partitions are dirty (or a WAL segment
+// holds an overdue payload), WAL segments retire as the clean-through
+// marks advance, the deletion-assurance audit catches a planted stale
+// value via the degrader's fault-injection hook, shutdown mid-cadence is
+// clean, and — the acceptance bar — a daemon at a 100 ms cadence keeps
+// every layer (stores, indexes, WAL, epoch keys) audit-clean across
+// every phase-0 deadline with no manual Checkpoint() call. Everything
+// runs on a VirtualClock; MaintenanceDaemon::RunOnce is the exact body
+// of the background loop, so the pumped tests exercise the real
+// scheduler. In scripts/verify.sh's TSan list because the enabled-daemon
+// tests race the scheduler thread against ingest and the degrader.
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/builtin_domains.h"
+#include "common/strings.h"
+#include "db/database.h"
+#include "gtest/gtest.h"
+#include "util/file.h"
+
+namespace instantdb {
+namespace {
+
+class MaintenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/idb_maintenance_test";
+    ASSERT_TRUE(RemoveDirRecursive(dir_).ok());
+  }
+  void TearDown() override { RemoveDirRecursive(dir_).ok(); }
+
+  DbOptions Options(VirtualClock* clock) const {
+    DbOptions options;
+    options.path = dir_;
+    options.clock = clock;
+    options.partitions = 4;
+    options.degradation.worker_threads = 2;
+    options.wal.segment_bytes = 4096;  // frequent rollover + retirement
+    return options;
+  }
+
+  /// pings(user STABLE, location DEGRADABLE) with one accurate phase of
+  /// `phase0` then a generalized phase held forever (no tuple removal, so
+  /// row counts stay stable across the clock advances).
+  void CreatePings(Database* db, Micros phase0) {
+    auto lcp = AttributeLcp::Make({{0, phase0}, {1, kForever}});
+    ASSERT_TRUE(lcp.ok());
+    auto schema = Schema::Make(
+        {ColumnDef::Stable("user", ValueType::kString),
+         ColumnDef::Degradable("location", LocationDomain(), *lcp)});
+    ASSERT_TRUE(schema.ok());
+    ASSERT_TRUE(db->CreateTable("pings", *schema).ok());
+  }
+
+  std::vector<RowId> InsertPings(Database* db, int rows) {
+    std::vector<RowId> ids;
+    for (int i = 0; i < rows; ++i) {
+      auto id = db->Insert(
+          "pings", {Value::String(StringPrintf("u%d", i)),
+                    Value::String("11 Rue Lepic")});
+      EXPECT_TRUE(id.ok()) << id.status().ToString();
+      if (id.ok()) ids.push_back(*id);
+    }
+    return ids;
+  }
+
+  std::string dir_;
+};
+
+// Service 1, the cadence decision: a cadence point checkpoints iff enough
+// partitions are dirty; clean points are counted, not paid for.
+TEST_F(MaintenanceTest, CadenceSkipsCleanAndFiresWhenDirty) {
+  VirtualClock clock(0);
+  auto opened = Database::Open(Options(&clock));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(*opened);
+  CreatePings(db.get(), kMicrosPerHour);
+  MaintenanceDaemon* daemon = db->maintenance();
+  ASSERT_NE(daemon, nullptr);
+  ASSERT_FALSE(daemon->running());  // enabled=false: pumped, no thread
+
+  // t=0, nothing dirty: the cadence point records a skip.
+  ASSERT_TRUE(daemon->RunOnce(clock.NowMicros()).ok());
+  EXPECT_EQ(daemon->stats().checkpoints, 0u);
+  EXPECT_EQ(daemon->stats().checkpoints_skipped_clean, 1u);
+
+  // Between cadence points nothing happens, dirty or not.
+  InsertPings(db.get(), 4);
+  EXPECT_GE(db->DirtyPartitions(), 1u);
+  ASSERT_TRUE(daemon->RunOnce(clock.NowMicros()).ok());
+  EXPECT_EQ(daemon->stats().checkpoints, 0u);
+
+  // Next cadence point sees the dirty partitions and checkpoints them.
+  clock.Advance(kMicrosPerSecond);
+  ASSERT_TRUE(daemon->RunOnce(clock.NowMicros()).ok());
+  EXPECT_EQ(daemon->stats().checkpoints, 1u);
+  EXPECT_EQ(db->DirtyPartitions(), 0u);
+
+  // And the one after that is clean again.
+  clock.Advance(kMicrosPerSecond);
+  ASSERT_TRUE(daemon->RunOnce(clock.NowMicros()).ok());
+  EXPECT_EQ(daemon->stats().checkpoints, 1u);
+  EXPECT_EQ(daemon->stats().checkpoints_skipped_clean, 2u);
+  EXPECT_EQ(daemon->stats().forced_checkpoints, 0u);
+}
+
+// Service 1, the privacy override: when a live WAL segment still holds an
+// accurate payload past its phase-0 deadline, the cadence point must
+// checkpoint — and thereby retire/scrub the segment — even though the
+// dirty threshold says don't.
+TEST_F(MaintenanceTest, WalDeadlinePressureForcesRetirement) {
+  VirtualClock clock(0);
+  DbOptions options = Options(&clock);
+  options.maintenance.checkpoint_interval = 100 * kMicrosPerMilli;
+  options.maintenance.checkpoint_dirty_threshold = 1000;  // never "dirty"
+  auto opened = Database::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(*opened);
+  CreatePings(db.get(), kMicrosPerSecond);
+  MaintenanceDaemon* daemon = db->maintenance();
+
+  InsertPings(db.get(), 8);  // payload deadlines all at t=1s
+
+  // Before the deadline the threshold wins: no checkpoint, segments live.
+  clock.Advance(100 * kMicrosPerMilli);
+  ASSERT_TRUE(daemon->RunOnce(clock.NowMicros()).ok());
+  EXPECT_EQ(daemon->stats().checkpoints, 0u);
+  EXPECT_GE(daemon->stats().checkpoints_skipped_clean, 1u);
+  EXPECT_EQ(db->stats().wal.segments_retired, 0u);
+
+  // Past the deadline the segment's min payload deadline is overdue …
+  clock.Advance(kMicrosPerSecond);
+  EXPECT_GT(db->wal()->AuditExposure(clock.NowMicros()).exposed_segments, 0u);
+
+  // … and the next cadence point force-checkpoints to retire it.
+  ASSERT_TRUE(daemon->RunOnce(clock.NowMicros()).ok());
+  EXPECT_EQ(daemon->stats().checkpoints, 1u);
+  EXPECT_EQ(daemon->stats().forced_checkpoints, 1u);
+  EXPECT_GT(db->stats().wal.segments_retired, 0u);
+  EXPECT_EQ(db->wal()->AuditExposure(clock.NowMicros()).exposed_segments, 0u);
+}
+
+// Service 2: the audit is not a rubber stamp. Plant a stale value by
+// telling the degrader to skip one partition; every sweep layer that
+// holds the partition's bytes must light up, and healing the fault must
+// bring the report back to clean.
+TEST_F(MaintenanceTest, AuditCatchesPlantedStaleValue) {
+  VirtualClock clock(0);
+  auto opened = Database::Open(Options(&clock));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(*opened);
+  CreatePings(db.get(), kMicrosPerSecond);
+  Table* table = db->GetTable("pings");
+  const std::vector<RowId> ids = InsertPings(db.get(), 16);
+  ASSERT_EQ(ids.size(), 16u);
+
+  // Fault: the degrader silently "loses" the partition owning row 0.
+  const uint32_t victim = table->PartitionOf(ids[0]);
+  uint64_t planted = 0;
+  for (RowId id : ids) planted += table->PartitionOf(id) == victim ? 1 : 0;
+  ASSERT_GT(planted, 0u);
+  db->degradation()->TEST_FaultSkipPartition(table->id(), victim, true);
+
+  clock.Advance(3 * kMicrosPerSecond);  // two seconds past the deadline
+  ASSERT_TRUE(db->RunDegradationOnce().ok());
+
+  AuditReport report = db->Audit();
+  EXPECT_FALSE(report.clean());
+  EXPECT_FALSE(report.Verify().ok());
+  EXPECT_EQ(report.exposed_values, planted);
+  // The worst attack window is exactly how long the fault has held the
+  // values past their t=1s deadline.
+  EXPECT_EQ(report.max_exposure, 2 * kMicrosPerSecond);
+  ASSERT_EQ(report.tables.size(), 1u);
+  EXPECT_EQ(report.tables[0].name, "pings");
+  EXPECT_EQ(report.tables[0].rows_scanned, 16u);
+  EXPECT_EQ(report.tables[0].exposed_values, planted);
+  // The WAL still holds the accurate insert payloads too.
+  EXPECT_GT(report.exposed_wal_segments, 0u);
+  EXPECT_EQ(db->stats().maintenance.audits_failed, 1u);
+
+  // Heal the fault: degrade the victim partition, let the cadence point
+  // retire the overdue segments, and the audit comes back clean.
+  db->degradation()->TEST_FaultSkipPartition(table->id(), victim, false);
+  ASSERT_TRUE(db->RunDegradationOnce().ok());
+  ASSERT_TRUE(db->maintenance()->RunOnce(clock.NowMicros()).ok());
+  report = db->Audit();
+  EXPECT_TRUE(report.Verify().ok()) << report.ToString();
+  EXPECT_EQ(db->stats().maintenance.max_exposure_seen, 2 * kMicrosPerSecond);
+}
+
+// The paper's unsafe baseline: a kPlain WAL retires segments by rename
+// and leaves the bytes on disk. The audit flags that permanently — there
+// is no clean report to be had in kPlain once a payload-bearing segment
+// retires.
+TEST_F(MaintenanceTest, PlainWalModeIsPermanentlyFlagged) {
+  VirtualClock clock(0);
+  DbOptions options = Options(&clock);
+  options.wal.privacy_mode = WalPrivacyMode::kPlain;
+  auto opened = Database::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(*opened);
+  CreatePings(db.get(), kMicrosPerSecond);
+  InsertPings(db.get(), 8);
+
+  clock.Advance(2 * kMicrosPerSecond);
+  ASSERT_TRUE(db->RunDegradationOnce().ok());
+  ASSERT_TRUE(db->maintenance()->RunOnce(clock.NowMicros()).ok());
+  ASSERT_GT(db->stats().wal.segments_retired, 0u);
+
+  const AuditReport report = db->Audit();
+  EXPECT_GT(report.unscrubbed_recycled_segments, 0u);
+  EXPECT_FALSE(report.clean());
+}
+
+// Service 3, policy hooks: while paused, cadence points pass without
+// work — and without accumulating a backlog Resume would replay.
+TEST_F(MaintenanceTest, PauseGatesCadenceWithoutBacklog) {
+  VirtualClock clock(0);
+  auto opened = Database::Open(Options(&clock));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(*opened);
+  CreatePings(db.get(), kMicrosPerHour);
+  MaintenanceDaemon* daemon = db->maintenance();
+
+  InsertPings(db.get(), 4);
+  daemon->Pause();
+  EXPECT_TRUE(daemon->paused());
+  for (int i = 0; i < 5; ++i) {
+    clock.Advance(kMicrosPerSecond);
+    ASSERT_TRUE(daemon->RunOnce(clock.NowMicros()).ok());
+  }
+  EXPECT_EQ(daemon->stats().checkpoints, 0u);
+  EXPECT_EQ(daemon->stats().checkpoints_skipped_clean, 0u);
+
+  // One resume, one cadence point, one checkpoint — not five.
+  daemon->Resume();
+  clock.Advance(kMicrosPerSecond);
+  ASSERT_TRUE(daemon->RunOnce(clock.NowMicros()).ok());
+  EXPECT_EQ(daemon->stats().checkpoints, 1u);
+}
+
+// Lifecycle: an enabled daemon (real scheduler thread) works the cadence
+// on a VirtualClock, and Close() stops it cleanly mid-flight — shutdown
+// order contract: daemon first, then degrader, then the final checkpoint.
+TEST_F(MaintenanceTest, EnabledDaemonRunsAndShutsDownCleanly) {
+  VirtualClock clock(0);
+  DbOptions options = Options(&clock);
+  options.maintenance.enabled = true;
+  options.maintenance.checkpoint_interval = 100 * kMicrosPerMilli;
+  options.maintenance.audit_interval = 100 * kMicrosPerMilli;
+  options.degradation.background_thread = true;
+  auto opened = Database::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(*opened);
+  CreatePings(db.get(), kMicrosPerHour);  // nothing comes due in this test
+  ASSERT_TRUE(db->maintenance()->running());
+  InsertPings(db.get(), 16);
+
+  // Walk virtual time across cadence points until the scheduler has both
+  // checkpointed the dirty partitions and completed an audit. The loop is
+  // bounded by real time, not virtual time — a hang fails the test.
+  for (int i = 0; i < 5000; ++i) {
+    const MaintenanceDaemon::Stats stats = db->stats().maintenance;
+    if (stats.checkpoints >= 1 && stats.audits >= 1) break;
+    clock.Advance(100 * kMicrosPerMilli);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const MaintenanceDaemon::Stats stats = db->stats().maintenance;
+  EXPECT_GE(stats.checkpoints, 1u);
+  EXPECT_GE(stats.audits, 1u);
+  EXPECT_EQ(stats.audits_failed, 0u);
+  EXPECT_GT(stats.audit_rows_scanned, 0u);
+
+  ASSERT_TRUE(db->Close().ok());
+  EXPECT_FALSE(db->maintenance()->running());
+  EXPECT_FALSE(db->degradation()->running());
+  ASSERT_TRUE(db->Close().ok());  // idempotent
+}
+
+// The acceptance bar (ISSUE 6): with the daemon on a 100 ms cadence, an
+// audit taken after EVERY phase-0 deadline reports zero exposed values
+// across stores, indexes, WAL segments and epoch keys — with no manual
+// Checkpoint() call anywhere. Parameterized over the privacy modes that
+// can be clean (kPlain is the unsafe baseline, proven dirty above).
+class MaintenanceAcceptanceTest
+    : public MaintenanceTest,
+      public ::testing::WithParamInterface<WalPrivacyMode> {};
+
+TEST_P(MaintenanceAcceptanceTest, DaemonKeepsEveryLayerCleanAtEveryDeadline) {
+  constexpr Micros kStep = 100 * kMicrosPerMilli;
+  constexpr Micros kPhase0 = 500 * kMicrosPerMilli;
+
+  VirtualClock clock(0);
+  DbOptions options = Options(&clock);
+  options.wal.privacy_mode = GetParam();
+  options.wal.epoch_micros = kStep;  // epochs as fine as the cadence
+  options.maintenance.checkpoint_interval = kStep;
+  options.maintenance.audit_interval = kStep;
+  auto opened = Database::Open(options);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<Database> db = std::move(*opened);
+  CreatePings(db.get(), kPhase0);
+  MaintenanceDaemon* daemon = db->maintenance();
+
+  // Ingest a batch every 300 ms over three virtual seconds; each batch's
+  // phase-0 deadline lands exactly on a later cadence point. At every step
+  // the degrader runs, then the daemon's cadence point, then a full audit
+  // that must be clean — including the steps where a deadline just fired.
+  int inserted = 0;
+  for (int step = 0; step < 30; ++step) {
+    if (step % 3 == 0) {
+      InsertPings(db.get(), 8);
+      inserted += 8;
+    }
+    clock.Advance(kStep);
+    const Micros now = clock.NowMicros();
+    ASSERT_TRUE(db->RunDegradationOnce().ok());
+    ASSERT_TRUE(daemon->RunOnce(now).ok());
+    const AuditReport report = db->Audit();
+    ASSERT_TRUE(report.Verify().ok())
+        << "step " << step << ": " << report.ToString();
+    EXPECT_EQ(report.at, now);
+  }
+
+  // The daemon did the checkpointing: cadence points fired, several were
+  // real checkpoints (every 300 ms batch dirties partitions), and the worst
+  // attack window any audit saw across all 30 deadline-crossing steps is
+  // exactly zero.
+  const MaintenanceDaemon::Stats stats = db->stats().maintenance;
+  EXPECT_GE(stats.checkpoints, 5u);
+  EXPECT_GE(stats.audits, 30u);
+  EXPECT_EQ(stats.audits_failed, 0u);
+  EXPECT_EQ(stats.max_exposure_seen, 0);
+  EXPECT_GE(stats.audit_rows_scanned, static_cast<uint64_t>(inserted));
+  if (GetParam() == WalPrivacyMode::kEncryptedEpoch) {
+    EXPECT_GT(db->stats().wal.epoch_keys_destroyed, 0u);
+  }
+  ASSERT_TRUE(db->Close().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(PrivacyModes, MaintenanceAcceptanceTest,
+                         ::testing::Values(WalPrivacyMode::kScrub,
+                                           WalPrivacyMode::kEncryptedEpoch),
+                         [](const auto& info) {
+                           return info.param == WalPrivacyMode::kScrub
+                                      ? "Scrub"
+                                      : "EncryptedEpoch";
+                         });
+
+}  // namespace
+}  // namespace instantdb
