@@ -21,7 +21,7 @@ run_plain() {
 
 # Sanitized pass: the tests that drive real thread interleavings. The rest
 # of the suite is single-threaded and adds only build time.
-SANITIZE_TESTS="concurrency_stress_test|parallel_scan_test|partition_test|degradation_engine_test|write_batch_test|wal_stream_test|checkpoint_fuzzy_test|maintenance_test"
+SANITIZE_TESTS="concurrency_stress_test|parallel_scan_test|pushdown_test|partition_test|degradation_engine_test|write_batch_test|wal_stream_test|checkpoint_fuzzy_test|maintenance_test"
 
 run_sanitized() {
   local kind="$1"

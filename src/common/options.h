@@ -124,6 +124,14 @@ struct ScanOptions {
   /// backpressures the workers instead of buffering the table. 0 means
   /// 2 × parallelism.
   size_t prefetch_batches = 0;
+  /// Predicate & aggregate pushdown below row assembly: stable-column WHERE
+  /// terms are evaluated batch-at-a-time on the decoded heap tuples, state
+  /// stores are probed only for the surviving rows (one sorted merge per
+  /// store instead of one binary search per row), and ungrouped
+  /// COUNT/SUM/AVG/MIN/MAX fold per-partition partials inside the scan
+  /// workers. On by default; off restores full RowView assembly before σ —
+  /// the reference path the pushdown equivalence tests compare against.
+  bool pushdown = true;
 };
 
 struct WriteOptions {
@@ -140,12 +148,15 @@ struct MaintenanceOptions {
   /// that assert exact checkpoint counts drive maintenance explicitly
   /// (MaintenanceDaemon::RunOnce) or not at all.
   bool enabled = false;
-  /// Background checkpoint cadence. Each cadence point checkpoints only
-  /// when at least `checkpoint_dirty_threshold` partitions are dirty OR a
-  /// live WAL segment holds a degradable payload past its phase-0 deadline
-  /// (retirement must not wait for new writes). The interval bounds how
-  /// long a retired-able WAL segment can linger, so it should sit at or
-  /// below the shortest phase-0 duration of any table.
+  /// Background checkpoint cadence FLOOR. Each cadence point checkpoints
+  /// only when at least `checkpoint_dirty_threshold` partitions are dirty
+  /// OR a live WAL segment holds a degradable payload past its phase-0
+  /// deadline (retirement must not wait for new writes). The cadence is
+  /// adaptive: the daemon schedules the next point at `interval` from now,
+  /// pulled EARLIER to the earliest phase-0 deadline of any payload still
+  /// in the live log (WalManager::EarliestPayloadDeadline) when that lands
+  /// inside the window — so the interval no longer needs to sit below the
+  /// shortest phase-0 duration; it only bounds the idle wake-up rate.
   Micros checkpoint_interval = kMicrosPerSecond;
   /// Minimum number of dirty partitions before a cadence checkpoint fires;
   /// below it the cadence point is recorded as skipped-clean. 0 makes every

@@ -349,6 +349,14 @@ Database::Stats Database::stats() const {
   stats.scan.rows = scan_counters_.rows.load(std::memory_order_relaxed);
   stats.scan.prefetch_stalls =
       scan_counters_.prefetch_stalls.load(std::memory_order_relaxed);
+  stats.scan.rows_prefiltered =
+      scan_counters_.rows_prefiltered.load(std::memory_order_relaxed);
+  stats.scan.store_probes_issued =
+      scan_counters_.store_probes_issued.load(std::memory_order_relaxed);
+  stats.scan.store_probes_skipped =
+      scan_counters_.store_probes_skipped.load(std::memory_order_relaxed);
+  stats.scan.aggregate_partials_merged =
+      scan_counters_.aggregate_partials_merged.load(std::memory_order_relaxed);
   stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   stats.checkpoint_partitions_flushed =
       checkpoint_partitions_flushed_.load(std::memory_order_relaxed);

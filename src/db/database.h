@@ -168,6 +168,20 @@ class Database {
     /// Times a streaming cursor's consumer waited on an empty prefetch
     /// queue while its scan workers were still producing.
     uint64_t prefetch_stalls = 0;
+    /// Pushdown accounting (ScanOptions::pushdown). Per scanned row and
+    /// degradable column the read path either issues a store probe or
+    /// provably skips it, so over the pushdown scan paths
+    /// store_probes_issued + store_probes_skipped ==
+    /// rows × degradable columns (asserted in tests).
+    /// Rows rejected by the stable-column pre-filter before any store
+    /// probe or RowView assembly:
+    uint64_t rows_prefiltered = 0;
+    /// (row, degradable column) store resolutions performed / avoided:
+    uint64_t store_probes_issued = 0;
+    uint64_t store_probes_skipped = 0;
+    /// Per-partition aggregate partials folded into final results by the
+    /// aggregate pushdown (0 when every aggregate ran through the cursor).
+    uint64_t aggregate_partials_merged = 0;
   };
 
   /// One-stop engine counters, so benches and tests read the engine's
@@ -201,6 +215,10 @@ class Database {
     std::atomic<uint64_t> batches{0};
     std::atomic<uint64_t> rows{0};
     std::atomic<uint64_t> prefetch_stalls{0};
+    std::atomic<uint64_t> rows_prefiltered{0};
+    std::atomic<uint64_t> store_probes_issued{0};
+    std::atomic<uint64_t> store_probes_skipped{0};
+    std::atomic<uint64_t> aggregate_partials_merged{0};
   };
   ScanCounters* scan_counters() const { return &scan_counters_; }
 

@@ -244,6 +244,20 @@ Status PartitionCursor::NextBatch(size_t limit, std::vector<RowView>* out,
   return Status::OK();
 }
 
+Status PartitionCursor::NextBatch(size_t limit, const ScanSpec& spec,
+                                  ScanWorkspace* ws, std::vector<RowView>* out,
+                                  bool* done, ScanDeltas* deltas) {
+  if (done_ || partition_ == nullptr) {
+    out->clear();
+    *done = true;
+    return Status::OK();
+  }
+  IDB_RETURN_IF_ERROR(
+      partition_->ScanBatchFiltered(&pos_, limit, spec, ws, out, &done_, deltas));
+  *done = done_;
+  return Status::OK();
+}
+
 Result<std::optional<RowView>> Table::GetRow(RowId row_id) const {
   return Route(row_id)->GetRow(row_id);
 }

@@ -44,6 +44,14 @@ class PartitionCursor {
   /// calls return no rows with `*done` true.
   Status NextBatch(size_t limit, std::vector<RowView>* out, bool* done);
 
+  /// Pushdown form (TablePartition::ScanBatchFiltered): stable predicates
+  /// run on the decoded tuples and state stores are probed only for the
+  /// survivors. REPLACES `*out`'s contents; `limit` bounds tuples decoded,
+  /// so a selective batch comes out short. `ws` and `deltas` are the
+  /// caller's per-worker scratch and counter accumulator.
+  Status NextBatch(size_t limit, const ScanSpec& spec, ScanWorkspace* ws,
+                   std::vector<RowView>* out, bool* done, ScanDeltas* deltas);
+
   uint32_t partition_index() const { return index_; }
 
  private:

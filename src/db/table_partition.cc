@@ -408,6 +408,221 @@ Status TablePartition::ScanBatch(Rid* pos, size_t limit,
   return decode_status;
 }
 
+Status TablePartition::ScanBatchFiltered(Rid* pos, size_t limit,
+                                         const ScanSpec& spec,
+                                         ScanWorkspace* ws,
+                                         std::vector<RowView>* out, bool* done,
+                                         ScanDeltas* deltas) const {
+  std::shared_lock<std::shared_mutex> latch(latch_);
+  return ScanChunkLocked(pos, limit, spec, ws, out, done, deltas);
+}
+
+Status TablePartition::ScanFiltered(
+    const ScanSpec& spec, ScanWorkspace* ws,
+    const std::function<Status(const std::vector<RowView>&)>& fn,
+    ScanDeltas* deltas) const {
+  std::shared_lock<std::shared_mutex> latch(latch_);
+  Rid pos{0, 0};
+  bool done = false;
+  std::vector<RowView> views;
+  while (!done) {
+    IDB_RETURN_IF_ERROR(
+        ScanChunkLocked(&pos, kScanChunkRows, spec, ws, &views, &done, deltas));
+    if (!views.empty()) IDB_RETURN_IF_ERROR(fn(views));
+  }
+  return Status::OK();
+}
+
+Status TablePartition::ScanChunkLocked(Rid* pos, size_t limit,
+                                       const ScanSpec& spec, ScanWorkspace* ws,
+                                       std::vector<RowView>* out, bool* done,
+                                       ScanDeltas* deltas) const {
+  *done = true;
+  ws->count = 0;
+  Status decode_status;
+  IDB_RETURN_IF_ERROR(heap_->ScanFrom(*pos, [&](Rid rid, Slice record) {
+    if (ws->count >= limit) {
+      *pos = rid;  // resume here: this record has not been consumed
+      *done = false;
+      return false;
+    }
+    if (ws->count == ws->tuples.size()) ws->tuples.emplace_back();
+    decode_status = DecodeHeapTuple(schema(), runtime_.layout, record,
+                                    &ws->tuples[ws->count]);
+    if (!decode_status.ok()) return false;
+    ++ws->count;
+    return true;
+  }));
+  IDB_RETURN_IF_ERROR(decode_status);
+  AssembleSurvivorsLocked(spec, ws, out, deltas);
+  return Status::OK();
+}
+
+void TablePartition::AssembleSurvivorsLocked(const ScanSpec& spec,
+                                             ScanWorkspace* ws,
+                                             std::vector<RowView>* out,
+                                             ScanDeltas* deltas) const {
+  const size_t n = ws->count;
+  const auto& degradable_cols = schema().degradable_columns();
+  const size_t dcols = degradable_cols.size();
+
+  ws->selection.clear();
+  if (spec.filter != nullptr) {
+    spec.filter->SelectStable(ws->tuples.data(), n, &ws->selection);
+  } else {
+    ws->selection.resize(n);
+    for (size_t i = 0; i < n; ++i) ws->selection[i] = static_cast<uint32_t>(i);
+  }
+  const size_t survivors = ws->selection.size();
+
+  deltas->rows_scanned += n;
+  deltas->rows_prefiltered += n - survivors;
+  deltas->probes_skipped += (n - survivors) * dcols;
+  if (spec.need_degradable) {
+    deltas->probes_issued += survivors * dcols;
+  } else {
+    deltas->probes_skipped += survivors * dcols;
+  }
+
+  // Replace semantics with slot recycling: the overlapping prefix of the
+  // caller's vector keeps its per-row vector capacity across batches.
+  if (out->size() > survivors) out->resize(survivors);
+  while (out->size() < survivors) out->emplace_back();
+
+  for (size_t k = 0; k < survivors; ++k) {
+    const HeapTuple& tuple = ws->tuples[ws->selection[k]];
+    RowView& view = (*out)[k];
+    view.row_id = tuple.row_id;
+    view.insert_time = tuple.insert_time;
+    view.values.assign(schema().num_columns(), Value::Null());
+    for (size_t i = 0; i < schema().stable_columns().size(); ++i) {
+      view.values[schema().stable_columns()[i]] = tuple.stable[i];
+    }
+    view.phases.assign(dcols, 0);
+  }
+  if (!spec.need_degradable || dcols == 0 || survivors == 0) return;
+
+  if (runtime_.layout == DegradableLayout::kInPlace) {
+    for (size_t k = 0; k < survivors; ++k) {
+      const HeapTuple& tuple = ws->tuples[ws->selection[k]];
+      RowView& view = (*out)[k];
+      for (size_t d = 0; d < dcols; ++d) {
+        const InlineDegradable& inline_value = tuple.degradable[d];
+        view.phases[d] = inline_value.phase;
+        if (inline_value.phase <
+            schema().column(degradable_cols[d]).lcp.num_phases()) {
+          view.values[degradable_cols[d]] = inline_value.value;
+        }
+      }
+    }
+    return;
+  }
+
+  // kStateStores: one sorted merge per (column, phase) store over the
+  // survivors' ascending row ids. Heap order is mostly — but not strictly —
+  // ascending (updates relocate rows), hence the sort.
+  ws->order.resize(survivors);
+  for (size_t k = 0; k < survivors; ++k) ws->order[k] = static_cast<uint32_t>(k);
+  std::sort(ws->order.begin(), ws->order.end(), [&](uint32_t a, uint32_t b) {
+    return ws->tuples[ws->selection[a]].row_id <
+           ws->tuples[ws->selection[b]].row_id;
+  });
+  ws->ids.resize(survivors);
+  for (size_t j = 0; j < survivors; ++j) {
+    ws->ids[j] = ws->tuples[ws->selection[ws->order[j]]].row_id;
+  }
+  for (size_t d = 0; d < dcols; ++d) {
+    const int removed = schema().column(degradable_cols[d]).lcp.num_phases();
+    ws->entries.assign(survivors, nullptr);
+    ws->phases.assign(survivors, removed);
+    size_t found = 0;
+    for (size_t p = 0; p < stores_[d].size() && found < survivors; ++p) {
+      const size_t hits =
+          stores_[d][p]->FindMany(ws->ids.data(), survivors, ws->entries.data());
+      if (hits == 0) continue;
+      found += hits;
+      for (size_t j = 0; j < survivors; ++j) {
+        if (ws->phases[j] == removed && ws->entries[j] != nullptr) {
+          ws->phases[j] = static_cast<int>(p);
+        }
+      }
+    }
+    for (size_t j = 0; j < survivors; ++j) {
+      RowView& view = (*out)[ws->order[j]];
+      view.phases[d] = ws->phases[j];
+      if (ws->entries[j] != nullptr) {
+        view.values[degradable_cols[d]] = ws->entries[j]->value;
+      }
+    }
+  }
+}
+
+Status TablePartition::ProbeMany(const std::vector<RowId>& row_ids,
+                                 std::vector<int>* phases,
+                                 std::vector<Value>* values) const {
+  std::shared_lock<std::shared_mutex> latch(latch_);
+  const auto& degradable_cols = schema().degradable_columns();
+  const size_t dcols = degradable_cols.size();
+  const size_t n = row_ids.size();
+  phases->assign(n * dcols, 0);
+  values->assign(n * dcols, Value::Null());
+  if (n == 0 || dcols == 0) return Status::OK();
+
+  if (runtime_.layout == DegradableLayout::kInPlace) {
+    for (size_t i = 0; i < n; ++i) {
+      auto it = row_map_.find(row_ids[i]);
+      HeapTuple tuple;
+      bool live = false;
+      if (it != row_map_.end()) {
+        IDB_ASSIGN_OR_RETURN(std::string record, heap_->Get(it->second));
+        IDB_RETURN_IF_ERROR(
+            DecodeHeapTuple(schema(), runtime_.layout, record, &tuple));
+        live = true;
+      }
+      for (size_t d = 0; d < dcols; ++d) {
+        const int removed =
+            schema().column(degradable_cols[d]).lcp.num_phases();
+        if (!live) {
+          (*phases)[i * dcols + d] = removed;
+          continue;
+        }
+        (*phases)[i * dcols + d] = tuple.degradable[d].phase;
+        if (tuple.degradable[d].phase < removed) {
+          (*values)[i * dcols + d] = tuple.degradable[d].value;
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  std::vector<const StoreEntry*> entries(n, nullptr);
+  std::vector<int> resolved(n, 0);
+  for (size_t d = 0; d < dcols; ++d) {
+    const int removed = schema().column(degradable_cols[d]).lcp.num_phases();
+    entries.assign(n, nullptr);
+    resolved.assign(n, removed);
+    size_t found = 0;
+    for (size_t p = 0; p < stores_[d].size() && found < n; ++p) {
+      const size_t hits =
+          stores_[d][p]->FindMany(row_ids.data(), n, entries.data());
+      if (hits == 0) continue;
+      found += hits;
+      for (size_t i = 0; i < n; ++i) {
+        if (resolved[i] == removed && entries[i] != nullptr) {
+          resolved[i] = static_cast<int>(p);
+        }
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      (*phases)[i * dcols + d] = resolved[i];
+      if (entries[i] != nullptr) {
+        (*values)[i * dcols + d] = entries[i]->value;
+      }
+    }
+  }
+  return Status::OK();
+}
+
 bool TablePartition::AssembleRow(const HeapTuple& tuple, RowView* view) const {
   view->row_id = tuple.row_id;
   view->insert_time = tuple.insert_time;

@@ -15,6 +15,7 @@
 #include "catalog/catalog.h"
 #include "common/clock.h"
 #include "common/options.h"
+#include "db/scan_spec.h"
 #include "index/bitmap_index.h"
 #include "index/multires_index.h"
 #include "storage/heap_file.h"
@@ -152,6 +153,45 @@ class TablePartition {
   Status ScanBatch(Rid* pos, size_t limit, std::vector<RowView>* out,
                    bool* done) const;
 
+  /// Pushdown form of ScanBatch: decodes up to `limit` heap tuples from
+  /// `*pos`, runs `spec.filter` batch-at-a-time on the decoded stable
+  /// values, and only then resolves the degradable part — for the SURVIVORS
+  /// only, with one sorted merge per state store (StateStore::FindMany)
+  /// instead of one binary search per row. Everything happens under a
+  /// single shared-latch acquisition, so the batch has exactly ScanBatch's
+  /// snapshot-per-batch semantics. REPLACES `*out`'s contents (it does not
+  /// append): the caller keeps passing the same vector and the RowView
+  /// slots recycle their storage. `limit` bounds tuples DECODED, not rows
+  /// emitted — a selective batch comes out short rather than holding the
+  /// latch until it fills. `ws` is per-consumer scratch; `deltas`
+  /// accumulates the pushdown accounting (see ScanDeltas).
+  Status ScanBatchFiltered(Rid* pos, size_t limit, const ScanSpec& spec,
+                           ScanWorkspace* ws, std::vector<RowView>* out,
+                           bool* done, ScanDeltas* deltas) const;
+
+  /// Whole-partition pushdown scan under ONE shared-latch hold
+  /// (snapshot-per-partition, like ScanRows): assembles survivor batches of
+  /// kScanChunkRows and hands each to `fn`. The vector passed to `fn` is
+  /// reused between calls. The materializing read path and the aggregate
+  /// pushdown drain partitions through this.
+  Status ScanFiltered(const ScanSpec& spec, ScanWorkspace* ws,
+                      const std::function<Status(const std::vector<RowView>&)>& fn,
+                      ScanDeltas* deltas) const;
+
+  /// Tuples decoded per latched chunk of ScanFiltered (matches the
+  /// streaming cursor's batch size).
+  static constexpr size_t kScanChunkRows = 256;
+
+  /// Batched store probe: resolves the stored (phase, value) of every id in
+  /// `row_ids` (must be ascending) for every degradable column, row-major —
+  /// phases/values[i * degradable_cols + d]. A removed value reports phase
+  /// == lcp.num_phases() with a NULL value; an id not in this partition
+  /// reports every column removed. One shared-latch acquisition, one
+  /// FindMany merge per (column, phase) store. Exposed for tests (merge
+  /// equivalence vs Find) and consumers that need levels without full rows.
+  Status ProbeMany(const std::vector<RowId>& row_ids, std::vector<int>* phases,
+                   std::vector<Value>* values) const;
+
   Result<std::optional<RowView>> GetRow(RowId row_id) const;
 
   /// True if the row id currently lives in this partition.
@@ -270,6 +310,18 @@ class TablePartition {
 
   /// Builds a RowView from a decoded heap tuple (caller holds the latch).
   bool AssembleRow(const HeapTuple& tuple, RowView* view) const;
+
+  /// ScanBatchFiltered's body, minus the latch (ScanFiltered holds it once
+  /// for the whole partition).
+  Status ScanChunkLocked(Rid* pos, size_t limit, const ScanSpec& spec,
+                         ScanWorkspace* ws, std::vector<RowView>* out,
+                         bool* done, ScanDeltas* deltas) const;
+  /// Filters ws->tuples[0..count), probes stores for the survivors
+  /// (FindMany merges), and fills `*out` (replace semantics). Caller holds
+  /// the shared latch.
+  void AssembleSurvivorsLocked(const ScanSpec& spec, ScanWorkspace* ws,
+                               std::vector<RowView>* out,
+                               ScanDeltas* deltas) const;
 
   const TableDef* const def_;
   const std::string dir_;

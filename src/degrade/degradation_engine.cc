@@ -37,6 +37,14 @@ bool DegradationEngine::Quiesce(Micros max_wait) {
   return true;
 }
 
+void DegradationEngine::EnqueueUrgent(TableId table, uint32_t partition) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    urgent_.emplace(table, partition);
+  }
+  clock_->WakeAll();  // wake the background coordinator for the repair
+}
+
 void DegradationEngine::TEST_FaultSkipPartition(TableId table,
                                                 uint32_t partition, bool skip) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -80,8 +88,10 @@ Result<size_t> DegradationEngine::RunDue(Micros now) {
   // releases soon.
   for (;;) {
     std::vector<Unit> units;
+    std::set<std::pair<TableId, uint32_t>> urgent;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      urgent.swap(urgent_);
       for (auto& [id, table] : tables_) {
         for (uint32_t p = 0; p < table->num_partitions(); ++p) {
           if (!fault_skip_.empty() && fault_skip_.count({id, p}) != 0) {
@@ -90,6 +100,19 @@ Result<size_t> DegradationEngine::RunDue(Micros now) {
           if (table->PartitionHasWorkAt(p, now)) units.push_back({table, p});
         }
       }
+    }
+    if (!urgent.empty()) {
+      // Audit-repair units jump the queue: workers claim units in order, so
+      // moving them to the front of the round drains the proven-overdue
+      // partitions before any merely-due one. Units not collected above
+      // (no overdue work, unregistered table, injected fault) drop out of
+      // the urgent set with the swap — stale repairs are self-cleaning.
+      const auto urgent_end = std::stable_partition(
+          units.begin(), units.end(), [&](const Unit& unit) {
+            return urgent.count({unit.table->id(), unit.partition}) != 0;
+          });
+      delta.urgent_units +=
+          static_cast<uint64_t>(urgent_end - units.begin());
     }
     if (units.empty()) break;
     delta.passes = 1;  // a pass only counts when some partition had due work
@@ -146,12 +169,13 @@ Result<size_t> DegradationEngine::RunDue(Micros now) {
     if (moved_round.load() == 0) break;
   }
 
-  if (delta.passes != 0 || delta.lock_aborts != 0) {
+  if (delta.passes != 0 || delta.lock_aborts != 0 || delta.urgent_units != 0) {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.passes += delta.passes;
     stats_.steps += delta.steps;
     stats_.values_moved += delta.values_moved;
     stats_.lock_aborts += delta.lock_aborts;
+    stats_.urgent_units += delta.urgent_units;
   }
   if (!error.ok()) return error;
   return total;

@@ -61,6 +61,15 @@ class DegradationEngine {
   /// Earliest pending deadline over all tables (kForever when idle).
   Micros NextDeadline() const;
 
+  /// Audit-driven repair: marks one (table, partition) unit as urgent. The
+  /// next RunDue pass (the background coordinator is woken immediately)
+  /// schedules urgent units at the FRONT of its first round, ahead of the
+  /// regular deadline order — a failed deletion-assurance audit turns its
+  /// overdue findings into top-priority work instead of waiting for the
+  /// partition's turn. Unknown tables and partitions without overdue work
+  /// are ignored at drain time, so stale enqueues are harmless.
+  void EnqueueUrgent(TableId table, uint32_t partition);
+
   /// Background-thread mode.
   Status Start();
   void Stop();
@@ -85,6 +94,8 @@ class DegradationEngine {
     uint64_t steps = 0;
     uint64_t values_moved = 0;
     uint64_t lock_aborts = 0;  // wait-die victims, retried next pass
+    /// Urgent (audit-repair) units drained ahead of the regular order.
+    uint64_t urgent_units = 0;
   };
   Stats stats() const;
 
@@ -100,6 +111,9 @@ class DegradationEngine {
   Stats stats_;
   /// (table, partition) units RunDue must skip (TEST_FaultSkipPartition).
   std::set<std::pair<TableId, uint32_t>> fault_skip_;
+  /// Audit-repair units to schedule ahead of the regular order; swapped out
+  /// (and counted) by the next RunDue pass.
+  std::set<std::pair<TableId, uint32_t>> urgent_;
 
   /// Held shared for the duration of a RunDue pass (whose workers step raw
   /// Table* outside mu_); UnregisterTable acquires it exclusively to

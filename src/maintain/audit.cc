@@ -117,13 +117,17 @@ AuditReport DeletionAuditor::Run(const std::vector<Table*>& tables, Micros now,
       ++findings.exposed_values;
       findings.name += " (sweep failed: " + swept.ToString() + ")";
     }
-    for (const PartitionFindings& acc : per) {
+    for (uint32_t p = 0; p < parts; ++p) {
+      const PartitionFindings& acc = per[p];
       findings.rows_scanned += acc.rows;
       findings.exposed_values += acc.exposed;
       findings.overdue_tuples += acc.overdue_tuples;
       findings.stale_index_entries += acc.stale_index;
       findings.missing_index_entries += acc.missing_index;
       findings.max_exposure = std::max(findings.max_exposure, acc.max_exposure);
+      if (acc.exposed != 0 || acc.overdue_tuples != 0 || acc.stale_index != 0) {
+        findings.exposed_partitions.push_back(p);
+      }
     }
     if (wal_ != nullptr && wal_->epoch_keys_enabled()) {
       // Keys for epochs whose inserts all left phase 0 must be destroyed;

@@ -32,6 +32,11 @@ struct TableAuditFindings {
   /// Worst attack window found: how long the most overdue value has been
   /// held past its transition deadline (0 when nothing is exposed).
   Micros max_exposure = 0;
+  /// Partitions where in-store exposure was found (exposed values, overdue
+  /// tuple shells, or stale index postings) — the repair units a failed
+  /// audit hands to DegradationEngine::EnqueueUrgent. WAL/epoch-key
+  /// findings are not partition work and never appear here.
+  std::vector<uint32_t> exposed_partitions;
 };
 
 /// \brief Result of one deletion-assurance sweep: the *proof side* of timely

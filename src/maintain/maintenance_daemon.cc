@@ -49,8 +49,11 @@ Status MaintenanceDaemon::RunOnce(Micros now) {
   }
   Status status;
   if (options_.checkpoint_interval > 0 && now >= next_checkpoint_due_) {
-    next_checkpoint_due_ = now + options_.checkpoint_interval;
     status = CheckpointIfWorthwhile(now);
+    // Deadline AFTER the checkpoint: a successful checkpoint retires the
+    // pressuring segment, so the adaptive pull below only fires when a
+    // payload deadline is still live inside the next interval.
+    next_checkpoint_due_ = NextCheckpointDueLocked(now);
   }
   if (options_.audit_interval > 0 && now >= next_audit_due_) {
     next_audit_due_ = now + options_.audit_interval;
@@ -61,6 +64,27 @@ Status MaintenanceDaemon::RunOnce(Micros now) {
     }
   }
   return status;
+}
+
+Micros MaintenanceDaemon::NextCheckpointDueLocked(Micros now) {
+  // Adaptive cadence: `checkpoint_interval` is the FLOOR — the guaranteed
+  // worst-case gap between cadence points — but when a live WAL segment
+  // holds a degradable payload whose phase-0 deadline lands inside that
+  // window, the next cadence point is pulled forward to the deadline
+  // itself. The checkpoint then rotates + retires the segment the moment
+  // the payload becomes overdue instead of up to a full interval later,
+  // shrinking the worst-case log exposure from `checkpoint_interval` to
+  // one scheduler wake. A deadline already past (or kForever) leaves the
+  // interval cadence untouched — pressure that old is caught by the
+  // wal_pressure force in CheckpointIfWorthwhile at this very cadence
+  // point.
+  Micros due = now + options_.checkpoint_interval;
+  const Micros payload = db_->wal()->EarliestPayloadDeadline();
+  if (payload > now && payload < due) {
+    due = payload;
+    ++stats_.adaptive_checkpoint_pulls;
+  }
+  return due;
 }
 
 Status MaintenanceDaemon::CheckpointIfWorthwhile(Micros now) {
@@ -88,7 +112,19 @@ AuditReport MaintenanceDaemon::RunAuditLocked(Micros now) {
   const AuditReport report =
       db_->RunAuditSweep(auditor_, now, options_.audit_grace);
   ++stats_.audits;
-  if (!report.clean()) ++stats_.audits_failed;
+  if (!report.clean()) {
+    ++stats_.audits_failed;
+    // Audit-driven repair: every partition the sweep proved overdue becomes
+    // a top-priority degradation unit — the engine's next pass (woken now)
+    // drains it ahead of the regular deadline order, closing the attack
+    // window the audit just measured instead of merely reporting it.
+    for (const TableAuditFindings& findings : report.tables) {
+      for (const uint32_t partition : findings.exposed_partitions) {
+        db_->degradation()->EnqueueUrgent(findings.table, partition);
+        ++stats_.repairs_enqueued;
+      }
+    }
+  }
   stats_.audit_rows_scanned += report.rows_scanned;
   stats_.max_exposure_seen =
       std::max(stats_.max_exposure_seen, report.max_exposure);

@@ -31,6 +31,12 @@ class Database;
 ///     (WalManager::AuditExposure): segment retirement, and with it the
 ///     kScrub/kEncryptedEpoch privacy cadence, must track degradation
 ///     deadlines even when no new writes arrive to dirty a partition.
+///     The cadence is ADAPTIVE: `checkpoint_interval` is the floor (the
+///     guaranteed worst-case gap), but when the earliest phase-0 deadline
+///     of any live WAL payload (WalManager::EarliestPayloadDeadline) lands
+///     inside the interval, the next cadence point is pulled forward to
+///     that deadline — the segment retires the moment its payload turns
+///     overdue, not up to an interval later.
 ///  2. *Continuous deletion-assurance audits.* Every `audit_interval` (0 =
 ///     on demand only) a DeletionAuditor sweep proves every value past its
 ///     deadline is degraded or destroyed across stores, indexes, WAL
@@ -58,6 +64,13 @@ class MaintenanceDaemon {
     /// Checkpoints forced below the dirty threshold by WAL payload-deadline
     /// pressure (a live segment held an overdue accurate value).
     uint64_t forced_checkpoints = 0;
+    /// Cadence points pulled EARLIER than checkpoint_interval because a
+    /// live WAL payload's phase-0 deadline landed inside the window
+    /// (adaptive cadence; the interval stays the guaranteed floor).
+    uint64_t adaptive_checkpoint_pulls = 0;
+    /// Overdue (table, partition) repair units handed to the degradation
+    /// engine at top priority after a failed audit.
+    uint64_t repairs_enqueued = 0;
     uint64_t audits = 0;
     uint64_t audits_failed = 0;
     uint64_t audit_rows_scanned = 0;
@@ -100,8 +113,18 @@ class MaintenanceDaemon {
   /// Most recent completed audit report (default-constructed before any).
   AuditReport last_report() const;
 
+  /// Next checkpoint cadence deadline as RunOnce would compute it at `now`
+  /// (exposed for cadence tests; the daemon recomputes at each firing).
+  Micros next_checkpoint_due() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_checkpoint_due_;
+  }
+
  private:
   void Loop();
+  /// Adaptive cadence: interval-floored, pulled earlier to the earliest
+  /// live WAL payload deadline when that lands inside the window.
+  Micros NextCheckpointDueLocked(Micros now);
   /// Cadence checkpoint decision + execution (see class comment, service 1).
   Status CheckpointIfWorthwhile(Micros now);
   AuditReport RunAuditLocked(Micros now);

@@ -62,48 +62,66 @@ Result<QueryResult> ExecuteAggregate(Session* session,
   };
   std::map<std::string, AggState> groups;
 
-  IDB_ASSIGN_OR_RETURN(std::unique_ptr<plan::RowSource> source,
-                       plan::MakeRowSource(session, select.query, SIZE_MAX));
-  plan::EvaluatedRow row;
-  while (true) {
-    IDB_ASSIGN_OR_RETURN(const bool more, source->Next(&row));
-    if (!more) break;
-    std::string key = "*";
-    if (select.group_col >= 0) {
-      key = plan::RenderValue(schema, select.group_col,
-                              row.values[select.group_col],
-                              row.degradable_level);
+  if (plan::CanPushAggregate(session, select)) {
+    // Ungrouped all-aggregate query: partials computed inside the scan
+    // workers (stable predicates below row assembly, state stores skipped
+    // when no degradable column is referenced), merged here. Rendering
+    // below is shared with the row-at-a-time path.
+    IDB_ASSIGN_OR_RETURN(plan::AggregatePartials partial,
+                         plan::ExecuteAggregatePushdown(session, select));
+    if (partial.count > 0) {
+      AggState& state = groups["*"];
+      state.count = partial.count;
+      state.sums = std::move(partial.sums);
+      state.mins = std::move(partial.mins);
+      state.maxs = std::move(partial.maxs);
+      state.non_null = std::move(partial.non_null);
     }
-    AggState& state = groups[key];
-    if (state.count == 0) {
-      state.sums.assign(items.size(), 0);
-      state.mins.assign(items.size(), Value::Null());
-      state.maxs.assign(items.size(), Value::Null());
-      state.non_null.assign(items.size(), 0);
+  } else {
+    IDB_ASSIGN_OR_RETURN(std::unique_ptr<plan::RowSource> source,
+                         plan::MakeRowSource(session, select.query, SIZE_MAX));
+    plan::EvaluatedRow row;
+    while (true) {
+      IDB_ASSIGN_OR_RETURN(const bool more, source->Next(&row));
+      if (!more) break;
+      std::string key = "*";
       if (select.group_col >= 0) {
-        state.group_value = row.values[select.group_col];
-        state.group_levels = row.degradable_level;
+        key = plan::RenderValue(schema, select.group_col,
+                                row.values[select.group_col],
+                                row.degradable_level);
       }
-    }
-    ++state.count;
-    for (size_t i = 0; i < items.size(); ++i) {
-      if (items[i].aggregate == AggregateKind::kNone ||
-          items[i].column.empty()) {
-        continue;
+      AggState& state = groups[key];
+      if (state.count == 0) {
+        state.sums.assign(items.size(), 0);
+        state.mins.assign(items.size(), Value::Null());
+        state.maxs.assign(items.size(), Value::Null());
+        state.non_null.assign(items.size(), 0);
+        if (select.group_col >= 0) {
+          state.group_value = row.values[select.group_col];
+          state.group_levels = row.degradable_level;
+        }
       }
-      const Value& v = row.values[select.item_columns[i]];
-      if (v.is_null()) continue;
-      ++state.non_null[i];
-      if (v.type() == ValueType::kInt64 || v.type() == ValueType::kTimestamp) {
-        state.sums[i] += static_cast<double>(v.int64());
-      } else if (v.type() == ValueType::kDouble) {
-        state.sums[i] += v.dbl();
-      }
-      if (state.mins[i].is_null() || v.Compare(state.mins[i]) < 0) {
-        state.mins[i] = v;
-      }
-      if (state.maxs[i].is_null() || v.Compare(state.maxs[i]) > 0) {
-        state.maxs[i] = v;
+      ++state.count;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (items[i].aggregate == AggregateKind::kNone ||
+            items[i].column.empty()) {
+          continue;
+        }
+        const Value& v = row.values[select.item_columns[i]];
+        if (v.is_null()) continue;
+        ++state.non_null[i];
+        if (v.type() == ValueType::kInt64 ||
+            v.type() == ValueType::kTimestamp) {
+          state.sums[i] += static_cast<double>(v.int64());
+        } else if (v.type() == ValueType::kDouble) {
+          state.sums[i] += v.dbl();
+        }
+        if (state.mins[i].is_null() || v.Compare(state.mins[i]) < 0) {
+          state.mins[i] = v;
+        }
+        if (state.maxs[i].is_null() || v.Compare(state.maxs[i]) > 0) {
+          state.maxs[i] = v;
+        }
       }
     }
   }

@@ -9,6 +9,7 @@
 #include <mutex>
 
 #include "common/strings.h"
+#include "query/predicate.h"
 #include "util/parallel.h"
 
 namespace instantdb {
@@ -16,31 +17,16 @@ namespace plan {
 
 namespace {
 
-bool ContainsIgnoreCase(const std::string& haystack,
-                        const std::string& needle) {
-  if (needle.empty()) return true;
-  auto it = std::search(haystack.begin(), haystack.end(), needle.begin(),
-                        needle.end(), [](char a, char b) {
-                          return std::toupper(static_cast<unsigned char>(a)) ==
-                                 std::toupper(static_cast<unsigned char>(b));
-                        });
-  return it != haystack.end();
-}
-
-bool MatchLike(const std::string& text, const BoundPredicate& pred) {
-  const std::string& core = pred.like_core;
-  if (pred.like_prefix_wildcard && pred.like_suffix_wildcard) {
-    return ContainsIgnoreCase(text, core);
-  }
-  if (pred.like_prefix_wildcard) {  // %core — suffix match
-    return text.size() >= core.size() &&
-           EqualsIgnoreCase(text.substr(text.size() - core.size()), core);
-  }
-  if (pred.like_suffix_wildcard) {  // core% — prefix match
-    return text.size() >= core.size() &&
-           EqualsIgnoreCase(text.substr(0, core.size()), core);
-  }
-  return EqualsIgnoreCase(text, core);
+/// Folds one scan's ScanDeltas into the database's atomic counters — once
+/// per batch, outside any partition latch.
+void FoldDeltas(Database::ScanCounters* counters, const ScanDeltas& deltas) {
+  counters->rows.fetch_add(deltas.rows_scanned, std::memory_order_relaxed);
+  counters->rows_prefiltered.fetch_add(deltas.rows_prefiltered,
+                                       std::memory_order_relaxed);
+  counters->store_probes_issued.fetch_add(deltas.probes_issued,
+                                          std::memory_order_relaxed);
+  counters->store_probes_skipped.fetch_add(deltas.probes_skipped,
+                                           std::memory_order_relaxed);
 }
 
 /// Finds the level of a literal value in a hierarchy (tree labels can sit at
@@ -246,29 +232,6 @@ bool EvalDegradablePredicate(const DomainHierarchy& hierarchy,
   return false;
 }
 
-bool EvalStablePredicate(const BoundPredicate& pred, const Value& value) {
-  if (value.is_null()) return false;
-  switch (pred.op) {
-    case ComparisonOp::kEq:
-      return value == pred.value;
-    case ComparisonOp::kNe:
-      return !(value == pred.value);
-    case ComparisonOp::kLt:
-      return value.Compare(pred.value) < 0;
-    case ComparisonOp::kLe:
-      return value.Compare(pred.value) <= 0;
-    case ComparisonOp::kGt:
-      return value.Compare(pred.value) > 0;
-    case ComparisonOp::kGe:
-      return value.Compare(pred.value) >= 0;
-    case ComparisonOp::kBetween:
-      return value.Compare(pred.value) >= 0 && value.Compare(pred.value2) <= 0;
-    case ComparisonOp::kLike:
-      return value.type() == ValueType::kString && MatchLike(value.str(), pred);
-  }
-  return false;
-}
-
 /// Streams the heap sequentially in batches of `batch_rows` RowViews,
 /// walking the table's partitions in order (the resume position carries the
 /// current partition plus the heap position inside it) and re-acquiring one
@@ -284,7 +247,12 @@ class HeapScanSource : public RowSource {
       : read_options_(session->read_options()),
         counters_(session->db()->scan_counters()),
         query_(query),
-        batch_rows_(batch_rows) {}
+        batch_rows_(batch_rows),
+        pushdown_(session->scan_options().pushdown),
+        filter_(query.table->schema(), query.predicates) {
+    spec_.filter = filter_.empty() ? nullptr : &filter_;
+    spec_.need_degradable = !query.referenced_degradable.empty();
+  }
 
   Result<bool> NextBatch(EvaluatedBatch* out) override {
     out->Clear();
@@ -292,23 +260,65 @@ class HeapScanSource : public RowSource {
     // may be fully filtered by σ) or the scan ends.
     while (out->size == 0) {
       if (done_) return false;
-      views_.clear();
-      IDB_RETURN_IF_ERROR(
-          query_.table->ScanBatch(&pos_, batch_rows_, &views_, &done_));
-      if (views_.empty()) continue;  // exhausted partitions; done_ decides
-      EvaluateViews(query_, read_options_, views_, out);
-      counters_->batches.fetch_add(1, std::memory_order_relaxed);
-      counters_->rows.fetch_add(views_.size(), std::memory_order_relaxed);
+      if (pushdown_) {
+        IDB_RETURN_IF_ERROR(PullPushdownBatch());
+      } else {
+        views_.clear();
+        IDB_RETURN_IF_ERROR(
+            query_.table->ScanBatch(&pos_, batch_rows_, &views_, &done_));
+        if (!views_.empty()) {
+          counters_->batches.fetch_add(1, std::memory_order_relaxed);
+          counters_->rows.fetch_add(views_.size(), std::memory_order_relaxed);
+        }
+      }
+      if (views_.empty()) continue;  // exhausted or fully prefiltered
+      EvaluateViews(query_, read_options_, views_, out, pushdown_);
     }
     return true;
   }
 
  private:
+  /// One latched chunk from the current partition's pushdown cursor,
+  /// advancing to the next partition on exhaustion. Partition order is the
+  /// legacy path's (partition, heap) order.
+  Status PullPushdownBatch() {
+    if (!cursor_open_) {
+      if (partition_ >= query_.table->num_partitions()) {
+        done_ = true;
+        views_.clear();
+        return Status::OK();
+      }
+      cursor_ = query_.table->OpenPartitionCursor(partition_);
+      cursor_open_ = true;
+    }
+    ScanDeltas deltas;
+    bool partition_done = false;
+    IDB_RETURN_IF_ERROR(cursor_.NextBatch(batch_rows_, spec_, &ws_, &views_,
+                                          &partition_done, &deltas));
+    if (partition_done) {
+      cursor_open_ = false;
+      ++partition_;
+      if (partition_ >= query_.table->num_partitions()) done_ = true;
+    }
+    if (deltas.rows_scanned > 0) {
+      counters_->batches.fetch_add(1, std::memory_order_relaxed);
+      FoldDeltas(counters_, deltas);
+    }
+    return Status::OK();
+  }
+
   const ReadOptions read_options_;
   Database::ScanCounters* const counters_;
   const BoundQuery& query_;
   const size_t batch_rows_;
+  const bool pushdown_;
+  const StablePredicateFilter filter_;
+  ScanSpec spec_;
+  ScanWorkspace ws_;
   TableScanPos pos_;
+  uint32_t partition_ = 0;
+  PartitionCursor cursor_;
+  bool cursor_open_ = false;
   bool done_ = false;
   std::vector<RowView> views_;
 };
@@ -332,7 +342,11 @@ class ParallelScanSource : public RowSource {
         counters_(session->db()->scan_counters()),
         query_(query),
         batch_rows_(batch_rows),
-        queue_capacity_(std::max<size_t>(queue_batches, 1)) {
+        queue_capacity_(std::max<size_t>(queue_batches, 1)),
+        pushdown_(session->scan_options().pushdown),
+        filter_(query.table->schema(), query.predicates) {
+    spec_.filter = filter_.empty() ? nullptr : &filter_;
+    spec_.need_degradable = !query.referenced_degradable.empty();
     producers_live_ = std::min<size_t>(
         std::max<size_t>(workers, 1), query.table->num_partitions());
     runner_.Start(producers_live_, [this](size_t) { ProduceLoop(); });
@@ -381,6 +395,7 @@ class ParallelScanSource : public RowSource {
     const uint32_t partitions = query_.table->num_partitions();
     std::vector<RowView> views;
     EvaluatedBatch batch;
+    ScanWorkspace ws;
     Status status;
     for (;;) {
       const uint32_t p =
@@ -392,14 +407,27 @@ class ParallelScanSource : public RowSource {
         // An early Close (cursor dropped mid-stream) must not keep workers
         // scanning the rest of the table before the destructor can join.
         if (closed_.load(std::memory_order_relaxed)) return;
-        views.clear();
-        status = cursor.NextBatch(batch_rows_, &views, &done);
-        if (!status.ok()) break;
+        if (pushdown_) {
+          ScanDeltas deltas;
+          status =
+              cursor.NextBatch(batch_rows_, spec_, &ws, &views, &done, &deltas);
+          if (!status.ok()) break;
+          if (deltas.rows_scanned > 0) {
+            counters_->batches.fetch_add(1, std::memory_order_relaxed);
+            FoldDeltas(counters_, deltas);
+          }
+        } else {
+          views.clear();
+          status = cursor.NextBatch(batch_rows_, &views, &done);
+          if (!status.ok()) break;
+          if (!views.empty()) {
+            counters_->batches.fetch_add(1, std::memory_order_relaxed);
+            counters_->rows.fetch_add(views.size(), std::memory_order_relaxed);
+          }
+        }
         if (views.empty()) continue;
         batch.Clear();
-        EvaluateViews(query_, read_options_, views, &batch);
-        counters_->batches.fetch_add(1, std::memory_order_relaxed);
-        counters_->rows.fetch_add(views.size(), std::memory_order_relaxed);
+        EvaluateViews(query_, read_options_, views, &batch, pushdown_);
         if (batch.size == 0) continue;  // fully filtered: recycle in place,
                                         // no reason to touch the queue lock
         std::unique_lock<std::mutex> lock(mu_);
@@ -431,6 +459,9 @@ class ParallelScanSource : public RowSource {
   const BoundQuery& query_;
   const size_t batch_rows_;
   const size_t queue_capacity_;
+  const bool pushdown_;
+  const StablePredicateFilter filter_;
+  ScanSpec spec_;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -457,7 +488,14 @@ class SnapshotScanSource : public RowSource {
  public:
   SnapshotScanSource(Session* session, const BoundQuery& query,
                      size_t workers)
-      : session_(session), query_(query), workers_(workers) {}
+      : session_(session),
+        query_(query),
+        workers_(workers),
+        pushdown_(session->scan_options().pushdown),
+        filter_(query.table->schema(), query.predicates) {
+    spec_.filter = filter_.empty() ? nullptr : &filter_;
+    spec_.need_degradable = !query.referenced_degradable.empty();
+  }
 
   Result<bool> NextBatch(EvaluatedBatch* out) override {
     if (!scanned_) {
@@ -479,6 +517,30 @@ class SnapshotScanSource : public RowSource {
     auto* counters = session_->db()->scan_counters();
     std::vector<std::vector<EvaluatedRow>> per_partition(partitions);
     IDB_RETURN_IF_ERROR(ParallelFor(workers_, partitions, [&](size_t p) {
+      if (pushdown_) {
+        // Same one-latch-per-partition snapshot, but stable predicates run
+        // on the decoded tuples and stores are probed only for survivors.
+        ScanWorkspace ws;
+        ScanDeltas deltas;
+        EvaluatedRow row;
+        IDB_RETURN_IF_ERROR(
+            table->partition(static_cast<uint32_t>(p))
+                ->ScanFiltered(
+                    spec_, &ws,
+                    [&](const std::vector<RowView>& views) {
+                      for (const RowView& view : views) {
+                        if (EvaluateRow(query_, read_options, view, &row,
+                                        /*stable_prefiltered=*/true)) {
+                          per_partition[p].push_back(std::move(row));
+                        }
+                      }
+                      return Status::OK();
+                    },
+                    &deltas));
+        counters->batches.fetch_add(1, std::memory_order_relaxed);
+        FoldDeltas(counters, deltas);
+        return Status::OK();
+      }
       bool stopped = false;
       uint64_t scanned = 0;
       EvaluatedRow row;
@@ -507,6 +569,9 @@ class SnapshotScanSource : public RowSource {
   Session* const session_;
   const BoundQuery& query_;
   const size_t workers_;
+  const bool pushdown_;
+  const StablePredicateFilter filter_;
+  ScanSpec spec_;
   bool scanned_ = false;
   bool served_ = false;
   EvaluatedBatch result_;
@@ -567,10 +632,13 @@ Result<bool> RowSource::Next(EvaluatedRow* out) {
 }
 
 void EvaluateViews(const BoundQuery& query, const ReadOptions& read_options,
-                   const std::vector<RowView>& views, EvaluatedBatch* out) {
+                   const std::vector<RowView>& views, EvaluatedBatch* out,
+                   bool stable_prefiltered) {
   for (const RowView& view : views) {
     EvaluatedRow* slot = out->Add();
-    if (!EvaluateRow(query, read_options, view, slot)) out->DropLast();
+    if (!EvaluateRow(query, read_options, view, slot, stable_prefiltered)) {
+      out->DropLast();
+    }
   }
 }
 
@@ -621,7 +689,8 @@ Result<BoundQuery> BindQuery(Session* session, const std::string& table_name,
 }
 
 bool EvaluateRow(const BoundQuery& query, const ReadOptions& read_options,
-                 const RowView& view, EvaluatedRow* out) {
+                 const RowView& view, EvaluatedRow* out,
+                 bool stable_prefiltered) {
   const Schema& schema = query.table->schema();
   out->row_id = view.row_id;
   out->values = view.values;
@@ -662,6 +731,9 @@ bool EvaluateRow(const BoundQuery& query, const ReadOptions& read_options,
         return false;
       }
     } else {
+      // Stable terms already ran below row assembly when the scan pushed
+      // them down; only the index path re-checks them here.
+      if (stable_prefiltered) continue;
       if (!EvalStablePredicate(pred, out->values[pred.column])) return false;
     }
   }
@@ -678,19 +750,29 @@ std::string RenderValue(const Schema& schema, int col, const Value& value,
   return value.ToString();
 }
 
+namespace {
+
+/// The degradable predicate an index probe would serve, or nullptr when the
+/// query takes a heap scan (shared by MakeRowSource and CanPushAggregate so
+/// both always agree on the access path).
+const BoundPredicate* UsableIndexPredicate(Session* session,
+                                           const BoundQuery& query) {
+  if (!session->use_indexes() || session->read_options().include_coarser) {
+    return nullptr;
+  }
+  for (const BoundPredicate& pred : query.predicates) {
+    if (pred.degradable && pred.index_usable) return &pred;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<RowSource>> MakeRowSource(Session* session,
                                                  const BoundQuery& query,
                                                  size_t scan_batch_rows) {
   const ReadOptions& read_options = session->read_options();
-  const BoundPredicate* index_pred = nullptr;
-  if (session->use_indexes() && !read_options.include_coarser) {
-    for (const BoundPredicate& pred : query.predicates) {
-      if (pred.degradable && pred.index_usable) {
-        index_pred = &pred;
-        break;
-      }
-    }
-  }
+  const BoundPredicate* index_pred = UsableIndexPredicate(session, query);
   if (index_pred != nullptr) {
     std::vector<RowId> rids;
     if (index_pred->op == ComparisonOp::kBetween) {
@@ -789,6 +871,125 @@ Result<SelectPlan> BindSelect(Session* session, const SelectAst& ast) {
   IDB_ASSIGN_OR_RETURN(select.query,
                        BindQuery(session, ast.table, ast.where, projected));
   return select;
+}
+
+bool CanPushAggregate(Session* session, const SelectPlan& select) {
+  if (!session->scan_options().pushdown) return false;
+  if (!select.has_aggregate || select.group_col >= 0) return false;
+  for (const SelectItem& item : select.items) {
+    // A non-aggregate item needs per-row output; partials can't carry it.
+    if (item.aggregate == AggregateKind::kNone) return false;
+  }
+  return UsableIndexPredicate(session, select.query) == nullptr;
+}
+
+namespace {
+
+void InitPartials(size_t items, AggregatePartials* agg) {
+  agg->count = 0;
+  agg->sums.assign(items, 0);
+  agg->mins.assign(items, Value::Null());
+  agg->maxs.assign(items, Value::Null());
+  agg->non_null.assign(items, 0);
+}
+
+/// Folds one qualifying row into a worker's partial — the same per-item
+/// state transitions as the executor's row-at-a-time AggState fold.
+void FoldAggregateRow(const SelectPlan& select, const EvaluatedRow& row,
+                      AggregatePartials* agg) {
+  ++agg->count;
+  const auto& items = select.items;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (items[i].aggregate == AggregateKind::kNone || items[i].column.empty()) {
+      continue;
+    }
+    const Value& v = row.values[select.item_columns[i]];
+    if (v.is_null()) continue;
+    ++agg->non_null[i];
+    if (v.type() == ValueType::kInt64 || v.type() == ValueType::kTimestamp) {
+      agg->sums[i] += static_cast<double>(v.int64());
+    } else if (v.type() == ValueType::kDouble) {
+      agg->sums[i] += v.dbl();
+    }
+    if (agg->mins[i].is_null() || v.Compare(agg->mins[i]) < 0) {
+      agg->mins[i] = v;
+    }
+    if (agg->maxs[i].is_null() || v.Compare(agg->maxs[i]) > 0) {
+      agg->maxs[i] = v;
+    }
+  }
+}
+
+/// Merge is associative over per-partition partials: counts and sums add,
+/// extrema compare — so partition order never matters.
+void MergePartials(const AggregatePartials& in, AggregatePartials* out) {
+  out->count += in.count;
+  for (size_t i = 0; i < in.sums.size(); ++i) {
+    out->sums[i] += in.sums[i];
+    out->non_null[i] += in.non_null[i];
+    if (!in.mins[i].is_null() &&
+        (out->mins[i].is_null() || in.mins[i].Compare(out->mins[i]) < 0)) {
+      out->mins[i] = in.mins[i];
+    }
+    if (!in.maxs[i].is_null() &&
+        (out->maxs[i].is_null() || in.maxs[i].Compare(out->maxs[i]) > 0)) {
+      out->maxs[i] = in.maxs[i];
+    }
+  }
+}
+
+}  // namespace
+
+Result<AggregatePartials> ExecuteAggregatePushdown(Session* session,
+                                                   const SelectPlan& select) {
+  const BoundQuery& query = select.query;
+  const Table* table = query.table;
+  const uint32_t partitions = table->num_partitions();
+  const ReadOptions read_options = session->read_options();
+  auto* counters = session->db()->scan_counters();
+
+  const StablePredicateFilter filter(table->schema(), query.predicates);
+  ScanSpec spec;
+  spec.filter = filter.empty() ? nullptr : &filter;
+  // COUNT(*)/stable-only aggregates reference no degradable column: the scan
+  // never touches a state store at all.
+  spec.need_degradable = !query.referenced_degradable.empty();
+
+  const size_t workers = ResolveScanParallelism(session, *table);
+  std::vector<AggregatePartials> partials(partitions);
+  IDB_RETURN_IF_ERROR(ParallelFor(workers, partitions, [&](size_t p) {
+    AggregatePartials& agg = partials[p];
+    InitPartials(select.items.size(), &agg);
+    ScanWorkspace ws;
+    ScanDeltas deltas;
+    EvaluatedRow row;
+    IDB_RETURN_IF_ERROR(
+        table->partition(static_cast<uint32_t>(p))
+            ->ScanFiltered(
+                spec, &ws,
+                [&](const std::vector<RowView>& views) {
+                  for (const RowView& view : views) {
+                    if (EvaluateRow(query, read_options, view, &row,
+                                    /*stable_prefiltered=*/true)) {
+                      FoldAggregateRow(select, row, &agg);
+                    }
+                  }
+                  return Status::OK();
+                },
+                &deltas));
+    counters->batches.fetch_add(1, std::memory_order_relaxed);
+    FoldDeltas(counters, deltas);
+    return Status::OK();
+  }));
+
+  AggregatePartials merged;
+  InitPartials(select.items.size(), &merged);
+  for (const AggregatePartials& partial : partials) {
+    MergePartials(partial, &merged);
+  }
+  counters->aggregate_partials_merged.fetch_add(partitions,
+                                                std::memory_order_relaxed);
+  return merged;
 }
 
 }  // namespace plan

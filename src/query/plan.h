@@ -99,14 +99,19 @@ Result<BoundQuery> BindQuery(Session* session, const std::string& table_name,
 
 /// Applies computability + f_k + σ_P to one stored row. Returns true and
 /// fills `out` when the row qualifies under the bound accuracy levels.
+/// `stable_prefiltered` tells it the scan already evaluated every
+/// stable-column conjunct below row assembly (ScanSpec pushdown), so only
+/// the degradable terms are re-checked here.
 bool EvaluateRow(const BoundQuery& query, const ReadOptions& read_options,
-                 const RowView& view, EvaluatedRow* out);
+                 const RowView& view, EvaluatedRow* out,
+                 bool stable_prefiltered = false);
 
 /// Whole-batch σ: evaluates every view, appending the qualifying rows to
 /// `out` (recycled slots, see EvaluatedBatch). This is the operators' inner
 /// loop — one virtual call per batch instead of per row.
 void EvaluateViews(const BoundQuery& query, const ReadOptions& read_options,
-                   const std::vector<RowView>& views, EvaluatedBatch* out);
+                   const std::vector<RowView>& views, EvaluatedBatch* out,
+                   bool stable_prefiltered = false);
 
 /// Renders one output value (buckets as "[lo..hi]", levels applied).
 std::string RenderValue(const Schema& schema, int col, const Value& value,
@@ -183,6 +188,33 @@ struct SelectPlan {
 
 /// Binds a SELECT statement into an executable plan.
 Result<SelectPlan> BindSelect(Session* session, const SelectAst& ast);
+
+/// Merged per-worker aggregate state of one ungrouped aggregate query,
+/// indexed like SelectPlan::items. COUNT(*) reads `count`; COUNT(col)/AVG
+/// read `non_null`; SUM/AVG read `sums`; MIN/MAX read `mins`/`maxs`.
+struct AggregatePartials {
+  uint64_t count = 0;
+  std::vector<double> sums;
+  std::vector<Value> mins;
+  std::vector<Value> maxs;
+  std::vector<uint64_t> non_null;
+};
+
+/// True when `select` can compute below the cursor: pushdown enabled on the
+/// session, ungrouped, every item an aggregate, and no usable index
+/// predicate (index probes keep the row-at-a-time path).
+bool CanPushAggregate(Session* session, const SelectPlan& select);
+
+/// Aggregate pushdown: computes COUNT/SUM/AVG/MIN/MAX partials inside the
+/// scan workers — one per partition, fanned out over the resolved scan
+/// parallelism, each draining its partition under one shared-latch hold
+/// with the stable predicates pushed below row assembly — then merges the
+/// per-partition partials. Aggregate queries stop shipping qualifying rows
+/// through a row source entirely; a query referencing no degradable column
+/// (COUNT(*) over stable predicates) also skips every state-store probe.
+/// Only valid when CanPushAggregate(session, select).
+Result<AggregatePartials> ExecuteAggregatePushdown(Session* session,
+                                                   const SelectPlan& select);
 
 }  // namespace plan
 }  // namespace instantdb

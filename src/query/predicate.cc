@@ -1,0 +1,114 @@
+#include "query/predicate.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace instantdb {
+namespace plan {
+
+namespace {
+
+bool ContainsIgnoreCase(const std::string& haystack,
+                        const std::string& needle) {
+  if (needle.empty()) return true;
+  auto it = std::search(haystack.begin(), haystack.end(), needle.begin(),
+                        needle.end(), [](char a, char b) {
+                          return std::toupper(static_cast<unsigned char>(a)) ==
+                                 std::toupper(static_cast<unsigned char>(b));
+                        });
+  return it != haystack.end();
+}
+
+}  // namespace
+
+bool MatchLike(const std::string& text, const BoundPredicate& pred) {
+  const std::string& core = pred.like_core;
+  if (pred.like_prefix_wildcard && pred.like_suffix_wildcard) {
+    return ContainsIgnoreCase(text, core);
+  }
+  if (pred.like_prefix_wildcard) {  // %core — suffix match
+    return text.size() >= core.size() &&
+           EqualsIgnoreCase(text.substr(text.size() - core.size()), core);
+  }
+  if (pred.like_suffix_wildcard) {  // core% — prefix match
+    return text.size() >= core.size() &&
+           EqualsIgnoreCase(text.substr(0, core.size()), core);
+  }
+  return EqualsIgnoreCase(text, core);
+}
+
+bool EvalStablePredicate(const BoundPredicate& pred, const Value& value) {
+  if (value.is_null()) return false;
+  switch (pred.op) {
+    case ComparisonOp::kEq:
+      return value == pred.value;
+    case ComparisonOp::kNe:
+      return !(value == pred.value);
+    case ComparisonOp::kLt:
+      return value.Compare(pred.value) < 0;
+    case ComparisonOp::kLe:
+      return value.Compare(pred.value) <= 0;
+    case ComparisonOp::kGt:
+      return value.Compare(pred.value) > 0;
+    case ComparisonOp::kGe:
+      return value.Compare(pred.value) >= 0;
+    case ComparisonOp::kBetween:
+      return value.Compare(pred.value) >= 0 && value.Compare(pred.value2) <= 0;
+    case ComparisonOp::kLike:
+      return value.type() == ValueType::kString && MatchLike(value.str(), pred);
+  }
+  return false;
+}
+
+ColumnPredicate::ColumnPredicate(const Schema& schema,
+                                 const BoundPredicate* pred)
+    : pred_(pred) {
+  const auto& stable = schema.stable_columns();
+  for (size_t i = 0; i < stable.size(); ++i) {
+    if (stable[i] == pred->column) {
+      stable_ordinal_ = static_cast<int>(i);
+      break;
+    }
+  }
+}
+
+void ColumnPredicate::FilterBatch(const HeapTuple* tuples, size_t n,
+                                  bool refine,
+                                  std::vector<uint32_t>* sel) const {
+  if (!refine) {
+    for (size_t i = 0; i < n; ++i) {
+      if (Matches(tuples[i])) sel->push_back(static_cast<uint32_t>(i));
+    }
+    return;
+  }
+  size_t kept = 0;
+  for (uint32_t idx : *sel) {
+    if (Matches(tuples[idx])) (*sel)[kept++] = idx;
+  }
+  sel->resize(kept);
+}
+
+StablePredicateFilter::StablePredicateFilter(
+    const Schema& schema, const std::vector<BoundPredicate>& predicates) {
+  for (const BoundPredicate& pred : predicates) {
+    if (!pred.degradable) kernels_.emplace_back(schema, &pred);
+  }
+}
+
+void StablePredicateFilter::SelectStable(const HeapTuple* tuples, size_t n,
+                                         std::vector<uint32_t>* sel) const {
+  if (kernels_.empty()) {
+    sel->resize(n);
+    for (size_t i = 0; i < n; ++i) (*sel)[i] = static_cast<uint32_t>(i);
+    return;
+  }
+  kernels_[0].FilterBatch(tuples, n, /*refine=*/false, sel);
+  for (size_t k = 1; k < kernels_.size() && !sel->empty(); ++k) {
+    kernels_[k].FilterBatch(tuples, n, /*refine=*/true, sel);
+  }
+}
+
+}  // namespace plan
+}  // namespace instantdb

@@ -429,6 +429,27 @@ const StoreEntry* StateStore::Find(RowId row_id) const {
   return &it->entry;
 }
 
+size_t StateStore::FindMany(const RowId* ids, size_t n,
+                            const StoreEntry** out) const {
+  size_t found = 0;
+  auto it = live_.begin();
+  for (size_t j = 0; j < n; ++j) {
+    if (out[j] != nullptr) continue;
+    // Ascending ids: resume the search where the previous id left it, so
+    // the whole batch costs one pass over the overlapping range.
+    it = std::lower_bound(it, live_.end(), ids[j],
+                          [](const LiveEntry& e, RowId id) {
+                            return e.entry.row_id < id;
+                          });
+    if (it == live_.end()) break;  // every later id is larger still
+    if (it->entry.row_id == ids[j]) {
+      out[j] = &it->entry;
+      ++found;
+    }
+  }
+  return found;
+}
+
 void StateStore::ForEach(
     const std::function<bool(const StoreEntry&)>& fn) const {
   for (const LiveEntry& live : live_) {

@@ -97,6 +97,16 @@ class StateStore {
   /// Binary search over the (row-id-sorted) live mirror; nullptr if absent.
   const StoreEntry* Find(RowId row_id) const;
 
+  /// Batched Find: resolves `ids[0..n)` (which must be ascending) against
+  /// the live mirror with ONE forward merge instead of n independent binary
+  /// searches — the probe primitive of the pushdown scan's survivor pass.
+  /// Sets out[j] for every id found whose slot is still nullptr (slots
+  /// already set are skipped, so a caller probing a phase chain passes the
+  /// same arrays through every phase's store and each row keeps its
+  /// first — i.e. most accurate — hit). Returns the number of slots newly
+  /// set.
+  size_t FindMany(const RowId* ids, size_t n, const StoreEntry** out) const;
+
   /// In-order iteration; stops early when `fn` returns false.
   void ForEach(const std::function<bool(const StoreEntry&)>& fn) const;
 

@@ -496,6 +496,14 @@ WalManager::ExposureAudit WalManager::AuditExposure(Micros horizon) const {
   return audit;
 }
 
+Micros WalManager::EarliestPayloadDeadline() const {
+  Micros earliest = kForever;
+  for (const auto& stream : streams_) {
+    earliest = std::min(earliest, stream->EarliestPayloadDeadline());
+  }
+  return earliest;
+}
+
 uint64_t WalManager::LingeringEpochKeys(TableId table, Micros safe_time) const {
   if (options_.privacy_mode != WalPrivacyMode::kEncryptedEpoch) return 0;
   if (safe_time <= 0) return 0;

@@ -188,6 +188,15 @@ class WalManager {
   };
   ExposureAudit AuditExposure(Micros horizon) const;
 
+  /// Earliest phase-0 payload deadline still held by any live segment of
+  /// any stream; kForever when the log holds no degradable payload. Drives
+  /// the maintenance daemon's adaptive checkpoint cadence: a checkpoint at
+  /// this instant rotates + retires the segment before its payload becomes
+  /// an exposure finding. Deadlines are tracked in every privacy mode (under
+  /// kEncryptedEpoch an early checkpoint still shrinks the decryptable
+  /// window between epoch-key destructions).
+  Micros EarliestPayloadDeadline() const;
+
   /// kEncryptedEpoch: number of live (undestroyed) epoch keys of `table`
   /// whose epoch ends at or before `safe_time` — keys DestroyEpochKeysThrough
   /// should already have destroyed. Non-zero means accurate log payloads are

@@ -427,6 +427,15 @@ uint64_t WalStream::ExposedPayloadSegments(Micros horizon) const {
   return exposed;
 }
 
+Micros WalStream::EarliestPayloadDeadline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Micros earliest = kForever;
+  for (const SegmentInfo& segment : segments_) {
+    earliest = std::min(earliest, segment.min_payload_deadline);
+  }
+  return earliest;
+}
+
 Status WalStream::Replay(
     Lsn from, const std::function<Status(const WalRecord&, Lsn)>& fn) const {
   std::lock_guard<std::mutex> lock(mu_);

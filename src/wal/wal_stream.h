@@ -153,6 +153,13 @@ class WalStream {
   /// that WAL retirement is lagging the degradation deadlines.
   uint64_t ExposedPayloadSegments(Micros horizon) const;
 
+  /// Earliest phase-0 payload deadline over every live segment (the time at
+  /// which the first still-logged accurate value becomes overdue), kForever
+  /// when no live segment holds a degradable payload. The maintenance
+  /// daemon's adaptive cadence checkpoints just before this instant instead
+  /// of waiting out a fixed interval.
+  Micros EarliestPayloadDeadline() const;
+
   /// Replays records with LSN >= `from` in stream order. `fn` returning
   /// non-OK aborts the replay with that status.
   Status Replay(Lsn from,
