@@ -13,15 +13,21 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+# Fault-injection schedules run from a fixed seed so CI failures reproduce
+# locally with the same command; override via IDB_FAULT_SEED to explore.
+export IDB_FAULT_SEED="${IDB_FAULT_SEED:-20260808}"
+
 run_plain() {
   cmake -B build -S .
   cmake --build build -j "$JOBS"
   ctest --test-dir build --output-on-failure -j "$JOBS"
 }
 
-# Sanitized pass: the tests that drive real thread interleavings. The rest
-# of the suite is single-threaded and adds only build time.
-SANITIZE_TESTS="concurrency_stress_test|parallel_scan_test|pushdown_test|partition_test|degradation_engine_test|write_batch_test|wal_stream_test|checkpoint_fuzzy_test|maintenance_test"
+# Sanitized pass: the tests that drive real thread interleavings, plus the
+# fault-injection suite — injected I/O errors exercise the rarely-taken
+# unwind paths where use-after-free and lock bugs hide. The rest of the
+# suite is single-threaded and adds only build time.
+SANITIZE_TESTS="concurrency_stress_test|parallel_scan_test|pushdown_test|partition_test|degradation_engine_test|write_batch_test|wal_stream_test|checkpoint_fuzzy_test|maintenance_test|fault_injection_test"
 
 run_sanitized() {
   local kind="$1"

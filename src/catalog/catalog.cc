@@ -1,7 +1,7 @@
 #include "catalog/catalog.h"
 
+#include "io/env.h"
 #include "util/crc32c.h"
-#include "util/file.h"
 
 namespace instantdb {
 
@@ -45,7 +45,8 @@ std::vector<const TableDef*> Catalog::tables() const {
   return out;
 }
 
-Status Catalog::SaveTo(const std::string& path) const {
+Status Catalog::SaveTo(const std::string& path, Env* env) const {
+  if (env == nullptr) env = Env::Default();
   std::string body;
   PutVarint32(&body, next_id_);
   PutVarint32(&body, static_cast<uint32_t>(by_name_.size()));
@@ -59,12 +60,16 @@ Status Catalog::SaveTo(const std::string& path) const {
   file += body;
 
   const std::string tmp = path + ".tmp";
-  IDB_RETURN_IF_ERROR(WriteStringToFile(tmp, file, /*sync=*/true));
-  return RenameFile(tmp, path);
+  IDB_RETURN_IF_ERROR(env->WriteStringToFile(tmp, file, /*sync=*/true));
+  Status renamed = env->RenameFile(tmp, path);
+  if (!renamed.ok()) (void)env->RemoveFile(tmp);
+  return renamed;
 }
 
-Result<std::unique_ptr<Catalog>> Catalog::LoadFrom(const std::string& path) {
-  IDB_ASSIGN_OR_RETURN(std::string file, ReadFileToString(path));
+Result<std::unique_ptr<Catalog>> Catalog::LoadFrom(const std::string& path,
+                                                   Env* env) {
+  if (env == nullptr) env = Env::Default();
+  IDB_ASSIGN_OR_RETURN(std::string file, env->ReadFileToString(path));
   Slice input = file;
   uint32_t masked;
   if (!GetFixed32(&input, &masked)) {

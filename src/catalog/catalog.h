@@ -13,6 +13,8 @@
 
 namespace instantdb {
 
+class Env;
+
 /// Table metadata: id, name, schema. Ids are dense and never reused within
 /// one database instance so storage paths stay unambiguous.
 struct TableDef {
@@ -40,8 +42,10 @@ class Catalog {
 
   std::vector<const TableDef*> tables() const;
 
-  Status SaveTo(const std::string& path) const;
-  static Result<std::unique_ptr<Catalog>> LoadFrom(const std::string& path);
+  /// `env` == nullptr uses Env::Default().
+  Status SaveTo(const std::string& path, Env* env = nullptr) const;
+  static Result<std::unique_ptr<Catalog>> LoadFrom(const std::string& path,
+                                                   Env* env = nullptr);
 
  private:
   std::map<std::string, std::unique_ptr<TableDef>> by_name_;

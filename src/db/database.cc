@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "io/env.h"
 #include "util/parallel.h"
 
 namespace instantdb {
@@ -38,12 +39,14 @@ TableRuntime Database::MakeRuntime() const {
   runtime.keys = keys_.get();
   runtime.wal = wal_.get();
   runtime.clock = clock_;
+  runtime.env = env_;
   return runtime;
 }
 
 Status Database::OpenImpl() {
-  IDB_RETURN_IF_ERROR(CreateDirs(options_.path));
-  IDB_RETURN_IF_ERROR(CreateDirs(options_.path + "/tables"));
+  env_ = options_.env != nullptr ? options_.env : Env::Default();
+  IDB_RETURN_IF_ERROR(env_->CreateDirs(options_.path));
+  IDB_RETURN_IF_ERROR(env_->CreateDirs(options_.path + "/tables"));
 
   if (options_.clock != nullptr) {
     clock_ = options_.clock;
@@ -52,12 +55,12 @@ Status Database::OpenImpl() {
     clock_ = owned_clock_.get();
   }
 
-  keys_ = std::make_unique<KeyManager>(options_.path + "/KEYSTORE");
+  keys_ = std::make_unique<KeyManager>(options_.path + "/KEYSTORE", env_);
   IDB_RETURN_IF_ERROR(keys_->Open());
 
   const std::string catalog_path = options_.path + "/CATALOG";
-  if (FileExists(catalog_path)) {
-    IDB_ASSIGN_OR_RETURN(catalog_, Catalog::LoadFrom(catalog_path));
+  if (env_->FileExists(catalog_path)) {
+    IDB_ASSIGN_OR_RETURN(catalog_, Catalog::LoadFrom(catalog_path, env_));
   } else {
     catalog_ = std::make_unique<Catalog>();
   }
@@ -71,7 +74,7 @@ Status Database::OpenImpl() {
     wal_options.wal_streams = options_.partitions == 0 ? 1 : options_.partitions;
   }
   wal_ = std::make_unique<WalManager>(options_.path + "/wal", wal_options,
-                                      keys_.get());
+                                      keys_.get(), env_);
   IDB_RETURN_IF_ERROR(wal_->Open());
 
   locks_ = std::make_unique<LockManager>();
@@ -163,7 +166,7 @@ Result<const TableDef*> Database::CreateTable(const std::string& name,
   std::unique_lock<std::shared_mutex> ddl(ddl_mu_);
   IDB_ASSIGN_OR_RETURN(const TableDef* def,
                        catalog_->CreateTable(name, std::move(schema)));
-  IDB_RETURN_IF_ERROR(catalog_->SaveTo(options_.path + "/CATALOG"));
+  IDB_RETURN_IF_ERROR(catalog_->SaveTo(options_.path + "/CATALOG", env_));
   auto table = std::make_unique<Table>(def, TableDir(def->id), MakeRuntime());
   IDB_RETURN_IF_ERROR(table->Open());
   IDB_RETURN_IF_ERROR(table->RebuildIndexes());
@@ -186,7 +189,7 @@ Status Database::DropTable(const std::string& name) {
     tables_.erase(it);
   }
   IDB_RETURN_IF_ERROR(catalog_->DropTable(name));
-  return catalog_->SaveTo(options_.path + "/CATALOG");
+  return catalog_->SaveTo(options_.path + "/CATALOG", env_);
 }
 
 Table* Database::GetTable(const std::string& name) const {
@@ -267,6 +270,16 @@ Status Database::Checkpoint() {
   // committing during the flush could resurface its accurate value after
   // recovery.
   const std::vector<Lsn> begin = tm_->CheckpointBeginPositions();
+
+  // Write-ahead barrier: every record the partitions have already applied
+  // must be durable BEFORE any store flush makes its effects durable.
+  // Degrade commits reach the WAL buffers without an fsync; a store
+  // checkpoint that persists their pops while the record still sits in an
+  // unsynced WAL tail lets a crash forget the record but keep the pop — the
+  // value is then gone from every store with no replay left to rebuild it.
+  // Syncing the streams first restores the invariant that durable store
+  // state is always covered by durable log.
+  IDB_RETURN_IF_ERROR(wal_->Sync());
 
   // Incremental flush: only partitions mutated since their last flush do
   // I/O, fanned out over the degradation pool size — so one large cold
@@ -363,7 +376,28 @@ Database::Stats Database::stats() const {
   stats.checkpoint_partitions_clean =
       checkpoint_partitions_clean_.load(std::memory_order_relaxed);
   if (maintenance_ != nullptr) stats.maintenance = maintenance_->stats();
+  const IoCounters io = env_->io_counters();
+  stats.io.writes = io.writes;
+  stats.io.syncs = io.syncs;
+  stats.io.sync_failures = io.sync_failures;
+  stats.io.injected_faults = io.injected_faults;
+  stats.io.retries =
+      stats.degradation.io_retries + stats.maintenance.io_retries;
+  Status first = FirstBackgroundError();
+  if (!first.ok()) stats.io.first_error = first.ToString();
   return stats;
+}
+
+Status Database::FirstBackgroundError() const {
+  if (maintenance_ != nullptr) {
+    Status status = maintenance_->first_error();
+    if (!status.ok()) return status;
+  }
+  if (degrader_ != nullptr) {
+    Status status = degrader_->first_error();
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
 }
 
 Result<size_t> Database::RunDegradationOnce() {
@@ -387,7 +421,12 @@ Status Database::Close() {
   }
   assert(maintenance_ == nullptr || !maintenance_->running());
   assert(!degrader_->running());
-  return Checkpoint();
+  Status status = Checkpoint();
+  // Surface the first sticky background I/O error even when the final
+  // checkpoint succeeded: a background loop that hit (and maybe retried
+  // past) a disk failure must not close with a silent OK.
+  if (status.ok()) status = FirstBackgroundError();
+  return status;
 }
 
 }  // namespace instantdb

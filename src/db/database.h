@@ -43,6 +43,11 @@ struct DbOptions {
   /// External clock (a VirtualClock for tests/benchmarks). When null the
   /// database owns a SystemClock.
   Clock* clock = nullptr;
+  /// Filesystem seam (io/env.h): every durability-bearing file operation of
+  /// this instance routes through it. nullptr = Env::Default(). Tests pass a
+  /// FaultInjectionEnv to exercise fsync EIO, short writes, ENOSPC and
+  /// simulated crashes.
+  Env* env = nullptr;
 };
 
 /// \brief The InstantDB engine facade: catalog + WAL + transactions +
@@ -184,6 +189,27 @@ class Database {
     uint64_t aggregate_partials_merged = 0;
   };
 
+  /// I/O-layer health (snapshot in Stats::io): physical-operation counters
+  /// from the instance's Env plus the consumers' retry/error bookkeeping.
+  /// Invariant (asserted by the fault-injection tests): sync_failures > 0 ⇒
+  /// wal.poisoned_streams > 0 OR retries > 0 — a failed sync is never
+  /// silently retried-and-forgotten (fsyncgate).
+  struct IoStats {
+    /// File write operations issued (appends + positional writes).
+    uint64_t writes = 0;
+    /// fsync/fdatasync operations issued, and how many returned an error.
+    uint64_t syncs = 0;
+    uint64_t sync_failures = 0;
+    /// Transient I/O failures absorbed by backoff-retry in the background
+    /// loops (maintenance cadence + degrader passes).
+    uint64_t retries = 0;
+    /// Faults injected by a FaultInjectionEnv (0 in production).
+    uint64_t injected_faults = 0;
+    /// First sticky background I/O error, empty when healthy (the same
+    /// status Close() returns; recorded even after later retries succeed).
+    std::string first_error;
+  };
+
   /// One-stop engine counters, so benches and tests read the engine's
   /// behavior (sync absorption, scan fan-out efficiency, checkpoint
   /// dirty-skipping) instead of inferring it from file I/O or timing.
@@ -198,6 +224,8 @@ class Database {
     DegradationEngine::Stats degradation;
     /// Read path: batches served, rows scanned, prefetch-queue stalls.
     ScanStats scan;
+    /// I/O-layer health: Env counters + background retry/error bookkeeping.
+    IoStats io;
     /// Checkpoint pipeline: invocations, partitions flushed because they
     /// were dirty, and partitions skipped as clean.
     uint64_t checkpoints = 0;
@@ -223,6 +251,7 @@ class Database {
   ScanCounters* scan_counters() const { return &scan_counters_; }
 
   Clock* clock() const { return clock_; }
+  Env* env() const { return env_; }
   WalManager* wal() const { return wal_.get(); }
   KeyManager* keys() const { return keys_.get(); }
   LockManager* lock_manager() const { return locks_.get(); }
@@ -236,12 +265,19 @@ class Database {
 
   Status OpenImpl();
   Status Recover();
+  /// First sticky I/O error any background loop recorded (maintenance
+  /// cadence first, then degrader); OK when healthy. Close() returns it and
+  /// stats().io.first_error carries its text.
+  Status FirstBackgroundError() const;
   TableRuntime MakeRuntime() const;
   std::string TableDir(TableId id) const;
 
   DbOptions options_;
   std::unique_ptr<Clock> owned_clock_;
   Clock* clock_ = nullptr;
+  /// Resolved once in OpenImpl (options_.env or Env::Default()); every
+  /// component below routes its file I/O through it.
+  Env* env_ = nullptr;
 
   std::unique_ptr<KeyManager> keys_;
   std::unique_ptr<Catalog> catalog_;

@@ -5,12 +5,15 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "io/env.h"
 #include "util/parallel.h"
 
 namespace instantdb {
 
 Table::Table(const TableDef* def, std::string dir, const TableRuntime& runtime)
-    : def_(def), dir_(std::move(dir)), runtime_(runtime) {}
+    : def_(def), dir_(std::move(dir)), runtime_(runtime) {
+  if (runtime_.env == nullptr) runtime_.env = Env::Default();
+}
 
 Table::~Table() = default;
 
@@ -25,14 +28,14 @@ Status Table::Open() {
   if (runtime_.partitions == 0 || runtime_.partitions > kMaxPartitions) {
     return Status::InvalidArgument("bad partition count");
   }
-  IDB_RETURN_IF_ERROR(CreateDirs(dir_));
+  IDB_RETURN_IF_ERROR(runtime_.env->CreateDirs(dir_));
 
   // The partition count is a physical property of the table: row-id routing
   // must match whatever layout is on disk, so the count chosen at creation
   // wins over a later DbOptions change.
-  if (FileExists(PartitionCountPath())) {
+  if (runtime_.env->FileExists(PartitionCountPath())) {
     IDB_ASSIGN_OR_RETURN(std::string text,
-                         ReadFileToString(PartitionCountPath()));
+                         runtime_.env->ReadFileToString(PartitionCountPath()));
     char* end = nullptr;
     const unsigned long persisted = std::strtoul(text.c_str(), &end, 10);
     if (end == text.c_str() || *end != '\0' || persisted == 0 ||
@@ -45,14 +48,14 @@ Status Table::Open() {
     // No PARTITIONS file: either a fresh table, or one from before
     // partitioning existed. Pin a pre-existing layout rather than trusting
     // DbOptions — re-routing would orphan every stored row.
-    if (FileExists(dir_ + "/heap.db")) {
+    if (runtime_.env->FileExists(dir_ + "/heap.db")) {
       runtime_.partitions = 1;  // legacy unpartitioned layout
-    } else if (FileExists(dir_ + "/p0")) {
+    } else if (runtime_.env->FileExists(dir_ + "/p0")) {
       // PARTITIONS file lost but partition dirs present: recover the count
       // only if the dirs are unambiguous (contiguous p0..pN-1, N >= 2).
       // Guessing across a gap — a partially restored table — would pin a
       // wrong count and silently mis-route rows forever.
-      IDB_ASSIGN_OR_RETURN(auto names, ListDir(dir_));
+      IDB_ASSIGN_OR_RETURN(auto names, runtime_.env->ListDir(dir_));
       uint32_t max_index = 0;
       uint32_t count = 0;
       for (const std::string& name : names) {
@@ -70,7 +73,7 @@ Status Table::Open() {
       }
       runtime_.partitions = count;
     }
-    IDB_RETURN_IF_ERROR(WriteStringToFile(
+    IDB_RETURN_IF_ERROR(runtime_.env->WriteStringToFile(
         PartitionCountPath(), std::to_string(runtime_.partitions),
         /*sync=*/true));
   }
@@ -98,7 +101,7 @@ Status Table::Drop() {
     IDB_RETURN_IF_ERROR(partition->Drop());
   }
   partitions_.clear();
-  return RemoveDirRecursive(dir_);
+  return runtime_.env->RemoveDirRecursive(dir_);
 }
 
 // --- DML -------------------------------------------------------------------------

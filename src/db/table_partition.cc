@@ -5,12 +5,15 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "io/env.h"
 
 namespace instantdb {
 
 TablePartition::TablePartition(const TableDef* def, std::string dir,
                                const TableRuntime& runtime, uint32_t index)
-    : def_(def), dir_(std::move(dir)), runtime_(runtime), index_(index) {}
+    : def_(def), dir_(std::move(dir)), runtime_(runtime), index_(index) {
+  if (runtime_.env == nullptr) runtime_.env = Env::Default();
+}
 
 TablePartition::~TablePartition() = default;
 
@@ -28,9 +31,12 @@ const StateStore* TablePartition::store(int column, int phase) const {
 }
 
 Status TablePartition::Open() {
-  IDB_RETURN_IF_ERROR(CreateDirs(dir_));
-  IDB_ASSIGN_OR_RETURN(heap_disk_,
-                       DiskManager::Open(HeapPath(), runtime_.storage.page_size));
+  IDB_RETURN_IF_ERROR(runtime_.env->CreateDirs(dir_));
+  // Heap pages get CRC stamps (reserved header word): a torn page write
+  // surfaces as Corruption instead of decoding garbage rows.
+  IDB_ASSIGN_OR_RETURN(
+      heap_disk_, DiskManager::Open(HeapPath(), runtime_.storage.page_size,
+                                    runtime_.env, /*checksum_pages=*/true));
   heap_pool_ = std::make_unique<BufferPool>(
       heap_disk_.get(), runtime_.storage.buffer_pool_pages);
   heap_ = std::make_unique<HeapFile>(heap_pool_.get());
@@ -85,7 +91,7 @@ Status TablePartition::Open() {
       for (int p = 0; p < col.lcp.num_phases(); ++p) {
         auto store = std::make_unique<StateStore>(
             StoreDir(col_idx, p), id(), col_idx, p, runtime_.storage,
-            runtime_.keys);
+            runtime_.keys, runtime_.env);
         IDB_RETURN_IF_ERROR(store->Open());
         // Ids of fully degraded (expired) tuples have left the heap but
         // must never be re-allocated: an append of a reused id would be
@@ -128,11 +134,14 @@ Status TablePartition::RebuildIndexes() {
   // Indexes are derived data: recreate the index file from scratch.
   index_pool_.reset();
   index_disk_.reset();
-  if (FileExists(IndexPath())) {
-    IDB_RETURN_IF_ERROR(RemoveFile(IndexPath()));
+  if (runtime_.env->FileExists(IndexPath())) {
+    IDB_RETURN_IF_ERROR(runtime_.env->RemoveFile(IndexPath()));
   }
+  // No page checksums here: B-tree nodes use the reserved header word for
+  // the leftmost-child pointer (see DiskManager).
   IDB_ASSIGN_OR_RETURN(
-      index_disk_, DiskManager::Open(IndexPath(), runtime_.storage.page_size));
+      index_disk_, DiskManager::Open(IndexPath(), runtime_.storage.page_size,
+                                     runtime_.env));
   index_pool_ = std::make_unique<BufferPool>(
       index_disk_.get(), runtime_.storage.buffer_pool_pages);
 
@@ -195,13 +204,24 @@ Status TablePartition::RebuildIndexes() {
 
 Status TablePartition::Checkpoint() {
   std::shared_lock<std::shared_mutex> latch(latch_);
-  IDB_RETURN_IF_ERROR(heap_pool_->FlushAll());
+  // Write ordering: stores BEFORE heap. A durable heap row whose store
+  // entries never reached disk is a shell with every degradable value at ⊥;
+  // ApplyInsert's redo can repair one, but only while the insert record is
+  // still replayed, so the flush must never advance the manifest past an
+  // insert whose store entry it failed to persist. Syncing the heap only
+  // after every store checkpoint succeeded makes "heap row durable ⟹ its
+  // store entries durable" an invariant of every flush attempt, even one a
+  // fault aborts halfway. (Buffer-pool eviction can still leak a heap page
+  // early — that residual window is what the ApplyInsert repair path
+  // covers.) Cross-store consistency needs no ordering: a failed attempt
+  // never advances clean_through_, so the WAL replays the affected records
+  // against whichever subset landed.
   for (auto& per_phase : stores_) {
     for (auto& store : per_phase) {
       IDB_RETURN_IF_ERROR(store->Checkpoint());
     }
   }
-  return Status::OK();
+  return heap_pool_->FlushAll();
 }
 
 Result<bool> TablePartition::CheckpointIfDirty(
@@ -243,7 +263,7 @@ Status TablePartition::Drop() {
   heap_disk_.reset();
   index_pool_.reset();
   index_disk_.reset();
-  return RemoveDirRecursive(dir_);
+  return runtime_.env->RemoveDirRecursive(dir_);
 }
 
 // --- apply closures ----------------------------------------------------------------
@@ -253,7 +273,41 @@ Status TablePartition::ApplyInsert(RowId row_id, Micros insert_time,
                                    const std::vector<Value>& degradable,
                                    bool degradable_available) {
   std::unique_lock<std::shared_mutex> latch(latch_);
-  if (row_map_.count(row_id) != 0) return Status::OK();  // idempotent redo
+  if (row_map_.count(row_id) != 0) {
+    // Idempotent redo over a row the heap already holds — but not a blind
+    // skip. A heap page can reach disk through buffer-pool eviction at any
+    // time, independent of Checkpoint, so after a crash the heap may hold a
+    // row whose store entries never became durable; skipping here would
+    // freeze that shell with every degradable value at ⊥ forever. Re-offer
+    // the values to the phase-0 stores instead. If ANY phase still holds
+    // the row, nothing was lost (possibly it already degraded — a later
+    // degrade record in log order re-converges), so only a row absent from
+    // every phase is repaired. Append and the index OnInsert hooks are
+    // idempotent, so a repeated redo stays a no-op.
+    if (degradable_available &&
+        runtime_.layout == DegradableLayout::kStateStores) {
+      for (size_t d = 0; d < schema().degradable_columns().size(); ++d) {
+        bool present = false;
+        for (const auto& store : stores_[d]) {
+          if (store->Find(row_id) != nullptr) {
+            present = true;
+            break;
+          }
+        }
+        if (present) continue;
+        IDB_RETURN_IF_ERROR(
+            stores_[d][0]->Append({row_id, insert_time, degradable[d]}));
+        if (!multires_.empty()) {
+          IDB_RETURN_IF_ERROR(multires_[d]->OnInsert(row_id, degradable[d]));
+        }
+        if (!bitmaps_.empty()) {
+          IDB_RETURN_IF_ERROR(bitmaps_[d]->OnInsert(row_id, degradable[d]));
+        }
+      }
+      mutation_seq_.fetch_add(1, std::memory_order_release);
+    }
+    return Status::OK();
+  }
   HeapTuple tuple;
   tuple.row_id = row_id;
   tuple.insert_time = insert_time;
@@ -922,9 +976,20 @@ Status TablePartition::ApplyDegrade(int col_idx, int from_phase, int to_phase,
     // must stay for a later step. (`up_to` remains in the WAL record for
     // observability; redo pops by the entry ids too.)
     (void)up_to;
-    for (const StoreEntry& move : moves) {
-      IDB_RETURN_IF_ERROR(stores_[ordinal][from_phase]->PopById(move.row_id));
-    }
+    // Apply order: append and index updates FIRST, pops LAST. Every sub-step
+    // can fail on an I/O error after the WAL record has already committed,
+    // so the order is chosen to make any partial state self-healing: a fault
+    // before the pop leaves the value in the from-phase store, where its
+    // overdue deadline keeps it visible to the next degradation pass, which
+    // re-collects and re-applies the step — Append of a present id, the
+    // index OnDegrade hooks, and PopById of an absent id are all idempotent,
+    // so the retry (or WAL redo after a crash) converges to the fully
+    // applied state. Pop-first turned the same fault into permanent loss:
+    // a popped-but-never-appended value vanished from every store, and no
+    // later pass could find it again (the audit saw the heap shell with all
+    // values at ⊥). The cost is a transient window where a value exists in
+    // two stores at once — over-accurate, never under-durable — which the
+    // retry erases.
     for (size_t i = 0; i < moves.size(); ++i) {
       const StoreEntry& move = moves[i];
       // A row deleted between collect and apply must not resurface.
@@ -941,8 +1006,17 @@ Status TablePartition::ApplyDegrade(int col_idx, int from_phase, int to_phase,
               move.value));
         }
       }
-      if (removal && row_live) {
-        IDB_RETURN_IF_ERROR(MaybeExpireTupleLocked(move.row_id));
+    }
+    for (const StoreEntry& move : moves) {
+      IDB_RETURN_IF_ERROR(stores_[ordinal][from_phase]->PopById(move.row_id));
+    }
+    if (removal) {
+      // Expiry last: MaybeExpireTupleLocked only removes the heap shell once
+      // every store has dropped the row, so it must run after the pops.
+      for (const StoreEntry& move : moves) {
+        if (row_map_.count(move.row_id) != 0) {
+          IDB_RETURN_IF_ERROR(MaybeExpireTupleLocked(move.row_id));
+        }
       }
     }
     mutation_seq_.fetch_add(1, std::memory_order_release);

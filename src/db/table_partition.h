@@ -39,6 +39,8 @@ struct TableRuntime {
   KeyManager* keys = nullptr;
   WalManager* wal = nullptr;
   Clock* clock = nullptr;
+  /// All table storage I/O routes through this seam; nullptr = Env::Default().
+  Env* env = nullptr;
 };
 
 /// Fully assembled row as seen by the executor: stable values plus each

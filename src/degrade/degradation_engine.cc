@@ -7,6 +7,14 @@
 
 namespace instantdb {
 
+namespace {
+/// Retry delays after a failed background pass: start at the floor, double
+/// per consecutive failure, never exceed the cap. Without this the loop
+/// would hot-spin on a still-overdue deadline while the disk stays broken.
+constexpr Micros kPassBackoffFloor = 10'000;   // 10 ms
+constexpr Micros kPassBackoffCap = 5'000'000;  // 5 s
+}  // namespace
+
 DegradationEngine::DegradationEngine(TransactionManager* tm, Clock* clock,
                                      const DegradationOptions& options)
     : tm_(tm), clock_(clock), options_(options) {}
@@ -194,6 +202,7 @@ void DegradationEngine::Stop() {
 }
 
 void DegradationEngine::BackgroundLoop() {
+  Micros backoff = 0;  // current retry delay; 0 while passes succeed
   for (;;) {
     // Token before the running_ check and the deadline computation: a
     // Stop() or a RegisterTable()'s earlier-deadline WakeAll landing after
@@ -206,9 +215,27 @@ void DegradationEngine::BackgroundLoop() {
     const Micros deadline = NextDeadline();
     if (deadline <= now) {
       auto moved = RunDue(now);
-      if (!moved.ok()) {
-        IDB_ERROR("degrader pass failed: %s", moved.status().ToString().c_str());
+      if (moved.ok()) {
+        backoff = 0;
+        continue;
       }
+      IDB_ERROR("degrader pass failed: %s", moved.status().ToString().c_str());
+      // A failed pass leaves the deadline overdue; looping straight back
+      // would hot-spin against a broken disk. Retry with capped exponential
+      // backoff — the deadline stays overdue, so the pass that finds the
+      // disk recovered immediately drains the backlog.
+      backoff = backoff == 0 ? kPassBackoffFloor
+                             : std::min(backoff * 2, kPassBackoffCap);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (first_error_.ok() && moved.status().IsIOError()) {
+          first_error_ = moved.status();
+        }
+        if (moved.status().IsIOError() || moved.status().IsBusy()) {
+          ++stats_.io_retries;
+        }
+      }
+      clock_->WaitUntil(now + backoff, token);
       continue;
     }
     clock_->WaitUntil(deadline == kForever ? now + kMicrosPerHour : deadline,

@@ -96,8 +96,19 @@ class DegradationEngine {
     uint64_t lock_aborts = 0;  // wait-die victims, retried next pass
     /// Urgent (audit-repair) units drained ahead of the regular order.
     uint64_t urgent_units = 0;
+    /// Background passes that failed transiently (IOError/Busy) and were
+    /// retried after a capped exponential backoff instead of hot-spinning
+    /// on the still-overdue deadline.
+    uint64_t io_retries = 0;
   };
   Stats stats() const;
+
+  /// First I/O error any background pass hit (OK before any). Sticky:
+  /// Database::Close surfaces it even after later retries succeeded.
+  Status first_error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_error_;
+  }
 
  private:
   void BackgroundLoop();
@@ -109,6 +120,7 @@ class DegradationEngine {
   mutable std::mutex mu_;
   std::map<TableId, Table*> tables_;
   Stats stats_;
+  Status first_error_;  // first background-pass I/O error, under mu_
   /// (table, partition) units RunDue must skip (TEST_FaultSkipPartition).
   std::set<std::pair<TableId, uint32_t>> fault_skip_;
   /// Audit-repair units to schedule ahead of the regular order; swapped out

@@ -38,14 +38,22 @@ Status MultiResolutionIndex::OnInsertAtPhase(RowId rid, const Value& value,
 Status MultiResolutionIndex::OnDegrade(RowId rid, int from_phase,
                                        const Value& old_value, int to_phase,
                                        const Value& new_value) {
+  // Re-entry safe: a degrade apply can fail partway through on an I/O error
+  // and be retried by the next pass (or replayed by WAL redo), so the old
+  // posting may already be gone and the new one may already exist. Treat
+  // both as success, not corruption — tree ops are not atomic across the
+  // delete/insert pair.
   IDB_ASSIGN_OR_RETURN(int64_t old_key, PhaseKey(old_value, from_phase));
   std::string encoded;
   BPlusTree::EncodeKey(Value::Int64(old_key), rid, &encoded);
-  IDB_RETURN_IF_ERROR(trees_[from_phase]->Delete(encoded));
+  const Status removed = trees_[from_phase]->Delete(encoded);
+  if (!removed.ok() && !removed.IsNotFound()) return removed;
   if (to_phase >= num_phases()) return Status::OK();  // removed (⊥)
   IDB_ASSIGN_OR_RETURN(int64_t new_key, PhaseKey(new_value, to_phase));
   encoded.clear();
   BPlusTree::EncodeKey(Value::Int64(new_key), rid, &encoded);
+  IDB_ASSIGN_OR_RETURN(bool present, trees_[to_phase]->Contains(encoded));
+  if (present) return Status::OK();
   return trees_[to_phase]->Insert(encoded, rid);
 }
 

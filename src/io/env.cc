@@ -1,0 +1,171 @@
+#include "io/env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace instantdb {
+
+namespace {
+
+/// Forwarding WritableFile that bumps the Env's write/sync counters.
+class CountingWritableFile final : public WritableFile {
+ public:
+  CountingWritableFile(std::unique_ptr<WritableFile> base, Env* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(Slice data) override {
+    env_->CountWrite();
+    return base_->Append(data);
+  }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    Status status = base_->Sync();
+    env_->CountSync(status.ok());
+    return status;
+  }
+  Status SyncData() override {
+    Status status = base_->SyncData();
+    env_->CountSync(status.ok());
+    return status;
+  }
+  Status Preallocate(uint64_t bytes) override {
+    return base_->Preallocate(bytes);
+  }
+  Status Close() override { return base_->Close(); }
+  uint64_t size() const override { return base_->size(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  Env* env_;
+};
+
+/// Forwarding RandomRWFile that bumps the Env's write/sync counters.
+class CountingRandomRWFile final : public RandomRWFile {
+ public:
+  CountingRandomRWFile(std::unique_ptr<RandomRWFile> base, Env* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Write(uint64_t offset, Slice data) override {
+    env_->CountWrite();
+    return base_->Write(offset, data);
+  }
+  Status Read(uint64_t offset, size_t n, std::string* scratch,
+              Slice* out) const override {
+    return base_->Read(offset, n, scratch, out);
+  }
+  Status Sync() override {
+    Status status = base_->Sync();
+    env_->CountSync(status.ok());
+    return status;
+  }
+  uint64_t Size() const override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<RandomRWFile> base_;
+  Env* env_;
+};
+
+/// Default environment: the POSIX helpers from util/file.h plus counting.
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override {
+    IDB_ASSIGN_OR_RETURN(auto file, instantdb::NewWritableFile(path, truncate));
+    return CountWritable(std::move(file), this);
+  }
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    IDB_ASSIGN_OR_RETURN(auto file, instantdb::NewAppendableFile(path));
+    return CountWritable(std::move(file), this);
+  }
+  Result<std::unique_ptr<RandomAccessFile>> NewRandomAccessFile(
+      const std::string& path) override {
+    return instantdb::NewRandomAccessFile(path);
+  }
+  Result<std::unique_ptr<RandomRWFile>> NewRandomRWFile(
+      const std::string& path) override {
+    IDB_ASSIGN_OR_RETURN(auto file, instantdb::NewRandomRWFile(path));
+    return CountRandomRW(std::move(file), this);
+  }
+
+  Status CreateDirIfMissing(const std::string& path) override {
+    return instantdb::CreateDirIfMissing(path);
+  }
+  Status CreateDirs(const std::string& path) override {
+    return instantdb::CreateDirs(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return instantdb::FileExists(path);
+  }
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    return instantdb::GetFileSize(path);
+  }
+  Status RemoveFile(const std::string& path) override {
+    return instantdb::RemoveFile(path);
+  }
+  Status RemoveDirRecursive(const std::string& path) override {
+    return instantdb::RemoveDirRecursive(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    return instantdb::ListDir(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return instantdb::RenameFile(from, to);
+  }
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    return instantdb::TruncateFile(path, size);
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
+}
+
+Status Env::WriteStringToFile(const std::string& path, Slice contents,
+                              bool sync) {
+  IDB_ASSIGN_OR_RETURN(auto file, NewWritableFile(path, /*truncate=*/true));
+  IDB_RETURN_IF_ERROR(file->Append(contents));
+  if (sync) IDB_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+Result<std::string> Env::ReadFileToString(const std::string& path) {
+  IDB_ASSIGN_OR_RETURN(auto file, NewRandomAccessFile(path));
+  const uint64_t size = file->Size();
+  std::string scratch;
+  Slice out;
+  IDB_RETURN_IF_ERROR(file->Read(0, size, &scratch, &out));
+  if (out.data() == scratch.data() && out.size() == scratch.size()) {
+    return scratch;
+  }
+  return std::string(out.data(), out.size());
+}
+
+Status Env::OverwriteRange(const std::string& path, uint64_t offset,
+                           uint64_t len) {
+  IDB_ASSIGN_OR_RETURN(auto file, NewRandomRWFile(path));
+  static constexpr size_t kChunk = 4096;
+  const std::string zeros(kChunk, '\0');
+  uint64_t done = 0;
+  while (done < len) {
+    const size_t n = static_cast<size_t>(std::min<uint64_t>(kChunk, len - done));
+    IDB_RETURN_IF_ERROR(file->Write(offset + done, Slice(zeros.data(), n)));
+    done += n;
+  }
+  return file->Sync();
+}
+
+std::unique_ptr<WritableFile> CountWritable(std::unique_ptr<WritableFile> file,
+                                            Env* env) {
+  return std::make_unique<CountingWritableFile>(std::move(file), env);
+}
+
+std::unique_ptr<RandomRWFile> CountRandomRW(std::unique_ptr<RandomRWFile> file,
+                                            Env* env) {
+  return std::make_unique<CountingRandomRWFile>(std::move(file), env);
+}
+
+}  // namespace instantdb

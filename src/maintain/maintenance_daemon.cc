@@ -7,6 +7,13 @@
 
 namespace instantdb {
 
+namespace {
+/// Retry delays after a transient checkpoint I/O failure: start at the
+/// floor, double per consecutive failure, never exceed the cap.
+constexpr Micros kCheckpointBackoffFloor = 10'000;     // 10 ms
+constexpr Micros kCheckpointBackoffCap = 5'000'000;    // 5 s
+}  // namespace
+
 MaintenanceDaemon::MaintenanceDaemon(Database* db,
                                      const MaintenanceOptions& options)
     : db_(db),
@@ -51,9 +58,10 @@ Status MaintenanceDaemon::RunOnce(Micros now) {
   if (options_.checkpoint_interval > 0 && now >= next_checkpoint_due_) {
     status = CheckpointIfWorthwhile(now);
     // Deadline AFTER the checkpoint: a successful checkpoint retires the
-    // pressuring segment, so the adaptive pull below only fires when a
-    // payload deadline is still live inside the next interval.
-    next_checkpoint_due_ = NextCheckpointDueLocked(now);
+    // pressuring segment, so the adaptive pull only fires when a payload
+    // deadline is still live inside the next interval. A transient I/O
+    // failure instead schedules a capped exponential retry.
+    next_checkpoint_due_ = CheckpointCadenceAfterLocked(now, status);
   }
   if (options_.audit_interval > 0 && now >= next_audit_due_) {
     next_audit_due_ = now + options_.audit_interval;
@@ -93,9 +101,13 @@ Status MaintenanceDaemon::CheckpointIfWorthwhile(Micros now) {
   // insert payload past its phase-0 deadline. Checkpointing rotates and
   // retires it (scrub/unlink per the privacy mode) — this is what keeps
   // log hygiene tracking the degradation deadlines when no new writes
-  // arrive to dirty a partition.
+  // arrive to dirty a partition. A pending (failed-last-time) checkpoint
+  // counts as pressure too: the failed attempt may have flushed every
+  // partition clean while the manifest — and segment retirement — still
+  // lag, so skipping on "clean" would strand the overdue checkpoint.
   const bool wal_pressure =
-      db_->wal()->AuditExposure(now).exposed_segments > 0;
+      db_->wal()->AuditExposure(now).exposed_segments > 0 ||
+      checkpoint_pressure_pending_;
   if (dirty < options_.checkpoint_dirty_threshold && !wal_pressure) {
     ++stats_.checkpoints_skipped_clean;
     return Status::OK();
@@ -106,6 +118,32 @@ Status MaintenanceDaemon::CheckpointIfWorthwhile(Micros now) {
     ++stats_.forced_checkpoints;
   }
   return Status::OK();
+}
+
+Micros MaintenanceDaemon::CheckpointCadenceAfterLocked(Micros now,
+                                                       const Status& status) {
+  if (status.ok()) {
+    checkpoint_backoff_ = 0;
+    checkpoint_pressure_pending_ = false;
+    return NextCheckpointDueLocked(now);
+  }
+  if (first_error_.ok()) first_error_ = status;
+  if (!status.IsIOError() && !status.IsBusy()) {
+    // Non-transient failure: keep the regular cadence (the error is logged
+    // by the caller and stays sticky in first_error_).
+    return NextCheckpointDueLocked(now);
+  }
+  // Transient I/O failure: retry with capped exponential backoff, keeping
+  // the pressure flag set so the attempt that finally succeeds bypasses the
+  // skip-clean gate — a recovered disk immediately drives the overdue
+  // checkpoint.
+  checkpoint_pressure_pending_ = true;
+  checkpoint_backoff_ =
+      checkpoint_backoff_ == 0
+          ? kCheckpointBackoffFloor
+          : std::min(checkpoint_backoff_ * 2, kCheckpointBackoffCap);
+  ++stats_.io_retries;
+  return now + checkpoint_backoff_;
 }
 
 AuditReport MaintenanceDaemon::RunAuditLocked(Micros now) {

@@ -78,6 +78,9 @@ class MaintenanceDaemon {
     Micros max_exposure_seen = 0;
     /// Clock instant of the most recent completed audit (0 = none yet).
     Micros last_audit = 0;
+    /// Transient checkpoint I/O failures absorbed by capped exponential
+    /// backoff (the cadence retries instead of crashing or spinning).
+    uint64_t io_retries = 0;
   };
 
   MaintenanceDaemon(Database* db, const MaintenanceOptions& options);
@@ -113,6 +116,14 @@ class MaintenanceDaemon {
   /// Most recent completed audit report (default-constructed before any).
   AuditReport last_report() const;
 
+  /// First error any cadence checkpoint hit (OK before any). Sticky:
+  /// Database::Close surfaces it even after later retries succeeded, so a
+  /// disk that failed and recovered mid-run is never silently forgotten.
+  Status first_error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return first_error_;
+  }
+
   /// Next checkpoint cadence deadline as RunOnce would compute it at `now`
   /// (exposed for cadence tests; the daemon recomputes at each firing).
   Micros next_checkpoint_due() const {
@@ -127,6 +138,12 @@ class MaintenanceDaemon {
   Micros NextCheckpointDueLocked(Micros now);
   /// Cadence checkpoint decision + execution (see class comment, service 1).
   Status CheckpointIfWorthwhile(Micros now);
+  /// Folds a cadence-checkpoint result into the retry/backoff state and
+  /// returns the next cadence deadline: transient I/O failures (IOError,
+  /// Busy) schedule a capped exponential retry and mark the deadline
+  /// pressure unmet, so a recovered disk immediately drives the overdue
+  /// checkpoint; success resets the backoff.
+  Micros CheckpointCadenceAfterLocked(Micros now, const Status& status);
   AuditReport RunAuditLocked(Micros now);
 
   Database* const db_;
@@ -143,6 +160,15 @@ class MaintenanceDaemon {
   mutable std::mutex mu_;
   Micros next_checkpoint_due_ = 0;
   Micros next_audit_due_ = 0;
+  /// Current retry delay after a transient checkpoint I/O failure; 0 when
+  /// healthy. Doubles per consecutive failure up to the cap.
+  Micros checkpoint_backoff_ = 0;
+  /// A cadence checkpoint was due (dirty threshold or WAL pressure) but
+  /// failed: the next attempt bypasses the skip-clean gate, because a
+  /// partial flush may have left every partition clean while the manifest —
+  /// and segment retirement — still lag.
+  bool checkpoint_pressure_pending_ = false;
+  Status first_error_;
   Stats stats_;
   AuditReport last_report_;
 };

@@ -2,18 +2,39 @@
 
 #include <vector>
 
+#include "util/coding.h"
+#include "util/crc32c.h"
+
 namespace instantdb {
 
+namespace {
+/// Byte offset of the page checksum word — the heap page header's reserved
+/// word (heap_file.cc keeps bytes [4..8) unused).
+constexpr size_t kPageCrcOffset = 4;
+}  // namespace
+
 Result<std::unique_ptr<DiskManager>> DiskManager::Open(const std::string& path,
-                                                       size_t page_size) {
-  IDB_ASSIGN_OR_RETURN(auto file, NewRandomRWFile(path));
+                                                       size_t page_size,
+                                                       Env* env,
+                                                       bool checksum_pages) {
+  if (env == nullptr) env = Env::Default();
+  IDB_ASSIGN_OR_RETURN(auto file, env->NewRandomRWFile(path));
   const uint64_t size = file->Size();
   if (size % page_size != 0) {
     return Status::Corruption("heap file size is not page-aligned: " + path);
   }
   return std::unique_ptr<DiskManager>(
       new DiskManager(path, page_size, std::move(file),
-                      static_cast<PageId>(size / page_size)));
+                      static_cast<PageId>(size / page_size), checksum_pages));
+}
+
+uint32_t DiskManager::PageCrc(const char* page) const {
+  static const char kZeros[4] = {0, 0, 0, 0};
+  uint32_t crc = crc32c::Value(page, kPageCrcOffset);
+  crc = crc32c::Value(kZeros, sizeof(kZeros), crc);
+  crc = crc32c::Value(page + kPageCrcOffset + 4,
+                      page_size_ - kPageCrcOffset - 4, crc);
+  return crc32c::Mask(crc);
 }
 
 Result<PageId> DiskManager::AllocatePage() {
@@ -36,13 +57,26 @@ Status DiskManager::ReadPage(PageId id, char* out) const {
     return Status::Corruption("short page read");
   }
   std::memcpy(out, data.data(), page_size_);
+  if (checksum_pages_) {
+    const uint32_t stored = DecodeFixed32(out + kPageCrcOffset);
+    // 0 = unchecked: freshly allocated zero pages and pre-checksum files.
+    if (stored != 0 && stored != PageCrc(out)) {
+      return Status::Corruption("heap page checksum mismatch: " + path_ +
+                                " page " + std::to_string(id));
+    }
+  }
   return Status::OK();
 }
 
 Status DiskManager::WritePage(PageId id, const char* data) {
   if (id >= num_pages()) return Status::InvalidArgument("page out of range");
-  return file_->Write(static_cast<uint64_t>(id) * page_size_,
-                      Slice(data, page_size_));
+  if (!checksum_pages_) {
+    return file_->Write(static_cast<uint64_t>(id) * page_size_,
+                        Slice(data, page_size_));
+  }
+  std::string stamped(data, page_size_);
+  EncodeFixed32(stamped.data() + kPageCrcOffset, PageCrc(stamped.data()));
+  return file_->Write(static_cast<uint64_t>(id) * page_size_, stamped);
 }
 
 Status DiskManager::Sync() { return file_->Sync(); }

@@ -4,7 +4,7 @@
 
 #include "util/coding.h"
 #include "util/crc32c.h"
-#include "util/file.h"
+#include "io/env.h"
 
 namespace instantdb {
 
@@ -33,15 +33,17 @@ ChaCha20::Nonce NonceForStreamOffset(uint32_t stream, uint64_t offset) {
   return nonce;
 }
 
-KeyManager::KeyManager(std::string path)
-    : path_(std::move(path)), rng_(SeedFromSystem()) {}
+KeyManager::KeyManager(std::string path, Env* env)
+    : path_(std::move(path)),
+      env_(env != nullptr ? env : Env::Default()),
+      rng_(SeedFromSystem()) {}
 
 Status KeyManager::Open() {
   std::lock_guard<std::mutex> lock(mu_);
   keys_.clear();
   destroyed_.clear();
-  if (!FileExists(path_)) return Status::OK();
-  IDB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path_));
+  if (!env_->FileExists(path_)) return Status::OK();
+  IDB_ASSIGN_OR_RETURN(std::string contents, env_->ReadFileToString(path_));
   Slice input = contents;
   uint32_t masked;
   if (!GetFixed32(&input, &masked) ||
@@ -87,16 +89,16 @@ Status KeyManager::PersistLocked() {
   file += body;
 
   const std::string tmp = path_ + ".new";
-  IDB_RETURN_IF_ERROR(WriteStringToFile(tmp, file, /*sync=*/true));
+  IDB_RETURN_IF_ERROR(env_->WriteStringToFile(tmp, file, /*sync=*/true));
   // Scrub the previous image before it is replaced so old key bytes do not
   // linger in the superseded file's blocks.
-  if (FileExists(path_)) {
-    auto old_size = GetFileSize(path_);
+  if (env_->FileExists(path_)) {
+    auto old_size = env_->GetFileSize(path_);
     if (old_size.ok()) {
-      IDB_RETURN_IF_ERROR(OverwriteRange(path_, 0, *old_size));
+      IDB_RETURN_IF_ERROR(env_->OverwriteRange(path_, 0, *old_size));
     }
   }
-  return RenameFile(tmp, path_);
+  return env_->RenameFile(tmp, path_);
 }
 
 Result<ChaCha20::Key> KeyManager::GetOrCreate(const std::string& key_id) {

@@ -27,9 +27,12 @@ namespace instantdb {
 /// table in tamper-resistant storage (TPM/enclave/SED). Here the keystore
 /// is a file that is rewritten without the destroyed key and the previous
 /// image is zero-overwritten before being unlinked.
+class Env;
+
 class KeyManager {
  public:
-  explicit KeyManager(std::string path);
+  /// `env` == nullptr uses Env::Default().
+  explicit KeyManager(std::string path, Env* env = nullptr);
 
   /// Loads the keystore if it exists.
   Status Open();
@@ -62,6 +65,7 @@ class KeyManager {
   Status PersistLocked();
 
   const std::string path_;
+  Env* const env_;
   mutable std::mutex mu_;
   std::map<std::string, ChaCha20::Key> keys_;
   std::set<std::string> destroyed_;

@@ -6,6 +6,8 @@
 #include "catalog/lcp.h"
 #include "common/logging.h"
 #include "common/strings.h"
+#include "io/env.h"
+#include "util/crc32c.h"
 
 namespace instantdb {
 
@@ -14,6 +16,13 @@ namespace {
 /// High bit of the frame length field marks a tombstoned (securely deleted)
 /// frame whose payload bytes have been zeroed in place.
 constexpr uint32_t kTombstoneBit = 0x80000000u;
+
+/// Magic header opening a v2 segment file. v2 frames are
+/// `[u32 len|tombstone][u32 masked crc32c of the on-disk payload][payload]`,
+/// so a short write anywhere in the frame is detected as a torn tail instead
+/// of decoding garbage. Headerless files are legacy v1 (`[u32 len][payload]`)
+/// and load without CRC checks.
+constexpr char kSegmentMagic[8] = {'I', 'D', 'B', 'S', 'S', 'G', '2', '\n'};
 
 /// First varint of a v2 META. v1 (legacy) metas start with a segment seqno,
 /// which is always far below this.
@@ -38,13 +47,15 @@ bool DecodeEntryPayload(Slice payload, StoreEntry* out) {
 }  // namespace
 
 StateStore::StateStore(std::string dir, TableId table, int column, int phase,
-                       const StorageOptions& options, KeyManager* keys)
+                       const StorageOptions& options, KeyManager* keys,
+                       Env* env)
     : dir_(std::move(dir)),
       table_(table),
       column_(column),
       phase_(phase),
       options_(options),
-      keys_(keys) {}
+      keys_(keys),
+      env_(env != nullptr ? env : Env::Default()) {}
 
 StateStore::~StateStore() {
   if (tail_writer_ != nullptr) tail_writer_->Close().ok();
@@ -68,7 +79,7 @@ StateStore::Segment* StateStore::FindSegment(uint64_t seqno) {
 }
 
 Status StateStore::Open() {
-  IDB_RETURN_IF_ERROR(CreateDirs(dir_));
+  IDB_RETURN_IF_ERROR(env_->CreateDirs(dir_));
   live_.clear();
   segments_.clear();
   tail_writer_.reset();
@@ -82,8 +93,8 @@ Status StateStore::Open() {
   // are strictly monotone.
   uint64_t meta_next_seqno = 0;
   MetaState meta_state;
-  if (FileExists(MetaPath())) {
-    IDB_ASSIGN_OR_RETURN(std::string meta, ReadFileToString(MetaPath()));
+  if (env_->FileExists(MetaPath())) {
+    IDB_ASSIGN_OR_RETURN(std::string meta, env_->ReadFileToString(MetaPath()));
     Slice in = meta;
     uint64_t first = 0;
     bool valid = GetVarint64(&in, &first);
@@ -110,7 +121,7 @@ Status StateStore::Open() {
     }
   }
 
-  IDB_ASSIGN_OR_RETURN(auto names, ListDir(dir_));
+  IDB_ASSIGN_OR_RETURN(auto names, env_->ListDir(dir_));
   std::vector<uint64_t> seqnos;
   for (const std::string& name : names) {
     if (StartsWith(name, "seg_") && EndsWith(name, ".dat")) {
@@ -160,7 +171,7 @@ Status StateStore::Open() {
 
 Status StateStore::LoadSegment(Segment* segment, MetaState* meta) {
   const std::string path = SegmentPath(segment->seqno);
-  IDB_ASSIGN_OR_RETURN(std::string raw, ReadFileToString(path));
+  IDB_ASSIGN_OR_RETURN(std::string raw, env_->ReadFileToString(path));
 
   ChaCha20::Key key{};
   bool have_key = true;
@@ -180,21 +191,34 @@ Status StateStore::LoadSegment(Segment* segment, MetaState* meta) {
     return Status::OK();
   }
 
-  uint64_t off = 0;
-  while (off + 4 <= raw.size()) {
+  segment->has_crc =
+      raw.size() >= sizeof(kSegmentMagic) &&
+      std::memcmp(raw.data(), kSegmentMagic, sizeof(kSegmentMagic)) == 0;
+  // v2 frames carry a masked CRC of the on-disk payload between the length
+  // field and the payload; the frame header is 8 bytes instead of 4.
+  const uint64_t hdr = segment->has_crc ? 8 : 4;
+  uint64_t off = segment->has_crc ? sizeof(kSegmentMagic) : 0;
+  while (off + hdr <= raw.size()) {
     const uint32_t raw_len = DecodeFixed32(raw.data() + off);
     const bool tombstone = (raw_len & kTombstoneBit) != 0;
     const uint32_t len = raw_len & ~kTombstoneBit;
-    if (len == 0 || off + 4 + len > raw.size()) break;  // torn/zeroed tail
+    if (len == 0 || off + hdr + len > raw.size()) break;  // torn/zeroed tail
     if (tombstone) {
       ++segment->entries;
       ++segment->deleted;
-      off += 4 + len;
+      off += hdr + len;
       continue;
     }
-    std::string payload(raw.data() + off + 4, len);
+    if (segment->has_crc) {
+      const uint32_t stored = DecodeFixed32(raw.data() + off + 4);
+      if (crc32c::Unmask(stored) !=
+          crc32c::Value(raw.data() + off + hdr, len)) {
+        break;  // torn (short-written) tail frame
+      }
+    }
+    std::string payload(raw.data() + off + hdr, len);
     if (options_.erase_mode == EraseMode::kCryptoErase) {
-      ChaCha20::XorStreamAt(key, NonceForSequence(segment->seqno), off + 4,
+      ChaCha20::XorStreamAt(key, NonceForSequence(segment->seqno), off + hdr,
                             payload.data(), payload.size());
     }
     StoreEntry entry;
@@ -225,12 +249,12 @@ Status StateStore::LoadSegment(Segment* segment, MetaState* meta) {
     } else {
       live_.push_back(LiveEntry{std::move(entry), segment->seqno, off, len});
     }
-    off += 4 + len;
+    off += hdr + len;
   }
   segment->bytes = off;
   if (off < raw.size()) {
     // Drop the torn tail so future scans never see garbage.
-    IDB_RETURN_IF_ERROR(TruncateFile(path, off));
+    IDB_RETURN_IF_ERROR(env_->TruncateFile(path, off));
   }
   return Status::OK();
 }
@@ -242,7 +266,12 @@ Status StateStore::OpenTailWriter() {
     IDB_RETURN_IF_ERROR(keys_->GetOrCreate(KeyId(segment.seqno)).status());
   }
   IDB_ASSIGN_OR_RETURN(tail_writer_,
-                       NewWritableFile(SegmentPath(segment.seqno)));
+                       env_->NewWritableFile(SegmentPath(segment.seqno)));
+  // New segments are v2: magic header, then CRC-framed entries. The header
+  // rides the buffered tail like any frame bytes.
+  segment.has_crc = true;
+  segment.bytes = sizeof(kSegmentMagic);
+  tail_pending_.append(kSegmentMagic, sizeof(kSegmentMagic));
   segments_.push_back(segment);
   ++stats_.segments_created;
   return Status::OK();
@@ -296,11 +325,17 @@ Status StateStore::Append(const StoreEntry& entry) {
   if (options_.erase_mode == EraseMode::kCryptoErase) {
     IDB_ASSIGN_OR_RETURN(ChaCha20::Key key,
                          keys_->GetOrCreate(KeyId(tail.seqno)));
-    ChaCha20::XorStreamAt(key, NonceForSequence(tail.seqno), tail.bytes + 4,
+    // Stream offset = the payload's file offset (after the 8-byte v2 frame
+    // header), keeping (key, nonce, offset) unique per on-disk byte.
+    ChaCha20::XorStreamAt(key, NonceForSequence(tail.seqno), tail.bytes + 8,
                           payload.data(), payload.size());
   }
   std::string frame;
   PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  // CRC over the on-disk (possibly ciphered) payload: verification at load
+  // happens before decryption, so a torn frame never reaches the decoder.
+  PutFixed32(&frame,
+             crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
   frame += payload;
   // Buffered append: one write() per ~8KB of frames instead of one per
   // entry keeps the syscall off the ingest hot path. The WAL carries
@@ -332,15 +367,15 @@ Status StateStore::EraseSegment(const Segment& segment) {
   if (options_.erase_mode == EraseMode::kCryptoErase) {
     IDB_RETURN_IF_ERROR(keys_->Destroy(KeyId(segment.seqno)));
   } else {
-    if (FileExists(path)) {
-      auto size = GetFileSize(path);
+    if (env_->FileExists(path)) {
+      auto size = env_->GetFileSize(path);
       if (size.ok() && *size > 0) {
-        IDB_RETURN_IF_ERROR(OverwriteRange(path, 0, *size));
+        IDB_RETURN_IF_ERROR(env_->OverwriteRange(path, 0, *size));
       }
     }
   }
-  if (FileExists(path)) {
-    IDB_RETURN_IF_ERROR(RemoveFile(path));
+  if (env_->FileExists(path)) {
+    IDB_RETURN_IF_ERROR(env_->RemoveFile(path));
   }
   ++stats_.segments_erased;
   return Status::OK();
@@ -402,17 +437,19 @@ Status StateStore::SecureDeleteEntry(RowId row_id) {
   // cleaned right now. The buffered tail must be on disk first, or the
   // flush would resurrect the payload after this pass zeroed its range.
   IDB_RETURN_IF_ERROR(FlushTail());
+  Segment* segment = FindSegment(it->seqno);
+  const uint64_t hdr = (segment == nullptr || segment->has_crc) ? 8 : 4;
   const std::string path = SegmentPath(it->seqno);
-  if (FileExists(path)) {
-    IDB_ASSIGN_OR_RETURN(auto file, NewRandomRWFile(path));
+  if (env_->FileExists(path)) {
+    IDB_ASSIGN_OR_RETURN(auto file, env_->NewRandomRWFile(path));
     std::string len_field;
     PutFixed32(&len_field, it->len | kTombstoneBit);
     IDB_RETURN_IF_ERROR(file->Write(it->offset, len_field));
-    const std::string zeros(it->len, '\0');
+    // Zero the CRC word (v2) along with the payload bytes.
+    const std::string zeros(hdr - 4 + it->len, '\0');
     IDB_RETURN_IF_ERROR(file->Write(it->offset + 4, zeros));
     IDB_RETURN_IF_ERROR(file->Sync());
   }
-  Segment* segment = FindSegment(it->seqno);
   if (segment != nullptr) ++segment->deleted;
   live_times_.erase(live_times_.find(it->entry.insert_time));
   live_.erase(it);
@@ -488,8 +525,8 @@ Status StateStore::SaveMeta() {
   PutVarint64(&meta, survivors.size());
   for (RowId id : survivors) PutVarint64(&meta, id);
   const std::string tmp = MetaPath() + ".tmp";
-  IDB_RETURN_IF_ERROR(WriteStringToFile(tmp, meta, /*sync=*/true));
-  return RenameFile(tmp, MetaPath());
+  IDB_RETURN_IF_ERROR(env_->WriteStringToFile(tmp, meta, /*sync=*/true));
+  return env_->RenameFile(tmp, MetaPath());
 }
 
 Status StateStore::Drop() {
@@ -501,7 +538,7 @@ Status StateStore::Drop() {
   }
   live_.clear();
   live_times_.clear();
-  return RemoveDirRecursive(dir_);
+  return env_->RemoveDirRecursive(dir_);
 }
 
 }  // namespace instantdb

@@ -19,6 +19,8 @@
 
 namespace instantdb {
 
+class Env;
+
 /// One degradable attribute value of one tuple, resident in a state store.
 struct StoreEntry {
   RowId row_id = kInvalidRowId;
@@ -52,8 +54,10 @@ struct StoreEntry {
 /// ignored and pops of an absent one are no-ops.
 class StateStore {
  public:
+  /// `env` == nullptr uses Env::Default().
   StateStore(std::string dir, TableId table, int column, int phase,
-             const StorageOptions& options, KeyManager* keys);
+             const StorageOptions& options, KeyManager* keys,
+             Env* env = nullptr);
   ~StateStore();
   StateStore(const StateStore&) = delete;
   StateStore& operator=(const StateStore&) = delete;
@@ -146,6 +150,9 @@ class StateStore {
     uint32_t deleted = 0;   // frames tombstoned by SecureDeleteEntry
     uint64_t bytes = 0;
     bool sealed = false;    // no further appends
+    /// v2 segments (magic header) carry a per-frame CRC32C; legacy segments
+    /// are headerless and CRC-less but stay readable.
+    bool has_crc = false;
   };
 
   struct LiveEntry {
@@ -193,6 +200,7 @@ class StateStore {
   const int phase_;
   const StorageOptions options_;
   KeyManager* const keys_;
+  Env* const env_;
 
   std::deque<LiveEntry> live_;    // sorted by row id
   /// Multiset of live insert times: O(log n) maintenance, O(1) exact

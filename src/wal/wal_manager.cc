@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "io/env.h"
 #include "util/crc32c.h"
 #include "util/parallel.h"
 
@@ -26,8 +27,11 @@ bool IsDataRecord(WalRecordType type) {
 }  // namespace
 
 WalManager::WalManager(std::string dir, const WalOptions& options,
-                       KeyManager* keys)
-    : dir_(std::move(dir)), options_(options), keys_(keys) {}
+                       KeyManager* keys, Env* env)
+    : dir_(std::move(dir)),
+      options_(options),
+      keys_(keys),
+      env_(env != nullptr ? env : Env::Default()) {}
 
 WalManager::~WalManager() = default;
 
@@ -39,8 +43,9 @@ std::string WalManager::StreamDir(uint32_t stream) const {
 }
 
 Result<uint32_t> WalManager::ResolveStreamCount() const {
-  if (FileExists(StreamCountPath())) {
-    IDB_ASSIGN_OR_RETURN(std::string text, ReadFileToString(StreamCountPath()));
+  if (env_->FileExists(StreamCountPath())) {
+    IDB_ASSIGN_OR_RETURN(std::string text,
+                         env_->ReadFileToString(StreamCountPath()));
     char* end = nullptr;
     const unsigned long persisted = std::strtoul(text.c_str(), &end, 10);
     if (end == text.c_str() || *end != '\0' || persisted == 0 ||
@@ -49,7 +54,7 @@ Result<uint32_t> WalManager::ResolveStreamCount() const {
     }
     return static_cast<uint32_t>(persisted);
   }
-  IDB_ASSIGN_OR_RETURN(auto names, ListDir(dir_));
+  IDB_ASSIGN_OR_RETURN(auto names, env_->ListDir(dir_));
   bool has_legacy = false;
   uint32_t stream_dirs = 0;
   uint32_t max_index = 0;
@@ -97,10 +102,10 @@ Result<uint32_t> WalManager::ResolveStreamCount() const {
 }
 
 Status WalManager::Open() {
-  IDB_RETURN_IF_ERROR(CreateDirs(dir_));
+  IDB_RETURN_IF_ERROR(env_->CreateDirs(dir_));
   IDB_ASSIGN_OR_RETURN(const uint32_t count, ResolveStreamCount());
-  if (count > 1 && !FileExists(StreamCountPath())) {
-    IDB_RETURN_IF_ERROR(WriteStringToFile(
+  if (count > 1 && !env_->FileExists(StreamCountPath())) {
+    IDB_RETURN_IF_ERROR(env_->WriteStringToFile(
         StreamCountPath(), std::to_string(count), /*sync=*/true));
   }
   streams_.clear();
@@ -110,7 +115,7 @@ Status WalManager::Open() {
   for (uint32_t s = 0; s < count; ++s) streams_.push_back(nullptr);
   for (uint32_t s = 0; s < count; ++s) {
     streams_[s] =
-        std::make_unique<WalStream>(StreamDir(s), s, options_, keys_);
+        std::make_unique<WalStream>(StreamDir(s), s, options_, keys_, env_);
     IDB_RETURN_IF_ERROR(streams_[s]->Open());
   }
   return Status::OK();
@@ -264,8 +269,15 @@ Status WalManager::WriteManifest(const std::vector<Lsn>& lsns) {
   PutFixed32(&file, crc32c::Mask(crc32c::Value(body.data(), body.size())));
   file += body;
   const std::string tmp = dir_ + "/" + kCheckpointFile + ".tmp";
-  IDB_RETURN_IF_ERROR(WriteStringToFile(tmp, file, /*sync=*/true));
-  return RenameFile(tmp, dir_ + "/" + kCheckpointFile);
+  IDB_RETURN_IF_ERROR(env_->WriteStringToFile(tmp, file, /*sync=*/true));
+  Status renamed = env_->RenameFile(tmp, dir_ + "/" + kCheckpointFile);
+  if (!renamed.ok()) {
+    // The previous manifest stays authoritative; drop the orphan so a later
+    // crash cannot leave a stale .tmp to confuse a human (recovery never
+    // reads it either way).
+    (void)env_->RemoveFile(tmp);
+  }
+  return renamed;
 }
 
 Result<std::vector<Lsn>> WalManager::LogCheckpointAll(
@@ -295,8 +307,8 @@ Result<std::vector<Lsn>> WalManager::LogCheckpointAll(
 Result<std::vector<Lsn>> WalManager::ReadCheckpointPositions() const {
   std::vector<Lsn> lsns(streams_.size(), 0);
   const std::string path = dir_ + "/" + kCheckpointFile;
-  if (!FileExists(path)) return lsns;
-  IDB_ASSIGN_OR_RETURN(std::string contents, ReadFileToString(path));
+  if (!env_->FileExists(path)) return lsns;
+  IDB_ASSIGN_OR_RETURN(std::string contents, env_->ReadFileToString(path));
   Slice input = contents;
   uint32_t masked;
   if (!GetFixed32(&input, &masked) ||
@@ -531,6 +543,7 @@ WalManager::Stats WalManager::stats() const {
     total.syncs += s.syncs;
     total.sync_requests += s.sync_requests;
     total.commits_absorbed += s.commits_absorbed;
+    if (stream->poisoned()) ++total.poisoned_streams;
   }
   total.epoch_keys_destroyed =
       epoch_keys_destroyed_.load(std::memory_order_relaxed);

@@ -57,9 +57,14 @@ namespace instantdb {
 /// Checkpoints: one CHECKPOINT manifest records the per-stream vector of
 /// replay-start LSNs; fuzzy checkpoints and segment retirement proceed
 /// stream-by-stream against it.
+class Env;
+
 class WalManager {
  public:
-  WalManager(std::string dir, const WalOptions& options, KeyManager* keys);
+  /// `env` == nullptr uses Env::Default(); the same env is handed to every
+  /// stream, so all physical log I/O funnels through one seam.
+  WalManager(std::string dir, const WalOptions& options, KeyManager* keys,
+             Env* env = nullptr);
   ~WalManager();
   WalManager(const WalManager&) = delete;
   WalManager& operator=(const WalManager&) = delete;
@@ -224,6 +229,10 @@ class WalManager {
     uint64_t syncs = 0;
     uint64_t sync_requests = 0;
     uint64_t commits_absorbed = 0;
+    /// Streams whose sync failed and that now fail every append/sync fast
+    /// (see WalStream::poisoned()). Non-zero means the log has lost its
+    /// durability guarantee until reopen.
+    uint64_t poisoned_streams = 0;
   };
   /// Aggregated over streams.
   Stats stats() const;
@@ -242,6 +251,7 @@ class WalManager {
   const std::string dir_;
   const WalOptions options_;
   KeyManager* const keys_;
+  Env* const env_;
 
   std::vector<std::unique_ptr<WalStream>> streams_;
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "io/env.h"
 #include "util/crc32c.h"
 
 namespace instantdb {
@@ -14,8 +15,12 @@ std::string WalEpochKeyId(TableId table, uint64_t epoch) {
 }
 
 WalStream::WalStream(std::string dir, uint32_t stream_id,
-                     const WalOptions& options, KeyManager* keys)
-    : dir_(std::move(dir)), id_(stream_id), options_(options), keys_(keys) {}
+                     const WalOptions& options, KeyManager* keys, Env* env)
+    : dir_(std::move(dir)),
+      id_(stream_id),
+      options_(options),
+      keys_(keys),
+      env_(env != nullptr ? env : Env::Default()) {}
 
 WalStream::~WalStream() {
   if (writer_ != nullptr) writer_->Close().ok();
@@ -27,12 +32,12 @@ std::string WalStream::SegmentPath(Lsn start) const {
 }
 
 Status WalStream::Open() {
-  IDB_RETURN_IF_ERROR(CreateDirs(dir_));
+  IDB_RETURN_IF_ERROR(env_->CreateDirs(dir_));
   segments_.clear();
   writer_.reset();
   next_lsn_ = 0;
 
-  IDB_ASSIGN_OR_RETURN(auto names, ListDir(dir_));
+  IDB_ASSIGN_OR_RETURN(auto names, env_->ListDir(dir_));
   std::vector<Lsn> starts;
   for (const std::string& name : names) {
     if (StartsWith(name, "wal_") && EndsWith(name, ".log")) {
@@ -41,7 +46,7 @@ Status WalStream::Open() {
   }
   std::sort(starts.begin(), starts.end());
   for (Lsn start : starts) {
-    IDB_ASSIGN_OR_RETURN(uint64_t size, GetFileSize(SegmentPath(start)));
+    IDB_ASSIGN_OR_RETURN(uint64_t size, env_->GetFileSize(SegmentPath(start)));
     // Deadline unknown for bytes recovered from disk: 0 = assume exposed
     // (empty segments carry nothing and stay kForever via the fixup below).
     segments_.push_back({start, start + size, /*min_payload_deadline=*/0});
@@ -61,7 +66,7 @@ Status WalStream::Open() {
     // Validate the tail segment frame-by-frame; drop a torn suffix.
     SegmentInfo& last = segments_.back();
     IDB_ASSIGN_OR_RETURN(std::string raw,
-                         ReadFileToString(SegmentPath(last.start)));
+                         env_->ReadFileToString(SegmentPath(last.start)));
     uint64_t off = 0;
     while (off + 8 <= raw.size()) {
       const uint32_t masked = DecodeFixed32(raw.data() + off);
@@ -75,14 +80,15 @@ Status WalStream::Open() {
     }
     if (off < raw.size()) {
       // Torn suffix, or the zeroed remainder of a preallocated segment.
-      IDB_RETURN_IF_ERROR(TruncateFile(SegmentPath(last.start), off));
+      IDB_RETURN_IF_ERROR(env_->TruncateFile(SegmentPath(last.start), off));
       last.end = last.start + off;
     }
     next_lsn_ = last.end;
     // Positional writer, not O_APPEND: preallocation extends the physical
     // file past the logical end, and appends must land at the logical end.
     IDB_ASSIGN_OR_RETURN(
-        writer_, NewWritableFile(SegmentPath(last.start), /*truncate=*/false));
+        writer_,
+        env_->NewWritableFile(SegmentPath(last.start), /*truncate=*/false));
     IDB_RETURN_IF_ERROR(PreallocateActiveLocked());
   }
   // Everything recovered from disk is as durable as it will ever be.
@@ -120,14 +126,31 @@ Status WalStream::OpenNewSegmentLocked(std::unique_lock<std::mutex>& lock) {
     const SegmentInfo& sealed = segments_.back();
     if (preallocated_ && sealed.end - sealed.start < options_.segment_bytes) {
       IDB_RETURN_IF_ERROR(
-          TruncateFile(SegmentPath(sealed.start), sealed.end - sealed.start));
+          env_->TruncateFile(SegmentPath(sealed.start),
+                             sealed.end - sealed.start));
     }
   }
-  IDB_ASSIGN_OR_RETURN(writer_, NewWritableFile(SegmentPath(next_lsn_)));
+  IDB_ASSIGN_OR_RETURN(writer_, env_->NewWritableFile(SegmentPath(next_lsn_)));
   segments_.push_back({next_lsn_, next_lsn_});
   ++stats_.segments_created;
   IDB_RETURN_IF_ERROR(PreallocateActiveLocked());
   return Status::OK();
+}
+
+Status WalStream::PoisonLocked(const Status& cause) {
+  if (poisoned_.ok()) {
+    // First failure wins and is permanent (fsyncgate semantics): a failed
+    // fdatasync may have dropped dirty pages a retry would no longer cover,
+    // and a failed append leaves the positional fd ahead of next_lsn_ —
+    // retry-and-pretend would ack commits whose bytes are not, or are not
+    // where the LSN-derived nonces say they are, on disk.
+    poisoned_ = Status::IOError("wal stream " + std::to_string(id_) +
+                                " poisoned: " + cause.ToString());
+    // Wake every parked group-commit waiter so it observes the poison
+    // instead of sleeping for a watermark that will never advance.
+    sync_cv_.notify_all();
+  }
+  return poisoned_;
 }
 
 WalBlobCipher WalStream::MakeDecryptor(Lsn lsn) const {
@@ -256,7 +279,10 @@ Result<Lsn> WalStream::AppendBatch(
   {
     std::lock_guard<std::mutex> append(append_mu_);
     std::unique_lock<std::mutex> lock(mu_);
-    IDB_ASSIGN_OR_RETURN(first, AppendFramesLocked(lock, frames));
+    if (!poisoned_.ok()) return poisoned_;
+    auto appended = AppendFramesLocked(lock, frames);
+    if (!appended.ok()) return PoisonLocked(appended.status());
+    first = *appended;
     end = next_lsn_;
   }
   if (end_lsn != nullptr) *end_lsn = end;
@@ -268,10 +294,11 @@ Result<Lsn> WalStream::AppendBatch(
 
 Status WalStream::SyncThrough(Lsn lsn) {
   std::unique_lock<std::mutex> lock(mu_);
+  if (!poisoned_.ok()) return poisoned_;
   if (writer_ == nullptr) return Status::OK();  // nothing ever appended
   // Every counted request either leads exactly one sync or is absorbed:
   // sync_requests == syncs + commits_absorbed (the bench's absorption
-  // ratio rests on this).
+  // ratio rests on this; only poisoned-stream exits fall outside it).
   ++stats_.sync_requests;
   lsn = std::min(lsn, next_lsn_);
   bool led = false;
@@ -313,6 +340,12 @@ Status WalStream::SyncThrough(Lsn lsn) {
         // including ours), or a newer arrival with a larger demand is
         // about to lead one that will.
         sync_cv_.wait(lock);
+        if (!poisoned_.ok()) {
+          // The leader's sync failed and poisoned the stream: this commit
+          // was never made durable and never will be on this stream.
+          deregister();
+          return poisoned_;
+        }
         continue;
       }
       // Largest demand present: lead. One fdatasync for everything
@@ -333,8 +366,12 @@ Status WalStream::SyncThrough(Lsn lsn) {
       sync_in_flight_ = false;
       sync_cv_.notify_all();
       if (!synced.ok()) {
+        // fsyncgate: the kernel may have dropped the dirty pages this sync
+        // failed to write; a retry could succeed while covering nothing.
+        // Poison the stream so no later sync can silently "succeed".
+        PoisonLocked(synced);
         deregister();
-        return synced;
+        return poisoned_;
       }
       synced_lsn_ = std::max(synced_lsn_, durable_to);
     }
@@ -357,6 +394,7 @@ Status WalStream::Sync() {
 Result<Lsn> WalStream::BeginCheckpoint(Lsn replay_from) {
   std::lock_guard<std::mutex> append(append_mu_);
   std::unique_lock<std::mutex> lock(mu_);
+  if (!poisoned_.ok()) return poisoned_;
   if (replay_from != kLogEnd) replay_from = std::min(replay_from, next_lsn_);
   const Lsn record_start = next_lsn_;
   WalRecord record;
@@ -364,7 +402,8 @@ Result<Lsn> WalStream::BeginCheckpoint(Lsn replay_from) {
   record.checkpoint_lsn = replay_from == kLogEnd ? next_lsn_ : replay_from;
   std::vector<PendingFrame> frames;
   frames.push_back(PrepareFrame(record));
-  IDB_RETURN_IF_ERROR(AppendFramesLocked(lock, frames).status());
+  auto appended = AppendFramesLocked(lock, frames);
+  if (!appended.ok()) return PoisonLocked(appended.status());
   // Fuzzy form: replay resumes at the begin LSN, so records committed while
   // storage was being flushed (between the caller capturing replay_from and
   // now) are replayed again, idempotently — including the kCheckpoint
@@ -384,7 +423,11 @@ Result<Lsn> WalStream::BeginCheckpoint(Lsn replay_from) {
   // kScrub could never clean the active segment and accurate values would
   // outlive their degradation deadline in the log. The rotation's seal
   // fsync also makes the kCheckpoint record durable.
-  IDB_RETURN_IF_ERROR(OpenNewSegmentLocked(lock));
+  Status rotated = OpenNewSegmentLocked(lock);
+  // The rotation's seal fsync is what makes the kCheckpoint record (and the
+  // commits before it) durable — its failure is a sync failure like any
+  // other and poisons the stream.
+  if (!rotated.ok()) return PoisonLocked(rotated);
   return lsn;
 }
 
@@ -396,19 +439,19 @@ Status WalStream::RetireThrough(Lsn lsn) {
     switch (options_.privacy_mode) {
       case WalPrivacyMode::kPlain: {
         // Model real-world unintended retention: the bytes stay on disk.
-        IDB_RETURN_IF_ERROR(RenameFile(path, path + ".recycled"));
+        IDB_RETURN_IF_ERROR(env_->RenameFile(path, path + ".recycled"));
         break;
       }
       case WalPrivacyMode::kScrub: {
         const uint64_t size = segment.end - segment.start;
-        IDB_RETURN_IF_ERROR(OverwriteRange(path, 0, size));
+        IDB_RETURN_IF_ERROR(env_->OverwriteRange(path, 0, size));
         stats_.scrub_bytes += size;
-        IDB_RETURN_IF_ERROR(RemoveFile(path));
+        IDB_RETURN_IF_ERROR(env_->RemoveFile(path));
         break;
       }
       case WalPrivacyMode::kEncryptedEpoch: {
         // Ciphertext is unreadable once its epoch key dies; plain unlink.
-        IDB_RETURN_IF_ERROR(RemoveFile(path));
+        IDB_RETURN_IF_ERROR(env_->RemoveFile(path));
         break;
       }
     }
@@ -442,7 +485,7 @@ Status WalStream::Replay(
   for (const SegmentInfo& segment : segments_) {
     if (segment.end <= from) continue;
     IDB_ASSIGN_OR_RETURN(std::string raw,
-                         ReadFileToString(SegmentPath(segment.start)));
+                         env_->ReadFileToString(SegmentPath(segment.start)));
     uint64_t off = 0;
     while (off + 8 <= raw.size()) {
       const uint32_t masked = DecodeFixed32(raw.data() + off);

@@ -15,6 +15,8 @@
 
 namespace instantdb {
 
+class Env;
+
 /// Id of the shared per-(table, epoch) key in the KeyManager
 /// (WalPrivacyMode::kEncryptedEpoch). Epoch keys are shared across every
 /// stream of a sharded log, so destroying one makes the epoch's inserts
@@ -82,12 +84,15 @@ class WalStream {
     uint64_t sync_requests = 0;
     /// Requests satisfied without issuing their own sync — parked behind a
     /// leader whose fdatasync covered them, or already below the watermark
-    /// on arrival. syncs + commits_absorbed ≈ sync_requests.
+    /// on arrival. syncs + commits_absorbed == sync_requests on a healthy
+    /// stream; a poisoned stream's waiters return with the sticky error
+    /// and count in neither bucket.
     uint64_t commits_absorbed = 0;
   };
 
+  /// `env` == nullptr uses Env::Default().
   WalStream(std::string dir, uint32_t stream_id, const WalOptions& options,
-            KeyManager* keys);
+            KeyManager* keys, Env* env = nullptr);
   ~WalStream();
   WalStream(const WalStream&) = delete;
   WalStream& operator=(const WalStream&) = delete;
@@ -171,6 +176,26 @@ class WalStream {
     return stats_;
   }
 
+  /// Sticky-failure state (fsyncgate semantics): once an append or sync on
+  /// this stream fails, the stream is permanently poisoned — the failed
+  /// operation may have left the kernel's dirty-page state (and therefore
+  /// what a later fsync would actually cover) unknowable, and a failed
+  /// append leaves the positional writer's offset ahead of `next_lsn_`,
+  /// which would desync LSN-derived encryption nonces from the physical
+  /// bytes. Every subsequent Append/AppendBatch/SyncThrough/BeginCheckpoint
+  /// fails fast with the sticky status; parked group-commit waiters are
+  /// woken with it. Recovery is re-opening the database (replaying only
+  /// what a clean sync acknowledged).
+  bool poisoned() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !poisoned_.ok();
+  }
+  /// OK, or the sticky poison status.
+  Status health() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return poisoned_;
+  }
+
  private:
   /// One frame prepared outside the stream mutex: header + body bytes,
   /// plus the blob seal left for the LSN-reservation step (kEncryptedEpoch
@@ -205,11 +230,15 @@ class WalStream {
   Status OpenNewSegmentLocked(std::unique_lock<std::mutex>& lock);
   Status PreallocateActiveLocked();
   WalBlobCipher MakeDecryptor(Lsn lsn) const;
+  /// Marks the stream sticky-failed (first failure wins) and wakes every
+  /// parked committer so they observe the poison. Returns the sticky status.
+  Status PoisonLocked(const Status& cause);
 
   const std::string dir_;
   const uint32_t id_;
   const WalOptions options_;
   KeyManager* const keys_;
+  Env* const env_;
 
   /// Serializes appenders for the WHOLE append — including the rotation
   /// wait inside OpenNewSegmentLocked, which releases `mu_` while an
@@ -261,6 +290,9 @@ class WalStream {
   /// fdatasync for appends below it.
   bool preallocated_ = false;
   Lsn prealloc_end_ = 0;
+  /// OK until the first append/sync failure; sticky thereafter (see
+  /// poisoned()). Guarded by mu_.
+  Status poisoned_;
   Stats stats_;
 };
 
