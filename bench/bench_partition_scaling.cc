@@ -497,6 +497,111 @@ void RunCheckpointSkipScenario() {
                                     static_cast<double>(clean_elapsed));
 }
 
+/// Skewed read path: the same cold SELECT but over a table whose rows pile
+/// onto ONE hot partition of 8 (batch-affine allocation rotates per batch,
+/// so big batches every 8th commit and tiny ones between land ~90% of the
+/// bytes in partition 0). This is the shape partition-grained fan-out
+/// cannot help with — 7 workers finish their sliver and idle while one
+/// drains the hot partition — and the shape the morsel scheduler exists
+/// for: the hot partition splits into page-range morsels that every idle
+/// worker steals, so the speedup survives the skew. morsels_stolen deltas
+/// (Database::stats().scan) are the proof of shared draining.
+void RunSkewedScanScaling() {
+  constexpr uint32_t kSkewPartitions = 8;
+  constexpr size_t kPayloadBytes = 2048;
+  constexpr size_t kHotBatchRows = 200;
+  constexpr size_t kColdBatchRows = 4;
+  constexpr size_t kBatches = 1600;  // 200 rounds of 1 hot + 7 cold commits
+
+  SystemClock wall;
+  VirtualClock clock;
+  DbOptions options;
+  options.partitions = kSkewPartitions;
+  options.degradation.worker_threads = kSkewPartitions;
+  options.storage.buffer_pool_pages = 128;  // never fits: scans hit disk
+  auto test = bench::OpenFreshDb("skewed_scan", &clock, options);
+  auto schema = Schema::Make(
+      {ColumnDef::Stable("id", ValueType::kInt64),
+       ColumnDef::Stable("payload", ValueType::kString),
+       ColumnDef::Degradable("location", LocationDomain(), Fig2LocationLcp())});
+  test.db->CreateTable("events", *schema).status();
+
+  const char* kAddresses[] = {"11 Rue Lepic", "3 Av Foch", "12 Rue Royale",
+                              "4 Rue Breteuil", "8 Cours Mirabeau"};
+  const std::string payload(kPayloadBytes, 'x');
+  size_t total_rows = 0;
+  for (size_t b = 0; b < kBatches; ++b) {
+    const size_t rows = (b % kSkewPartitions == 0) ? kHotBatchRows
+                                                   : kColdBatchRows;
+    WriteBatch batch;
+    for (size_t r = 0; r < rows; ++r, ++total_rows) {
+      batch.Insert("events",
+                   {Value::Int64(static_cast<int64_t>(total_rows)),
+                    Value::String(payload),
+                    Value::String(kAddresses[total_rows % 5])});
+    }
+    test.db->Write(&batch).ok();
+  }
+  test.db->Checkpoint().ok();
+
+  TablePrinter table({"parallelism", "cold scan rows/s", "elapsed ms",
+                      "morsels stolen", "prefetch stalls"});
+  Session session(test.db.get());
+  double base = 0, best = 0;
+  for (size_t parallelism : {1u, 2u, 4u, 8u}) {
+    EvictDirFromOsCache(test.path).ok();
+    session.scan_options().parallelism = parallelism;
+    const Database::Stats before = test.db->stats();
+    const Micros start = wall.NowMicros();
+    uint64_t rows = 0;
+    auto cursor = session.ExecuteCursor("SELECT id, location FROM events");
+    if (cursor.ok()) {
+      const CursorBatch* batch = nullptr;
+      while (true) {
+        auto more = (*cursor)->NextBatch(&batch);
+        if (!more.ok() || !*more) break;
+        rows += batch->size();
+      }
+    }
+    const Micros elapsed = std::max<Micros>(wall.NowMicros() - start, 1);
+    const Database::Stats after = test.db->stats();
+    const double rows_per_sec = rows * 1e6 / elapsed;
+    if (parallelism == 1) base = rows_per_sec;
+    if (parallelism == 8) best = rows_per_sec;
+    const uint64_t stolen =
+        after.scan.morsels_stolen - before.scan.morsels_stolen;
+    const uint64_t stalls =
+        after.scan.prefetch_stalls - before.scan.prefetch_stalls;
+    table.AddRow({std::to_string(parallelism),
+                  StringPrintf("%.0f", rows_per_sec),
+                  StringPrintf("%llu",
+                               static_cast<unsigned long long>(elapsed / 1000)),
+                  std::to_string(stolen), std::to_string(stalls)});
+    const std::string suffix = "_par" + std::to_string(parallelism);
+    JsonEmitter::Instance().AddScalar("skewed_scan_rows_per_sec" + suffix,
+                                      rows_per_sec);
+    JsonEmitter::Instance().AddScalar("skewed_scan_stolen" + suffix,
+                                      static_cast<double>(stolen));
+    if (rows != total_rows) {
+      std::printf("!! skewed scan returned %llu of %zu rows\n",
+                  static_cast<unsigned long long>(rows), total_rows);
+    }
+  }
+  table.Print(StringPrintf(
+      "skewed read path: cold SELECT, %zu x %zu-byte rows with ~%zu%% in one "
+      "of %u partitions, page cache evicted per run (%u hardware threads)",
+      total_rows, kPayloadBytes,
+      kHotBatchRows * 100 /
+          (kHotBatchRows + (kSkewPartitions - 1) * kColdBatchRows),
+      kSkewPartitions, std::thread::hardware_concurrency()));
+  if (base > 0) {
+    JsonEmitter::Instance().AddScalar("skewed_scan_speedup_p8_vs_p1",
+                                      best / base);
+    std::printf("\nskewed cold scan speedup, parallelism 8 vs 1: %.2fx\n",
+                best / base);
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -504,9 +609,10 @@ int main() {
   RunWalStreamScaling();
   RunGroupCommitScaling();
   RunCheckpointSkipScenario();
-  // Last: the cold-scan scenario evicts the page cache and leaves ~260 MB
-  // of heap behind it, which would perturb the sync-bound scenarios'
-  // series if it ran before them.
+  // Last: the cold-scan scenarios evict the page cache and leave hundreds
+  // of MB of heap behind them, which would perturb the sync-bound
+  // scenarios' series if they ran before them.
   RunParallelScanScaling();
+  RunSkewedScanScaling();
   return 0;  // JsonEmitter flushes BENCH_<program>.json at exit
 }

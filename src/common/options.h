@@ -81,13 +81,13 @@ struct DegradationOptions {
   /// Maximum tuples moved per degradation step transaction, bounding the
   /// time any store head stays locked.
   size_t step_batch_limit = 1024;
-  /// Size of the worker pool one degradation pass fans out over: overdue
-  /// steps on distinct table partitions run concurrently, each still its
-  /// own system transaction with wait-die retry. 1 (the default) keeps the
-  /// serial engine; raising it lets degradation throughput scale with
-  /// DbOptions::partitions on a multicore box. Database::Checkpoint fans
-  /// its dirty-partition flushes out over the same pool size — partitions
-  /// are the shared unit of maintenance scheduling.
+  /// Size of the Database's shared lazily-started worker pool
+  /// (util/worker_pool.h): degradation passes, scans, aggregate drains,
+  /// checkpoints and audit sweeps all borrow the same threads instead of
+  /// spawning their own per call. Degradation steps remain their own
+  /// system transactions with wait-die retry. 1 (the default) keeps the
+  /// serial engine; raising it lets degradation and scan throughput scale
+  /// on a multicore box.
   size_t worker_threads = 1;
 };
 
@@ -99,25 +99,32 @@ struct ReadOptions {
   bool include_coarser = false;
 };
 
-/// How a SELECT's heap scan fans out over a table's partitions
-/// (Session::scan_options). Partitions are the unit of read parallelism
-/// exactly as they are for ingest and degradation: each scan worker walks
-/// whole partitions, so per-batch snapshot semantics (one partition latch
-/// per batch) are unchanged at any parallelism.
+/// How a SELECT's heap scan fans out over a table (Session::scan_options).
+/// The unit of read parallelism is the MORSEL — a page range of one
+/// partition's heap (util/morsel.h) — not the whole partition: workers
+/// claim morsels from per-partition queues with partition affinity and
+/// steal from the busiest queue when their own runs dry, so parallelism is
+/// not capped by the partition count and a skewed partition is shared by
+/// many workers. Per-batch snapshot semantics (one partition latch per
+/// batch) are unchanged at any parallelism.
 struct ScanOptions {
   /// Number of scan workers a streaming cursor fans out over, and the pool
-  /// size a materialized (Session::Execute) scan drains partitions with.
-  /// 0 (the default) means min(table partitions,
-  /// DegradationOptions::worker_threads) — a database configured with a
-  /// worker pool reads with it too — EXCEPT on tables a few scan batches
-  /// long (under ~2k live rows), which stay sequential: spawning workers
-  /// costs more than such a scan. Set an explicit value to force fan-out
-  /// regardless of table size. 1 scans partitions sequentially inline on
-  /// the consumer's thread (no extra threads, rows in (partition, heap)
-  /// order); higher values run that many prefetch workers pulling batches
-  /// from distinct partitions, which interleaves rows across partitions in
-  /// arrival order.
+  /// size a materialized (Session::Execute) scan drains morsels with.
+  /// 0 (the default) means DegradationOptions::worker_threads — a database
+  /// configured with a worker pool reads with it too — EXCEPT on tables a
+  /// few scan batches long (under ~2k live rows), which stay sequential:
+  /// fanning out costs more than such a scan. Set an explicit value to
+  /// force fan-out regardless of table size; it may exceed the partition
+  /// count (workers share partitions at morsel granularity) and is clamped
+  /// only to the morsel-plan size. 1 scans partitions sequentially inline
+  /// on the consumer's thread (no extra threads, rows in (partition, heap)
+  /// order); higher values run that many scan workers, which interleaves
+  /// rows across morsels in arrival order on the streaming path.
   size_t parallelism = 0;
+  /// Heap pages per morsel. 0 (the default) = kDefaultMorselPages (16).
+  /// Smaller morsels split work finer (better stealing on skew, more claim
+  /// overhead); tests force 1 to exercise many morsels on tiny tables.
+  uint32_t morsel_pages = 0;
   /// Capacity of the streaming cursor's prefetch queue, in batches. The
   /// queue is what lets scan I/O on one partition overlap σ/π evaluation of
   /// another partition's batch; it is bounded so a slow consumer

@@ -79,8 +79,8 @@ Status Database::OpenImpl() {
 
   locks_ = std::make_unique<LockManager>();
   tm_ = std::make_unique<TransactionManager>(locks_.get(), wal_.get());
-  degrader_ = std::make_unique<DegradationEngine>(tm_.get(), clock_,
-                                                  options_.degradation);
+  degrader_ = std::make_unique<DegradationEngine>(
+      tm_.get(), clock_, options_.degradation, &worker_pool_);
 
   for (const TableDef* def : catalog_->tables()) {
     auto table = std::make_unique<Table>(def, TableDir(def->id), MakeRuntime());
@@ -296,7 +296,7 @@ Status Database::Checkpoint() {
   }
   std::atomic<uint64_t> flushed{0};
   std::atomic<uint64_t> clean{0};
-  IDB_RETURN_IF_ERROR(ParallelFor(
+  IDB_RETURN_IF_ERROR(worker_pool_.Run(
       std::max<size_t>(options_.degradation.worker_threads, 1), units.size(),
       [&](size_t i) {
         IDB_ASSIGN_OR_RETURN(const bool ran,
@@ -370,6 +370,12 @@ Database::Stats Database::stats() const {
       scan_counters_.store_probes_skipped.load(std::memory_order_relaxed);
   stats.scan.aggregate_partials_merged =
       scan_counters_.aggregate_partials_merged.load(std::memory_order_relaxed);
+  stats.scan.morsels_claimed =
+      scan_counters_.morsels_claimed.load(std::memory_order_relaxed);
+  stats.scan.morsels_stolen =
+      scan_counters_.morsels_stolen.load(std::memory_order_relaxed);
+  stats.scan.steal_failures =
+      scan_counters_.steal_failures.load(std::memory_order_relaxed);
   stats.checkpoints = checkpoints_.load(std::memory_order_relaxed);
   stats.checkpoint_partitions_flushed =
       checkpoint_partitions_flushed_.load(std::memory_order_relaxed);

@@ -1,6 +1,7 @@
 #ifndef INSTANTDB_DB_DATABASE_H_
 #define INSTANTDB_DB_DATABASE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -16,6 +17,7 @@
 #include "maintain/maintenance_daemon.h"
 #include "txn/lock_manager.h"
 #include "txn/transaction.h"
+#include "util/worker_pool.h"
 #include "wal/wal_manager.h"
 
 namespace instantdb {
@@ -184,9 +186,18 @@ class Database {
     /// (row, degradable column) store resolutions performed / avoided:
     uint64_t store_probes_issued = 0;
     uint64_t store_probes_skipped = 0;
-    /// Per-partition aggregate partials folded into final results by the
+    /// Per-worker aggregate partials folded into final results by the
     /// aggregate pushdown (0 when every aggregate ran through the cursor).
     uint64_t aggregate_partials_merged = 0;
+    /// Morsel-scheduler accounting over the parallel scan paths
+    /// (util/morsel.h): page-range work units claimed, how many of those
+    /// were stolen from a non-home partition queue, and steals that lost
+    /// the race to a queue's last morsel. Invariant (asserted in tests):
+    /// a fully-drained parallel scan claims exactly its morsel-plan size —
+    /// morsels_claimed grows by Σ per-partition plan sizes per scan.
+    uint64_t morsels_claimed = 0;
+    uint64_t morsels_stolen = 0;
+    uint64_t steal_failures = 0;
   };
 
   /// I/O-layer health (snapshot in Stats::io): physical-operation counters
@@ -247,8 +258,17 @@ class Database {
     std::atomic<uint64_t> store_probes_issued{0};
     std::atomic<uint64_t> store_probes_skipped{0};
     std::atomic<uint64_t> aggregate_partials_merged{0};
+    std::atomic<uint64_t> morsels_claimed{0};
+    std::atomic<uint64_t> morsels_stolen{0};
+    std::atomic<uint64_t> steal_failures{0};
   };
   ScanCounters* scan_counters() const { return &scan_counters_; }
+
+  /// The shared lazily-started worker pool (util/worker_pool.h), sized by
+  /// DegradationOptions::worker_threads: scans, aggregate drains,
+  /// degradation passes, checkpoints and audit sweeps borrow these threads
+  /// instead of spawning their own per call.
+  WorkerPool* worker_pool() const { return &worker_pool_; }
 
   Clock* clock() const { return clock_; }
   Env* env() const { return env_; }
@@ -295,6 +315,10 @@ class Database {
   /// Read-path counters (exposed via Stats::scan); atomics because scan
   /// workers and concurrent sessions bump them in parallel.
   mutable ScanCounters scan_counters_;
+  /// Shared worker pool; threads start on first use and park between
+  /// borrows. Mutable: read paths (const) borrow workers too.
+  mutable WorkerPool worker_pool_{
+      std::max<size_t>(options_.degradation.worker_threads, 1)};
   /// Checkpoint counters (exposed via Stats); atomics because the worker
   /// pool bumps flushed/clean concurrently.
   std::atomic<uint64_t> checkpoints_{0};

@@ -242,7 +242,8 @@ Status PartitionCursor::NextBatch(size_t limit, std::vector<RowView>* out,
     *done = true;
     return Status::OK();
   }
-  IDB_RETURN_IF_ERROR(partition_->ScanBatch(&pos_, limit, out, &done_));
+  IDB_RETURN_IF_ERROR(
+      partition_->ScanBatch(&pos_, end_page_, limit, out, &done_));
   *done = done_;
   return Status::OK();
 }
@@ -255,8 +256,9 @@ Status PartitionCursor::NextBatch(size_t limit, const ScanSpec& spec,
     *done = true;
     return Status::OK();
   }
-  IDB_RETURN_IF_ERROR(
-      partition_->ScanBatchFiltered(&pos_, limit, spec, ws, out, &done_, deltas));
+  IDB_RETURN_IF_ERROR(partition_->ScanBatchFiltered(&pos_, end_page_, limit,
+                                                    spec, ws, out, &done_,
+                                                    deltas));
   *done = done_;
   return Status::OK();
 }

@@ -56,12 +56,19 @@ class PartitionCursor {
 
  private:
   friend class Table;
-  PartitionCursor(const TablePartition* partition, uint32_t index)
-      : partition_(partition), index_(index) {}
+  PartitionCursor(const TablePartition* partition, uint32_t index,
+                  PageId begin_page = 0, PageId end_page = kInvalidPageId)
+      : partition_(partition),
+        index_(index),
+        pos_{begin_page, 0},
+        end_page_(end_page) {}
 
   const TablePartition* partition_ = nullptr;
   uint32_t index_ = 0;
   Rid pos_{0, 0};
+  /// Exclusive page bound (kInvalidPageId = whole partition): a morsel
+  /// cursor reports done at its range's end, not the heap's.
+  PageId end_page_ = kInvalidPageId;
   bool done_ = false;
 };
 
@@ -173,6 +180,30 @@ class Table {
   PartitionCursor OpenPartitionCursor(uint32_t i) const {
     if (i >= partitions_.size()) return PartitionCursor();
     return PartitionCursor(partitions_[i].get(), i);
+  }
+
+  /// Morsel-grained sharding (util/morsel.h): per-partition page-range
+  /// plans for the work-stealing scheduler. `plan[p]` is partition p's
+  /// queue; Σ plan sizes is the claim total the scan counters assert
+  /// against. `pages_per_morsel` 0 = kDefaultMorselPages
+  /// (ScanOptions::morsel_pages plumbs through here).
+  std::vector<std::vector<Morsel>> MorselPlan(uint32_t pages_per_morsel) const {
+    std::vector<std::vector<Morsel>> plan;
+    plan.reserve(partitions_.size());
+    for (const auto& partition : partitions_) {
+      plan.push_back(partition->MorselPlan(pages_per_morsel));
+    }
+    return plan;
+  }
+
+  /// Cursor over ONE morsel's page range — each claimed morsel gets its own
+  /// resume position, so many workers share a partition without sharing
+  /// cursor state. An out-of-range partition yields an empty cursor.
+  PartitionCursor OpenMorselCursor(const Morsel& morsel) const {
+    if (morsel.partition >= partitions_.size()) return PartitionCursor();
+    return PartitionCursor(partitions_[morsel.partition].get(),
+                           morsel.partition, morsel.begin_page,
+                           morsel.end_page);
   }
 
   Result<std::optional<RowView>> GetRow(RowId row_id) const;

@@ -440,13 +440,36 @@ Status TablePartition::ScanRows(const std::function<bool(const RowView&)>& fn,
   return decode_status;
 }
 
+std::vector<Morsel> TablePartition::MorselPlan(uint32_t pages_per_morsel) const {
+  if (pages_per_morsel == 0) pages_per_morsel = kDefaultMorselPages;
+  // num_pages is an atomic read; appends racing the plan land beyond the
+  // snapshot and are covered by the open-ended last morsel.
+  const PageId pages = heap_pool_->disk()->num_pages();
+  std::vector<Morsel> plan;
+  PageId begin = 0;
+  do {
+    Morsel m;
+    m.partition = index_;
+    m.begin_page = begin;
+    begin += pages_per_morsel;
+    m.end_page = begin < pages ? begin : kInvalidPageId;
+    plan.push_back(m);
+  } while (begin < pages);
+  return plan;
+}
+
 Status TablePartition::ScanBatch(Rid* pos, size_t limit,
+                                 std::vector<RowView>* out, bool* done) const {
+  return ScanBatch(pos, kInvalidPageId, limit, out, done);
+}
+
+Status TablePartition::ScanBatch(Rid* pos, PageId end_page, size_t limit,
                                  std::vector<RowView>* out, bool* done) const {
   std::shared_lock<std::shared_mutex> latch(latch_);
   *done = true;
   const size_t start_size = out->size();
   Status decode_status;
-  IDB_RETURN_IF_ERROR(heap_->ScanFrom(*pos, [&](Rid rid, Slice record) {
+  IDB_RETURN_IF_ERROR(heap_->ScanRange(*pos, end_page, [&](Rid rid, Slice record) {
     if (out->size() - start_size >= limit) {
       *pos = rid;  // resume here: this record has not been consumed
       *done = false;
@@ -467,8 +490,17 @@ Status TablePartition::ScanBatchFiltered(Rid* pos, size_t limit,
                                          ScanWorkspace* ws,
                                          std::vector<RowView>* out, bool* done,
                                          ScanDeltas* deltas) const {
+  return ScanBatchFiltered(pos, kInvalidPageId, limit, spec, ws, out, done,
+                           deltas);
+}
+
+Status TablePartition::ScanBatchFiltered(Rid* pos, PageId end_page,
+                                         size_t limit, const ScanSpec& spec,
+                                         ScanWorkspace* ws,
+                                         std::vector<RowView>* out, bool* done,
+                                         ScanDeltas* deltas) const {
   std::shared_lock<std::shared_mutex> latch(latch_);
-  return ScanChunkLocked(pos, limit, spec, ws, out, done, deltas);
+  return ScanChunkLocked(pos, end_page, limit, spec, ws, out, done, deltas);
 }
 
 Status TablePartition::ScanFiltered(
@@ -480,21 +512,21 @@ Status TablePartition::ScanFiltered(
   bool done = false;
   std::vector<RowView> views;
   while (!done) {
-    IDB_RETURN_IF_ERROR(
-        ScanChunkLocked(&pos, kScanChunkRows, spec, ws, &views, &done, deltas));
+    IDB_RETURN_IF_ERROR(ScanChunkLocked(&pos, kInvalidPageId, kScanChunkRows,
+                                        spec, ws, &views, &done, deltas));
     if (!views.empty()) IDB_RETURN_IF_ERROR(fn(views));
   }
   return Status::OK();
 }
 
-Status TablePartition::ScanChunkLocked(Rid* pos, size_t limit,
+Status TablePartition::ScanChunkLocked(Rid* pos, PageId end_page, size_t limit,
                                        const ScanSpec& spec, ScanWorkspace* ws,
                                        std::vector<RowView>* out, bool* done,
                                        ScanDeltas* deltas) const {
   *done = true;
   ws->count = 0;
   Status decode_status;
-  IDB_RETURN_IF_ERROR(heap_->ScanFrom(*pos, [&](Rid rid, Slice record) {
+  IDB_RETURN_IF_ERROR(heap_->ScanRange(*pos, end_page, [&](Rid rid, Slice record) {
     if (ws->count >= limit) {
       *pos = rid;  // resume here: this record has not been consumed
       *done = false;

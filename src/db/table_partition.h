@@ -23,6 +23,7 @@
 #include "storage/state_store.h"
 #include "txn/transaction.h"
 #include "util/histogram.h"
+#include "util/morsel.h"
 #include "wal/wal_manager.h"
 
 namespace instantdb {
@@ -148,12 +149,28 @@ class TablePartition {
   Status ScanRows(const std::function<bool(const RowView&)>& fn,
                   bool* stopped) const;
 
+  /// Splits this partition's heap into page-range morsels of
+  /// `pages_per_morsel` pages (0 = kDefaultMorselPages), the unit the
+  /// morsel scheduler hands to scan/degrade/audit workers. The last morsel
+  /// is open-ended (end_page == kInvalidPageId) so rows appended after
+  /// planning are still observed; an empty partition yields one open-ended
+  /// morsel for the same reason. Each morsel carries its own resume
+  /// position through the range-bounded ScanBatch/ScanBatchFiltered
+  /// overloads below.
+  std::vector<Morsel> MorselPlan(uint32_t pages_per_morsel) const;
+
   /// Cursor support: assembles up to `limit` live rows starting at heap
   /// position `*pos` (`Rid{0, 0}` to start) under the shared latch,
   /// advancing `*pos` to the resume position and setting `*done` once this
   /// partition's heap is exhausted.
   Status ScanBatch(Rid* pos, size_t limit, std::vector<RowView>* out,
                    bool* done) const;
+
+  /// Range-bounded ScanBatch over one morsel's pages: identical semantics,
+  /// but `*done` reports exhaustion of [*pos, end_page) instead of the
+  /// whole heap (end_page == kInvalidPageId restores the unbounded form).
+  Status ScanBatch(Rid* pos, PageId end_page, size_t limit,
+                   std::vector<RowView>* out, bool* done) const;
 
   /// Pushdown form of ScanBatch: decodes up to `limit` heap tuples from
   /// `*pos`, runs `spec.filter` batch-at-a-time on the decoded stable
@@ -170,6 +187,13 @@ class TablePartition {
   Status ScanBatchFiltered(Rid* pos, size_t limit, const ScanSpec& spec,
                            ScanWorkspace* ws, std::vector<RowView>* out,
                            bool* done, ScanDeltas* deltas) const;
+
+  /// Range-bounded pushdown batch over one morsel's pages (the
+  /// MorselPlan/ScanBatchFiltered(range) pair the morsel consumers drive).
+  Status ScanBatchFiltered(Rid* pos, PageId end_page, size_t limit,
+                           const ScanSpec& spec, ScanWorkspace* ws,
+                           std::vector<RowView>* out, bool* done,
+                           ScanDeltas* deltas) const;
 
   /// Whole-partition pushdown scan under ONE shared-latch hold
   /// (snapshot-per-partition, like ScanRows): assembles survivor batches of
@@ -314,10 +338,12 @@ class TablePartition {
   bool AssembleRow(const HeapTuple& tuple, RowView* view) const;
 
   /// ScanBatchFiltered's body, minus the latch (ScanFiltered holds it once
-  /// for the whole partition).
-  Status ScanChunkLocked(Rid* pos, size_t limit, const ScanSpec& spec,
-                         ScanWorkspace* ws, std::vector<RowView>* out,
-                         bool* done, ScanDeltas* deltas) const;
+  /// for the whole partition). `end_page` bounds the decoded page range
+  /// (exclusive; kInvalidPageId = to the heap's end).
+  Status ScanChunkLocked(Rid* pos, PageId end_page, size_t limit,
+                         const ScanSpec& spec, ScanWorkspace* ws,
+                         std::vector<RowView>* out, bool* done,
+                         ScanDeltas* deltas) const;
   /// Filters ws->tuples[0..count), probes stores for the survivors
   /// (FindMany merges), and fills `*out` (replace semantics). Caller holds
   /// the shared latch.

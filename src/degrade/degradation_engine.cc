@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 
 #include "common/logging.h"
 
@@ -16,8 +17,9 @@ constexpr Micros kPassBackoffCap = 5'000'000;  // 5 s
 }  // namespace
 
 DegradationEngine::DegradationEngine(TransactionManager* tm, Clock* clock,
-                                     const DegradationOptions& options)
-    : tm_(tm), clock_(clock), options_(options) {}
+                                     const DegradationOptions& options,
+                                     WorkerPool* pool)
+    : tm_(tm), clock_(clock), options_(options), pool_(pool) {}
 
 DegradationEngine::~DegradationEngine() { Stop(); }
 
@@ -125,34 +127,48 @@ Result<size_t> DegradationEngine::RunDue(Micros now) {
     if (units.empty()) break;
     delta.passes = 1;  // a pass only counts when some partition had due work
 
-    std::atomic<size_t> next_unit{0};
     std::atomic<uint64_t> steps{0};
     std::atomic<uint64_t> moved_round{0};
     std::atomic<uint64_t> aborts_round{0};
     std::mutex error_mu;
 
+    // Step-grained work queue: a claim runs ONE bounded step, then requeues
+    // the unit at the back while it still has work. Urgent units sit at the
+    // front, so their first step is never stuck behind another partition's
+    // deep backlog; aborted units also go to the back (the conflicting
+    // reader gets time to commit before the retry).
+    std::mutex queue_mu;
+    std::deque<Unit> queue(units.begin(), units.end());
+
     auto drain = [&] {
       for (;;) {
-        const size_t i = next_unit.fetch_add(1, std::memory_order_relaxed);
-        if (i >= units.size()) return;
-        const Unit unit = units[i];
-        while (unit.table->PartitionHasWorkAt(unit.partition, now)) {
-          auto moved = unit.table->RunDegradationStep(
-              tm_, now, options_.step_batch_limit, unit.partition);
-          if (!moved.ok()) {
-            if (moved.status().IsAborted() &&
-                abort_budget.fetch_sub(1, std::memory_order_relaxed) > 0) {
-              aborts_round.fetch_add(1, std::memory_order_relaxed);
-              break;  // retry this partition on the next round
-            }
-            std::lock_guard<std::mutex> lock(error_mu);
-            if (error.ok()) error = moved.status();
-            return;
-          }
-          if (*moved == 0) break;
-          steps.fetch_add(1, std::memory_order_relaxed);
-          moved_round.fetch_add(*moved, std::memory_order_relaxed);
+        Unit unit;
+        {
+          std::lock_guard<std::mutex> lock(queue_mu);
+          if (queue.empty()) return;
+          unit = queue.front();
+          queue.pop_front();
         }
+        if (!unit.table->PartitionHasWorkAt(unit.partition, now)) continue;
+        auto moved = unit.table->RunDegradationStep(
+            tm_, now, options_.step_batch_limit, unit.partition);
+        if (!moved.ok()) {
+          if (moved.status().IsAborted() &&
+              abort_budget.fetch_sub(1, std::memory_order_relaxed) > 0) {
+            aborts_round.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(queue_mu);
+            queue.push_back(unit);  // retry after the rest of the round
+            continue;
+          }
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (error.ok()) error = moved.status();
+          return;
+        }
+        if (*moved == 0) continue;  // spurious wake-up: drop, re-collect next
+        steps.fetch_add(1, std::memory_order_relaxed);
+        moved_round.fetch_add(*moved, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(queue_mu);
+        queue.push_back(unit);  // may still have work past the step limit
       }
     };
 
@@ -160,11 +176,18 @@ Result<size_t> DegradationEngine::RunDue(Micros now) {
         std::max<size_t>(options_.worker_threads, 1), units.size());
     if (workers <= 1) {
       drain();
+    } else if (pool_ != nullptr) {
+      // Borrow helpers from the shared pool (never blocks; a busy pool just
+      // yields fewer helpers) and drain alongside them.
+      WorkerPool::Ticket ticket;
+      pool_->TryDispatch(workers - 1, [&](size_t) { drain(); }, &ticket);
+      drain();
+      pool_->Wait(&ticket);
     } else {
-      std::vector<std::thread> pool;
-      pool.reserve(workers);
-      for (size_t i = 0; i < workers; ++i) pool.emplace_back(drain);
-      for (std::thread& worker : pool) worker.join();
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (size_t i = 0; i < workers; ++i) threads.emplace_back(drain);
+      for (std::thread& worker : threads) worker.join();
     }
 
     delta.steps += steps.load();

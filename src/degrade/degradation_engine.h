@@ -14,6 +14,7 @@
 #include "common/options.h"
 #include "db/table.h"
 #include "txn/transaction.h"
+#include "util/worker_pool.h"
 
 namespace instantdb {
 
@@ -23,11 +24,16 @@ namespace instantdb {
 /// *timely* (paper §III).
 ///
 /// Scheduling is per (table, partition): one pass collects every partition
-/// with overdue work and fans the steps out over a worker pool of
-/// `DegradationOptions::worker_threads` threads. Distinct partitions never
-/// share physical state or store locks, so workers proceed without
-/// interfering; within a partition the paper's B8 bounded-interference
-/// property holds exactly as in the serial engine.
+/// with overdue work and drains it STEP-GRAINED over the Database's shared
+/// worker pool (`DegradationOptions::worker_threads`). Each claim runs one
+/// bounded degradation step and requeues the unit at the back while it
+/// still has work, so an urgent (audit-repair) unit at the front of the
+/// queue gets its first step within one step latency even when another
+/// partition holds a deep backlog — no worker is pinned to one partition
+/// for the whole pass. Distinct partitions never share physical state or
+/// store locks, so workers proceed without interfering; within a partition
+/// the paper's B8 bounded-interference property holds exactly as in the
+/// serial engine.
 ///
 /// Two drive modes:
 ///  - pumped: tests/benchmarks call `RunDue(now)` after advancing a
@@ -42,8 +48,12 @@ namespace instantdb {
 /// stats.
 class DegradationEngine {
  public:
+  /// `pool` (optional, not owned, must outlive the engine) is the shared
+  /// worker pool passes borrow workers from; null falls back to spawning
+  /// one-shot threads per pass (standalone/test construction).
   DegradationEngine(TransactionManager* tm, Clock* clock,
-                    const DegradationOptions& options);
+                    const DegradationOptions& options,
+                    WorkerPool* pool = nullptr);
   ~DegradationEngine();
   DegradationEngine(const DegradationEngine&) = delete;
   DegradationEngine& operator=(const DegradationEngine&) = delete;
@@ -116,6 +126,7 @@ class DegradationEngine {
   TransactionManager* const tm_;
   Clock* const clock_;
   const DegradationOptions options_;
+  WorkerPool* const pool_;  // shared Database pool, may be null
 
   mutable std::mutex mu_;
   std::map<TableId, Table*> tables_;

@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "db/table.h"
+#include "util/worker_pool.h"
 #include "wal/wal_manager.h"
 
 namespace instantdb {
@@ -92,22 +93,25 @@ struct AuditReport {
   std::string ToString() const;
 };
 
-/// \brief Partition-parallel deletion-assurance sweeper.
+/// \brief Morsel-parallel deletion-assurance sweeper.
 ///
 /// One Run() proves (or refutes) timely degradation across every layer that
-/// holds sensitive bytes: table storage (per-partition cursor sweeps over
-/// the same PartitionCursor the parallel read path shards on, fanned out
-/// with ParallelFor over `workers`), the multi-resolution indexes
-/// (TablePartition::AuditIndexes — one shared-latch acquisition per
-/// partition, so a live degrader is never observed halfway), the WAL
-/// segment set (WalManager::AuditExposure) and the epoch keystore
-/// (WalManager::LingeringEpochKeys). Read-only: sweeps take each
-/// partition's shared latch a batch at a time and never block writers or
-/// the degrader for longer than a scan batch.
+/// holds sensitive bytes: table storage (page-range morsel sweeps over the
+/// same MorselScheduler the parallel read path shards on — `workers` sweep
+/// workers claim with partition affinity and steal from the busiest
+/// partition, so one large partition is shared instead of serializing the
+/// audit), the multi-resolution indexes (TablePartition::AuditIndexes —
+/// one shared-latch acquisition per partition, so a live degrader is never
+/// observed halfway), the WAL segment set (WalManager::AuditExposure) and
+/// the epoch keystore (WalManager::LingeringEpochKeys). Read-only: sweeps
+/// take each partition's shared latch a batch at a time and never block
+/// writers or the degrader for longer than a scan batch.
 class DeletionAuditor {
  public:
-  DeletionAuditor(WalManager* wal, size_t workers)
-      : wal_(wal), workers_(workers == 0 ? 1 : workers) {}
+  /// `pool` (optional, not owned) is the Database's shared worker pool the
+  /// sweep borrows threads from; null spawns sweep threads per call.
+  DeletionAuditor(WalManager* wal, size_t workers, WorkerPool* pool = nullptr)
+      : wal_(wal), workers_(workers == 0 ? 1 : workers), pool_(pool) {}
 
   /// Sweeps `tables` at `now`, granting `grace` of slack: a value is
   /// exposed only when it is still too accurate for the LCP phase expected
@@ -120,6 +124,7 @@ class DeletionAuditor {
  private:
   WalManager* const wal_;
   const size_t workers_;
+  WorkerPool* const pool_;  // shared Database pool, may be null
 };
 
 }  // namespace instantdb

@@ -18,7 +18,8 @@ MaintenanceDaemon::MaintenanceDaemon(Database* db,
                                      const MaintenanceOptions& options)
     : db_(db),
       options_(options),
-      auditor_(db->wal(), db->options().degradation.worker_threads) {}
+      auditor_(db->wal(), db->options().degradation.worker_threads,
+               db->worker_pool()) {}
 
 MaintenanceDaemon::~MaintenanceDaemon() { Stop(); }
 

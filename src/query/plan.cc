@@ -10,12 +10,19 @@
 
 #include "common/strings.h"
 #include "query/predicate.h"
+#include "util/morsel.h"
 #include "util/parallel.h"
+#include "util/worker_pool.h"
 
 namespace instantdb {
 namespace plan {
 
 namespace {
+
+/// Batch size of the materializing (SnapshotScanSource / aggregate
+/// pushdown) morsel drains: large enough that latch reacquisition is noise,
+/// small enough that a batch never holds a partition latch for long.
+constexpr size_t kMaterializedScanBatchRows = 1024;
 
 /// Folds one scan's ScanDeltas into the database's atomic counters — once
 /// per batch, outside any partition latch.
@@ -323,33 +330,52 @@ class HeapScanSource : public RowSource {
   std::vector<RowView> views_;
 };
 
-/// Partition fan-out source: `workers` prefetch threads claim whole
-/// partitions from a shared counter, pull ScanBatch batches under that
-/// partition's shared latch, run whole-batch σ, and push the qualifying
-/// batches into a bounded queue the consumer drains. Per-batch snapshot
-/// semantics are exactly the sequential source's — parallelism changes only
-/// which partitions' batches interleave, never what one batch may contain.
-/// Batch storage circulates: drained batches return to a spare pool the
-/// workers refill, so a steady-state scan stops allocating. The queue bound
-/// backpressures workers when the consumer is slow; the consumer counts a
-/// prefetch stall each time it finds the queue empty while workers are
-/// still producing.
+/// Morsel fan-out source: `workers` prefetch threads claim page-range
+/// morsels from the shared MorselScheduler (partition-affine home queues,
+/// stealing from the busiest partition when their own runs dry — so
+/// parallelism is not capped by the partition count and one skewed
+/// partition is shared), pull ScanBatch batches under that partition's
+/// shared latch, run whole-batch σ, and push the qualifying batches into a
+/// bounded queue the consumer drains. Per-batch snapshot semantics are
+/// exactly the sequential source's — parallelism changes only which
+/// morsels' batches interleave, never what one batch may contain. Producer
+/// threads are borrowed from the Database's shared worker pool when it has
+/// idle capacity; the shortfall is spawned, because a streaming consumer
+/// waits on `producers_live_ > 0` and the producer count must therefore be
+/// guaranteed, not best-effort. Batch storage circulates: drained batches
+/// return to a spare pool the workers refill, so a steady-state scan stops
+/// allocating. The queue bound backpressures workers when the consumer is
+/// slow; the consumer counts a prefetch stall each time it finds the queue
+/// empty while workers are still producing.
 class ParallelScanSource : public RowSource {
  public:
   ParallelScanSource(Session* session, const BoundQuery& query,
-                     size_t batch_rows, size_t workers, size_t queue_batches)
+                     size_t batch_rows, size_t workers, size_t queue_batches,
+                     std::vector<std::vector<Morsel>> plan)
       : read_options_(session->read_options()),
         counters_(session->db()->scan_counters()),
+        pool_(session->db()->worker_pool()),
         query_(query),
         batch_rows_(batch_rows),
         queue_capacity_(std::max<size_t>(queue_batches, 1)),
         pushdown_(session->scan_options().pushdown),
-        filter_(query.table->schema(), query.predicates) {
+        filter_(query.table->schema(), query.predicates),
+        sched_(std::move(plan),
+               MorselStatsSink{&counters_->morsels_claimed,
+                               &counters_->morsels_stolen,
+                               &counters_->steal_failures}) {
     spec_.filter = filter_.empty() ? nullptr : &filter_;
     spec_.need_degradable = !query.referenced_degradable.empty();
-    producers_live_ = std::min<size_t>(
-        std::max<size_t>(workers, 1), query.table->num_partitions());
-    runner_.Start(producers_live_, [this](size_t) { ProduceLoop(); });
+    // The shortfall must be computed from the immutable `want`, never from
+    // producers_live_: borrowed pool producers start (and may finish,
+    // decrementing producers_live_) while this constructor is still running.
+    const size_t want = std::max<size_t>(workers, 1);
+    producers_live_ = want;
+    const size_t borrowed = pool_->TryDispatch(
+        want, [this](size_t) { ProduceLoop(); }, &ticket_);
+    if (borrowed < want) {
+      runner_.Start(want - borrowed, [this](size_t) { ProduceLoop(); });
+    }
   }
 
   ~ParallelScanSource() override {
@@ -361,6 +387,7 @@ class ParallelScanSource : public RowSource {
     }
     cv_.notify_all();
     runner_.Join();
+    pool_->Wait(&ticket_);
   }
 
   Result<bool> NextBatch(EvaluatedBatch* out) override {
@@ -392,16 +419,18 @@ class ParallelScanSource : public RowSource {
 
  private:
   void ProduceLoop() {
-    const uint32_t partitions = query_.table->num_partitions();
+    // Stable worker id for morsel affinity: worker w's home queue is
+    // partition w % partitions, so distinct producers start on distinct
+    // partitions and only meet on one when stealing.
+    const size_t worker = worker_ids_.fetch_add(1, std::memory_order_relaxed);
     std::vector<RowView> views;
     EvaluatedBatch batch;
     ScanWorkspace ws;
     Status status;
+    Morsel morsel;
     for (;;) {
-      const uint32_t p =
-          next_partition_.fetch_add(1, std::memory_order_relaxed);
-      if (p >= partitions) break;
-      PartitionCursor cursor = query_.table->OpenPartitionCursor(p);
+      if (!sched_.Claim(worker, &morsel)) break;
+      PartitionCursor cursor = query_.table->OpenMorselCursor(morsel);
       bool done = false;
       while (!done) {
         // An early Close (cursor dropped mid-stream) must not keep workers
@@ -456,12 +485,14 @@ class ParallelScanSource : public RowSource {
 
   const ReadOptions read_options_;
   Database::ScanCounters* const counters_;
+  WorkerPool* const pool_;
   const BoundQuery& query_;
   const size_t batch_rows_;
   const size_t queue_capacity_;
   const bool pushdown_;
   const StablePredicateFilter filter_;
   ScanSpec spec_;
+  MorselScheduler sched_;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -471,18 +502,22 @@ class ParallelScanSource : public RowSource {
   size_t producers_live_ = 0;
   /// Atomic so producers can poll it between batches without the mutex.
   std::atomic<bool> closed_{false};
-  std::atomic<uint32_t> next_partition_{0};
+  std::atomic<size_t> worker_ids_{0};
+  WorkerPool::Ticket ticket_;
   ParallelRunner runner_;
 };
 
-/// Materializing-path source: every partition is read atomically under its
-/// shared latch with σ applied inside the scan callback, so only qualifying
-/// rows are ever held — the pre-cursor executor's exact memory and
-/// consistency profile. With resolved parallelism > 1, partitions drain on
-/// ParallelFor threads (spawned per scan, sized like the degradation
-/// pool; small tables resolve to 1 and stay inline), and the per-partition
-/// results merge in partition order, so the output order matches the
-/// sequential scan's regardless of parallelism. Used when the caller asks
+/// Materializing-path source: workers claim page-range morsels from a
+/// shared MorselScheduler and drain each under that partition's shared
+/// latch a batch at a time, with σ applied as the batches stream — so only
+/// qualifying rows are ever held. Snapshot semantics are per batch (the
+/// streaming cursor's), not per partition: a concurrent degrader may land
+/// between two batches of one partition, which every caller already had to
+/// tolerate across partitions. Workers are borrowed from the Database's
+/// shared pool (small tables resolve to 1 and stay inline), and the
+/// per-morsel results merge in morsel-ordinal order — (partition,
+/// begin_page) ascending — so the output order matches the sequential
+/// scan's regardless of parallelism or stealing. Used when the caller asks
 /// for an unbounded batch (Session::Execute, DELETE, aggregates).
 class SnapshotScanSource : public RowSource {
  public:
@@ -512,55 +547,68 @@ class SnapshotScanSource : public RowSource {
  private:
   Status ScanAll() {
     const Table* table = query_.table;
-    const uint32_t partitions = table->num_partitions();
     const ReadOptions read_options = session_->read_options();
     auto* counters = session_->db()->scan_counters();
-    std::vector<std::vector<EvaluatedRow>> per_partition(partitions);
-    IDB_RETURN_IF_ERROR(ParallelFor(workers_, partitions, [&](size_t p) {
-      if (pushdown_) {
-        // Same one-latch-per-partition snapshot, but stable predicates run
-        // on the decoded tuples and stores are probed only for survivors.
-        ScanWorkspace ws;
-        ScanDeltas deltas;
-        EvaluatedRow row;
-        IDB_RETURN_IF_ERROR(
-            table->partition(static_cast<uint32_t>(p))
-                ->ScanFiltered(
-                    spec_, &ws,
-                    [&](const std::vector<RowView>& views) {
-                      for (const RowView& view : views) {
-                        if (EvaluateRow(query_, read_options, view, &row,
-                                        /*stable_prefiltered=*/true)) {
-                          per_partition[p].push_back(std::move(row));
-                        }
-                      }
-                      return Status::OK();
-                    },
-                    &deltas));
-        counters->batches.fetch_add(1, std::memory_order_relaxed);
-        FoldDeltas(counters, deltas);
-        return Status::OK();
-      }
-      bool stopped = false;
-      uint64_t scanned = 0;
+    MorselScheduler sched(
+        table->MorselPlan(session_->scan_options().morsel_pages),
+        MorselStatsSink{&counters->morsels_claimed, &counters->morsels_stolen,
+                        &counters->steal_failures});
+    const size_t workers =
+        std::max<size_t>(1, std::min(workers_, sched.total()));
+    // One bucket per morsel, concatenated in ordinal order below: ordinals
+    // are assigned in (partition, begin_page) order, so the merged output
+    // is the sequential scan's order no matter which worker drained what.
+    std::vector<std::vector<EvaluatedRow>> per_morsel(sched.total());
+    auto drain = [&](size_t w) -> Status {
+      Morsel morsel;
+      ScanWorkspace ws;
       EvaluatedRow row;
-      IDB_RETURN_IF_ERROR(table->partition(static_cast<uint32_t>(p))
-                              ->ScanRows(
-                                  [&](const RowView& view) {
-                                    ++scanned;
-                                    if (EvaluateRow(query_, read_options, view,
-                                                    &row)) {
-                                      per_partition[p].push_back(
-                                          std::move(row));
-                                    }
-                                    return true;
-                                  },
-                                  &stopped));
-      counters->batches.fetch_add(1, std::memory_order_relaxed);
-      counters->rows.fetch_add(scanned, std::memory_order_relaxed);
+      std::vector<RowView> views;
+      while (sched.Claim(w, &morsel)) {
+        std::vector<EvaluatedRow>& bucket = per_morsel[morsel.ordinal];
+        PartitionCursor cursor = table->OpenMorselCursor(morsel);
+        bool done = false;
+        while (!done) {
+          if (pushdown_) {
+            // Stable predicates run on the decoded tuples and stores are
+            // probed only for the survivors, exactly as on the streaming
+            // path.
+            ScanDeltas deltas;
+            IDB_RETURN_IF_ERROR(cursor.NextBatch(kMaterializedScanBatchRows,
+                                                 spec_, &ws, &views, &done,
+                                                 &deltas));
+            if (deltas.rows_scanned > 0) {
+              counters->batches.fetch_add(1, std::memory_order_relaxed);
+              FoldDeltas(counters, deltas);
+            }
+            for (const RowView& view : views) {
+              if (EvaluateRow(query_, read_options, view, &row,
+                              /*stable_prefiltered=*/true)) {
+                bucket.push_back(std::move(row));
+              }
+            }
+          } else {
+            views.clear();
+            IDB_RETURN_IF_ERROR(
+                cursor.NextBatch(kMaterializedScanBatchRows, &views, &done));
+            if (!views.empty()) {
+              counters->batches.fetch_add(1, std::memory_order_relaxed);
+              counters->rows.fetch_add(views.size(),
+                                       std::memory_order_relaxed);
+            }
+            for (const RowView& view : views) {
+              if (EvaluateRow(query_, read_options, view, &row)) {
+                bucket.push_back(std::move(row));
+              }
+            }
+          }
+        }
+      }
       return Status::OK();
-    }));
-    for (auto& rows : per_partition) {
+    };
+    IDB_RETURN_IF_ERROR(
+        session_->db()->worker_pool()->Run(workers, workers, drain));
+    for (auto& rows : per_morsel) {
       for (EvaluatedRow& row : rows) *result_.Add() = std::move(row);
     }
     return Status::OK();
@@ -643,19 +691,19 @@ void EvaluateViews(const BoundQuery& query, const ReadOptions& read_options,
 }
 
 size_t ResolveScanParallelism(Session* session, const Table& table) {
-  const size_t partitions = table.num_partitions();
   size_t parallelism = session->scan_options().parallelism;
   if (parallelism == 0) {
-    // Auto mode stays inline on small tables: thread create/join costs tens
-    // of microseconds per worker, which dwarfs the whole scan of a table a
-    // few batches long (point SELECTs, small aggregates, DELETEs). An
-    // explicit parallelism setting is always honored.
+    // Auto mode stays inline on small tables: worker dispatch costs tens of
+    // microseconds, which dwarfs the whole scan of a table a few batches
+    // long (point SELECTs, small aggregates, DELETEs). An explicit
+    // parallelism setting is always honored. No partition clamp: the unit
+    // of parallelism is the morsel, and every scan path clamps to its own
+    // morsel-plan size at dispatch time.
     if (table.live_rows() < kParallelScanMinRows) return 1;
-    const size_t pool = std::max<size_t>(
+    parallelism = std::max<size_t>(
         session->db()->options().degradation.worker_threads, 1);
-    parallelism = std::min(partitions, pool);
   }
-  return std::max<size_t>(std::min(parallelism, partitions), 1);
+  return std::max<size_t>(parallelism, 1);
 }
 
 Result<BoundQuery> BindQuery(Session* session, const std::string& table_name,
@@ -771,7 +819,6 @@ const BoundPredicate* UsableIndexPredicate(Session* session,
 Result<std::unique_ptr<RowSource>> MakeRowSource(Session* session,
                                                  const BoundQuery& query,
                                                  size_t scan_batch_rows) {
-  const ReadOptions& read_options = session->read_options();
   const BoundPredicate* index_pred = UsableIndexPredicate(session, query);
   if (index_pred != nullptr) {
     std::vector<RowId> rids;
@@ -792,10 +839,20 @@ Result<std::unique_ptr<RowSource>> MakeRowSource(Session* session,
         scan_batch_rows == SIZE_MAX ? kStreamingScanBatchRows
                                     : scan_batch_rows));
   }
-  const size_t parallelism = ResolveScanParallelism(session, *query.table);
+  size_t parallelism = ResolveScanParallelism(session, *query.table);
   if (scan_batch_rows == SIZE_MAX) {
     return std::unique_ptr<RowSource>(
         new SnapshotScanSource(session, query, parallelism));
+  }
+  std::vector<std::vector<Morsel>> plan;
+  if (parallelism > 1) {
+    // Clamp the fan-out to the actual work: a table one morsel long gains
+    // nothing from prefetch workers or the bounded-queue machinery, and a
+    // two-morsel table needs at most two producers.
+    plan = query.table->MorselPlan(session->scan_options().morsel_pages);
+    size_t total = 0;
+    for (const auto& queue : plan) total += queue.size();
+    parallelism = std::min(parallelism, total);
   }
   if (parallelism <= 1) {
     return std::unique_ptr<RowSource>(
@@ -803,8 +860,9 @@ Result<std::unique_ptr<RowSource>> MakeRowSource(Session* session,
   }
   size_t queue_batches = session->scan_options().prefetch_batches;
   if (queue_batches == 0) queue_batches = 2 * parallelism;
-  return std::unique_ptr<RowSource>(new ParallelScanSource(
-      session, query, scan_batch_rows, parallelism, queue_batches));
+  return std::unique_ptr<RowSource>(
+      new ParallelScanSource(session, query, scan_batch_rows, parallelism,
+                             queue_batches, std::move(plan)));
 }
 
 Result<SelectPlan> BindSelect(Session* session, const SelectAst& ast) {
@@ -944,7 +1002,6 @@ Result<AggregatePartials> ExecuteAggregatePushdown(Session* session,
                                                    const SelectPlan& select) {
   const BoundQuery& query = select.query;
   const Table* table = query.table;
-  const uint32_t partitions = table->num_partitions();
   const ReadOptions read_options = session->read_options();
   auto* counters = session->db()->scan_counters();
 
@@ -955,39 +1012,53 @@ Result<AggregatePartials> ExecuteAggregatePushdown(Session* session,
   // never touches a state store at all.
   spec.need_degradable = !query.referenced_degradable.empty();
 
-  const size_t workers = ResolveScanParallelism(session, *table);
-  std::vector<AggregatePartials> partials(partitions);
-  IDB_RETURN_IF_ERROR(ParallelFor(workers, partitions, [&](size_t p) {
-    AggregatePartials& agg = partials[p];
+  MorselScheduler sched(
+      table->MorselPlan(session->scan_options().morsel_pages),
+      MorselStatsSink{&counters->morsels_claimed, &counters->morsels_stolen,
+                      &counters->steal_failures});
+  const size_t workers =
+      std::max<size_t>(1, std::min(ResolveScanParallelism(session, *table),
+                                   sched.total()));
+  // One partial per WORKER, not per partition: a worker folds every morsel
+  // it claims — home partition or stolen — into its own accumulator, and
+  // merge associativity makes the claim order irrelevant.
+  std::vector<AggregatePartials> partials(workers);
+  auto drain = [&](size_t w) -> Status {
+    AggregatePartials& agg = partials[w];
     InitPartials(select.items.size(), &agg);
     ScanWorkspace ws;
-    ScanDeltas deltas;
     EvaluatedRow row;
-    IDB_RETURN_IF_ERROR(
-        table->partition(static_cast<uint32_t>(p))
-            ->ScanFiltered(
-                spec, &ws,
-                [&](const std::vector<RowView>& views) {
-                  for (const RowView& view : views) {
-                    if (EvaluateRow(query, read_options, view, &row,
-                                    /*stable_prefiltered=*/true)) {
-                      FoldAggregateRow(select, row, &agg);
-                    }
-                  }
-                  return Status::OK();
-                },
-                &deltas));
-    counters->batches.fetch_add(1, std::memory_order_relaxed);
-    FoldDeltas(counters, deltas);
+    std::vector<RowView> views;
+    Morsel morsel;
+    while (sched.Claim(w, &morsel)) {
+      PartitionCursor cursor = table->OpenMorselCursor(morsel);
+      bool done = false;
+      while (!done) {
+        ScanDeltas deltas;
+        IDB_RETURN_IF_ERROR(cursor.NextBatch(kMaterializedScanBatchRows, spec,
+                                             &ws, &views, &done, &deltas));
+        if (deltas.rows_scanned > 0) {
+          counters->batches.fetch_add(1, std::memory_order_relaxed);
+          FoldDeltas(counters, deltas);
+        }
+        for (const RowView& view : views) {
+          if (EvaluateRow(query, read_options, view, &row,
+                          /*stable_prefiltered=*/true)) {
+            FoldAggregateRow(select, row, &agg);
+          }
+        }
+      }
+    }
     return Status::OK();
-  }));
+  };
+  IDB_RETURN_IF_ERROR(session->db()->worker_pool()->Run(workers, workers, drain));
 
   AggregatePartials merged;
   InitPartials(select.items.size(), &merged);
   for (const AggregatePartials& partial : partials) {
     MergePartials(partial, &merged);
   }
-  counters->aggregate_partials_merged.fetch_add(partitions,
+  counters->aggregate_partials_merged.fetch_add(workers,
                                                 std::memory_order_relaxed);
   return merged;
 }

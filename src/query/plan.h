@@ -150,9 +150,11 @@ inline constexpr uint64_t kParallelScanMinRows = 8 * kStreamingScanBatchRows;
 
 /// Resolved scan fan-out: how many workers MakeRowSource would use for
 /// `table` under the session's ScanOptions. 0 resolves to
-/// min(partitions, DegradationOptions::worker_threads) — but stays 1 on
-/// tables below kParallelScanMinRows, where worker spawn would dominate.
-/// Explicit values are honored, clamped to the partition count.
+/// DegradationOptions::worker_threads — but stays 1 on tables below
+/// kParallelScanMinRows, where worker dispatch would dominate. Explicit
+/// values are honored. No partition clamp: scans parallelize at morsel
+/// (page-range) granularity, so the fan-out may exceed the partition count;
+/// each scan path clamps only to its own morsel-plan size.
 size_t ResolveScanParallelism(Session* session, const Table& table);
 
 /// Chooses the access path (index probe when a usable degradable predicate
@@ -165,12 +167,15 @@ size_t ResolveScanParallelism(Session* session, const Table& table);
 /// cursor isolation: a row relocated by a concurrent update may be missed
 /// or observed twice). With resolved parallelism 1 the scan walks the
 /// table's partitions in order, one partition latch at a time; with more,
-/// that many prefetch workers drain distinct partitions into a bounded
-/// batch queue (rows interleave across partitions in arrival order, still
-/// snapshot-per-batch). Materializing callers (Execute, DELETE, aggregates)
-/// pass SIZE_MAX: every partition is scanned atomically under its shared
-/// latch (snapshot-per-partition semantics) — on the worker pool when the
-/// resolved parallelism allows — and rows come out in partition order.
+/// that many prefetch workers claim page-range morsels from a shared
+/// work-stealing scheduler (util/morsel.h) and drain them into a bounded
+/// batch queue (rows interleave across morsels in arrival order, still
+/// snapshot-per-batch). The fan-out is clamped to the morsel-plan size, so
+/// a one-morsel table skips the queue machinery entirely and stays on the
+/// sequential source. Materializing callers (Execute, DELETE, aggregates)
+/// pass SIZE_MAX: workers drain morsels a latched batch at a time and the
+/// per-morsel results concatenate in (partition, page) order, so rows come
+/// out in sequential-scan order at any parallelism.
 Result<std::unique_ptr<RowSource>> MakeRowSource(
     Session* session, const BoundQuery& query,
     size_t scan_batch_rows = kStreamingScanBatchRows);
@@ -206,10 +211,11 @@ struct AggregatePartials {
 bool CanPushAggregate(Session* session, const SelectPlan& select);
 
 /// Aggregate pushdown: computes COUNT/SUM/AVG/MIN/MAX partials inside the
-/// scan workers — one per partition, fanned out over the resolved scan
-/// parallelism, each draining its partition under one shared-latch hold
-/// with the stable predicates pushed below row assembly — then merges the
-/// per-partition partials. Aggregate queries stop shipping qualifying rows
+/// scan workers — one partial per WORKER, each claiming page-range morsels
+/// from the shared work-stealing scheduler and folding them a latched
+/// batch at a time with the stable predicates pushed below row assembly —
+/// then merges the per-worker partials (merge is associative, so the claim
+/// order never matters). Aggregate queries stop shipping qualifying rows
 /// through a row source entirely; a query referencing no degradable column
 /// (COUNT(*) over stable predicates) also skips every state-store probe.
 /// Only valid when CanPushAggregate(session, select).

@@ -1,5 +1,6 @@
 #include "storage/heap_file.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -238,7 +239,12 @@ Status HeapFile::Scan(const std::function<bool(Rid, Slice)>& fn) const {
 
 Status HeapFile::ScanFrom(Rid start,
                           const std::function<bool(Rid, Slice)>& fn) const {
-  const PageId n = pool_->disk()->num_pages();
+  return ScanRange(start, kInvalidPageId, fn);
+}
+
+Status HeapFile::ScanRange(Rid start, PageId end_page,
+                           const std::function<bool(Rid, Slice)>& fn) const {
+  const PageId n = std::min<PageId>(end_page, pool_->disk()->num_pages());
   for (PageId p = start.page; p < n; ++p) {
     IDB_ASSIGN_OR_RETURN(PageGuard guard, pool_->FetchPage(p));
     const char* page = guard.data();

@@ -47,6 +47,12 @@ class HeapFile {
   /// order starting at `start` (inclusive). `Rid{0, 0}` scans everything.
   Status ScanFrom(Rid start, const std::function<bool(Rid, Slice)>& fn) const;
 
+  /// Page-range-bounded ScanFrom: stops before `end_page` (exclusive) — the
+  /// morsel scan primitive. `kInvalidPageId` means "to the end of the heap",
+  /// making ScanFrom the open-ended special case.
+  Status ScanRange(Rid start, PageId end_page,
+                   const std::function<bool(Rid, Slice)>& fn) const;
+
   /// Number of live records (maintained incrementally).
   uint64_t live_records() const { return live_records_; }
 

@@ -1,0 +1,99 @@
+#ifndef INSTANTDB_UTIL_WORKER_POOL_H_
+#define INSTANTDB_UTIL_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace instantdb {
+
+/// \brief Lazily-started shared worker pool: the threads scans, aggregate
+/// drains, degradation passes, checkpoints and audit sweeps borrow instead
+/// of each spawning (and joining) their own — thread create/join is tens of
+/// microseconds per worker, which used to be paid per query.
+///
+/// The pool never over-commits: TryDispatch hands out at most as many tasks
+/// as there are workers NOT currently running one (a free-worker token
+/// count), so every accepted task is picked up promptly even when other
+/// tasks block indefinitely (a streaming scan's producers parked on a full
+/// prefetch queue hold their tokens; the next dispatch simply sees fewer
+/// free workers and the caller spawns or inlines the shortfall). That
+/// no-queueing-behind-busy-work guarantee is what makes borrowing safe for
+/// both blocking fan-outs and long-lived producers without a deadlock story.
+///
+/// Threads start on first use and park on a condition variable between
+/// tasks; an idle pool costs nothing until then.
+class WorkerPool {
+ public:
+  /// `size` threads once started (at least 1).
+  explicit WorkerPool(size_t size);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t size() const { return size_; }
+
+  /// Handle for one TryDispatch: Wait() blocks until every accepted task
+  /// finished. Must be waited before the state captured by `fn` dies.
+  class Ticket {
+   public:
+    Ticket() = default;
+
+   private:
+    friend class WorkerPool;
+    struct State {
+      std::mutex mu;
+      std::condition_variable cv;
+      size_t active = 0;
+    };
+    std::shared_ptr<State> state_;
+  };
+
+  /// Borrows up to `want` currently-free pool workers and runs `fn(slot)`
+  /// on each (slot in [0, returned)). Returns how many were borrowed —
+  /// possibly 0 when the pool is saturated; the caller runs (or spawns) the
+  /// shortfall itself. Never blocks.
+  size_t TryDispatch(size_t want, std::function<void(size_t)> fn,
+                     Ticket* ticket);
+
+  /// Blocks until every task of `ticket` finished. Idempotent; a
+  /// default-constructed or already-waited ticket returns immediately.
+  void Wait(Ticket* ticket);
+
+  /// ParallelFor on the pool: runs `fn(0) .. fn(count - 1)` from an atomic
+  /// cursor with the CALLER always participating, helped by however many
+  /// pool workers are free right now (at most `workers - 1`). Progress is
+  /// therefore guaranteed even when the pool is saturated or `Run` is
+  /// called from a pool worker — it degrades to inline, never deadlocks.
+  /// Error semantics match util/parallel.h ParallelFor: the first non-OK
+  /// status is returned; the failing worker stops claiming, siblings drain.
+  Status Run(size_t workers, size_t count,
+             const std::function<Status(size_t)>& fn);
+
+ private:
+  void EnsureStartedLocked();
+  void WorkerLoop();
+
+  const size_t size_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  /// Workers not currently running a task. Decremented at dispatch time
+  /// (task count never exceeds free workers), re-incremented by the worker
+  /// when its task completes.
+  size_t free_ = 0;
+  bool started_ = false;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_UTIL_WORKER_POOL_H_
