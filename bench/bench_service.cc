@@ -1,0 +1,375 @@
+// ISSUE 10 acceptance bench: the overload-safe service layer under an
+// open-loop mixed workload at 2x the measured saturation rate.
+//
+// Four client threads drive one ServiceFrontEnd on a real SystemClock:
+// high- and normal-class point reads, a low-class aggregate scan, and a
+// normal-class batched ingest, each firing on its own open-loop arrival
+// schedule (arrivals do NOT wait for completions — the queueing delay under
+// overload lands in the measured latency, where a closed loop would hide it
+// by slowing the clients down). A background thread pumps degradation and
+// maintenance and audits deletion assurance on a fixed cadence.
+//
+// What the numbers must show at 2x saturation:
+//  - zero missed degradation deadlines: Audit().Verify() clean EVERY
+//    interval (the reserved-worker floor holds under full query load),
+//  - bounded p99 for admitted high-priority statements,
+//  - the excess load surfacing as Status::Overloaded rejects, not as an
+//    unbounded queue,
+//  - the stats invariant: admitted + rejected == submitted.
+//
+// IDB_BENCH_SMOKE=1 shortens calibration and the measured run for CI.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "db/write_batch.h"
+#include "service/service.h"
+#include "support/bench_util.h"
+#include "util/file.h"
+#include "util/histogram.h"
+
+using namespace instantdb;
+using bench::TablePrinter;
+
+namespace {
+
+Micros WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct ClientResult {
+  std::string label;
+  double target_qps = 0;
+  uint64_t issued = 0;
+  uint64_t ok = 0;
+  uint64_t overloaded = 0;
+  uint64_t timeouts = 0;
+  Histogram latency;  // microseconds, admitted-and-succeeded only
+};
+
+/// One open-loop client: fires `fn` on its arrival schedule until
+/// `deadline_wall`, never waiting for the previous call to finish its
+/// schedule slot (late arrivals fire immediately, back-to-back).
+void OpenLoopClient(double qps, Micros deadline_wall,
+                    const std::function<Status()>& fn, ClientResult* out) {
+  const double gap = 1e6 / qps;
+  double next = static_cast<double>(WallMicros());
+  while (true) {
+    const Micros now = WallMicros();
+    if (now >= deadline_wall) break;
+    if (static_cast<double>(now) < next) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(next - now)));
+      continue;
+    }
+    next += gap;
+    ++out->issued;
+    const Micros start = WallMicros();
+    const Status status = fn();
+    if (status.ok()) {
+      ++out->ok;
+      out->latency.Add(static_cast<double>(WallMicros() - start));
+    } else if (status.IsOverloaded()) {
+      ++out->overloaded;
+    } else if (status.IsTimeout()) {
+      ++out->timeouts;
+    }
+  }
+}
+
+void RunServiceBench() {
+  const bool smoke = std::getenv("IDB_BENCH_SMOKE") != nullptr;
+  const Micros kCalibrate = (smoke ? 150 : 500) * kMicrosPerMilli;
+  const Micros kMeasure = (smoke ? 1000 : 5000) * kMicrosPerMilli;
+  const Micros kPhase0 = 250 * kMicrosPerMilli;  // degradation every 250ms
+  const size_t kSeedRows = smoke ? 500 : 2000;
+
+  DbOptions base;  // SystemClock: open-loop arrivals need real time
+  base.partitions = 8;
+  base.degradation.worker_threads = 4;
+  base.wal.segment_bytes = 64 * 1024;
+  // Real-time audit slack per the DeletionAuditor guidance: one degradation
+  // pass latency plus one checkpoint interval. Under 2x overload a pass —
+  // including its WAL-contended checkpoint — was measured at up to ~300ms
+  // on a single-core host, and the pump checkpoints every 100ms; 500ms
+  // covers both with margin. Anything still accurate past that is a real
+  // missed deadline, not scheduler noise.
+  base.maintenance.audit_grace = 500 * kMicrosPerMilli;
+  // Checkpoint cadence floor matched to the 250ms phase-0 deadline: the
+  // default 1s floor would leave live segments holding overdue payloads
+  // for most of the measure window (the adaptive pull only moves cadence
+  // points for deadlines still in the future).
+  base.maintenance.checkpoint_interval = 100 * kMicrosPerMilli;
+  const std::string path = "/tmp/idb_bench_service";
+  RemoveDirRecursive(path).ok();
+  base.path = path;
+  auto opened = Database::Open(base);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return;
+  }
+  std::unique_ptr<Database> db = std::move(*opened);
+
+  auto lcp = AttributeLcp::Make({{0, kPhase0}, {1, kForever}});
+  auto workload = bench::MakePingWorkload(*lcp, 4);
+  db->CreateTable("pings", workload.schema).ok();
+  for (size_t i = 0; i < kSeedRows; ++i) {
+    db->Insert("pings",
+               {Value::String(StringPrintf("u%zu", i)),
+                Value::String(workload.addresses[i % workload.addresses.size()])})
+        .status()
+        .ok();
+  }
+
+  ServiceOptions service_opts;
+  service_opts.max_concurrent = 4;
+  service_opts.queue_depth = 4;  // small: excess load must reject, not queue
+  service_opts.reserved_degradation_workers = 1;
+  ServiceFrontEnd service(db.get(), service_opts);
+
+  // --- calibration: closed-loop point reads => saturation estimate -----------
+  Session calibration_session(db.get());
+  uint64_t calibration_ops = 0;
+  {
+    const Micros end = WallMicros() + kCalibrate;
+    while (WallMicros() < end) {
+      const std::string sql =
+          StringPrintf("SELECT user FROM pings WHERE user = 'u%llu'",
+                       static_cast<unsigned long long>(calibration_ops % kSeedRows));
+      service.Execute(&calibration_session, sql, ServiceClass::kNormal)
+          .status()
+          .ok();
+      ++calibration_ops;
+    }
+  }
+  const double saturation_qps =
+      static_cast<double>(calibration_ops) * 1e6 / static_cast<double>(kCalibrate);
+  const double target_qps = 2.0 * saturation_qps;  // the overload point
+
+  // --- measured open-loop run at 2x saturation -------------------------------
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> audit_intervals{0}, audit_clean{0}, values_moved{0};
+  std::mutex dirty_mu;
+  std::string last_dirty;  // breakdown of the most recent failed audit
+  std::thread background([&] {
+    // Degradation + maintenance pump and the deletion-assurance monitor:
+    // RunDue's priority dispatch takes the reserved pool token the clients
+    // can never see, so this loop holds its deadlines at full query load.
+    // Degradation runs on a tight cadence; the heavier checkpoint (which
+    // retires WAL segments and contends with ingest group commit) only on
+    // the audit cadence, immediately before each verification.
+    Micros next_audit = WallMicros() + 100 * kMicrosPerMilli;
+    while (!stop.load(std::memory_order_acquire)) {
+      auto moved = db->RunDegradationOnce();
+      if (moved.ok()) values_moved.fetch_add(*moved);
+      if (WallMicros() >= next_audit) {
+        next_audit += 100 * kMicrosPerMilli;
+        db->maintenance()->RunOnce(db->clock()->NowMicros()).ok();
+        audit_intervals.fetch_add(1);
+        const Status verdict = db->Audit().Verify();
+        if (verdict.ok()) {
+          audit_clean.fetch_add(1);
+        } else {
+          std::lock_guard<std::mutex> lock(dirty_mu);
+          last_dirty = verdict.ToString();
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // Statements execute on the submitting thread, so one open-loop client
+  // degrades to a closed loop once latency exceeds its arrival gap. Fan
+  // each read class out over enough threads that the offered concurrency
+  // exceeds max_concurrent + queue_depth — the 2x excess then lands in the
+  // admission queues and, past their depth, in Overloaded rejects.
+  const size_t kReadersPerClass = 6;
+  const Micros deadline_wall = WallMicros() + kMeasure;
+  std::vector<ClientResult> high_readers(kReadersPerClass);
+  std::vector<ClientResult> normal_readers(kReadersPerClass);
+  ClientResult low_result, ingest_result;
+
+  std::vector<std::thread> clients;
+  std::atomic<uint64_t> read_seq{0};
+  auto spawn_reader = [&](ServiceClass cls, double qps, ClientResult* out) {
+    clients.emplace_back([&, cls, qps, out] {
+      Session session(db.get());
+      OpenLoopClient(
+          qps, deadline_wall,
+          [&]() -> Status {
+            const uint64_t n = read_seq.fetch_add(1) % kSeedRows;
+            return service
+                .Execute(&session,
+                         StringPrintf("SELECT user FROM pings WHERE user = 'u%llu'",
+                                      static_cast<unsigned long long>(n)),
+                         cls, nullptr,
+                         db->clock()->NowMicros() + 100 * kMicrosPerMilli)
+                .status();
+          },
+          out);
+    });
+  };
+  // The read share carries the overload; ingest and the analytics scan run
+  // at modest fixed rates so the mix stays mixed at every target.
+  const double per_reader_qps =
+      target_qps * 0.5 / static_cast<double>(kReadersPerClass);
+  for (size_t i = 0; i < kReadersPerClass; ++i) {
+    spawn_reader(ServiceClass::kHigh, per_reader_qps, &high_readers[i]);
+    spawn_reader(ServiceClass::kNormal, per_reader_qps, &normal_readers[i]);
+  }
+  clients.emplace_back([&] {
+    Session session(db.get());
+    OpenLoopClient(
+        20, deadline_wall,
+        [&]() -> Status {
+          return service
+              .Execute(&session, "SELECT COUNT(*) FROM pings",
+                       ServiceClass::kLow, nullptr,
+                       db->clock()->NowMicros() + 200 * kMicrosPerMilli)
+              .status();
+        },
+        &low_result);
+  });
+  clients.emplace_back([&] {
+    Session session(db.get());
+    uint64_t batch_seq = 0;
+    OpenLoopClient(
+        50, deadline_wall,
+        [&]() -> Status {
+          return service.Run(
+              &session, ServiceClass::kNormal, /*is_write=*/true,
+              [&](Session*) {
+                WriteBatch batch;
+                for (int i = 0; i < 16; ++i) {
+                  batch.Insert(
+                      "pings",
+                      {Value::String(StringPrintf("w%llu",
+                                                  static_cast<unsigned long long>(
+                                                      batch_seq * 16 + i))),
+                       Value::String(
+                           workload.addresses[batch_seq % workload.addresses.size()])});
+                }
+                ++batch_seq;
+                return db->Write(&batch);
+              });
+        },
+        &ingest_result);
+  });
+  for (auto& t : clients) t.join();
+  stop.store(true, std::memory_order_release);
+  background.join();
+
+  auto merge = [](const std::vector<ClientResult>& parts, std::string label,
+                  double target) {
+    ClientResult sum;
+    sum.label = std::move(label);
+    sum.target_qps = target;
+    for (const ClientResult& p : parts) {
+      sum.issued += p.issued;
+      sum.ok += p.ok;
+      sum.overloaded += p.overloaded;
+      sum.timeouts += p.timeouts;
+      sum.latency.Merge(p.latency);
+    }
+    return sum;
+  };
+  low_result.label = "low aggregate";
+  low_result.target_qps = 20;
+  ingest_result.label = "normal ingest x16";
+  ingest_result.target_qps = 50;
+  const std::vector<ClientResult> results = {
+      merge(high_readers, "high point-read", target_qps * 0.5),
+      merge(normal_readers, "normal point-read", target_qps * 0.5),
+      low_result, ingest_result};
+
+  // --- report ----------------------------------------------------------------
+  const Database::ServiceStats stats = db->stats().service;
+  TablePrinter table({"class", "target qps", "issued", "ok", "overloaded",
+                      "timeout", "p50 us", "p99 us", "p999 us"});
+  for (const ClientResult& r : results) {
+    table.AddRow({r.label, StringPrintf("%.0f", r.target_qps),
+                  std::to_string(r.issued), std::to_string(r.ok),
+                  std::to_string(r.overloaded), std::to_string(r.timeouts),
+                  StringPrintf("%.0f", r.latency.Percentile(50)),
+                  StringPrintf("%.0f", r.latency.Percentile(99)),
+                  StringPrintf("%.0f", r.latency.Percentile(99.9))});
+    const double secs = static_cast<double>(kMeasure) / 1e6;
+    bench::JsonEmitter::Instance().AddSeries(
+        "service." + r.label, static_cast<double>(r.ok) / secs, r.latency);
+  }
+  table.Print(StringPrintf(
+      "Service layer at 2x saturation (closed-loop calibration %.0f qps; "
+      "open-loop mixed workload, %s run)",
+      saturation_qps, smoke ? "smoke" : "full"));
+
+  const bool invariant_holds =
+      stats.admitted + stats.rejected_overload + stats.rejected_shutdown +
+          stats.rejected_deadline ==
+      stats.submitted;
+  std::printf(
+      "\nadmission: submitted=%llu admitted=%llu overloaded=%llu "
+      "deadline=%llu timeouts=%llu max_queue_depth=%llu (invariant %s)\n"
+      "degradation under load: values_moved=%llu reserved_dispatches=%llu\n"
+      "deletion assurance: %llu/%llu audit intervals clean%s\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.rejected_overload),
+      static_cast<unsigned long long>(stats.rejected_deadline),
+      static_cast<unsigned long long>(stats.timeouts),
+      static_cast<unsigned long long>(stats.max_queue_depth),
+      invariant_holds ? "holds" : "VIOLATED",
+      static_cast<unsigned long long>(values_moved.load()),
+      static_cast<unsigned long long>(stats.degradation_reserved_dispatches),
+      static_cast<unsigned long long>(audit_clean.load()),
+      static_cast<unsigned long long>(audit_intervals.load()),
+      audit_clean.load() == audit_intervals.load()
+          ? ""
+          : "  <-- MISSED DEGRADATION DEADLINES");
+  if (!last_dirty.empty()) {
+    std::printf("last dirty audit: %s\n", last_dirty.c_str());
+  }
+  const auto& maint = db->stats().maintenance;
+  const auto wal_stats = db->wal()->stats();
+  std::printf(
+      "log hygiene: checkpoints=%llu skipped_clean=%llu forced=%llu "
+      "adaptive_pulls=%llu segments_created=%llu segments_retired=%llu\n",
+      static_cast<unsigned long long>(maint.checkpoints),
+      static_cast<unsigned long long>(maint.checkpoints_skipped_clean),
+      static_cast<unsigned long long>(maint.forced_checkpoints),
+      static_cast<unsigned long long>(maint.adaptive_checkpoint_pulls),
+      static_cast<unsigned long long>(wal_stats.segments_created),
+      static_cast<unsigned long long>(wal_stats.segments_retired));
+
+  bench::JsonEmitter::Instance().AddScalar("service.saturation_qps",
+                                           saturation_qps);
+  bench::JsonEmitter::Instance().AddScalar(
+      "service.rejected_overload", static_cast<double>(stats.rejected_overload));
+  bench::JsonEmitter::Instance().AddScalar(
+      "service.audit_intervals", static_cast<double>(audit_intervals.load()));
+  bench::JsonEmitter::Instance().AddScalar(
+      "service.audit_clean", static_cast<double>(audit_clean.load()));
+  bench::JsonEmitter::Instance().AddScalar(
+      "service.reserved_dispatches",
+      static_cast<double>(stats.degradation_reserved_dispatches));
+  bench::JsonEmitter::Instance().AddScalar("service.invariant_holds",
+                                           invariant_holds ? 1 : 0);
+
+  db->Close().ok();
+  db.reset();
+  RemoveDirRecursive(path).ok();
+}
+
+}  // namespace
+
+int main() {
+  RunServiceBench();
+  return 0;
+}

@@ -27,7 +27,7 @@ run_plain() {
 # fault-injection suite — injected I/O errors exercise the rarely-taken
 # unwind paths where use-after-free and lock bugs hide. The rest of the
 # suite is single-threaded and adds only build time.
-SANITIZE_TESTS="concurrency_stress_test|parallel_scan_test|pushdown_test|partition_test|degradation_engine_test|write_batch_test|wal_stream_test|checkpoint_fuzzy_test|maintenance_test|fault_injection_test|morsel_test"
+SANITIZE_TESTS="concurrency_stress_test|parallel_scan_test|pushdown_test|partition_test|degradation_engine_test|write_batch_test|wal_stream_test|checkpoint_fuzzy_test|maintenance_test|fault_injection_test|morsel_test|service_test"
 
 run_sanitized() {
   local kind="$1"

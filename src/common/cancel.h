@@ -1,0 +1,54 @@
+#ifndef INSTANTDB_COMMON_CANCEL_H_
+#define INSTANTDB_COMMON_CANCEL_H_
+
+#include <atomic>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace instantdb {
+
+/// \brief Per-statement cooperative cancellation flag.
+///
+/// Generalizes the atomic the streaming cursor already polled on Close into
+/// a first-class handle any owner (the service front end, an embedder's
+/// request handler, a test) can trip from another thread. The scan paths
+/// poll it at morsel-claim and batch granularity — the same points they
+/// check the statement deadline — so a cancelled statement stops within one
+/// batch without ever interrupting a partition latch mid-hold.
+///
+/// Lifetime: the token must outlive every statement it is wired into
+/// (ScanOptions::cancel is a raw pointer). Reset() lets a caller reuse one
+/// token across sequential statements; never reset while a statement using
+/// it is still running.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// The per-batch statement-budget probe shared by every scan path: Aborted
+/// when the statement's CancelToken tripped, Timeout when its absolute
+/// deadline (0 = none) passed on `clock`, OK otherwise. Cancellation is
+/// checked first — a cancelled statement should report the cancel even when
+/// its deadline also lapsed while it was parked.
+inline Status CheckStatementBudget(const Clock* clock, Micros deadline,
+                                   const CancelToken* cancel) {
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Aborted("statement cancelled");
+  }
+  if (deadline != 0 && clock != nullptr && clock->NowMicros() >= deadline) {
+    return Status::Timeout("statement deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_COMMON_CANCEL_H_

@@ -8,6 +8,8 @@
 
 namespace instantdb {
 
+class CancelToken;
+
 /// How the WAL prevents accurate values from surviving in log files past
 /// their degradation deadline (DESIGN.md §3, experiment B5).
 enum class WalPrivacyMode {
@@ -139,10 +141,69 @@ struct ScanOptions {
   /// workers. On by default; off restores full RowView assembly before σ —
   /// the reference path the pushdown equivalence tests compare against.
   bool pushdown = true;
+  /// Absolute statement deadline on the database's clock (0 = none). Every
+  /// scan path checks it at morsel-claim and batch granularity and returns
+  /// Status::Timeout — partial-safe: workers stop claiming, release their
+  /// pool tokens, and the statement fails like any other error. The service
+  /// front end sets it per statement from ServiceOptions::default_deadline
+  /// (or a per-call override); embedders may set it directly.
+  Micros deadline = 0;
+  /// Cooperative cancellation handle (common/cancel.h), polled at the same
+  /// granularity as `deadline`; a tripped token fails the statement with
+  /// Status::Aborted. Not owned; must outlive the statement. nullptr = not
+  /// cancellable.
+  const CancelToken* cancel = nullptr;
 };
 
 struct WriteOptions {
   bool sync = false;
+};
+
+/// Priority class of one service-layer statement. The paper's purpose model
+/// meets QoS here: a deployment maps purposes to classes (an interactive
+/// GEO lookup is kHigh, a marketing export kLow), and admission drains
+/// queues weighted by class while backpressure sheds the low classes first.
+enum class ServiceClass : uint8_t { kHigh = 0, kNormal = 1, kLow = 2 };
+inline constexpr size_t kNumServiceClasses = 3;
+
+/// Configuration of the overload-safe service front end
+/// (service/service.h): admission control, per-class weighted queueing,
+/// backpressure shedding, statement deadlines, and the degradation priority
+/// floor.
+struct ServiceOptions {
+  /// Statements executing concurrently across all sessions. Beyond it new
+  /// arrivals queue (per class, up to `queue_depth`) and then reject with
+  /// Status::Overloaded — latency stays bounded instead of collapsing.
+  size_t max_concurrent = 8;
+  /// Queued-but-unadmitted statements tolerated PER CLASS before arrivals
+  /// of that class reject with Status::Overloaded.
+  size_t queue_depth = 16;
+  /// Weighted fair queueing across classes, indexed by ServiceClass: a
+  /// class's share of admissions under contention is proportional to its
+  /// weight (must be > 0).
+  double per_class_weights[kNumServiceClasses] = {4.0, 2.0, 1.0};
+  /// Worker-pool tokens reserved for the degradation engine's priority
+  /// dispatches (WorkerPool::SetReserved): normal borrowers (scans,
+  /// aggregates, checkpoints) never take the last N free workers, so
+  /// overdue privacy steps fan out even at 100% query load — the paper's
+  /// timeliness guarantee must not bend to foreground pressure. Clamped to
+  /// the pool size.
+  size_t reserved_degradation_workers = 1;
+  /// Default statement deadline, relative to admission (0 = none). A
+  /// statement past it returns Status::Timeout — while queued or at the
+  /// scan paths' morsel/batch checks once running.
+  Micros default_deadline = 0;
+  /// Backpressure thresholds. WAL pressure: committers parked on
+  /// group-commit sync watermarks (WalManager::SyncWaiters) at or above
+  /// this count.
+  size_t wal_waiters_high = 4;
+  /// Degradation pressure: overdue (table, partition) units
+  /// (DegradationEngine::OverdueUnits) at or above this count.
+  size_t degradation_backlog_high = 1;
+  /// How long one PressureState sample stays cached before admission
+  /// resamples the signals (OverdueUnits walks table partitions — not free
+  /// per admission). 0 = resample every admission (deterministic tests).
+  Micros pressure_refresh = 10 * kMicrosPerMilli;
 };
 
 /// Configuration of the self-driving maintenance daemon (maintain/

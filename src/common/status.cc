@@ -24,6 +24,12 @@ const char* CodeName(Status::Code code) {
       return "Aborted";
     case Status::Code::kExpired:
       return "Expired";
+    case Status::Code::kOverloaded:
+      return "Overloaded";
+    case Status::Code::kTimeout:
+      return "Timeout";
+    case Status::Code::kShutdown:
+      return "Shutdown";
   }
   return "Unknown";
 }

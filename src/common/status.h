@@ -27,6 +27,19 @@ class Status {
     /// The data demanded by the query has degraded past the requested
     /// accuracy level and is no longer computable.
     kExpired = 8,
+    /// Admission control shed the request: the service's per-class queue is
+    /// full or a backpressure signal asked for load to be dropped. Retry
+    /// later (ideally with jittered backoff) — nothing was executed.
+    kOverloaded = 9,
+    /// A statement deadline expired (queued or mid-execution). Partial-safe:
+    /// the statement's effects, if any, are those of a normally-failed
+    /// statement — scans stop at batch granularity and release their
+    /// workers.
+    kTimeout = 10,
+    /// The database is closing: queued-but-unadmitted statements drain with
+    /// this instead of executing (Database::Close must never hang behind a
+    /// full admission queue).
+    kShutdown = 11,
   };
 
   Status() = default;
@@ -56,6 +69,15 @@ class Status {
   static Status Expired(std::string_view msg = {}) {
     return Status(Code::kExpired, msg);
   }
+  static Status Overloaded(std::string_view msg = {}) {
+    return Status(Code::kOverloaded, msg);
+  }
+  static Status Timeout(std::string_view msg = {}) {
+    return Status(Code::kTimeout, msg);
+  }
+  static Status Shutdown(std::string_view msg = {}) {
+    return Status(Code::kShutdown, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -66,6 +88,9 @@ class Status {
   bool IsBusy() const { return code_ == Code::kBusy; }
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsExpired() const { return code_ == Code::kExpired; }
+  bool IsOverloaded() const { return code_ == Code::kOverloaded; }
+  bool IsTimeout() const { return code_ == Code::kTimeout; }
+  bool IsShutdown() const { return code_ == Code::kShutdown; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -382,6 +382,24 @@ Database::Stats Database::stats() const {
   stats.checkpoint_partitions_clean =
       checkpoint_partitions_clean_.load(std::memory_order_relaxed);
   if (maintenance_ != nullptr) stats.maintenance = maintenance_->stats();
+  stats.service.submitted =
+      service_counters_.submitted.load(std::memory_order_relaxed);
+  stats.service.admitted =
+      service_counters_.admitted.load(std::memory_order_relaxed);
+  stats.service.queued = service_counters_.queued.load(std::memory_order_relaxed);
+  stats.service.rejected_overload =
+      service_counters_.rejected_overload.load(std::memory_order_relaxed);
+  stats.service.rejected_shutdown =
+      service_counters_.rejected_shutdown.load(std::memory_order_relaxed);
+  stats.service.rejected_deadline =
+      service_counters_.rejected_deadline.load(std::memory_order_relaxed);
+  stats.service.timeouts =
+      service_counters_.timeouts.load(std::memory_order_relaxed);
+  stats.service.cancelled =
+      service_counters_.cancelled.load(std::memory_order_relaxed);
+  stats.service.max_queue_depth =
+      service_counters_.max_queue_depth.load(std::memory_order_relaxed);
+  stats.service.degradation_reserved_dispatches = worker_pool_.reserved_grants();
   const IoCounters io = env_->io_counters();
   stats.io.writes = io.writes;
   stats.io.syncs = io.syncs;
@@ -413,10 +431,18 @@ Result<size_t> Database::RunDegradationOnce() {
 Status Database::Close() {
   if (closed_) return Status::OK();
   closed_ = true;
-  // Shutdown order contract (see the header): the maintenance daemon stops
-  // FIRST so no new background checkpoint or audit can start while the
+  // Shutdown order contract (see the header): the service front end drains
+  // FIRST — queued statements reject with Shutdown, in-flight ones finish —
+  // so nothing new reaches the engine below; then the maintenance daemon
+  // stops so no new background checkpoint or audit can start while the
   // engine drains; then the degrader's thread; then a bounded quiesce for
   // any still-in-flight caller-pumped pass; only then the final checkpoint.
+  std::function<void()> pre_close;
+  {
+    std::lock_guard<std::mutex> lock(pre_close_mu_);
+    pre_close = pre_close_hook_;
+  }
+  if (pre_close) pre_close();
   if (maintenance_ != nullptr) maintenance_->Stop();
   degrader_->Stop();
   if (!degrader_->Quiesce(options_.maintenance.close_quiesce_timeout)) {

@@ -3,8 +3,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -221,6 +223,35 @@ class Database {
     std::string first_error;
   };
 
+  /// Service front end accounting (service/service.h; zeros when none is
+  /// attached). Every submission ends in exactly one terminal bucket, so
+  /// admitted + rejected_overload + rejected_shutdown + rejected_deadline
+  /// == submitted always (asserted in tests). `timeouts` is orthogonal: it
+  /// counts every Status::Timeout returned — queue-expired (also in
+  /// rejected_deadline) and mid-execution (also in admitted).
+  struct ServiceStats {
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    /// Submissions that had to park in an admission queue first (a subset
+    /// of whatever terminal bucket they reached).
+    uint64_t queued = 0;
+    /// Shed with Status::Overloaded: class queue full, or a backpressure
+    /// signal dropped the (class, read/write) combination.
+    uint64_t rejected_overload = 0;
+    /// Drained with Status::Shutdown by Database::Close.
+    uint64_t rejected_shutdown = 0;
+    /// Deadline expired before admission (at submission or while queued).
+    uint64_t rejected_deadline = 0;
+    uint64_t timeouts = 0;
+    /// Statements that returned Aborted with their CancelToken tripped.
+    uint64_t cancelled = 0;
+    /// High-water mark of queued-but-unadmitted statements across classes.
+    uint64_t max_queue_depth = 0;
+    /// Degradation dispatches that dipped into the worker-pool reserve
+    /// (WorkerPool::reserved_grants) — proof the priority floor engaged.
+    uint64_t degradation_reserved_dispatches = 0;
+  };
+
   /// One-stop engine counters, so benches and tests read the engine's
   /// behavior (sync absorption, scan fan-out efficiency, checkpoint
   /// dirty-skipping) instead of inferring it from file I/O or timing.
@@ -245,6 +276,8 @@ class Database {
     /// Maintenance daemon: cadence checkpoints run/skipped/forced, audits
     /// run/failed, rows swept, worst attack window seen.
     MaintenanceDaemon::Stats maintenance;
+    /// Service front end: admission/shedding/deadline accounting.
+    ServiceStats service;
   };
   Stats stats() const;
 
@@ -263,6 +296,34 @@ class Database {
     std::atomic<uint64_t> steal_failures{0};
   };
   ScanCounters* scan_counters() const { return &scan_counters_; }
+
+  /// Live service-layer counters a ServiceFrontEnd increments (atomics —
+  /// admissions race across sessions; read the snapshot via stats()).
+  /// Database-owned so stats().service works, as zeros, with no front end
+  /// attached.
+  struct ServiceCounters {
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> queued{0};
+    std::atomic<uint64_t> rejected_overload{0};
+    std::atomic<uint64_t> rejected_shutdown{0};
+    std::atomic<uint64_t> rejected_deadline{0};
+    std::atomic<uint64_t> timeouts{0};
+    std::atomic<uint64_t> cancelled{0};
+    std::atomic<uint64_t> max_queue_depth{0};
+  };
+  ServiceCounters* service_counters() const { return &service_counters_; }
+
+  /// Registers a hook Close() invokes FIRST — before the maintenance
+  /// daemon and degrader stop — so an attached service front end can drain
+  /// its queued-but-unadmitted statements with Status::Shutdown and wait
+  /// out in-flight ones instead of letting the quiesce timeout eat them.
+  /// nullptr clears. One hook at a time (the attaching component owns it
+  /// and must clear it before dying).
+  void set_pre_close_hook(std::function<void()> hook) {
+    std::lock_guard<std::mutex> lock(pre_close_mu_);
+    pre_close_hook_ = std::move(hook);
+  }
 
   /// The shared lazily-started worker pool (util/worker_pool.h), sized by
   /// DegradationOptions::worker_threads: scans, aggregate drains,
@@ -315,6 +376,13 @@ class Database {
   /// Read-path counters (exposed via Stats::scan); atomics because scan
   /// workers and concurrent sessions bump them in parallel.
   mutable ScanCounters scan_counters_;
+  /// Service-layer counters (exposed via Stats::service); atomics because
+  /// concurrent submissions bump them from caller threads.
+  mutable ServiceCounters service_counters_;
+  /// Close() drains the attached service front end through this before
+  /// stopping anything else; guarded so attach/detach can race Close.
+  std::mutex pre_close_mu_;
+  std::function<void()> pre_close_hook_;
   /// Shared worker pool; threads start on first use and park between
   /// borrows. Mutable: read paths (const) borrow workers too.
   mutable WorkerPool worker_pool_{

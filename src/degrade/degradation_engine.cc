@@ -65,6 +65,17 @@ void DegradationEngine::TEST_FaultSkipPartition(TableId table,
   }
 }
 
+size_t DegradationEngine::OverdueUnits(Micros now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t overdue = 0;
+  for (const auto& [id, table] : tables_) {
+    for (uint32_t p = 0; p < table->num_partitions(); ++p) {
+      if (table->PartitionHasWorkAt(p, now)) ++overdue;
+    }
+  }
+  return overdue;
+}
+
 Micros DegradationEngine::NextDeadline() const {
   std::lock_guard<std::mutex> lock(mu_);
   Micros next = kForever;
@@ -178,9 +189,14 @@ Result<size_t> DegradationEngine::RunDue(Micros now) {
       drain();
     } else if (pool_ != nullptr) {
       // Borrow helpers from the shared pool (never blocks; a busy pool just
-      // yields fewer helpers) and drain alongside them.
+      // yields fewer helpers) and drain alongside them. Priority dispatch:
+      // the pool's reserved tokens (WorkerPool::SetReserved, sized by
+      // ServiceOptions::reserved_degradation_workers) are visible only
+      // here, so overdue privacy steps fan out even when foreground scans
+      // hold every normal token — the degradation priority floor.
       WorkerPool::Ticket ticket;
-      pool_->TryDispatch(workers - 1, [&](size_t) { drain(); }, &ticket);
+      pool_->TryDispatch(workers - 1, [&](size_t) { drain(); }, &ticket,
+                         /*priority=*/true);
       drain();
       pool_->Wait(&ticket);
     } else {

@@ -71,6 +71,13 @@ class DegradationEngine {
   /// Earliest pending deadline over all tables (kForever when idle).
   Micros NextDeadline() const;
 
+  /// Degradation backlog: (table, partition) units with overdue work at
+  /// `now` — the same test RunDue schedules by. Non-zero means the engine
+  /// is behind its deadlines; the service front end reads it as a
+  /// backpressure signal (PressureState) and starts shedding foreground
+  /// load so the floor holds. Walks every partition; callers cache it.
+  size_t OverdueUnits(Micros now) const;
+
   /// Audit-driven repair: marks one (table, partition) unit as urgent. The
   /// next RunDue pass (the background coordinator is woken immediately)
   /// schedules urgent units at the FRONT of its first round, ahead of the

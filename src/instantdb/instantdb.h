@@ -51,5 +51,6 @@
 #include "query/cursor.h"
 #include "query/prepared_statement.h"
 #include "query/session.h"
+#include "service/service.h"
 
 #endif  // INSTANTDB_INSTANTDB_H_

@@ -8,6 +8,7 @@
 #include <deque>
 #include <mutex>
 
+#include "common/cancel.h"
 #include "common/strings.h"
 #include "query/predicate.h"
 #include "util/morsel.h"
@@ -23,6 +24,27 @@ namespace {
 /// pushdown) morsel drains: large enough that latch reacquisition is noise,
 /// small enough that a batch never holds a partition latch for long.
 constexpr size_t kMaterializedScanBatchRows = 1024;
+
+/// Statement budget captured when a source opens: every scan path probes
+/// the deadline and the CancelToken (ScanOptions) at morsel-claim and batch
+/// granularity, so a doomed statement stops within one batch, releases its
+/// workers (pool tokens are waited out by the normal error paths), and
+/// fails partial-safe with Timeout/Aborted.
+struct ScanBudget {
+  const Clock* clock = nullptr;
+  Micros deadline = 0;
+  const CancelToken* cancel = nullptr;
+
+  static ScanBudget Of(Session* session) {
+    return ScanBudget{session->db()->clock(),
+                      session->scan_options().deadline,
+                      session->scan_options().cancel};
+  }
+  Status Check() const {
+    if (deadline == 0 && cancel == nullptr) return Status::OK();
+    return CheckStatementBudget(clock, deadline, cancel);
+  }
+};
 
 /// Folds one scan's ScanDeltas into the database's atomic counters — once
 /// per batch, outside any partition latch.
@@ -253,6 +275,7 @@ class HeapScanSource : public RowSource {
   HeapScanSource(Session* session, const BoundQuery& query, size_t batch_rows)
       : read_options_(session->read_options()),
         counters_(session->db()->scan_counters()),
+        budget_(ScanBudget::Of(session)),
         query_(query),
         batch_rows_(batch_rows),
         pushdown_(session->scan_options().pushdown),
@@ -267,6 +290,7 @@ class HeapScanSource : public RowSource {
     // may be fully filtered by σ) or the scan ends.
     while (out->size == 0) {
       if (done_) return false;
+      IDB_RETURN_IF_ERROR(budget_.Check());
       if (pushdown_) {
         IDB_RETURN_IF_ERROR(PullPushdownBatch());
       } else {
@@ -316,6 +340,7 @@ class HeapScanSource : public RowSource {
 
   const ReadOptions read_options_;
   Database::ScanCounters* const counters_;
+  const ScanBudget budget_;
   const BoundQuery& query_;
   const size_t batch_rows_;
   const bool pushdown_;
@@ -354,6 +379,7 @@ class ParallelScanSource : public RowSource {
                      std::vector<std::vector<Morsel>> plan)
       : read_options_(session->read_options()),
         counters_(session->db()->scan_counters()),
+        budget_(ScanBudget::Of(session)),
         pool_(session->db()->worker_pool()),
         query_(query),
         batch_rows_(batch_rows),
@@ -395,6 +421,11 @@ class ParallelScanSource : public RowSource {
     bool stalled = false;
     while (true) {
       if (!error_.ok()) return error_;
+      // Consumer-side budget probe, ahead of the queue: once the deadline
+      // passes (or the token trips) the cursor reports it on the very next
+      // pull, even when scanned batches are still buffered — a doomed
+      // statement must not keep streaming stale work.
+      IDB_RETURN_IF_ERROR(budget_.Check());
       if (!queue_.empty()) {
         out->Clear();
         out->Swap(&queue_.front());
@@ -429,6 +460,11 @@ class ParallelScanSource : public RowSource {
     Status status;
     Morsel morsel;
     for (;;) {
+      // Morsel-claim budget check: a producer whose statement timed out or
+      // was cancelled stops claiming; the error wakes the consumer and the
+      // destructor's join/Wait releases every borrowed pool token.
+      status = budget_.Check();
+      if (!status.ok()) break;
       if (!sched_.Claim(worker, &morsel)) break;
       PartitionCursor cursor = query_.table->OpenMorselCursor(morsel);
       bool done = false;
@@ -436,6 +472,8 @@ class ParallelScanSource : public RowSource {
         // An early Close (cursor dropped mid-stream) must not keep workers
         // scanning the rest of the table before the destructor can join.
         if (closed_.load(std::memory_order_relaxed)) return;
+        status = budget_.Check();
+        if (!status.ok()) break;
         if (pushdown_) {
           ScanDeltas deltas;
           status =
@@ -485,6 +523,7 @@ class ParallelScanSource : public RowSource {
 
   const ReadOptions read_options_;
   Database::ScanCounters* const counters_;
+  const ScanBudget budget_;
   WorkerPool* const pool_;
   const BoundQuery& query_;
   const size_t batch_rows_;
@@ -558,6 +597,7 @@ class SnapshotScanSource : public RowSource {
     // One bucket per morsel, concatenated in ordinal order below: ordinals
     // are assigned in (partition, begin_page) order, so the merged output
     // is the sequential scan's order no matter which worker drained what.
+    const ScanBudget budget = ScanBudget::Of(session_);
     std::vector<std::vector<EvaluatedRow>> per_morsel(sched.total());
     auto drain = [&](size_t w) -> Status {
       Morsel morsel;
@@ -565,10 +605,12 @@ class SnapshotScanSource : public RowSource {
       EvaluatedRow row;
       std::vector<RowView> views;
       while (sched.Claim(w, &morsel)) {
+        IDB_RETURN_IF_ERROR(budget.Check());
         std::vector<EvaluatedRow>& bucket = per_morsel[morsel.ordinal];
         PartitionCursor cursor = table->OpenMorselCursor(morsel);
         bool done = false;
         while (!done) {
+          IDB_RETURN_IF_ERROR(budget.Check());
           if (pushdown_) {
             // Stable predicates run on the decoded tuples and stores are
             // probed only for the survivors, exactly as on the streaming
@@ -633,6 +675,7 @@ class IndexScanSource : public RowSource {
                   std::vector<RowId> rids, size_t batch_rows)
       : read_options_(session->read_options()),
         counters_(session->db()->scan_counters()),
+        budget_(ScanBudget::Of(session)),
         query_(query),
         rids_(std::move(rids)),
         batch_rows_(std::max<size_t>(batch_rows, 1)) {}
@@ -640,6 +683,7 @@ class IndexScanSource : public RowSource {
   Result<bool> NextBatch(EvaluatedBatch* out) override {
     out->Clear();
     while (out->size == 0 && next_ < rids_.size()) {
+      IDB_RETURN_IF_ERROR(budget_.Check());
       uint64_t fetched = 0;
       while (next_ < rids_.size() && out->size < batch_rows_) {
         IDB_ASSIGN_OR_RETURN(auto view, query_.table->GetRow(rids_[next_++]));
@@ -657,6 +701,7 @@ class IndexScanSource : public RowSource {
  private:
   const ReadOptions read_options_;
   Database::ScanCounters* const counters_;
+  const ScanBudget budget_;
   const BoundQuery& query_;
   std::vector<RowId> rids_;
   const size_t batch_rows_;
@@ -1022,6 +1067,7 @@ Result<AggregatePartials> ExecuteAggregatePushdown(Session* session,
   // One partial per WORKER, not per partition: a worker folds every morsel
   // it claims — home partition or stolen — into its own accumulator, and
   // merge associativity makes the claim order irrelevant.
+  const ScanBudget budget = ScanBudget::Of(session);
   std::vector<AggregatePartials> partials(workers);
   auto drain = [&](size_t w) -> Status {
     AggregatePartials& agg = partials[w];
@@ -1031,9 +1077,11 @@ Result<AggregatePartials> ExecuteAggregatePushdown(Session* session,
     std::vector<RowView> views;
     Morsel morsel;
     while (sched.Claim(w, &morsel)) {
+      IDB_RETURN_IF_ERROR(budget.Check());
       PartitionCursor cursor = table->OpenMorselCursor(morsel);
       bool done = false;
       while (!done) {
+        IDB_RETURN_IF_ERROR(budget.Check());
         ScanDeltas deltas;
         IDB_RETURN_IF_ERROR(cursor.NextBatch(kMaterializedScanBatchRows, spec,
                                              &ws, &views, &done, &deltas));

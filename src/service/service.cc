@@ -1,0 +1,265 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/strings.h"
+#include "degrade/degradation_engine.h"
+#include "util/worker_pool.h"
+#include "wal/wal_manager.h"
+
+namespace instantdb {
+
+ServiceFrontEnd::ServiceFrontEnd(Database* db, ServiceOptions options)
+    : db_(db), options_(options), clock_(db->clock()) {
+  for (size_t c = 0; c < kNumServiceClasses; ++c) {
+    const double w = options_.per_class_weights[c];
+    weights_[c] = w > 0 ? w : 1.0;
+  }
+  // The degradation floor: tokens only priority (degrader) dispatches can
+  // take. Keep at least one token normal-visible so query fan-out is never
+  // structurally impossible (at pool size 1 the degrader drains on its own
+  // caller thread anyway and needs no reserve).
+  WorkerPool* pool = db_->worker_pool();
+  const size_t max_reserve = pool->size() > 0 ? pool->size() - 1 : 0;
+  pool->SetReserved(
+      std::min(options_.reserved_degradation_workers, max_reserve));
+  db_->set_pre_close_hook([this] { Shutdown(); });
+}
+
+ServiceFrontEnd::~ServiceFrontEnd() {
+  // Detach from the database before tearing down so a racing Close cannot
+  // call into a dying object; then drain ourselves in case Close never ran.
+  db_->set_pre_close_hook(nullptr);
+  Shutdown();
+  db_->worker_pool()->SetReserved(0);
+}
+
+bool ServiceFrontEnd::StatementIsWrite(const std::string& sql) {
+  size_t i = 0;
+  while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  size_t j = i;
+  while (j < sql.size() && std::isalpha(static_cast<unsigned char>(sql[j]))) {
+    ++j;
+  }
+  const std::string_view word(sql.data() + i, j - i);
+  return EqualsIgnoreCase(word, "INSERT") || EqualsIgnoreCase(word, "DELETE") ||
+         EqualsIgnoreCase(word, "UPDATE") || EqualsIgnoreCase(word, "CREATE") ||
+         EqualsIgnoreCase(word, "DROP");
+}
+
+PressureState ServiceFrontEnd::SamplePressure() {
+  const Micros now = clock_->NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(pressure_mu_);
+    if (have_pressure_sample_ && options_.pressure_refresh > 0 &&
+        now >= last_pressure_sample_ &&
+        now - last_pressure_sample_ < options_.pressure_refresh) {
+      return cached_pressure_;
+    }
+  }
+  PressureState p;
+  p.wal_sync_waiters = db_->wal()->SyncWaiters();
+  WorkerPool* pool = db_->worker_pool();
+  const size_t free = pool->free_workers();
+  const size_t reserved = pool->reserved();
+  p.pool_free_workers = free > reserved ? free - reserved : 0;
+  p.degradation_overdue_units = db_->degradation()->OverdueUnits(now);
+  p.wal_pressure = p.wal_sync_waiters >= options_.wal_waiters_high;
+  p.pool_pressure = p.pool_free_workers == 0;
+  p.degradation_pressure =
+      p.degradation_overdue_units >= options_.degradation_backlog_high;
+  p.score = (p.wal_pressure ? 1 : 0) + (p.pool_pressure ? 1 : 0) +
+            (p.degradation_pressure ? 1 : 0);
+  std::lock_guard<std::mutex> lock(pressure_mu_);
+  cached_pressure_ = p;
+  last_pressure_sample_ = now;
+  have_pressure_sample_ = true;
+  return p;
+}
+
+bool ServiceFrontEnd::ShouldShed(ServiceClass cls, bool is_write,
+                                 int score) const {
+  if (score <= 0) return false;
+  const int n = static_cast<int>(kNumServiceClasses);
+  const int ci = static_cast<int>(cls);
+  // Writes shed one rung before reads: with score s the s lowest classes
+  // lose writes but only the s-1 lowest lose reads — kHigh reads survive
+  // even a full-score ladder.
+  const int threshold = is_write ? n - score : n - score + 1;
+  return ci >= threshold;
+}
+
+int ServiceFrontEnd::NextClassLocked() const {
+  int best = -1;
+  double best_vtime = 0;
+  for (size_t c = 0; c < kNumServiceClasses; ++c) {
+    if (queues_[c].empty()) continue;
+    const double vtime = static_cast<double>(served_[c]) / weights_[c];
+    // Strict < keeps the earlier (higher-priority) class on ties.
+    if (best < 0 || vtime < best_vtime) {
+      best = static_cast<int>(c);
+      best_vtime = vtime;
+    }
+  }
+  return best;
+}
+
+void ServiceFrontEnd::RecordQueueDepth(size_t depth) {
+  std::atomic<uint64_t>& hwm = db_->service_counters()->max_queue_depth;
+  uint64_t seen = hwm.load(std::memory_order_relaxed);
+  while (seen < depth &&
+         !hwm.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+  }
+}
+
+Status ServiceFrontEnd::Admit(ServiceClass cls, bool is_write,
+                              Micros deadline) {
+  Database::ServiceCounters* counters = db_->service_counters();
+  counters->submitted.fetch_add(1, std::memory_order_relaxed);
+  const size_t ci = static_cast<size_t>(cls);
+  // Pressure shed before any queueing: under saturation the useful feedback
+  // is an immediate Overloaded, not a slot in a queue that will not drain.
+  const PressureState pressure = SamplePressure();
+  if (ShouldShed(cls, is_write, pressure.score)) {
+    counters->rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    return Status::Overloaded(is_write ? "backpressure: write shed"
+                                       : "backpressure: read shed");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    counters->rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+    return Status::Shutdown("service is shut down");
+  }
+  if (deadline != 0 && clock_->NowMicros() >= deadline) {
+    counters->rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+    counters->timeouts.fetch_add(1, std::memory_order_relaxed);
+    return Status::Timeout("deadline expired before admission");
+  }
+  // No barging: immediate admission only when nobody is queued ahead.
+  if (running_ < options_.max_concurrent && total_queued_ == 0) {
+    ++running_;
+    ++served_[ci];
+    counters->admitted.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  if (queues_[ci].size() >= options_.queue_depth) {
+    counters->rejected_overload.fetch_add(1, std::memory_order_relaxed);
+    return Status::Overloaded("admission queue full");
+  }
+  Waiter self(cls);
+  queues_[ci].push_back(&self);
+  ++total_queued_;
+  counters->queued.fetch_add(1, std::memory_order_relaxed);
+  RecordQueueDepth(total_queued_);
+  const auto remove_self = [&] {
+    std::deque<Waiter*>& q = queues_[ci];
+    q.erase(std::find(q.begin(), q.end(), &self));
+    --total_queued_;
+  };
+  for (;;) {
+    if (running_ < options_.max_concurrent &&
+        NextClassLocked() == static_cast<int>(ci) &&
+        queues_[ci].front() == &self) {
+      remove_self();
+      ++running_;
+      ++served_[ci];
+      counters->admitted.fetch_add(1, std::memory_order_relaxed);
+      // More slots may be assignable to the next queued waiter.
+      if (running_ < options_.max_concurrent && total_queued_ > 0) {
+        cv_.notify_all();
+      }
+      return Status::OK();
+    }
+    if (shutdown_) {
+      remove_self();
+      counters->rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+      cv_.notify_all();  // Shutdown() waits for the queues to drain.
+      return Status::Shutdown("service shut down while queued");
+    }
+    if (deadline != 0 && clock_->NowMicros() >= deadline) {
+      remove_self();
+      counters->rejected_deadline.fetch_add(1, std::memory_order_relaxed);
+      counters->timeouts.fetch_add(1, std::memory_order_relaxed);
+      cv_.notify_all();  // Our departure may unblock a different class head.
+      return Status::Timeout("deadline expired while queued");
+    }
+    if (deadline == 0) {
+      cv_.wait(lock);
+    } else {
+      // Bounded park so a wall-clock deadline fires without a notifier (a
+      // VirtualClock advances from test threads, which notify anyway).
+      cv_.wait_for(lock, std::chrono::milliseconds(10));
+    }
+  }
+}
+
+void ServiceFrontEnd::Finish() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --running_;
+  }
+  cv_.notify_all();
+}
+
+Status ServiceFrontEnd::Run(Session* session, ServiceClass cls, bool is_write,
+                            const std::function<Status(Session*)>& fn,
+                            const CancelToken* cancel, Micros deadline) {
+  if (deadline == 0 && options_.default_deadline != 0) {
+    deadline = clock_->NowMicros() + options_.default_deadline;
+  }
+  Status admit = Admit(cls, is_write, deadline);
+  if (!admit.ok()) return admit;
+  // Wire the statement budget into the session's scan options for the
+  // duration; the caller's own settings survive.
+  ScanOptions& scan = session->scan_options();
+  const Micros saved_deadline = scan.deadline;
+  const CancelToken* saved_cancel = scan.cancel;
+  if (deadline != 0) scan.deadline = deadline;
+  if (cancel != nullptr) scan.cancel = cancel;
+  Status status = fn(session);
+  scan.deadline = saved_deadline;
+  scan.cancel = saved_cancel;
+  Finish();
+  Database::ServiceCounters* counters = db_->service_counters();
+  if (status.IsTimeout()) {
+    counters->timeouts.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (status.IsAborted() && cancel != nullptr && cancel->cancelled()) {
+    counters->cancelled.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+Result<QueryResult> ServiceFrontEnd::Execute(Session* session,
+                                             const std::string& sql,
+                                             ServiceClass cls,
+                                             const CancelToken* cancel,
+                                             Micros deadline) {
+  QueryResult out;
+  Status status = Run(
+      session, cls, StatementIsWrite(sql),
+      [&](Session* s) -> Status {
+        Result<QueryResult> result = s->Execute(sql);
+        if (!result.ok()) return result.status();
+        out = std::move(*result);
+        return Status::OK();
+      },
+      cancel, deadline);
+  if (!status.ok()) return status;
+  return out;
+}
+
+void ServiceFrontEnd::Shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  shutdown_ = true;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return total_queued_ == 0 && running_ == 0; });
+}
+
+}  // namespace instantdb

@@ -1,0 +1,148 @@
+#ifndef INSTANTDB_SERVICE_SERVICE_H_
+#define INSTANTDB_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/cancel.h"
+#include "common/options.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "query/session.h"
+
+namespace instantdb {
+
+/// Snapshot of the backpressure signals admission reads (sampled at most
+/// once per ServiceOptions::pressure_refresh so a hot admission path does
+/// not hammer the engine's locks). Each boolean is one rung of the shed
+/// ladder; `score` is how many are lit.
+struct PressureState {
+  /// Committers parked inside WAL group-commit sync (leaders + followers).
+  size_t wal_sync_waiters = 0;
+  /// Worker-pool tokens a NORMAL dispatch could take right now (the
+  /// degradation reserve is excluded — it is not available to queries).
+  size_t pool_free_workers = 0;
+  /// Degradation units whose phase deadline has already passed.
+  size_t degradation_overdue_units = 0;
+  bool wal_pressure = false;
+  bool pool_pressure = false;
+  bool degradation_pressure = false;
+  /// Number of lit signals, in [0, 3]. The shed ladder: with score s,
+  /// writes are shed for the s lowest-priority classes and reads for the
+  /// s-1 lowest — writes always shed one rung before reads, low priority
+  /// before high, and kHigh reads are never pressure-shed (only queue
+  /// limits stop them).
+  int score = 0;
+};
+
+/// \brief Overload-safe multiplexing front end over one Database.
+///
+/// Statements execute on the submitting caller's thread — the front end
+/// adds no worker threads; it decides only WHO may run and WHEN:
+///
+///  - Admission control: at most ServiceOptions::max_concurrent statements
+///    run at once. Excess submissions park in a per-class FIFO (at most
+///    queue_depth deep each); a full queue rejects with Status::Overloaded
+///    immediately, so callers learn to back off instead of piling up.
+///  - Weighted fair draining: freed slots go to the queued class with the
+///    smallest virtual time served/weight (ties to the higher-priority
+///    class), so kHigh drains per_class_weights[0]/per_class_weights[2]
+///    times faster than kLow without ever starving it. No barging: an
+///    arrival never overtakes a non-empty queue.
+///  - Backpressure shedding: saturation signals from the layers below (WAL
+///    sync depth, worker-pool exhaustion, overdue degradation backlog)
+///    shed work BEFORE it queues — see PressureState.
+///  - Deadlines & cancellation: Run wires an absolute deadline and an
+///    optional CancelToken into the session's ScanOptions; scans check
+///    them at morsel-claim granularity and return partial-safe
+///    Status::Timeout / Status::Aborted.
+///  - Degradation floor: the constructor reserves
+///    reserved_degradation_workers pool tokens that only the degradation
+///    engine's priority dispatches can take, so timely deletion keeps its
+///    deadline even at 100% query load.
+///
+/// The front end registers itself as the Database's pre-close hook:
+/// Database::Close() first drains queued statements with Status::Shutdown
+/// and waits for in-flight ones, so close never races live queries.
+class ServiceFrontEnd {
+ public:
+  explicit ServiceFrontEnd(Database* db, ServiceOptions options = {});
+  ~ServiceFrontEnd();
+
+  ServiceFrontEnd(const ServiceFrontEnd&) = delete;
+  ServiceFrontEnd& operator=(const ServiceFrontEnd&) = delete;
+
+  /// Admits, executes `sql` on `session` (caller's thread), releases the
+  /// slot. `deadline` is absolute on the database clock (0 = use
+  /// options().default_deadline relative to now; 0 default = none).
+  Result<QueryResult> Execute(Session* session, const std::string& sql,
+                              ServiceClass cls = ServiceClass::kNormal,
+                              const CancelToken* cancel = nullptr,
+                              Micros deadline = 0);
+
+  /// General admission-wrapped execution: admits under `cls`, wires
+  /// deadline/cancel into the session's scan options for the duration
+  /// (saving and restoring the caller's settings), runs `fn`, releases the
+  /// slot. `is_write` selects the write rung of the shed ladder.
+  Status Run(Session* session, ServiceClass cls, bool is_write,
+             const std::function<Status(Session*)>& fn,
+             const CancelToken* cancel = nullptr, Micros deadline = 0);
+
+  /// Current (possibly cached) backpressure snapshot.
+  PressureState SamplePressure();
+
+  /// Rejects everything queued with Status::Shutdown, refuses new
+  /// submissions, and blocks until in-flight statements finish.
+  /// Idempotent; invoked by Database::Close via the pre-close hook and
+  /// again by the destructor.
+  void Shutdown();
+
+  const ServiceOptions& options() const { return options_; }
+
+  /// Conservative keyword sniff (no parse): INSERT/DELETE/UPDATE/CREATE/
+  /// DROP statements take the write rung of the shed ladder.
+  static bool StatementIsWrite(const std::string& sql);
+
+ private:
+  /// A parked submission: stack-allocated in Admit, linked into its class
+  /// queue by pointer, admitted or rejected under mu_.
+  struct Waiter {
+    explicit Waiter(ServiceClass c) : cls(c) {}
+    ServiceClass cls;
+  };
+
+  Status Admit(ServiceClass cls, bool is_write, Micros deadline);
+  void Finish();
+  /// Queued class with the smallest virtual time (served/weight), ties to
+  /// the higher-priority index; -1 when every queue is empty. mu_ held.
+  int NextClassLocked() const;
+  bool ShouldShed(ServiceClass cls, bool is_write, int score) const;
+  void RecordQueueDepth(size_t depth);
+
+  Database* const db_;
+  const ServiceOptions options_;
+  Clock* const clock_;
+  /// Sanitized per_class_weights (non-positive entries become 1).
+  double weights_[kNumServiceClasses];
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  size_t running_ = 0;
+  size_t total_queued_ = 0;
+  std::deque<Waiter*> queues_[kNumServiceClasses];
+  /// Statements served per class, the numerator of each virtual time.
+  uint64_t served_[kNumServiceClasses] = {};
+
+  std::mutex pressure_mu_;
+  PressureState cached_pressure_;
+  Micros last_pressure_sample_ = 0;
+  bool have_pressure_sample_ = false;
+};
+
+}  // namespace instantdb
+
+#endif  // INSTANTDB_SERVICE_SERVICE_H_

@@ -39,20 +39,25 @@ void WorkerPool::WorkerLoop() {
     lock.unlock();
     task();
     lock.lock();
-    ++free_;
   }
 }
 
 size_t WorkerPool::TryDispatch(size_t want, std::function<void(size_t)> fn,
-                               Ticket* ticket) {
+                               Ticket* ticket, bool priority) {
   if (want == 0) return 0;
   auto state = std::make_shared<Ticket::State>();
   size_t take = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     EnsureStartedLocked();
-    take = std::min(want, free_);
+    // Normal dispatches see a pool shrunk by the reserve; only priority
+    // callers (the degrader) may take the last `reserved_` tokens, so no
+    // foreground dispatch loop can ever re-acquire them first.
+    const size_t visible =
+        priority ? free_ : (free_ > reserved_ ? free_ - reserved_ : 0);
+    take = std::min(want, visible);
     if (take == 0) return 0;
+    if (priority && free_ - take < reserved_) ++reserved_grants_;
     // Tokens come off BEFORE the tasks are visible: a concurrent dispatch
     // can never promise the same free worker twice, which is the
     // no-over-commit invariant everything above relies on.
@@ -61,8 +66,15 @@ size_t WorkerPool::TryDispatch(size_t want, std::function<void(size_t)> fn,
     auto shared_fn = std::make_shared<std::function<void(size_t)>>(
         std::move(fn));
     for (size_t slot = 0; slot < take; ++slot) {
-      tasks_.emplace_back([shared_fn, slot, state] {
+      // The token goes back BEFORE the ticket is signalled, so after
+      // Wait() returns every borrowed worker is free again — tests assert
+      // free_workers() == size to prove error paths leak nothing.
+      tasks_.emplace_back([this, shared_fn, slot, state] {
         (*shared_fn)(slot);
+        {
+          std::lock_guard<std::mutex> returned(mu_);
+          ++free_;
+        }
         {
           std::lock_guard<std::mutex> done(state->mu);
           --state->active;
@@ -74,6 +86,26 @@ size_t WorkerPool::TryDispatch(size_t want, std::function<void(size_t)> fn,
   cv_.notify_all();
   ticket->state_ = std::move(state);
   return take;
+}
+
+void WorkerPool::SetReserved(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reserved_ = std::min(n, size_);
+}
+
+size_t WorkerPool::reserved() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_;
+}
+
+size_t WorkerPool::free_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_ ? free_ : size_;
+}
+
+uint64_t WorkerPool::reserved_grants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_grants_;
 }
 
 void WorkerPool::Wait(Ticket* ticket) {

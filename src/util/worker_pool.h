@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -60,8 +61,19 @@ class WorkerPool {
   /// on each (slot in [0, returned)). Returns how many were borrowed —
   /// possibly 0 when the pool is saturated; the caller runs (or spawns) the
   /// shortfall itself. Never blocks.
+  ///
+  /// `priority` selects the token pool: normal dispatches (the default)
+  /// never take the last `reserved()` free tokens, priority dispatches may
+  /// take every free token. Priority is for the degradation engine (and
+  /// anything else privacy-critical): because only priority callers can
+  /// touch the reserve, a tight normal-dispatch loop — one session
+  /// re-borrowing tokens the instant they free — can never re-acquire them
+  /// first, which closes the starvation race where a parked degrader lost
+  /// every freed token to faster foreground dispatchers. A priority caller
+  /// is therefore guaranteed min(want, reserved()) tokens whenever its own
+  /// kind isn't already holding them.
   size_t TryDispatch(size_t want, std::function<void(size_t)> fn,
-                     Ticket* ticket);
+                     Ticket* ticket, bool priority = false);
 
   /// Blocks until every task of `ticket` finished. Idempotent; a
   /// default-constructed or already-waited ticket returns immediately.
@@ -77,18 +89,41 @@ class WorkerPool {
   Status Run(size_t workers, size_t count,
              const std::function<Status(size_t)>& fn);
 
+  /// Reserves `n` tokens (clamped to the pool size) for priority
+  /// dispatches; normal TryDispatch sees a pool smaller by that many. 0
+  /// (the default) disables the reserve. Safe to call any time; tokens
+  /// already handed out are unaffected.
+  void SetReserved(size_t n);
+  size_t reserved() const;
+
+  /// Free-worker tokens right now (dispatch-order snapshot). A pool that
+  /// was never started reports its full size — nothing has borrowed from
+  /// it. Tests use this to prove a failed scan leaked no tokens; the
+  /// service's PressureState reads it as the saturation signal.
+  size_t free_workers() const;
+
+  /// Priority dispatches that took tokens a concurrent normal dispatch was
+  /// refused (i.e. dipped into the reserve): the
+  /// `degradation_reserved_dispatches` service counter.
+  uint64_t reserved_grants() const;
+
  private:
   void EnsureStartedLocked();
   void WorkerLoop();
 
   const size_t size_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> tasks_;
   /// Workers not currently running a task. Decremented at dispatch time
   /// (task count never exceeds free workers), re-incremented by the worker
   /// when its task completes.
   size_t free_ = 0;
+  /// Tokens only priority dispatches may take (SetReserved).
+  size_t reserved_ = 0;
+  /// Priority dispatches that dipped into the reserve (free_ at or below
+  /// reserved_ when they took tokens).
+  uint64_t reserved_grants_ = 0;
   bool started_ = false;
   bool stop_ = false;
   std::vector<std::thread> threads_;

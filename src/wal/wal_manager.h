@@ -236,6 +236,15 @@ class WalManager {
   };
   /// Aggregated over streams.
   Stats stats() const;
+
+  /// Committers currently parked on any stream's group-commit sync
+  /// watermark (Σ WalStream::sync_waiters). The service front end's WAL
+  /// backpressure signal.
+  size_t SyncWaiters() const {
+    size_t waiters = 0;
+    for (const auto& stream : streams_) waiters += stream->sync_waiters();
+    return waiters;
+  }
   WalStream::Stats stream_stats(uint32_t stream) const {
     return streams_[stream]->stats();
   }

@@ -313,6 +313,7 @@ Status WalStream::SyncThrough(Lsn lsn) {
     // clobber a later generation that happens to reuse its LSN.
     bool registered = false;
     uint64_t my_generation = 0;
+    ++sync_parked_;  // depth signal; deregister() undoes it on every exit
     if (lsn > pending_target_) {
       pending_target_ = lsn;
       pending_target_holders_ = 1;
@@ -324,6 +325,7 @@ Status WalStream::SyncThrough(Lsn lsn) {
       registered = true;
     }
     auto deregister = [&] {
+      --sync_parked_;
       if (registered && my_generation == pending_generation_ &&
           --pending_target_holders_ == 0) {
         // Last holder of the largest demand leaves (normally satisfied;

@@ -135,6 +135,17 @@ class WalStream {
     return synced_lsn_;
   }
 
+  /// Committers currently inside SyncThrough whose demand the synced
+  /// watermark did not already cover (group-commit depth: leaders plus
+  /// parked followers). Instantaneous — a backpressure signal, not an
+  /// accounting counter: a sustained non-zero depth means durability
+  /// demand is outrunning the device and admission should shed writes
+  /// first.
+  size_t sync_waiters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return sync_parked_;
+  }
+
   /// First half of a checkpoint: appends a kCheckpoint record carrying
   /// `replay_from` (kLogEnd = the post-record end of the stream, for
   /// callers that know no writes are in flight) and rotates to a fresh
@@ -285,6 +296,9 @@ class WalStream {
   Lsn pending_target_ = 0;
   size_t pending_target_holders_ = 0;
   uint64_t pending_generation_ = 0;
+  /// Committers inside SyncThrough not yet covered by the watermark (the
+  /// sync_waiters() depth signal).
+  size_t sync_parked_ = 0;
   /// Active segment preallocation state: when `preallocated_`, the file's
   /// size is durable through `prealloc_end_`, so commit syncs may use
   /// fdatasync for appends below it.
